@@ -1,0 +1,108 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Environment knobs:
+//   STS_SCALE      - matrix scale factor vs the suite defaults (default
+//                    0.2; 1.0 is the full container-sized suite).
+//   STS_FULL_SUITE - 1 runs all 15 matrices; default runs the
+//                    6-matrix representative subset.
+//   STS_LOBPCG_NEV - LOBPCG block width (default 8).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/schedsim.hpp"
+#include "sim/workloads.hpp"
+#include "solvers/common.hpp"
+#include "sparse/suite.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "tuning/block_select.hpp"
+
+namespace sts::bench {
+
+inline double scale() { return support::env_double("STS_SCALE", 0.2); }
+
+inline std::vector<std::string> matrix_names() {
+  if (support::env_int("STS_FULL_SUITE", 0) != 0) {
+    std::vector<std::string> names;
+    for (const auto& e : sparse::paper_suite()) names.push_back(e.name);
+    return names;
+  }
+  return sparse::default_bench_subset();
+}
+
+struct BenchMatrix {
+  std::string name;
+  sparse::Coo coo;
+  sparse::Csr csr;
+};
+
+inline BenchMatrix load(const std::string& name) {
+  const sparse::SuiteEntry& entry = sparse::suite_entry(name);
+  sparse::Coo coo = entry.make(scale());
+  sparse::Csr csr = sparse::Csr::from_coo(coo);
+  return {name, std::move(coo), std::move(csr)};
+}
+
+/// Simulator policy + layout/graph choice for a solver version.
+inline sim::SimResult simulate_version(solver::Version v,
+                                       const sim::Workload& wl,
+                                       const sim::MachineModel& machine,
+                                       sim::SimOptions options) {
+  switch (v) {
+    case solver::Version::kLibCsr:
+      options.policy = sim::Policy::kBsp;
+      return sim::simulate_bsp(wl.csr_graph, *wl.csr_layout, machine,
+                               options);
+    case solver::Version::kLibCsb:
+      options.policy = sim::Policy::kBsp;
+      return sim::simulate_bsp(wl.task_graph, *wl.layout, machine, options);
+    case solver::Version::kDs:
+      options.policy = sim::Policy::kDsTopo;
+      return sim::simulate_task_graph(wl.task_graph, *wl.layout, machine,
+                                      options);
+    case solver::Version::kFlux:
+      options.policy = sim::Policy::kFluxWs;
+      options.numa_aware = machine.numa_domains > 1;
+      return sim::simulate_task_graph(wl.task_graph, *wl.layout, machine,
+                                      options);
+    case solver::Version::kRgt:
+      options.policy = sim::Policy::kRgtWindow;
+      options.util_threads = machine.cores >= 64 ? 18 : 4; // paper -ll:util
+      return sim::simulate_task_graph(wl.task_graph, *wl.layout, machine,
+                                      options);
+  }
+  throw support::Error("unknown version");
+}
+
+/// Block size for a (version, machine, matrix) via the paper's heuristic.
+inline la::index_t pick_block(solver::Version v,
+                              const sim::MachineModel& machine,
+                              la::index_t rows) {
+  return tune::recommended_block_size(v, machine.cores, rows);
+}
+
+enum class Solver { kLanczos, kLobpcg };
+
+inline sim::Workload build_workload(Solver s, const BenchMatrix& m,
+                                    la::index_t block) {
+  sparse::Csb csb = sparse::Csb::from_coo(m.coo, block);
+  if (s == Solver::kLanczos) {
+    return sim::build_lanczos_workload(m.csr, csb, 21);
+  }
+  const la::index_t nev =
+      support::env_int("STS_LOBPCG_NEV", 8);
+  return sim::build_lobpcg_workload(m.csr, csb, nev);
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(scale " << scale() << ", "
+            << (support::env_int("STS_FULL_SUITE", 0) != 0 ? "full suite"
+                                                           : "subset")
+            << ")\n\n";
+}
+
+} // namespace sts::bench

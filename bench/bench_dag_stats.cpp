@@ -1,0 +1,56 @@
+// Section 4 facts: per-iteration task-graph statistics. The paper reports
+// critical path lengths of 5 (Lanczos) and 29 (LOBPCG) at function-call
+// granularity, and task counts from 56 up to 6,570,446 per iteration
+// depending on block and matrix size.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sts;
+  bench::print_header("Section 4: task graph statistics per iteration");
+
+  support::Table t({"matrix", "solver", "block count", "tasks", "edges",
+                    "crit path (tasks)", "crit path (calls)",
+                    "max parallelism"});
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    for (const bool lobpcg : {false, true}) {
+      for (const la::index_t count : {8, 64, 256}) {
+        if (m.coo.rows() < count) continue;
+        const la::index_t block =
+            tune::block_size_for_count(m.coo.rows(), count);
+        sparse::Csb csb = sparse::Csb::from_coo(m.coo, block);
+        const sim::Workload wl =
+            lobpcg ? sim::build_lobpcg_workload(m.csr, csb, 8)
+                   : sim::build_lanczos_workload(m.csr, csb, 21);
+        // Function-call critical path: the number of distinct phases on
+        // the longest path (the paper's 5 / 29 counting).
+        const auto order = wl.task_graph.depth_first_topological_order();
+        std::vector<std::int32_t> depth(wl.task_graph.task_count(), 0);
+        std::int32_t call_path = 0;
+        for (graph::TaskId u : order) {
+          for (graph::TaskId v : wl.task_graph.successors(u)) {
+            const bool new_phase =
+                wl.task_graph.task(v).phase != wl.task_graph.task(u).phase;
+            depth[static_cast<std::size_t>(v)] = std::max(
+                depth[static_cast<std::size_t>(v)],
+                depth[static_cast<std::size_t>(u)] + (new_phase ? 1 : 0));
+            call_path =
+                std::max(call_path, depth[static_cast<std::size_t>(v)]);
+          }
+        }
+        t.row()
+            .add(name)
+            .add(lobpcg ? "lobpcg" : "lanczos")
+            .add(static_cast<std::int64_t>(count))
+            .add(static_cast<std::int64_t>(wl.task_graph.task_count()))
+            .add(static_cast<std::int64_t>(wl.task_graph.edge_count()))
+            .add(wl.task_graph.critical_path_tasks())
+            .add(static_cast<std::int64_t>(call_path + 1))
+            .add(wl.task_graph.max_parallelism());
+      }
+    }
+  }
+  t.print(std::cout);
+  t.write_csv_file("dag_stats.csv");
+  return 0;
+}

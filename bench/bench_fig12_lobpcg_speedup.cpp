@@ -1,0 +1,50 @@
+// Fig. 12: LOBPCG speedup over libcsr on Broadwell (top) and EPYC (bottom).
+// Paper: Broadwell 1.8-3.0x (DS) / 1.5-4.4x (HPX) / 0.8-1.9x (Regent);
+// EPYC 1.2-5.5x / 1.7-7.5x / 0.8-2.3x, Regent losing on small matrices.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+namespace {
+
+void run_machine(const sts::sim::MachineModel& machine) {
+  using namespace sts;
+  support::Table t({"matrix", "libcsr", "libcsb", "deepsparse", "hpx-flux",
+                    "regent-rgt"});
+  std::vector<double> geo(5, 0.0);
+  int count = 0;
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    double base = 0.0;
+    t.row().add(name);
+    int col = 0;
+    for (solver::Version v : solver::kAllVersions) {
+      const la::index_t block = bench::pick_block(v, machine, m.coo.rows());
+      const sim::Workload wl =
+          bench::build_workload(bench::Solver::kLobpcg, m, block);
+      sim::SimOptions o;
+      const sim::SimResult r = bench::simulate_version(v, wl, machine, o);
+      if (v == solver::Version::kLibCsr) base = r.makespan_seconds;
+      const double speedup = base / r.makespan_seconds;
+      t.add(speedup, 2);
+      geo[static_cast<std::size_t>(col++)] += std::log(speedup);
+    }
+    ++count;
+  }
+  t.row().add("(geomean)");
+  for (double g : geo) t.add(std::exp(g / std::max(1, count)), 2);
+  t.print(std::cout);
+  t.write_csv_file("fig12_lobpcg_speedup_" + machine.name + ".csv");
+}
+
+} // namespace
+
+int main() {
+  using namespace sts;
+  bench::print_header("Fig 12: LOBPCG speedup over libcsr");
+  std::cout << "--- Broadwell (2 x 14 cores) ---\n";
+  run_machine(sim::MachineModel::broadwell());
+  std::cout << "\n--- EPYC (2 x 64 cores) ---\n";
+  run_machine(sim::MachineModel::epyc7h12());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 13: execution flow graphs of LOBPCG (nlpkkt240-like) for libcsb,
+// DeepSparse and HPX. The task versions pipeline kernels (overlapping
+// per-kernel activity windows); HPX's schedule is visibly more "shuffled"
+// than DeepSparse's spawn-order-respecting one.
+#include "bench_common.hpp"
+
+#include <fstream>
+
+namespace {
+
+void flow_for(const char* label, sts::solver::Version v,
+              const sts::sim::MachineModel& machine,
+              const sts::bench::BenchMatrix& m) {
+  using namespace sts;
+  const la::index_t block = bench::pick_block(v, machine, m.coo.rows());
+  const sim::Workload wl =
+      bench::build_workload(bench::Solver::kLobpcg, m, block);
+  sim::SimOptions o;
+  o.record_events = true;
+  const sim::SimResult r = bench::simulate_version(v, wl, machine, o);
+  std::cout << "\n-- " << label << " on " << machine.name << " (makespan "
+            << support::format_double(r.makespan_seconds * 1e3, 3)
+            << " ms, busy "
+            << support::format_double(r.busy_fraction * 100, 1) << "%) --\n";
+  const perf::FlowGraph fg = perf::build_flow_graph(r.events, 96);
+  perf::render_flow_graph(std::cout, fg);
+  std::ofstream csv(std::string("fig13_flow_") + label + "_" + machine.name +
+                    ".csv");
+  perf::write_flow_graph_csv(csv, fg);
+}
+
+} // namespace
+
+int main() {
+  using namespace sts;
+  bench::print_header(
+      "Fig 13: LOBPCG execution flow graphs (nlpkkt240-like)");
+  const bench::BenchMatrix m = bench::load("nlpkkt240");
+  for (const sim::MachineModel& machine :
+       {sim::MachineModel::broadwell(), sim::MachineModel::epyc7h12()}) {
+    flow_for("libcsb", solver::Version::kLibCsb, machine, m);
+    flow_for("deepsparse", solver::Version::kDs, machine, m);
+    flow_for("hpx", solver::Version::kFlux, machine, m);
+  }
+  std::cout << "\nCSV series written to fig13_flow_*.csv\n";
+  return 0;
+}

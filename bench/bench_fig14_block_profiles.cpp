@@ -1,0 +1,69 @@
+// Fig. 14: performance profiles of the six block-count buckets (8-15 ...
+// 256-511) for DeepSparse, HPX and Regent LOBPCG on both machine models.
+// Paper findings to reproduce: DS best at 32-63 (Broadwell) / 64-127
+// (EPYC), HPX best at 64-127, Regent best at 16-31 with severe slowdowns
+// beyond 64 blocks.
+#include "bench_common.hpp"
+
+#include "perf/profiles.hpp"
+
+namespace {
+
+void run(const sts::sim::MachineModel& machine, sts::solver::Version v) {
+  using namespace sts;
+  const auto buckets = tune::heuristic_buckets();
+  std::vector<std::string> labels;
+  for (const auto& b : buckets) labels.push_back(b.label());
+
+  std::vector<std::vector<double>> times; // [matrix][bucket]
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    std::vector<double> row;
+    for (const auto& bucket : buckets) {
+      const la::index_t block =
+          tune::block_size_for_bucket(m.coo.rows(), bucket);
+      if (block == 0) {
+        row.push_back(-1.0); // matrix too small for this bucket
+        continue;
+      }
+      const sim::Workload wl =
+          bench::build_workload(bench::Solver::kLobpcg, m, block);
+      sim::SimOptions o;
+      const sim::SimResult r = bench::simulate_version(v, wl, machine, o);
+      row.push_back(r.makespan_seconds);
+    }
+    times.push_back(std::move(row));
+  }
+
+  const auto taus = perf::default_taus(11);
+  const auto curves = perf::performance_profiles(labels, times, taus);
+  std::cout << "\n-- " << solver::to_string(v) << " on " << machine.name
+            << " --\n";
+  support::Table t({"block count", "tau=1.0", "1.2", "1.4", "1.6", "1.8",
+                    "2.0"});
+  for (const auto& c : curves) {
+    t.row().add(c.config);
+    for (std::size_t k = 0; k < taus.size(); k += 2) {
+      t.add(c.fraction[k], 2);
+    }
+  }
+  t.print(std::cout);
+  t.write_csv_file(std::string("fig14_profiles_") + solver::to_string(v) +
+                   "_" + machine.name + ".csv");
+}
+
+} // namespace
+
+int main() {
+  using namespace sts;
+  bench::print_header("Fig 14: block-count performance profiles (LOBPCG)");
+  for (const sim::MachineModel& machine :
+       {sim::MachineModel::broadwell(), sim::MachineModel::epyc7h12()}) {
+    for (solver::Version v :
+         {solver::Version::kDs, solver::Version::kFlux,
+          solver::Version::kRgt}) {
+      run(machine, v);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 5: effect of the first-touch placement policy on DeepSparse Lanczos,
+// EPYC model (8 NUMA domains). The paper reports up to 2.5x for small and
+// mid-sized matrices.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sts;
+  bench::print_header(
+      "Fig 5: DeepSparse Lanczos on EPYC w.r.t. first-touch policy");
+
+  const sim::MachineModel machine = sim::MachineModel::epyc7h12();
+  support::Table t({"matrix", "no first-touch (s)", "first-touch (s)",
+                    "improvement"});
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    const la::index_t block =
+        bench::pick_block(solver::Version::kDs, machine, m.coo.rows());
+    const sim::Workload wl =
+        bench::build_workload(bench::Solver::kLanczos, m, block);
+
+    sim::SimOptions off;
+    off.first_touch = false;
+    const sim::SimResult r_off =
+        bench::simulate_version(solver::Version::kDs, wl, machine, off);
+    sim::SimOptions on;
+    on.first_touch = true;
+    const sim::SimResult r_on =
+        bench::simulate_version(solver::Version::kDs, wl, machine, on);
+
+    t.row()
+        .add(name)
+        .add(r_off.makespan_seconds, 5)
+        .add(r_on.makespan_seconds, 5)
+        .add(r_off.makespan_seconds / r_on.makespan_seconds, 2);
+  }
+  t.print(std::cout);
+  t.write_csv_file("fig5_first_touch.csv");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 7: dependency-based vs reduction-based SpMM output updates for
+// Regent LOBPCG on the Broadwell model. The paper finds the reduce-based
+// approach "extremely poor" on large matrices: every core keeps a private
+// copy of the whole output block vector, paying allocation, zeroing and
+// reduction traffic.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sts;
+  bench::print_header(
+      "Fig 7: Regent LOBPCG on Broadwell, dependency- vs reduction-based "
+      "SpMM");
+
+  const sim::MachineModel machine = sim::MachineModel::broadwell();
+  support::Table t({"matrix", "reduce-based (s)", "dependency-based (s)",
+                    "dep advantage", "red tasks", "dep tasks"});
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    const la::index_t block =
+        bench::pick_block(solver::Version::kRgt, machine, m.coo.rows());
+    sparse::Csb csb = sparse::Csb::from_coo(m.coo, block);
+
+    const sim::Workload dep = sim::build_lobpcg_workload(
+        m.csr, csb, 8, {.dependency_based_spmm = true});
+    // One partial output buffer per core, as the paper describes.
+    const sim::Workload red = sim::build_lobpcg_workload(
+        m.csr, csb, 8,
+        {.dependency_based_spmm = false,
+         .spmm_buffers = static_cast<std::int32_t>(machine.cores)});
+
+    sim::SimOptions o;
+    const sim::SimResult r_dep =
+        bench::simulate_version(solver::Version::kRgt, dep, machine, o);
+    const sim::SimResult r_red =
+        bench::simulate_version(solver::Version::kRgt, red, machine, o);
+
+    t.row()
+        .add(name)
+        .add(r_red.makespan_seconds, 5)
+        .add(r_dep.makespan_seconds, 5)
+        .add(r_red.makespan_seconds / r_dep.makespan_seconds, 2)
+        .add(static_cast<std::int64_t>(red.task_graph.task_count()))
+        .add(static_cast<std::int64_t>(dep.task_graph.task_count()));
+  }
+  t.print(std::cout);
+  t.write_csv_file("fig7_reduction.csv");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 8: L1 and L2 misses of the five Lanczos versions on the EPYC model,
+// normalized to libcsr. The paper's observation: no consistent L1 gain for
+// any framework; L2 gains trace back to the CSB storage format (libcsb
+// shows them too).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sts;
+  bench::print_header("Fig 8: Lanczos cache misses on EPYC (normalized to "
+                      "libcsr; lower is better)");
+
+  const sim::MachineModel machine = sim::MachineModel::epyc7h12();
+  support::Table t({"matrix", "level", "libcsr", "libcsb", "deepsparse",
+                    "hpx-flux", "regent-rgt"});
+  for (const std::string& name : bench::matrix_names()) {
+    const bench::BenchMatrix m = bench::load(name);
+    double base_l1 = 0.0;
+    double base_l2 = 0.0;
+    std::vector<double> l1;
+    std::vector<double> l2;
+    for (solver::Version v : solver::kAllVersions) {
+      const la::index_t block =
+          bench::pick_block(v, machine, m.coo.rows());
+      const sim::Workload wl =
+          bench::build_workload(bench::Solver::kLanczos, m, block);
+      sim::SimOptions o;
+      const sim::SimResult r = bench::simulate_version(v, wl, machine, o);
+      if (v == solver::Version::kLibCsr) {
+        base_l1 = static_cast<double>(r.misses.l1_misses);
+        base_l2 = static_cast<double>(r.misses.l2_misses);
+      }
+      l1.push_back(static_cast<double>(r.misses.l1_misses));
+      l2.push_back(static_cast<double>(r.misses.l2_misses));
+    }
+    auto add_row = [&](const char* level, const std::vector<double>& vals,
+                       double base) {
+      t.row().add(name).add(level);
+      for (double v : vals) t.add(base > 0 ? v / base : 0.0, 3);
+    };
+    add_row("L1", l1, base_l1);
+    add_row("L2", l2, base_l2);
+  }
+  t.print(std::cout);
+  t.write_csv_file("fig8_lanczos_cache.csv");
+  return 0;
+}

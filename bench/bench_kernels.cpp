@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) of the kernel bodies the solvers are
+// built from: dense gemm / gemm_tn on block shapes, CSR vs CSB SpMV/SpMM,
+// and CSB construction cost.
+#include <benchmark/benchmark.h>
+
+#include "bsp/kernels.hpp"
+#include "la/blas.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace sts;
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  const la::index_t rows = state.range(0);
+  const la::index_t n = 8;
+  la::DenseMatrix x(rows, n);
+  la::DenseMatrix z(n, n);
+  la::DenseMatrix y(rows, n);
+  support::Xoshiro256 rng(1);
+  x.fill_random(rng);
+  z.fill_random(rng);
+  for (auto _ : state) {
+    la::gemm(1.0, x.view(), z.view(), 0.0, y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * n * n * 2);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_GemmTn(benchmark::State& state) {
+  const la::index_t rows = state.range(0);
+  const la::index_t n = 8;
+  la::DenseMatrix x(rows, n);
+  la::DenseMatrix y(rows, n);
+  la::DenseMatrix p(n, n);
+  support::Xoshiro256 rng(2);
+  x.fill_random(rng);
+  y.fill_random(rng);
+  for (auto _ : state) {
+    la::gemm_tn(1.0, x.view(), y.view(), 0.0, p.view());
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * n * n * 2);
+}
+BENCHMARK(BM_GemmTn)->Arg(1024)->Arg(4096)->Arg(16384);
+
+struct SpmvFixture {
+  sparse::Csr csr;
+  sparse::Csb csb;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  explicit SpmvFixture(la::index_t side, la::index_t block)
+      : csr(sparse::Csr::from_coo(sparse::gen_fem3d(side, side, side, 1, 3))),
+        csb(sparse::Csb::from_coo(sparse::gen_fem3d(side, side, side, 1, 3),
+                                  block)),
+        x(static_cast<std::size_t>(csr.rows()), 1.0),
+        y(static_cast<std::size_t>(csr.rows()), 0.0) {}
+};
+
+void BM_SpmvCsr(benchmark::State& state) {
+  SpmvFixture f(state.range(0), 512);
+  for (auto _ : state) {
+    bsp::spmv(f.csr, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csr.nnz() * 2);
+}
+BENCHMARK(BM_SpmvCsr)->Arg(16)->Arg(24);
+
+void BM_SpmvCsb(benchmark::State& state) {
+  SpmvFixture f(state.range(0), 512);
+  for (auto _ : state) {
+    bsp::spmv(f.csb, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csb.nnz() * 2);
+}
+BENCHMARK(BM_SpmvCsb)->Arg(16)->Arg(24);
+
+void BM_SpmmCsb(benchmark::State& state) {
+  const la::index_t side = state.range(0);
+  sparse::Coo coo = sparse::gen_fem3d(side, side, side, 1, 3);
+  sparse::Csb csb = sparse::Csb::from_coo(coo, 512);
+  la::DenseMatrix x(csb.rows(), 8);
+  la::DenseMatrix y(csb.rows(), 8);
+  support::Xoshiro256 rng(4);
+  x.fill_random(rng);
+  for (auto _ : state) {
+    bsp::spmm(csb, x.view(), y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csb.nnz() * 16);
+}
+BENCHMARK(BM_SpmmCsb)->Arg(16)->Arg(24);
+
+void BM_CsbConstruction(benchmark::State& state) {
+  sparse::Coo coo = sparse::gen_fem3d(20, 20, 20, 1, 5);
+  for (auto _ : state) {
+    sparse::Csb csb = sparse::Csb::from_coo(coo, state.range(0));
+    benchmark::DoNotOptimize(csb.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * coo.nnz());
+}
+BENCHMARK(BM_CsbConstruction)->Arg(128)->Arg(512)->Arg(2048);
+
+} // namespace
+
+BENCHMARK_MAIN();

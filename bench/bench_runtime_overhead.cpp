@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) of the runtime substrates themselves:
+// flux task spawn/dataflow overhead, rgt dependence analysis throughput
+// (with and without dynamic tracing), and ds graph build + execution
+// overhead. These are the per-task costs the paper's block-size heuristic
+// (Fig. 14) trades against parallelism.
+#include <benchmark/benchmark.h>
+
+#include "ds/executor.hpp"
+#include "ds/program.hpp"
+#include "flux/dataflow.hpp"
+#include "rgt/runtime.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace sts;
+
+void BM_FluxSpawn(benchmark::State& state) {
+  flux::Scheduler sched({.threads = 2});
+  for (auto _ : state) {
+    std::atomic<int> c{0};
+    const int n = 1024;
+    for (int i = 0; i < n; ++i) sched.submit([&c] { c.fetch_add(1); });
+    sched.wait_for_quiescence();
+    benchmark::DoNotOptimize(c.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FluxSpawn);
+
+void BM_FluxDataflowChain(benchmark::State& state) {
+  flux::Scheduler sched({.threads = 2});
+  for (auto _ : state) {
+    flux::shared_future<void> chain = flux::make_ready_future();
+    for (int i = 0; i < 512; ++i) {
+      chain = flux::dataflow(sched, flux::unwrapping([] {}), chain).share();
+    }
+    chain.get();
+    sched.wait_for_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FluxDataflowChain);
+
+void BM_RgtAnalysis(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  std::vector<double> data(1024, 0.0);
+  rgt::Runtime rt({.cpu_workers = 2});
+  const rgt::RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 64);
+  int trace_id = 0;
+  for (auto _ : state) {
+    if (traced) rt.begin_trace(trace_id);
+    for (std::int32_t p = 0; p < 64; ++p) {
+      rt.execute({[](rgt::TaskContext&) {},
+                  {{r, p, rgt::Privilege::kReadWrite}},
+                  "t"});
+    }
+    if (traced) rt.end_trace(trace_id);
+    rt.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(traced ? "dynamic tracing" : "full analysis");
+}
+BENCHMARK(BM_RgtAnalysis)->Arg(0)->Arg(1);
+
+void BM_DsGraphBuild(benchmark::State& state) {
+  sparse::Coo coo = sparse::gen_fem3d(12, 12, 12, 1, 9);
+  sparse::Csb csb = sparse::Csb::from_coo(coo, state.range(0));
+  la::DenseMatrix x(csb.rows(), 8);
+  la::DenseMatrix y(csb.rows(), 8);
+  for (auto _ : state) {
+    ds::Program prog(&csb, {});
+    prog.spmm(prog.vec("x", &x), prog.vec("y", &y));
+    const graph::Tdg g = prog.build();
+    benchmark::DoNotOptimize(g.task_count());
+  }
+}
+BENCHMARK(BM_DsGraphBuild)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DsExecuteOverhead(benchmark::State& state) {
+  // Pure overhead: empty-bodied graph of independent tasks.
+  graph::Tdg g;
+  for (int i = 0; i < 1024; ++i) {
+    graph::Task t;
+    t.body = [] {};
+    g.add_task(std::move(t));
+  }
+  for (auto _ : state) {
+    ds::execute(g, {.mode = ds::ExecMode::kOmpTasks, .trace = nullptr});
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DsExecuteOverhead);
+
+} // namespace
+
+BENCHMARK_MAIN();

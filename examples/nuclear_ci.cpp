@@ -1,0 +1,63 @@
+// Nuclear configuration-interaction ground state (the paper's Nm7 use
+// case): a block-sparse CI-Hamiltonian-like matrix whose lowest eigenvalue
+// (the ground-state energy analogue) is computed with the DeepSparse-style
+// task-parallel Lanczos solver, then cross-checked against LOBPCG.
+//
+//   ./nuclear_ci [n_blocks] [block_dim]
+#include <cstdio>
+#include <cstdlib>
+
+#include "solvers/lanczos.hpp"
+#include "solvers/lobpcg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+#include "tuning/block_select.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sts;
+  const la::index_t n_blocks = argc > 1 ? std::atoll(argv[1]) : 200;
+  const la::index_t block_dim = argc > 2 ? std::atoll(argv[2]) : 16;
+
+  sparse::Coo coo =
+      sparse::gen_block_random(n_blocks, block_dim, /*fill_prob=*/0.02,
+                               /*entry_prob=*/0.6, /*seed=*/42);
+  sparse::Csr csr = sparse::Csr::from_coo(coo);
+  const sparse::MatrixStats stats = sparse::compute_stats(csr);
+  std::printf("CI Hamiltonian analogue: %lld basis states, %lld matrix "
+              "elements (avg %.1f per row, max %lld)\n",
+              static_cast<long long>(stats.rows),
+              static_cast<long long>(stats.nnz), stats.avg_row_nnz,
+              static_cast<long long>(stats.max_row_nnz));
+
+  const la::index_t block = tune::recommended_block_size(
+      solver::Version::kDs, 2, coo.rows());
+  sparse::Csb csb = sparse::Csb::from_coo(coo, block);
+
+  // Lanczos: lowest state via the spectrum's edge.
+  solver::SolverOptions lanczos_opts;
+  lanczos_opts.block_size = block;
+  lanczos_opts.threads = 2;
+  const solver::LanczosResult lr =
+      solver::lanczos(csr, csb, /*k=*/60, solver::Version::kDs, lanczos_opts);
+  std::printf("\nLanczos (deepsparse): E0 ~ %.8f  (60 iterations, %.3f s, "
+              "graph build %.4f s)\n",
+              lr.ritz_values.front(), lr.timing.total_seconds,
+              lr.timing.graph_build_seconds);
+
+  // LOBPCG cross-check of the lowest 4 states.
+  solver::LobpcgOptions lob_opts;
+  lob_opts.block_size = block;
+  lob_opts.threads = 2;
+  lob_opts.nev = 4;
+  lob_opts.tolerance = 1e-7;
+  const solver::LobpcgResult br = solver::lobpcg(
+      csr, csb, /*max_iterations=*/80, solver::Version::kDs, lob_opts);
+  std::printf("LOBPCG   (deepsparse): lowest states:\n");
+  for (std::size_t j = 0; j < br.eigenvalues.size(); ++j) {
+    std::printf("  E%zu = %+.8f (residual %.1e)\n", j, br.eigenvalues[j],
+                br.residual_norms[j]);
+  }
+  std::printf("\nLanczos/LOBPCG E0 agreement: %.2e\n",
+              std::abs(lr.ritz_values.front() - br.eigenvalues.front()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Side-by-side comparison of all five execution versions on one matrix from
+// the paper's suite: real wall-clock on this machine plus simulated
+// makespan and cache misses on the paper's 28-core Broadwell model.
+//
+//   ./runtime_comparison [suite-matrix-name] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/schedsim.hpp"
+#include "sim/workloads.hpp"
+#include "solvers/lobpcg.hpp"
+#include "sparse/suite.hpp"
+#include "support/table.hpp"
+#include "tuning/block_select.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sts;
+  const std::string name = argc > 1 ? argv[1] : "inline_1";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.15;
+
+  const sparse::SuiteEntry& entry = sparse::suite_entry(name);
+  sparse::Coo coo = entry.make(scale);
+  sparse::Csr csr = sparse::Csr::from_coo(coo);
+  std::printf("%s-like (%s): %lld rows, %lld nnz (paper: %lld rows)\n",
+              entry.name.c_str(), sparse::to_string(entry.matrix_class),
+              static_cast<long long>(coo.rows()),
+              static_cast<long long>(coo.nnz()),
+              static_cast<long long>(entry.paper_rows));
+
+  support::Table table({"version", "real time (s)", "sim time BW (s)",
+                        "sim L2 misses", "sim speedup vs libcsr"});
+
+  const la::index_t block =
+      tune::recommended_block_size(solver::Version::kDs, 28, coo.rows());
+  sparse::Csb csb = sparse::Csb::from_coo(coo, block);
+  const sim::Workload wl = sim::build_lobpcg_workload(csr, csb, 8);
+  const sim::MachineModel machine = sim::MachineModel::broadwell();
+
+  double libcsr_sim = 0.0;
+  for (solver::Version v : solver::kAllVersions) {
+    // Real execution on this host.
+    solver::LobpcgOptions options;
+    options.block_size = block;
+    options.threads = 2;
+    options.nev = 8;
+    const auto real = solver::lobpcg(csr, csb, 3, v, options);
+
+    // Simulated execution on the Broadwell model.
+    sim::SimOptions so;
+    sim::SimResult sr;
+    switch (v) {
+      case solver::Version::kLibCsr:
+        so.policy = sim::Policy::kBsp;
+        sr = sim::simulate_bsp(wl.csr_graph, *wl.csr_layout, machine, so);
+        break;
+      case solver::Version::kLibCsb:
+        so.policy = sim::Policy::kBsp;
+        sr = sim::simulate_bsp(wl.task_graph, *wl.layout, machine, so);
+        break;
+      case solver::Version::kDs:
+        so.policy = sim::Policy::kDsTopo;
+        sr = sim::simulate_task_graph(wl.task_graph, *wl.layout, machine, so);
+        break;
+      case solver::Version::kFlux:
+        so.policy = sim::Policy::kFluxWs;
+        sr = sim::simulate_task_graph(wl.task_graph, *wl.layout, machine, so);
+        break;
+      case solver::Version::kRgt:
+        so.policy = sim::Policy::kRgtWindow;
+        sr = sim::simulate_task_graph(wl.task_graph, *wl.layout, machine, so);
+        break;
+    }
+    if (v == solver::Version::kLibCsr) libcsr_sim = sr.makespan_seconds;
+    table.row()
+        .add(solver::to_string(v))
+        .add(real.timing.total_seconds, 3)
+        .add(sr.makespan_seconds, 4)
+        .add(static_cast<std::int64_t>(sr.misses.l2_misses))
+        .add(libcsr_sim / sr.makespan_seconds, 2);
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

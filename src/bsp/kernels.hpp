@@ -1,0 +1,63 @@
+// Bulk-synchronous-parallel kernel library: the `libcsr` / `libcsb`
+// baselines of the paper.
+//
+// Each function is one BSP superstep: an OpenMP `parallel for` across rows
+// (CSR) or block rows (CSB) with the implicit barrier at the end. Solvers
+// built on these call one kernel after another, exactly the coarse-grained
+// fork/join structure whose cache and synchronization behavior the paper's
+// task-parallel versions improve on. First-touch init is honored by the
+// callers allocating with parallel first touch.
+#pragma once
+
+#include <span>
+
+#include "la/blas.hpp"
+#include "sparse/csb.hpp"
+#include "sparse/csr.hpp"
+
+namespace sts::bsp {
+
+using la::ConstMatrixView;
+using la::index_t;
+using la::MatrixView;
+
+/// y = A * x over CSR rows (libcsr SpMV).
+void spmv(const sparse::Csr& a, std::span<const double> x,
+          std::span<double> y);
+
+/// Y = A * X over CSR rows (libcsr SpMM).
+void spmm(const sparse::Csr& a, ConstMatrixView x, MatrixView y);
+
+/// y = A * x over CSB block rows (libcsb SpMV): each thread owns whole
+/// block rows, so no two threads write the same y range.
+void spmv(const sparse::Csb& a, std::span<const double> x,
+          std::span<double> y);
+
+/// Y = A * X over CSB block rows (libcsb SpMM).
+void spmm(const sparse::Csb& a, ConstMatrixView x, MatrixView y);
+
+/// Y = alpha * X * Z + beta * Y (the paper's XY kernel), parallel across
+/// row chunks of `chunk` rows.
+void xy(ConstMatrixView x, ConstMatrixView z, MatrixView y, index_t chunk,
+        double alpha = 1.0, double beta = 0.0);
+
+/// P = X^T * Y (the paper's XTY kernel): thread-partial buffers reduced at
+/// the end of the superstep — the data-parallel reduction whose cost the
+/// task versions avoid (paper §5.3).
+void xty(ConstMatrixView x, ConstMatrixView y, MatrixView p, index_t chunk);
+
+/// y += alpha * x across chunks.
+void axpy(double alpha, ConstMatrixView x, MatrixView y, index_t chunk);
+
+/// x *= alpha across chunks.
+void scal(double alpha, MatrixView x, index_t chunk);
+
+/// Parallel Frobenius inner product.
+[[nodiscard]] double dot(ConstMatrixView x, ConstMatrixView y, index_t chunk);
+
+/// Parallel inner product over plain vectors.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scal(double alpha, std::span<double> x);
+
+} // namespace sts::bsp

@@ -1,0 +1,81 @@
+#include "ds/builder.hpp"
+
+namespace sts::ds {
+
+DataId GraphBuilder::register_data(std::string name, std::int32_t pieces,
+                                   std::uint64_t bytes) {
+  STS_EXPECTS(pieces >= 1);
+  data_.push_back({std::move(name), pieces, bytes});
+  states_.emplace_back(static_cast<std::size_t>(pieces));
+  return static_cast<DataId>(data_.size() - 1);
+}
+
+std::uint64_t GraphBuilder::piece_bytes(DataId id) const {
+  STS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < data_.size());
+  const DataInfo& d = data_[static_cast<std::size_t>(id)];
+  return d.bytes / static_cast<std::uint64_t>(d.pieces);
+}
+
+std::uint64_t GraphBuilder::piece_offset(DataId id, std::int32_t piece) const {
+  STS_EXPECTS(piece >= 0);
+  return piece_bytes(id) * static_cast<std::uint64_t>(piece);
+}
+
+GraphBuilder::PieceState& GraphBuilder::piece_state(DataId id,
+                                                    std::int32_t piece) {
+  STS_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < states_.size());
+  auto& pieces = states_[static_cast<std::size_t>(id)];
+  STS_EXPECTS(piece >= 0 && static_cast<std::size_t>(piece) < pieces.size());
+  return pieces[static_cast<std::size_t>(piece)];
+}
+
+void GraphBuilder::wire_read(graph::TaskId task, DataId id,
+                             std::int32_t piece) {
+  PieceState& ps = piece_state(id, piece);
+  if (ps.last_writer != graph::kInvalidTask && ps.last_writer != task) {
+    graph_.add_edge(ps.last_writer, task);
+  }
+  ps.readers.push_back(task);
+}
+
+void GraphBuilder::wire_write(graph::TaskId task, DataId id,
+                              std::int32_t piece) {
+  PieceState& ps = piece_state(id, piece);
+  if (ps.last_writer != graph::kInvalidTask && ps.last_writer != task) {
+    graph_.add_edge(ps.last_writer, task);
+  }
+  for (graph::TaskId reader : ps.readers) {
+    if (reader != task) graph_.add_edge(reader, task);
+  }
+  ps.last_writer = task;
+  ps.readers.clear();
+}
+
+graph::TaskId GraphBuilder::add_task(graph::Task task,
+                                     std::span<const DataPiece> reads,
+                                     std::span<const DataPiece> writes) {
+  const graph::TaskId id = graph_.add_task(std::move(task));
+  auto expand = [&](const DataPiece& dp, auto&& wire) {
+    STS_EXPECTS(dp.data >= 0 &&
+                static_cast<std::size_t>(dp.data) < data_.size());
+    if (dp.piece >= 0) {
+      wire(id, dp.data, dp.piece);
+    } else {
+      const std::int32_t n = data_[static_cast<std::size_t>(dp.data)].pieces;
+      for (std::int32_t p = 0; p < n; ++p) wire(id, dp.data, p);
+    }
+  };
+  for (const DataPiece& dp : reads) {
+    expand(dp, [this](graph::TaskId t, DataId d, std::int32_t p) {
+      wire_read(t, d, p);
+    });
+  }
+  for (const DataPiece& dp : writes) {
+    expand(dp, [this](graph::TaskId t, DataId d, std::int32_t p) {
+      wire_write(t, d, p);
+    });
+  }
+  return id;
+}
+
+} // namespace sts::ds

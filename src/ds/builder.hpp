@@ -1,0 +1,73 @@
+// Task Dependency Graph Generator (TDGG): the lower half of DeepSparse's
+// Primitive Conversion Unit.
+//
+// The front-end (program.hpp) decomposes each kernel call into block tasks
+// and declares, per task, which pieces of which data structures it reads
+// and writes. This builder performs the dependence analysis the paper
+// describes -- last-writer / readers-since-write tracking per (data, piece)
+// -- and emits the explicit graph::Tdg that the Task Executor runs and the
+// simulator replays.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/tdg.hpp"
+
+namespace sts::ds {
+
+using DataId = std::int32_t;
+
+/// One piece of one registered data structure. piece == -1 addresses the
+/// whole structure (conflicts with every piece).
+struct DataPiece {
+  DataId data = -1;
+  std::int32_t piece = -1;
+};
+
+class GraphBuilder {
+public:
+  /// Registers a data structure partitioned into `pieces` equal pieces of
+  /// `bytes` total. The returned id doubles as the Access::data_id used by
+  /// the cache simulator's layout.
+  DataId register_data(std::string name, std::int32_t pieces,
+                       std::uint64_t bytes);
+
+  /// Adds a task that reads `reads` and writes `writes`; dependence edges
+  /// to/from earlier tasks are derived automatically (RAW, WAR, WAW).
+  graph::TaskId add_task(graph::Task task, std::span<const DataPiece> reads,
+                         std::span<const DataPiece> writes);
+
+  [[nodiscard]] const graph::Tdg& graph() const noexcept { return graph_; }
+  /// Finalizes and moves the graph out; the builder must not be used after.
+  [[nodiscard]] graph::Tdg take() { return std::move(graph_); }
+
+  struct DataInfo {
+    std::string name;
+    std::int32_t pieces = 1;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const std::vector<DataInfo>& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::uint64_t piece_bytes(DataId id) const;
+  [[nodiscard]] std::uint64_t piece_offset(DataId id,
+                                           std::int32_t piece) const;
+
+private:
+  struct PieceState {
+    graph::TaskId last_writer = graph::kInvalidTask;
+    std::vector<graph::TaskId> readers;
+  };
+
+  PieceState& piece_state(DataId id, std::int32_t piece);
+  void wire_read(graph::TaskId task, DataId id, std::int32_t piece);
+  void wire_write(graph::TaskId task, DataId id, std::int32_t piece);
+
+  graph::Tdg graph_;
+  std::vector<DataInfo> data_;
+  std::vector<std::vector<PieceState>> states_; // [data][piece]
+};
+
+} // namespace sts::ds

@@ -1,0 +1,127 @@
+#include "ds/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "support/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace sts::ds {
+
+namespace {
+
+/// Unique successor lists (the Tdg may carry duplicate edges).
+std::vector<std::vector<graph::TaskId>> unique_successors(
+    const graph::Tdg& g) {
+  std::vector<std::vector<graph::TaskId>> out(g.task_count());
+  for (std::size_t u = 0; u < g.task_count(); ++u) {
+    out[u] = g.successors(static_cast<graph::TaskId>(u));
+    std::sort(out[u].begin(), out[u].end());
+    out[u].erase(std::unique(out[u].begin(), out[u].end()), out[u].end());
+  }
+  return out;
+}
+
+void run_task(const graph::Tdg& g, graph::TaskId id,
+              perf::TraceRecorder* trace, unsigned worker) {
+  const graph::Task& task = g.task(id);
+  if (trace != nullptr) {
+    perf::TaskEvent ev;
+    ev.task_id = id;
+    ev.kind = task.kind;
+    ev.worker = static_cast<std::int32_t>(worker);
+    ev.start_ns = support::now_ns();
+    if (task.body) task.body();
+    ev.end_ns = support::now_ns();
+    trace->record(worker, ev);
+  } else if (task.body) {
+    task.body();
+  }
+}
+
+void execute_serial(const graph::Tdg& g, perf::TraceRecorder* trace) {
+  for (graph::TaskId id : g.depth_first_topological_order()) {
+    run_task(g, id, trace, 0);
+  }
+}
+
+#ifdef _OPENMP
+
+struct OmpContext {
+  const graph::Tdg* graph;
+  std::vector<std::vector<graph::TaskId>> succ;
+  std::unique_ptr<std::atomic<std::int32_t>[]> remaining;
+  perf::TraceRecorder* trace;
+};
+
+void spawn_task(OmpContext& ctx, graph::TaskId id);
+
+void finish_task(OmpContext& ctx, graph::TaskId id) {
+  for (graph::TaskId s : ctx.succ[static_cast<std::size_t>(id)]) {
+    if (ctx.remaining[static_cast<std::size_t>(s)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      spawn_task(ctx, s);
+    }
+  }
+}
+
+void spawn_task(OmpContext& ctx, graph::TaskId id) {
+  OmpContext* c = &ctx;
+#pragma omp task firstprivate(c, id) untied
+  {
+    run_task(*c->graph, id, c->trace,
+             static_cast<unsigned>(omp_get_thread_num()));
+    finish_task(*c, id);
+  }
+}
+
+void execute_omp(const graph::Tdg& g, perf::TraceRecorder* trace) {
+  OmpContext ctx;
+  ctx.graph = &g;
+  ctx.succ = unique_successors(g);
+  ctx.trace = trace;
+  const std::size_t n = g.task_count();
+  ctx.remaining = std::make_unique<std::atomic<std::int32_t>[]>(n);
+  const std::vector<std::int32_t> indeg = g.indegrees();
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.remaining[i].store(indeg[i], std::memory_order_relaxed);
+  }
+  const std::vector<graph::TaskId> order = g.depth_first_topological_order();
+#pragma omp parallel
+#pragma omp single nowait
+  {
+    // Master spawns all initially-ready tasks in depth-first topological
+    // order (DeepSparse's spawn policy); the rest are spawned by their
+    // final predecessor as counters drain.
+    for (graph::TaskId id : order) {
+      if (indeg[static_cast<std::size_t>(id)] == 0) spawn_task(ctx, id);
+    }
+  }
+  // Implicit barrier of the parallel region waits for all spawned tasks.
+}
+
+#endif // _OPENMP
+
+} // namespace
+
+void execute(const graph::Tdg& g, const ExecOptions& options) {
+  STS_EXPECTS(g.is_acyclic());
+  switch (options.mode) {
+    case ExecMode::kSerial:
+      execute_serial(g, options.trace);
+      return;
+    case ExecMode::kOmpTasks:
+#ifdef _OPENMP
+      execute_omp(g, options.trace);
+#else
+      execute_serial(g, options.trace);
+#endif
+      return;
+  }
+}
+
+} // namespace sts::ds

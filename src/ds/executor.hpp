@@ -1,0 +1,31 @@
+// DeepSparse Task Executor.
+//
+// Runs an explicit graph::Tdg. The OpenMP mode mirrors the paper: the
+// master thread walks the depth-first topological order and spawns every
+// task as an OpenMP task; readiness is tracked with atomic predecessor
+// counters (a task is spawned the moment its last predecessor finishes),
+// and OpenMP's scheduler executes them. A serial mode provides the
+// reference semantics property tests compare against.
+#pragma once
+
+#include "graph/tdg.hpp"
+#include "perf/trace.hpp"
+
+namespace sts::ds {
+
+enum class ExecMode {
+  kSerial,   // topological order on the calling thread
+  kOmpTasks, // OpenMP task spawning (DeepSparse's execution model)
+};
+
+struct ExecOptions {
+  ExecMode mode = ExecMode::kOmpTasks;
+  /// Optional per-task event recording (Figs. 10/13). Must be sized for
+  /// omp_get_max_threads() lanes in kOmpTasks mode.
+  perf::TraceRecorder* trace = nullptr;
+};
+
+/// Executes every task in `g` respecting dependencies. Blocks until done.
+void execute(const graph::Tdg& g, const ExecOptions& options);
+
+} // namespace sts::ds

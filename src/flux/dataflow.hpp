@@ -1,0 +1,215 @@
+// async / dataflow / unwrapping / when_all: the HPX dataflow model.
+//
+// dataflow(sched, f, args...) schedules f(args...) to run once every
+// future-like argument is ready, returning a future for the result. Plain
+// (non-future) arguments pass through untouched; futures are passed *as
+// futures* -- wrap `f` with unwrapping() to receive the contained values
+// instead (void futures are dropped), which lets task bodies be written as
+// ordinary functions, exactly as the paper describes for Listing 2.
+#pragma once
+
+#include <atomic>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "flux/future.hpp"
+
+namespace sts::flux {
+
+namespace detail {
+
+template <typename T>
+struct is_future_like : std::false_type {};
+template <typename T>
+struct is_future_like<future<T>> : std::true_type {};
+template <typename T>
+struct is_future_like<shared_future<T>> : std::true_type {};
+template <typename T>
+struct is_future_like<std::vector<shared_future<T>>> : std::true_type {};
+
+template <typename T>
+inline constexpr bool is_future_like_v = is_future_like<std::decay_t<T>>::value;
+
+/// Counts the pending dependencies an argument contributes.
+template <typename A>
+std::size_t dependency_count(const A& arg) {
+  using D = std::decay_t<A>;
+  if constexpr (!is_future_like_v<A>) {
+    (void)arg;
+    return 0;
+  } else if constexpr (requires { arg.size(); }) {
+    return arg.size();
+  } else {
+    (void)sizeof(D);
+    return 1;
+  }
+}
+
+/// Attaches `cb` to every future inside `arg` (no-op for plain values).
+template <typename A, typename Cb>
+void attach_continuations(const A& arg, const Cb& cb) {
+  if constexpr (!is_future_like_v<A>) {
+    (void)arg;
+    (void)cb;
+  } else if constexpr (requires { arg.begin(); }) {
+    for (const auto& f : arg) f.state()->add_continuation(cb);
+  } else {
+    arg.state()->add_continuation(cb);
+  }
+}
+
+template <typename R>
+struct Invoker {
+  template <typename F, typename Tuple>
+  static void run(F& f, Tuple& args, promise<R>& result) {
+    result.set_value(std::apply(f, args));
+  }
+};
+template <>
+struct Invoker<void> {
+  template <typename F, typename Tuple>
+  static void run(F& f, Tuple& args, promise<void>& result) {
+    std::apply(f, args);
+    result.set_value();
+  }
+};
+
+} // namespace detail
+
+/// Launch policy tag mirroring hpx::launch::async (the only policy the
+/// benchmarks need; a `sync` policy would run inline).
+struct launch_async_t {};
+inline constexpr launch_async_t launch_async{};
+
+/// Runs f(args...) on the scheduler immediately (no dependencies).
+template <typename F, typename... Args>
+auto async(Scheduler& sched, F&& f, Args&&... args)
+    -> future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>> {
+  using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>;
+  promise<R> result;
+  auto fut = result.get_future();
+  sched.submit([f = std::forward<F>(f),
+                args = std::make_tuple(std::forward<Args>(args)...),
+                result]() mutable {
+    try {
+      detail::Invoker<R>::run(f, args, result);
+    } catch (...) {
+      result.set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+/// Schedules f(args...) for when all future-like args are ready.
+/// `domain_hint` forwards to the scheduler (NUMA-aware placement).
+template <typename F, typename... Args>
+auto dataflow_hint(Scheduler& sched, int domain_hint, F&& f, Args&&... args)
+    -> future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>> {
+  using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>;
+  promise<R> result;
+  auto fut = result.get_future();
+
+  // Shared closure owning the callable and the (copied/moved) arguments.
+  struct Pending {
+    Pending(F&& f_in, std::tuple<std::decay_t<Args>...> args_in,
+            promise<R> result_in, Scheduler* sched_in, int hint_in)
+        : fn(std::forward<F>(f_in)), args(std::move(args_in)),
+          result(std::move(result_in)), remaining(0), sched(sched_in),
+          hint(hint_in) {}
+    std::decay_t<F> fn;
+    std::tuple<std::decay_t<Args>...> args;
+    promise<R> result;
+    std::atomic<std::size_t> remaining;
+    Scheduler* sched;
+    int hint;
+  };
+  auto pending = std::make_shared<Pending>(
+      std::forward<F>(f), std::make_tuple(std::forward<Args>(args)...),
+      result, &sched, domain_hint);
+
+  std::size_t deps = 0;
+  std::apply(
+      [&](const auto&... unpacked) {
+        ((deps += detail::dependency_count(unpacked)), ...);
+      },
+      pending->args);
+  // +1 sentinel: keeps the task from firing while continuations are still
+  // being attached below.
+  pending->remaining.store(deps + 1, std::memory_order_relaxed);
+
+  auto on_dep_ready = [pending]() {
+    if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pending->sched->submit(
+          [pending]() {
+            try {
+              detail::Invoker<R>::run(pending->fn, pending->args,
+                                      pending->result);
+            } catch (...) {
+              pending->result.set_exception(std::current_exception());
+            }
+          },
+          pending->hint);
+    }
+  };
+
+  std::apply(
+      [&](const auto&... unpacked) {
+        (detail::attach_continuations(unpacked, on_dep_ready), ...);
+      },
+      pending->args);
+  on_dep_ready(); // release the sentinel
+
+  return fut;
+}
+
+template <typename F, typename... Args>
+auto dataflow(Scheduler& sched, launch_async_t, F&& f, Args&&... args) {
+  return dataflow_hint(sched, -1, std::forward<F>(f),
+                       std::forward<Args>(args)...);
+}
+
+template <typename F, typename... Args>
+auto dataflow(Scheduler& sched, F&& f, Args&&... args) {
+  return dataflow_hint(sched, -1, std::forward<F>(f),
+                       std::forward<Args>(args)...);
+}
+
+namespace detail {
+
+template <typename A>
+decltype(auto) unwrap_one(A& arg) {
+  using D = std::decay_t<A>;
+  if constexpr (!is_future_like_v<A>) {
+    return std::forward_as_tuple(arg);
+  } else if constexpr (requires { arg.begin(); }) {
+    return std::tuple<>{}; // vectors of (void) futures are pure dependencies
+  } else if constexpr (std::is_same_v<D, shared_future<void>> ||
+                       std::is_same_v<D, future<void>>) {
+    return std::tuple<>{}; // void futures carry no value
+  } else {
+    return std::make_tuple(arg.get());
+  }
+}
+
+} // namespace detail
+
+/// HPX-style unwrapping: adapts plain f(values...) into a callable taking
+/// futures, dropping void futures and fetching values from non-void ones.
+/// The returned callable must only run when its futures are ready (which
+/// dataflow guarantees).
+template <typename F>
+auto unwrapping(F f) {
+  return [f = std::move(f)](auto&... args) -> decltype(auto) {
+    return std::apply(f, std::tuple_cat(detail::unwrap_one(args)...));
+  };
+}
+
+/// Future that becomes ready when all elements are ready (HPX when_all,
+/// collapsed to void because the solvers only chain on readiness).
+template <typename T>
+future<void> when_all(Scheduler& sched, std::vector<shared_future<T>> futs) {
+  return dataflow_hint(sched, -1, [](const auto&) {}, std::move(futs));
+}
+
+} // namespace sts::flux

@@ -1,0 +1,243 @@
+// flux futures: continuation-capable shared state, future/shared_future,
+// and promise, modeled on the HPX subset the paper's Listing 2 uses.
+//
+// Unlike std::future, a flux future can (1) carry continuations that fire
+// when it becomes ready -- the mechanism dataflow() builds dependency
+// chains out of -- and (2) be awaited cooperatively: get() called from a
+// worker thread executes other pending tasks while it waits instead of
+// blocking the OS thread (HPX suspends lightweight threads; help-first
+// waiting is the equivalent for kernel-thread workers).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "flux/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace sts::flux {
+
+namespace detail {
+
+/// Shared state common to future<T> and shared_future<T>.
+template <typename T>
+class FutureState {
+public:
+  using Storage = std::conditional_t<std::is_void_v<T>, char, std::optional<T>>;
+
+  void set_value_impl() {
+    static_assert(std::is_void_v<T>);
+    finish([](Storage&) {});
+  }
+
+  template <typename U>
+  void set_value_impl(U&& value) {
+    static_assert(!std::is_void_v<T>);
+    finish([&](Storage& s) { s.emplace(std::forward<U>(value)); });
+  }
+
+  void set_exception(std::exception_ptr e) {
+    finish([&](Storage&) {}, e);
+  }
+
+  [[nodiscard]] bool ready() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ready_;
+  }
+
+  /// Registers `fn` to run when the state becomes ready; runs it inline
+  /// immediately if already ready. Continuations fire exactly once.
+  void add_continuation(std::function<void()> fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!ready_) {
+        continuations_.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+  /// Blocks until ready; `helper` (may be null) is invoked repeatedly to
+  /// make progress while waiting (see future::get).
+  void wait(Scheduler* helper) {
+    if (helper != nullptr && helper->current_worker() >= 0) {
+      // Cooperative wait on a worker: run other tasks instead of sleeping.
+      while (!ready()) {
+        if (!helper->try_run_one()) std::this_thread::yield();
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return ready_; });
+  }
+
+  /// Precondition: ready. Rethrows a stored exception.
+  decltype(auto) value() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    STS_EXPECTS(ready_);
+    if (error_) std::rethrow_exception(error_);
+    if constexpr (!std::is_void_v<T>) {
+      return static_cast<T&>(*storage_);
+    }
+  }
+
+private:
+  template <typename Store>
+  void finish(Store&& store, std::exception_ptr e = nullptr) {
+    std::vector<std::function<void()>> to_run;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      STS_EXPECTS(!ready_); // single completion
+      store(storage_);
+      error_ = e;
+      ready_ = true;
+      to_run.swap(continuations_);
+    }
+    cv_.notify_all();
+    for (auto& fn : to_run) fn();
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Storage storage_{};
+  std::exception_ptr error_;
+  bool ready_ = false;
+  std::vector<std::function<void()>> continuations_;
+};
+
+} // namespace detail
+
+template <typename T>
+class future;
+template <typename T>
+class shared_future;
+
+/// Write side of a future (used by async/dataflow internals and by user
+/// code bridging external events into the dataflow graph).
+template <typename T>
+class promise {
+public:
+  promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  [[nodiscard]] future<T> get_future() const { return future<T>(state_); }
+  [[nodiscard]] shared_future<T> get_shared_future() const {
+    return shared_future<T>(state_);
+  }
+
+  template <typename U = T>
+  void set_value(U&& v) {
+    state_->set_value_impl(std::forward<U>(v));
+  }
+  void set_value()
+    requires std::is_void_v<T>
+  {
+    state_->set_value_impl();
+  }
+  void set_exception(std::exception_ptr e) { state_->set_exception(e); }
+
+private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Move-only handle to an eventual value.
+template <typename T>
+class future {
+public:
+  future() = default;
+  explicit future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+
+  future(future&&) noexcept = default;
+  future& operator=(future&&) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const {
+    STS_EXPECTS(valid());
+    return state_->ready();
+  }
+
+  /// Waits (cooperatively on worker threads when `helper` given) and
+  /// returns the value / rethrows.
+  T get(Scheduler* helper = nullptr) {
+    STS_EXPECTS(valid());
+    state_->wait(helper);
+    if constexpr (std::is_void_v<T>) {
+      state_->value();
+    } else {
+      return std::move(state_->value());
+    }
+  }
+
+  [[nodiscard]] shared_future<T> share() {
+    STS_EXPECTS(valid());
+    return shared_future<T>(std::move(state_));
+  }
+
+  /// Internal: dependency hookup for dataflow().
+  [[nodiscard]] const std::shared_ptr<detail::FutureState<T>>& state() const {
+    return state_;
+  }
+
+private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Copyable handle; the type the solvers keep per vector block
+/// (`std::vector<shared_future<void>> Y_ftr` in Listing 2).
+template <typename T>
+class shared_future {
+public:
+  shared_future() = default;
+  explicit shared_future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+  /*implicit*/ shared_future(future<T>&& f) : state_(f.share().state()) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const {
+    STS_EXPECTS(valid());
+    return state_->ready();
+  }
+
+  /// For non-void T returns a const reference to the shared value.
+  decltype(auto) get(Scheduler* helper = nullptr) const {
+    STS_EXPECTS(valid());
+    state_->wait(helper);
+    if constexpr (std::is_void_v<T>) {
+      state_->value();
+    } else {
+      return static_cast<const T&>(state_->value());
+    }
+  }
+
+  [[nodiscard]] const std::shared_ptr<detail::FutureState<T>>& state() const {
+    return state_;
+  }
+
+private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// An already-satisfied future (HPX's make_ready_future).
+inline shared_future<void> make_ready_future() {
+  promise<void> p;
+  p.set_value();
+  return p.get_shared_future();
+}
+
+template <typename T>
+shared_future<std::decay_t<T>> make_ready_future(T&& value) {
+  promise<std::decay_t<T>> p;
+  p.set_value(std::forward<T>(value));
+  return p.get_shared_future();
+}
+
+} // namespace sts::flux

@@ -1,0 +1,194 @@
+#include "flux/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sts::flux {
+
+namespace {
+// Which scheduler (if any) the current thread is a worker of, and its index.
+thread_local const Scheduler* tls_scheduler = nullptr;
+thread_local int tls_worker_index = -1;
+} // namespace
+
+Scheduler::Scheduler(Config config) : config_(config) {
+  config_.threads = std::max(1u, config_.threads);
+  config_.numa_domains =
+      std::clamp(config_.numa_domains, 1u, config_.threads);
+  workers_.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(config_.threads);
+  for (unsigned i = 0; i < config_.threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  wait_for_quiescence();
+  stopping_.store(true, std::memory_order_release);
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Scheduler::submit(std::function<void()> fn, int domain_hint) {
+  STS_EXPECTS(fn != nullptr);
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+
+  unsigned target;
+  if (tls_scheduler == this && domain_hint < 0) {
+    // A worker spawning a child keeps it local: work-first scheduling, the
+    // property that gives task runtimes their cache locality.
+    target = static_cast<unsigned>(tls_worker_index);
+  } else {
+    const unsigned n = next_worker_.fetch_add(1, std::memory_order_relaxed);
+    if (domain_hint >= 0) {
+      // Round-robin within the requested domain: workers d, d+D, d+2D, ...
+      const unsigned domain =
+          static_cast<unsigned>(domain_hint) % config_.numa_domains;
+      const unsigned per_domain =
+          (config_.threads + config_.numa_domains - 1) / config_.numa_domains;
+      target = domain + (n % per_domain) * config_.numa_domains;
+      if (target >= config_.threads) target = domain;
+    } else {
+      target = n % config_.threads;
+    }
+  }
+
+  {
+    Worker& w = *workers_[target];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    w.deque.push_front(std::move(fn));
+  }
+  // Taking sleep_mutex_ (even empty) orders this submission against any
+  // worker between its idle check and its sleep, preventing a lost wakeup.
+  { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  work_available_.notify_one();
+}
+
+bool Scheduler::pop_own(unsigned index, std::function<void()>& out) {
+  Worker& w = *workers_[index];
+  const std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.deque.empty()) return false;
+  out = std::move(w.deque.front());
+  w.deque.pop_front();
+  return true;
+}
+
+bool Scheduler::steal(unsigned thief, std::function<void()>& out) {
+  // Same-domain victims first when NUMA-aware, then everyone. Victim order
+  // is a rotating scan starting after the thief to spread contention.
+  const unsigned n = config_.threads;
+  auto try_victim = [&](unsigned v) {
+    if (v == thief) return false;
+    Worker& w = *workers_[v];
+    const std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.deque.empty()) return false;
+    out = std::move(w.deque.back());
+    w.deque.pop_back();
+    Worker& me = *workers_[thief];
+    ++me.steals;
+    if (domain_of_worker(v) != domain_of_worker(thief)) {
+      ++me.cross_domain_steals;
+    }
+    return true;
+  };
+  if (config_.numa_aware && config_.numa_domains > 1) {
+    for (unsigned k = 1; k < n; ++k) {
+      const unsigned v = (thief + k) % n;
+      if (domain_of_worker(v) == domain_of_worker(thief) && try_victim(v)) {
+        return true;
+      }
+    }
+  }
+  for (unsigned k = 1; k < n; ++k) {
+    if (try_victim((thief + k) % n)) return true;
+  }
+  return false;
+}
+
+void Scheduler::on_task_done() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+    quiescent_.notify_all();
+  }
+}
+
+void Scheduler::worker_loop(unsigned index) {
+  tls_scheduler = this;
+  tls_worker_index = static_cast<int>(index);
+  std::function<void()> task;
+  while (true) {
+    if (pop_own(index, task) || steal(index, task)) {
+      task();
+      task = nullptr;
+      ++workers_[index]->executed;
+      on_task_done();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (outstanding_.load(std::memory_order_acquire) == 0) {
+      // Nothing pending anywhere: sleep until new work or shutdown.
+      work_available_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               outstanding_.load(std::memory_order_acquire) > 0;
+      });
+    } else {
+      // Work exists but our steal scan raced; back off briefly.
+      work_available_.wait_for(lock, std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Scheduler::wait_for_quiescence() {
+  STS_EXPECTS(tls_scheduler != this); // a worker waiting here would deadlock
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  quiescent_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool Scheduler::try_run_one() {
+  std::function<void()> task;
+  bool got = false;
+  if (tls_scheduler == this && tls_worker_index >= 0) {
+    got = pop_own(static_cast<unsigned>(tls_worker_index), task) ||
+          steal(static_cast<unsigned>(tls_worker_index), task);
+  } else {
+    // External helper: scan all deques oldest-first.
+    for (unsigned v = 0; v < config_.threads && !got; ++v) {
+      Worker& w = *workers_[v];
+      const std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.deque.empty()) {
+        task = std::move(w.deque.back());
+        w.deque.pop_back();
+        got = true;
+      }
+    }
+  }
+  if (!got) return false;
+  task();
+  on_task_done();
+  return true;
+}
+
+int Scheduler::current_worker() const noexcept {
+  return tls_scheduler == this ? tls_worker_index : -1;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.executed += w->executed;
+    s.steals += w->steals;
+    s.cross_domain_steals += w->cross_domain_steals;
+  }
+  return s;
+}
+
+} // namespace sts::flux

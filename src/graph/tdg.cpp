@@ -1,0 +1,195 @@
+#include "graph/tdg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace sts::graph {
+
+const char* to_string(KernelKind k) {
+  switch (k) {
+    case KernelKind::kSpMV: return "spmv";
+    case KernelKind::kSpMM: return "spmm";
+    case KernelKind::kZero: return "zero";
+    case KernelKind::kXY: return "xy";
+    case KernelKind::kXTY: return "xty";
+    case KernelKind::kReduce: return "reduce";
+    case KernelKind::kAxpy: return "axpy";
+    case KernelKind::kScale: return "scale";
+    case KernelKind::kDotPartial: return "dot";
+    case KernelKind::kNorm: return "norm";
+    case KernelKind::kOrtho: return "ortho";
+    case KernelKind::kConvCheck: return "conv";
+    case KernelKind::kOther: return "other";
+  }
+  return "?";
+}
+
+TaskId Tdg::add_task(Task task) {
+  tasks_.push_back(std::move(task));
+  succ_.emplace_back();
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void Tdg::add_edge(TaskId from, TaskId to) {
+  STS_EXPECTS(from >= 0 && static_cast<std::size_t>(from) < tasks_.size());
+  STS_EXPECTS(to >= 0 && static_cast<std::size_t>(to) < tasks_.size());
+  STS_EXPECTS(from != to);
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  ++edges_;
+}
+
+std::vector<std::int32_t> Tdg::indegrees() const {
+  std::vector<std::int32_t> indeg(tasks_.size(), 0);
+  // Duplicate edges between the same pair count once; executors decrement
+  // once per unique predecessor.
+  for (std::size_t u = 0; u < succ_.size(); ++u) {
+    std::vector<TaskId> uniq = succ_[u];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (TaskId v : uniq) ++indeg[static_cast<std::size_t>(v)];
+  }
+  return indeg;
+}
+
+bool Tdg::is_acyclic() const {
+  std::vector<std::int32_t> indeg = indegrees();
+  std::queue<TaskId> ready;
+  for (std::size_t i = 0; i < indeg.size(); ++i) {
+    if (indeg[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId u = ready.front();
+    ready.pop();
+    ++visited;
+    std::vector<TaskId> uniq = succ_[static_cast<std::size_t>(u)];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (TaskId v : uniq) {
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  return visited == tasks_.size();
+}
+
+std::vector<TaskId> Tdg::depth_first_topological_order() const {
+  // Iterative DFS post-order on the reversed graph is equivalent to a DFS
+  // topological order; we emit a task once all its predecessors were
+  // emitted, exploring successors depth-first from each root.
+  std::vector<std::int32_t> indeg = indegrees();
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  std::vector<TaskId> stack;
+  for (std::size_t i = tasks_.size(); i-- > 0;) {
+    if (indeg[i] == 0) stack.push_back(static_cast<TaskId>(i));
+  }
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    const auto& outs = succ_[static_cast<std::size_t>(u)];
+    // Push in reverse so the first-declared successor is explored first.
+    for (std::size_t k = outs.size(); k-- > 0;) {
+      const TaskId v = outs[k];
+      // A duplicate edge must only decrement once: detect via a linear scan
+      // of earlier occurrences (successor lists are short).
+      bool duplicate = false;
+      for (std::size_t e = 0; e < k; ++e) {
+        if (outs[e] == v) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (--indeg[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+    }
+  }
+  STS_ENSURES(order.size() == tasks_.size()); // fails if cyclic
+  return order;
+}
+
+std::int64_t Tdg::critical_path_tasks() const {
+  const std::vector<TaskId> order = depth_first_topological_order();
+  std::vector<std::int64_t> depth(tasks_.size(), 1);
+  std::int64_t best = tasks_.empty() ? 0 : 1;
+  for (TaskId u : order) {
+    for (TaskId v : succ_[static_cast<std::size_t>(u)]) {
+      depth[static_cast<std::size_t>(v)] =
+          std::max(depth[static_cast<std::size_t>(v)],
+                   depth[static_cast<std::size_t>(u)] + 1);
+      best = std::max(best, depth[static_cast<std::size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+double Tdg::critical_path_flops() const {
+  const std::vector<TaskId> order = depth_first_topological_order();
+  std::vector<double> cost(tasks_.size());
+  double best = 0.0;
+  for (TaskId u : order) {
+    cost[static_cast<std::size_t>(u)] +=
+        tasks_[static_cast<std::size_t>(u)].flops;
+    best = std::max(best, cost[static_cast<std::size_t>(u)]);
+    for (TaskId v : succ_[static_cast<std::size_t>(u)]) {
+      cost[static_cast<std::size_t>(v)] =
+          std::max(cost[static_cast<std::size_t>(v)],
+                   cost[static_cast<std::size_t>(u)]);
+    }
+  }
+  return best;
+}
+
+double Tdg::total_flops() const {
+  double total = 0.0;
+  for (const Task& t : tasks_) total += t.flops;
+  return total;
+}
+
+std::int64_t Tdg::max_parallelism() const {
+  // Level-synchronous BFS: width = max number of tasks sharing the same
+  // earliest level.
+  const std::vector<TaskId> order = depth_first_topological_order();
+  std::vector<std::int32_t> level(tasks_.size(), 0);
+  std::int32_t max_level = 0;
+  for (TaskId u : order) {
+    for (TaskId v : succ_[static_cast<std::size_t>(u)]) {
+      level[static_cast<std::size_t>(v)] =
+          std::max(level[static_cast<std::size_t>(v)],
+                   level[static_cast<std::size_t>(u)] + 1);
+      max_level = std::max(max_level, level[static_cast<std::size_t>(v)]);
+    }
+  }
+  std::vector<std::int64_t> width(static_cast<std::size_t>(max_level) + 1, 0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ++width[static_cast<std::size_t>(level[i])];
+  }
+  return width.empty() ? 0 : *std::max_element(width.begin(), width.end());
+}
+
+std::string Tdg::to_dot(std::size_t max_tasks) const {
+  std::ostringstream os;
+  os << "digraph tdg {\n  rankdir=TB;\n";
+  const std::size_t n = std::min(tasks_.size(), max_tasks);
+  for (std::size_t i = 0; i < n; ++i) {
+    os << "  t" << i << " [label=\"" << to_string(tasks_[i].kind);
+    if (tasks_[i].bi >= 0) {
+      os << " (" << tasks_[i].bi;
+      if (tasks_[i].bj >= 0) os << "," << tasks_[i].bj;
+      os << ")";
+    }
+    os << "\"];\n";
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (TaskId v : succ_[u]) {
+      if (static_cast<std::size_t>(v) < n) {
+        os << "  t" << u << " -> t" << v << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace sts::graph

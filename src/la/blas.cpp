@@ -1,0 +1,113 @@
+#include "la/blas.hpp"
+
+#include <cmath>
+
+namespace sts::la {
+
+void gemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+          MatrixView c) {
+  STS_EXPECTS(a.rows == c.rows && b.cols == c.cols && a.cols == b.rows);
+  // i-k-j loop order keeps the inner loop streaming over rows of B and C,
+  // which vectorizes and stays cache-friendly for tall-skinny blocks.
+  for (index_t i = 0; i < c.rows; ++i) {
+    double* ci = c.row(i);
+    if (beta == 0.0) {
+      for (index_t j = 0; j < c.cols; ++j) ci[j] = 0.0;
+    } else if (beta != 1.0) {
+      for (index_t j = 0; j < c.cols; ++j) ci[j] *= beta;
+    }
+    const double* ai = a.row(i);
+    for (index_t k = 0; k < a.cols; ++k) {
+      const double aik = alpha * ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row(k);
+      for (index_t j = 0; j < c.cols; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+             MatrixView c) {
+  STS_EXPECTS(a.cols == c.rows && b.cols == c.cols && a.rows == b.rows);
+  if (beta == 0.0) {
+    for (index_t i = 0; i < c.rows; ++i) {
+      double* ci = c.row(i);
+      for (index_t j = 0; j < c.cols; ++j) ci[j] = 0.0;
+    }
+  } else if (beta != 1.0) {
+    for (index_t i = 0; i < c.rows; ++i) {
+      double* ci = c.row(i);
+      for (index_t j = 0; j < c.cols; ++j) ci[j] *= beta;
+    }
+  }
+  // Accumulate rank-1 contributions row-of-A at a time; C is k x n and small
+  // (k, n <= 48 in LOBPCG), so it stays resident in L1 while A and B stream.
+  for (index_t r = 0; r < a.rows; ++r) {
+    const double* ar = a.row(r);
+    const double* br = b.row(r);
+    for (index_t i = 0; i < c.rows; ++i) {
+      const double av = alpha * ar[i];
+      if (av == 0.0) continue;
+      double* ci = c.row(i);
+      for (index_t j = 0; j < c.cols; ++j) ci[j] += av * br[j];
+    }
+  }
+}
+
+void axpy(double alpha, ConstMatrixView x, MatrixView y) {
+  STS_EXPECTS(x.rows == y.rows && x.cols == y.cols);
+  for (index_t i = 0; i < x.rows; ++i) {
+    const double* xi = x.row(i);
+    double* yi = y.row(i);
+    for (index_t j = 0; j < x.cols; ++j) yi[j] += alpha * xi[j];
+  }
+}
+
+void scal(double alpha, MatrixView x) {
+  for (index_t i = 0; i < x.rows; ++i) {
+    double* xi = x.row(i);
+    for (index_t j = 0; j < x.cols; ++j) xi[j] *= alpha;
+  }
+}
+
+void copy(ConstMatrixView x, MatrixView y) {
+  STS_EXPECTS(x.rows == y.rows && x.cols == y.cols);
+  for (index_t i = 0; i < x.rows; ++i) {
+    const double* xi = x.row(i);
+    double* yi = y.row(i);
+    for (index_t j = 0; j < x.cols; ++j) yi[j] = xi[j];
+  }
+}
+
+double dot(ConstMatrixView x, ConstMatrixView y) {
+  STS_EXPECTS(x.rows == y.rows && x.cols == y.cols);
+  double acc = 0.0;
+  for (index_t i = 0; i < x.rows; ++i) {
+    const double* xi = x.row(i);
+    const double* yi = y.row(i);
+    for (index_t j = 0; j < x.cols; ++j) acc += xi[j] * yi[j];
+  }
+  return acc;
+}
+
+double norm_fro(ConstMatrixView x) { return std::sqrt(dot(x, x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  STS_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  STS_EXPECTS(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+} // namespace sts::la

@@ -1,0 +1,35 @@
+#include "la/dense.hpp"
+
+#include <algorithm>
+
+namespace sts::la {
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<double>> init)
+    : DenseMatrix(static_cast<index_t>(init.size()),
+                  init.size() == 0
+                      ? 0
+                      : static_cast<index_t>(init.begin()->size())) {
+  index_t r = 0;
+  for (const auto& row : init) {
+    STS_EXPECTS(static_cast<index_t>(row.size()) == cols_);
+    std::copy(row.begin(), row.end(), buf_.data() + r * cols_);
+    ++r;
+  }
+}
+
+void DenseMatrix::fill(double value) {
+  std::fill(buf_.begin(), buf_.end(), value);
+}
+
+void DenseMatrix::fill_random(support::Xoshiro256& rng, double lo, double hi) {
+  for (double& x : buf_) x = rng.uniform(lo, hi);
+}
+
+DenseMatrix DenseMatrix::clone() const {
+  DenseMatrix out(rows_, cols_);
+  std::copy(buf_.begin(), buf_.end(), out.buf_.begin());
+  return out;
+}
+
+} // namespace sts::la

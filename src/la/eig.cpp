@@ -1,0 +1,275 @@
+#include "la/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace sts::la {
+
+namespace {
+
+/// Sorts (values, column vectors) ascending by value.
+void sort_eigenpairs(std::vector<double>& values, DenseMatrix& vectors) {
+  const index_t n = static_cast<index_t>(values.size());
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t i, index_t j) {
+    return values[static_cast<std::size_t>(i)] <
+           values[static_cast<std::size_t>(j)];
+  });
+  std::vector<double> sorted_values(static_cast<std::size_t>(n));
+  DenseMatrix sorted_vectors(n, n);
+  for (index_t c = 0; c < n; ++c) {
+    const index_t src = order[static_cast<std::size_t>(c)];
+    sorted_values[static_cast<std::size_t>(c)] =
+        values[static_cast<std::size_t>(src)];
+    for (index_t r = 0; r < n; ++r) {
+      sorted_vectors.at(r, c) = vectors.at(r, src);
+    }
+  }
+  values = std::move(sorted_values);
+  vectors = std::move(sorted_vectors);
+}
+
+} // namespace
+
+EigenResult jacobi_eigen(ConstMatrixView a, double tol, int max_sweeps) {
+  STS_EXPECTS(a.rows == a.cols);
+  const index_t n = a.rows;
+  DenseMatrix work(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      // Use the upper triangle as ground truth so callers may pass matrices
+      // whose lower triangle was scratched by a prior factorization.
+      work.at(i, j) = (i <= j) ? a.at(i, j) : a.at(j, i);
+    }
+  }
+  DenseMatrix v(n, n);
+  for (index_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) s += work.at(i, j) * work.at(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  double frob = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) frob += work.at(i, j) * work.at(i, j);
+  }
+  frob = std::sqrt(frob);
+  const double stop = tol * std::max(frob, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > stop; ++sweep) {
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = work.at(p, q);
+        if (std::abs(apq) <= stop / static_cast<double>(n * n)) continue;
+        const double app = work.at(p, p);
+        const double aqq = work.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/cols p and q of the (symmetric) work
+        // matrix and accumulate it into V.
+        for (index_t k = 0; k < n; ++k) {
+          const double akp = work.at(k, p);
+          const double akq = work.at(k, q);
+          work.at(k, p) = c * akp - s * akq;
+          work.at(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double apk = work.at(p, k);
+          const double aqk = work.at(q, k);
+          work.at(p, k) = c * apk - s * aqk;
+          work.at(q, k) = s * apk + c * aqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.values.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    result.values[static_cast<std::size_t>(i)] = work.at(i, i);
+  }
+  result.vectors = std::move(v);
+  sort_eigenpairs(result.values, result.vectors);
+  return result;
+}
+
+std::vector<double> tridiag_eigenvalues(std::vector<double> alpha,
+                                        std::vector<double> beta) {
+  const std::size_t n = alpha.size();
+  STS_EXPECTS(beta.size() + 1 == n || (n == 0 && beta.empty()));
+  if (n == 0) return {};
+  std::vector<double> d = std::move(alpha);
+  std::vector<double> e = std::move(beta);
+  e.push_back(0.0);
+
+  // Implicit QL with Wilkinson shift (classic tql1 recurrence).
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 || std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iter > 60) {
+          throw support::Error("tridiag_eigenvalues: QL failed to converge");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+bool cholesky_lower(MatrixView a) {
+  STS_EXPECTS(a.rows == a.cols);
+  const index_t n = a.rows;
+  for (index_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (index_t k = 0; k < j; ++k) diag -= a.at(j, k) * a.at(j, k);
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (index_t k = 0; k < j; ++k) v -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+void solve_lower(ConstMatrixView l, MatrixView b) {
+  STS_EXPECTS(l.rows == l.cols && l.rows == b.rows);
+  for (index_t i = 0; i < b.rows; ++i) {
+    for (index_t c = 0; c < b.cols; ++c) {
+      double v = b.at(i, c);
+      for (index_t k = 0; k < i; ++k) v -= l.at(i, k) * b.at(k, c);
+      b.at(i, c) = v / l.at(i, i);
+    }
+  }
+}
+
+void solve_lower_transposed(ConstMatrixView l, MatrixView b) {
+  STS_EXPECTS(l.rows == l.cols && l.rows == b.rows);
+  for (index_t i = b.rows; i-- > 0;) {
+    for (index_t c = 0; c < b.cols; ++c) {
+      double v = b.at(i, c);
+      for (index_t k = i + 1; k < b.rows; ++k) v -= l.at(k, i) * b.at(k, c);
+      b.at(i, c) = v / l.at(i, i);
+    }
+  }
+}
+
+EigenResult sym_generalized_eigen(ConstMatrixView a, ConstMatrixView b) {
+  STS_EXPECTS(a.rows == a.cols && b.rows == b.cols && a.rows == b.rows);
+  const index_t n = a.rows;
+
+  DenseMatrix l(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      l.at(i, j) = (i >= j) ? b.at(i, j) : b.at(j, i);
+    }
+  }
+  if (!cholesky_lower(l.view())) {
+    throw support::Error("sym_generalized_eigen: B is not SPD");
+  }
+
+  // C = L^{-1} A L^{-T}: solve L * T = A, then L * C^T = T^T (C symmetric).
+  DenseMatrix c(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      c.at(i, j) = (i <= j) ? a.at(i, j) : a.at(j, i);
+    }
+  }
+  solve_lower(l.view(), c.view()); // C <- L^{-1} A
+  // Transpose in place, then apply L^{-1} again: C <- L^{-1} (L^{-1} A)^T.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) std::swap(c.at(i, j), c.at(j, i));
+  }
+  solve_lower(l.view(), c.view());
+
+  EigenResult std_result = jacobi_eigen(c.view());
+
+  // Back-transform: V = L^{-T} W so that V^T B V = I.
+  solve_lower_transposed(l.view(), std_result.vectors.view());
+  return std_result;
+}
+
+index_t orthonormalize_columns(MatrixView x) {
+  const index_t m = x.rows;
+  const index_t n = x.cols;
+  index_t rank = 0;
+  auto col_dot = [&](index_t a, index_t b) {
+    double s = 0.0;
+    for (index_t r = 0; r < m; ++r) s += x.at(r, a) * x.at(r, b);
+    return s;
+  };
+  for (index_t j = 0; j < n; ++j) {
+    // Two MGS passes against already-orthonormalized columns.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (index_t k = 0; k < j; ++k) {
+        const double proj = col_dot(k, j);
+        if (proj == 0.0) continue;
+        for (index_t r = 0; r < m; ++r) x.at(r, j) -= proj * x.at(r, k);
+      }
+    }
+    const double norm = std::sqrt(col_dot(j, j));
+    if (norm <= 1e-12) {
+      for (index_t r = 0; r < m; ++r) x.at(r, j) = 0.0;
+      continue;
+    }
+    const double inv = 1.0 / norm;
+    for (index_t r = 0; r < m; ++r) x.at(r, j) *= inv;
+    ++rank;
+  }
+  return rank;
+}
+
+} // namespace sts::la

@@ -1,0 +1,57 @@
+// Small dense symmetric eigensolvers and factorizations (LAPACK substitute).
+//
+// The sparse eigensolvers only ever need *small* dense solves: LOBPCG's
+// Rayleigh-Ritz step diagonalizes a 3n x 3n pencil (n <= 16 block columns)
+// and Lanczos needs eigenvalues of a k x k symmetric tridiagonal matrix.
+// Cyclic Jacobi and implicit-QL are accurate and entirely adequate at these
+// sizes; no blocking or parallelism is needed or wanted here.
+#pragma once
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace sts::la {
+
+/// Result of a symmetric eigendecomposition: A * vectors(:,i) =
+/// values[i] * vectors(:,i), values ascending, vectors orthonormal columns.
+struct EigenResult {
+  std::vector<double> values;
+  DenseMatrix vectors; // n x n, column i = eigenvector i
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix (content of `a` is
+/// read only from the upper triangle). Intended for n <= ~100.
+[[nodiscard]] EigenResult jacobi_eigen(ConstMatrixView a,
+                                       double tol = 1e-14,
+                                       int max_sweeps = 64);
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `alpha`
+/// (size k) and off-diagonal `beta` (size k-1), via implicit QL with
+/// Wilkinson shifts. Returns ascending values.
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(
+    std::vector<double> alpha, std::vector<double> beta);
+
+/// In-place lower Cholesky of SPD `a` (upper triangle left untouched).
+/// Returns false if a non-positive pivot is hit (matrix not SPD within
+/// roundoff).
+[[nodiscard]] bool cholesky_lower(MatrixView a);
+
+/// Solves L * X = B in place (L lower-triangular, unit or not per diag).
+void solve_lower(ConstMatrixView l, MatrixView b);
+
+/// Solves L^T * X = B in place.
+void solve_lower_transposed(ConstMatrixView l, MatrixView b);
+
+/// Generalized symmetric eigenproblem A v = lambda B v with SPD B, solved by
+/// Cholesky reduction to standard form. values ascending; vectors satisfy
+/// V^T B V = I. Throws support::Error if B is not SPD.
+[[nodiscard]] EigenResult sym_generalized_eigen(ConstMatrixView a,
+                                                ConstMatrixView b);
+
+/// Orthonormalizes the columns of X (m x n, m >= n) in place with two passes
+/// of modified Gram-Schmidt. Returns the numerical rank found (columns whose
+/// norm collapses are replaced by zero and excluded from the count).
+index_t orthonormalize_columns(MatrixView x);
+
+} // namespace sts::la

@@ -1,0 +1,55 @@
+#include "perf/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace sts::perf {
+
+std::vector<ProfileCurve> performance_profiles(
+    const std::vector<std::string>& configs,
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus) {
+  const std::size_t ncfg = configs.size();
+  std::vector<ProfileCurve> curves(ncfg);
+  for (std::size_t c = 0; c < ncfg; ++c) {
+    curves[c].config = configs[c];
+    curves[c].fraction.assign(taus.size(), 0.0);
+  }
+  if (times.empty()) return curves;
+
+  for (const auto& row : times) {
+    STS_EXPECTS(row.size() == ncfg);
+    double best = std::numeric_limits<double>::infinity();
+    for (double t : row) {
+      if (t > 0.0) best = std::min(best, t);
+    }
+    if (!std::isfinite(best)) continue;
+    for (std::size_t c = 0; c < ncfg; ++c) {
+      if (row[c] <= 0.0) continue;
+      const double ratio = row[c] / best;
+      for (std::size_t k = 0; k < taus.size(); ++k) {
+        if (ratio <= taus[k]) curves[c].fraction[k] += 1.0;
+      }
+    }
+  }
+  const double n = static_cast<double>(times.size());
+  for (auto& curve : curves) {
+    for (double& f : curve.fraction) f /= n;
+  }
+  return curves;
+}
+
+std::vector<double> default_taus(int points) {
+  STS_EXPECTS(points >= 2);
+  std::vector<double> taus(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    taus[static_cast<std::size_t>(i)] =
+        1.0 + static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return taus;
+}
+
+} // namespace sts::perf

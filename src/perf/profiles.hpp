@@ -1,0 +1,27 @@
+// Performance profiles (Dolan–Moré curves), the presentation device of the
+// paper's Fig. 14: for each configuration (block-count bucket), the fraction
+// of problem instances whose execution time is within a factor tau of the
+// best configuration for that instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sts::perf {
+
+struct ProfileCurve {
+  std::string config;
+  std::vector<double> fraction; // aligned with the taus passed in
+};
+
+/// times[instance][config] = execution time (<= 0 marks a failed/missing
+/// run, which never counts as within tau). Returns one curve per config.
+[[nodiscard]] std::vector<ProfileCurve> performance_profiles(
+    const std::vector<std::string>& configs,
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus);
+
+/// The tau grid the paper plots: 1.0 to 2.0.
+[[nodiscard]] std::vector<double> default_taus(int points = 21);
+
+} // namespace sts::perf

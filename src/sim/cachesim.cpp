@@ -1,0 +1,100 @@
+#include "sim/cachesim.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace sts::sim {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
+                             std::uint32_t associativity)
+    : assoc_(associativity) {
+  STS_EXPECTS(size_bytes > 0 && associativity > 0);
+  const std::uint64_t lines = size_bytes / kLineBytes;
+  sets_ = std::max<std::uint64_t>(1, lines / associativity);
+  // Power-of-two sets keep the index a mask.
+  sets_ = std::bit_floor(sets_);
+  ways_.assign(sets_ * assoc_, Way{});
+}
+
+bool SetAssocCache::access(std::uint64_t line) {
+  const std::uint64_t set = line & (sets_ - 1);
+  Way* base = ways_.data() + set * assoc_;
+  ++clock_;
+  std::uint32_t lru_idx = 0;
+  std::uint32_t lru_stamp = base[0].stamp;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (base[w].tag == line) {
+      base[w].stamp = clock_;
+      return true;
+    }
+    if (base[w].stamp < lru_stamp) {
+      lru_stamp = base[w].stamp;
+      lru_idx = w;
+    }
+  }
+  base[lru_idx].tag = line;
+  base[lru_idx].stamp = clock_;
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (Way& w : ways_) w = Way{};
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineModel& machine)
+    : machine_(machine) {
+  l1_.reserve(machine.cores);
+  l2_.reserve(machine.cores);
+  for (unsigned c = 0; c < machine.cores; ++c) {
+    l1_.emplace_back(machine.l1.size_bytes, machine.l1.associativity);
+    l2_.emplace_back(machine.l2.size_bytes, machine.l2.associativity);
+  }
+  for (unsigned g = 0; g < machine.l3_groups(); ++g) {
+    l3_.emplace_back(machine.l3.size_bytes, machine.l3.associativity);
+  }
+  counts_.assign(machine.cores, MissCounts{});
+}
+
+double CacheHierarchy::access(unsigned core, std::uint64_t line,
+                              unsigned home_domain, bool congested) {
+  STS_EXPECTS(core < machine_.cores);
+  MissCounts& cc = counts_[core];
+  ++cc.accesses;
+  if (l1_[core].access(line)) {
+    return machine_.l1.latency_cycles;
+  }
+  ++cc.l1_misses;
+  if (l2_[core].access(line)) {
+    return machine_.l2.latency_cycles;
+  }
+  ++cc.l2_misses;
+  if (l3_[machine_.l3_group_of_core(core)].access(line)) {
+    return machine_.l3.latency_cycles;
+  }
+  ++cc.l3_misses;
+  double cycles = machine_.mem_latency_cycles;
+  if (machine_.numa_domains > 1) {
+    if (machine_.domain_of_core(core) != home_domain) {
+      cycles *= machine_.numa_remote_multiplier;
+    }
+    if (congested) cycles *= machine_.congestion_multiplier;
+  }
+  return cycles;
+}
+
+MissCounts CacheHierarchy::totals() const {
+  MissCounts total;
+  for (const MissCounts& c : counts_) total += c;
+  return total;
+}
+
+void CacheHierarchy::reset() {
+  for (auto& c : l1_) c.reset();
+  for (auto& c : l2_) c.reset();
+  for (auto& c : l3_) c.reset();
+  counts_.assign(machine_.cores, MissCounts{});
+}
+
+} // namespace sts::sim

@@ -1,0 +1,95 @@
+// Multi-level set-associative LRU cache simulator.
+//
+// One hierarchy instance models a whole machine: private L1/L2 per core and
+// an L3 slice shared by each l3_group (socket on Broadwell, CCX on EPYC).
+// Tasks feed it 64-byte-line streams derived from their Access ranges; the
+// returned per-access cycle cost drives the schedule simulator, and the
+// global miss counters reproduce the paper's `perf stat` figures (Figs. 8
+// and 11).
+//
+// Fidelity notes (see DESIGN.md): accesses are modeled at task granularity
+// in task order per core -- concurrent interleaving inside the shared L3 is
+// not modeled, which is adequate for counting capacity/reuse misses, the
+// phenomenon the paper's comparison rests on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tdg.hpp"
+#include "sim/machine.hpp"
+
+namespace sts::sim {
+
+inline constexpr std::uint64_t kLineBytes = 64;
+
+/// One set-associative LRU cache. Tags are line addresses.
+class SetAssocCache {
+public:
+  SetAssocCache() = default;
+  SetAssocCache(std::uint64_t size_bytes, std::uint32_t associativity);
+
+  /// Returns true on hit; on miss the line is installed (LRU evicted).
+  bool access(std::uint64_t line);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
+
+private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint32_t stamp = 0;
+  };
+  std::uint64_t sets_ = 0;
+  std::uint32_t assoc_ = 0;
+  std::uint32_t clock_ = 0;
+  std::vector<Way> ways_; // sets_ x assoc_
+};
+
+struct MissCounts {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_misses = 0;
+
+  MissCounts& operator+=(const MissCounts& o) {
+    accesses += o.accesses;
+    l1_misses += o.l1_misses;
+    l2_misses += o.l2_misses;
+    l3_misses += o.l3_misses;
+    return *this;
+  }
+};
+
+/// Private L1/L2 per core + shared L3 per group, with a NUMA cost model.
+class CacheHierarchy {
+public:
+  explicit CacheHierarchy(const MachineModel& machine);
+
+  /// Runs one line access from `core`. `home_domain` is the NUMA domain
+  /// owning the page (first-touch model); `congested` marks the
+  /// all-pages-on-domain-0 pathology. Returns the access cost in cycles
+  /// and updates the per-core miss counters.
+  double access(unsigned core, std::uint64_t line, unsigned home_domain,
+                bool congested);
+
+  [[nodiscard]] MissCounts totals() const;
+  [[nodiscard]] const MissCounts& core_counts(unsigned core) const {
+    return counts_[core];
+  }
+  void reset();
+
+  [[nodiscard]] const MachineModel& machine() const noexcept {
+    return machine_;
+  }
+
+private:
+  MachineModel machine_;
+  std::vector<SetAssocCache> l1_; // per core
+  std::vector<SetAssocCache> l2_; // per core
+  std::vector<SetAssocCache> l3_; // per group
+  std::vector<MissCounts> counts_;
+};
+
+} // namespace sts::sim

@@ -1,0 +1,27 @@
+#include "sim/layout.hpp"
+
+namespace sts::sim {
+
+namespace {
+constexpr std::uint64_t kPageBytes = 4096;
+
+std::uint64_t round_up_page(std::uint64_t v) {
+  return (v + kPageBytes - 1) / kPageBytes * kPageBytes;
+}
+} // namespace
+
+DataLayout::DataLayout(const std::vector<ds::GraphBuilder::DataInfo>& data) {
+  entries_.reserve(data.size());
+  std::uint64_t cursor = 0;
+  for (const auto& d : data) {
+    Entry e;
+    e.base = cursor;
+    e.bytes = d.bytes;
+    e.pieces = d.pieces;
+    entries_.push_back(e);
+    cursor += round_up_page(std::max<std::uint64_t>(d.bytes, 1));
+  }
+  total_ = cursor;
+}
+
+} // namespace sts::sim

@@ -1,0 +1,60 @@
+// Synthetic address-space layout + NUMA page-home model.
+//
+// Each data structure registered with the ds::GraphBuilder gets a base
+// address in a flat simulated address space; Access ranges become absolute
+// line addresses for the cache hierarchy. Page homes implement the paper's
+// first-touch discussion (Fig. 5): with first touch on, the pages of piece
+// p live on the domain that initializes/uses piece p; with it off, every
+// page lives on domain 0 and remote cores pay latency + congestion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/builder.hpp"
+#include "sim/cachesim.hpp"
+
+namespace sts::sim {
+
+class DataLayout {
+public:
+  /// Builds from the graph builder's data registry (name/pieces/bytes).
+  explicit DataLayout(const std::vector<ds::GraphBuilder::DataInfo>& data);
+
+  [[nodiscard]] std::uint64_t base(std::uint32_t data_id) const {
+    STS_EXPECTS(data_id < entries_.size());
+    return entries_[data_id].base;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
+
+  /// NUMA home of the page containing (data_id, offset). Under first touch
+  /// pieces are homed in contiguous ranges per domain -- the placement a
+  /// parallel (static-chunked) initialization loop produces. Without first
+  /// touch every page lives on domain 0.
+  [[nodiscard]] unsigned home_domain(std::uint32_t data_id,
+                                     std::uint64_t offset,
+                                     unsigned numa_domains,
+                                     bool first_touch) const {
+    if (!first_touch || numa_domains <= 1) return 0;
+    const Entry& e = entries_[data_id];
+    if (e.pieces <= 1) return 0;
+    const std::uint64_t piece_bytes = std::max<std::uint64_t>(
+        1, e.bytes / static_cast<std::uint64_t>(e.pieces));
+    const std::uint64_t piece =
+        std::min<std::uint64_t>(offset / piece_bytes,
+                                static_cast<std::uint64_t>(e.pieces) - 1);
+    return static_cast<unsigned>(piece * numa_domains /
+                                 static_cast<std::uint64_t>(e.pieces));
+  }
+
+private:
+  struct Entry {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::int32_t pieces = 1;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+} // namespace sts::sim

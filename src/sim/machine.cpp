@@ -1,0 +1,57 @@
+#include "sim/machine.hpp"
+
+namespace sts::sim {
+
+MachineModel MachineModel::broadwell() {
+  MachineModel m;
+  m.name = "broadwell-2x14";
+  m.cores = 28;
+  m.sockets = 2;
+  m.numa_domains = 2;
+  m.l3_group_size = 14;
+  m.l1 = {32 * 1024, 8, 4};
+  m.l2 = {256 * 1024, 8, 12};
+  m.l3 = {12ULL * 1024 * 1024, 16, 42}; // 35 MB scaled, see header
+  m.ghz = 2.4;
+  m.flops_per_cycle = 4.0;
+  m.mem_latency_cycles = 220;
+  m.numa_remote_multiplier = 1.6;
+  m.congestion_multiplier = 1.4;
+  return m;
+}
+
+MachineModel MachineModel::epyc7h12() {
+  MachineModel m;
+  m.name = "epyc-2x64";
+  m.cores = 128;
+  m.sockets = 2;
+  m.numa_domains = 8;
+  m.l3_group_size = 4;
+  m.l1 = {32 * 1024, 8, 4};
+  m.l2 = {512 * 1024, 8, 13};
+  m.l3 = {4ULL * 1024 * 1024, 16, 46}; // 16 MB scaled, see header
+  m.ghz = 2.6;
+  m.flops_per_cycle = 4.0;
+  m.mem_latency_cycles = 260;
+  m.numa_remote_multiplier = 1.8;
+  m.congestion_multiplier = 1.6;
+  return m;
+}
+
+MachineModel MachineModel::testbox(unsigned cores) {
+  MachineModel m;
+  m.name = "testbox";
+  m.cores = cores;
+  m.sockets = 1;
+  m.numa_domains = 1;
+  m.l3_group_size = cores;
+  m.l1 = {4 * 1024, 4, 4};
+  m.l2 = {32 * 1024, 8, 12};
+  m.l3 = {512 * 1024, 16, 40};
+  m.ghz = 1.0;
+  m.flops_per_cycle = 1.0;
+  m.mem_latency_cycles = 100;
+  return m;
+}
+
+} // namespace sts::sim

@@ -1,0 +1,397 @@
+#include "sim/schedsim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace sts::sim {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kBsp: return "bsp";
+    case Policy::kDsTopo: return "ds-topo";
+    case Policy::kFluxWs: return "flux-ws";
+    case Policy::kRgtWindow: return "rgt-window";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs one task's access stream through the hierarchy from `core` and
+/// returns the task duration in nanoseconds.
+double task_duration_ns(const graph::Task& task, unsigned core,
+                        CacheHierarchy& caches, const DataLayout& layout,
+                        const MachineModel& machine, bool first_touch) {
+  double mem_cycles = 0.0;
+  for (const graph::Access& a : task.accesses) {
+    if (a.bytes == 0) continue;
+    const std::uint64_t base = layout.base(a.data_id) + a.offset;
+    const std::uint64_t first_line = base / kLineBytes;
+    const std::uint64_t last_line = (base + a.bytes - 1) / kLineBytes;
+    const std::uint64_t stride = std::max<std::uint32_t>(1, a.stride_lines);
+    const unsigned home = layout.home_domain(a.data_id, a.offset,
+                                             machine.numa_domains,
+                                             first_touch);
+    for (std::uint64_t line = first_line; line <= last_line; line += stride) {
+      mem_cycles += caches.access(core, line, home, !first_touch);
+    }
+  }
+  // Memory-level parallelism: outstanding misses overlap; a fixed factor
+  // converts summed latencies into effective stall cycles.
+  constexpr double kMlp = 6.0;
+  const double compute_cycles = task.flops / machine.flops_per_cycle;
+  const double cycles = compute_cycles + mem_cycles / kMlp;
+  return cycles / machine.ghz; // cycles / (cycles/ns) = ns
+}
+
+void record_event(std::vector<perf::TaskEvent>* events,
+                  const graph::Task& task, graph::TaskId id, unsigned core,
+                  double start_ns, double end_ns) {
+  if (events == nullptr) return;
+  perf::TaskEvent ev;
+  ev.task_id = id;
+  ev.kind = task.kind;
+  ev.worker = static_cast<std::int32_t>(core);
+  ev.start_ns = static_cast<std::int64_t>(start_ns);
+  ev.end_ns = static_cast<std::int64_t>(end_ns);
+  events->push_back(ev);
+}
+
+} // namespace
+
+SimResult simulate_bsp(const graph::Tdg& g, const DataLayout& layout,
+                       const MachineModel& machine,
+                       const SimOptions& options) {
+  const unsigned cores =
+      options.cores_used > 0 ? options.cores_used : machine.cores;
+  CacheHierarchy caches(machine);
+  SimResult result;
+  result.tasks = g.task_count();
+
+  // Group task ids by phase, keeping per-phase insertion order.
+  std::int32_t max_phase = -1;
+  for (std::size_t i = 0; i < g.task_count(); ++i) {
+    max_phase = std::max(max_phase, g.task(static_cast<graph::TaskId>(i)).phase);
+  }
+  std::vector<std::vector<graph::TaskId>> phases(
+      static_cast<std::size_t>(max_phase + 2));
+  for (std::size_t i = 0; i < g.task_count(); ++i) {
+    const auto id = static_cast<graph::TaskId>(i);
+    const std::int32_t ph = std::max(0, g.task(id).phase);
+    phases[static_cast<std::size_t>(ph)].push_back(id);
+  }
+
+  std::vector<double> core_time(cores, 0.0);
+  double busy_ns = 0.0;
+  std::vector<perf::TaskEvent>* events =
+      options.record_events ? &result.events : nullptr;
+
+  std::int32_t phase_index = 0;
+  for (const auto& phase : phases) {
+    if (phase.empty()) continue;
+    ++phase_index;
+    if (options.bsp_static) {
+      // Static contiguous assignment within each superstep (MKL-style):
+      // core c gets the c-th block of the phase's task order. Skewed
+      // nonzero distributions put all heavy chunks on few cores, producing
+      // the end-of-phase idling the paper's Fig. 10 shows for the BSP
+      // versions. The assignment is rotated between phases: each library
+      // call partitions its iteration space independently, so a vector
+      // piece does NOT return to the same core in the next kernel -- the
+      // cross-kernel locality loss that separates BSP from the pipelined
+      // task schedules.
+      const std::size_t n = phase.size();
+      for (unsigned c = 0; c < cores; ++c) {
+        const unsigned rotated =
+            (c + static_cast<unsigned>(phase_index)) % cores;
+        const std::size_t b0 = n * c / cores;
+        const std::size_t b1 = n * (c + 1) / cores;
+        for (std::size_t k = b0; k < b1; ++k) {
+          const graph::TaskId id = phase[k];
+          const graph::Task& task = g.task(id);
+          const double dur =
+              options.task_overhead_ns +
+              task_duration_ns(task, rotated, caches, layout, machine,
+                               options.first_touch);
+          record_event(events, task, id, rotated, core_time[rotated],
+                       core_time[rotated] + dur);
+          core_time[rotated] += dur;
+          busy_ns += dur;
+        }
+      }
+    } else {
+      // Dynamic scheduling: each task goes to the earliest-available core.
+      for (graph::TaskId id : phase) {
+        const auto it = std::min_element(core_time.begin(), core_time.end());
+        const unsigned core = static_cast<unsigned>(it - core_time.begin());
+        const graph::Task& task = g.task(id);
+        const double dur =
+            options.task_overhead_ns +
+            task_duration_ns(task, core, caches, layout, machine,
+                             options.first_touch);
+        record_event(events, task, id, core, *it, *it + dur);
+        *it += dur;
+        busy_ns += dur;
+      }
+    }
+    // Barrier: everyone waits for the slowest core.
+    const double bar =
+        *std::max_element(core_time.begin(), core_time.end()) +
+        options.barrier_overhead_ns;
+    core_time.assign(cores, bar);
+  }
+
+  result.makespan_seconds =
+      *std::max_element(core_time.begin(), core_time.end()) * 1e-9;
+  result.misses = caches.totals();
+  result.busy_fraction =
+      result.makespan_seconds > 0
+          ? busy_ns * 1e-9 /
+                (result.makespan_seconds * static_cast<double>(cores))
+          : 0.0;
+  return result;
+}
+
+SimResult simulate_task_graph(const graph::Tdg& g, const DataLayout& layout,
+                              const MachineModel& machine,
+                              const SimOptions& options) {
+  STS_EXPECTS(options.policy != Policy::kBsp);
+  unsigned cores = options.cores_used > 0 ? options.cores_used : machine.cores;
+  if (options.policy == Policy::kRgtWindow && options.cores_used == 0) {
+    cores = machine.cores > options.util_threads
+                ? machine.cores - options.util_threads
+                : 1;
+  }
+  CacheHierarchy caches(machine);
+  support::Xoshiro256 rng(options.seed);
+  SimResult result;
+  result.tasks = g.task_count();
+  std::vector<perf::TaskEvent>* events =
+      options.record_events ? &result.events : nullptr;
+
+  const std::vector<graph::TaskId> topo = g.depth_first_topological_order();
+  std::vector<std::int64_t> topo_index(g.task_count());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    topo_index[static_cast<std::size_t>(topo[i])] =
+        static_cast<std::int64_t>(i);
+  }
+  std::vector<std::int32_t> remaining = g.indegrees();
+  // Unique successor lists (graphs may carry duplicate edges).
+  std::vector<std::vector<graph::TaskId>> succ(g.task_count());
+  for (std::size_t u = 0; u < g.task_count(); ++u) {
+    succ[u] = g.successors(static_cast<graph::TaskId>(u));
+    std::sort(succ[u].begin(), succ[u].end());
+    succ[u].erase(std::unique(succ[u].begin(), succ[u].end()), succ[u].end());
+  }
+
+  // Regent: tasks are released by the analysis pipeline in launch (topo)
+  // order at a fixed rate.
+  std::vector<double> analysis_ready(g.task_count(), 0.0);
+  if (options.policy == Policy::kRgtWindow) {
+    const double per_task =
+        options.analysis_ns_per_task /
+        std::max(1u, options.util_threads);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      analysis_ready[static_cast<std::size_t>(topo[i])] =
+          per_task * static_cast<double>(i + 1);
+    }
+  }
+
+  std::vector<double> release_time(g.task_count(), 0.0);
+  // Piece affinity: the core that last ran a task on the same block row
+  // (the locality the real runtimes achieve via continuation execution and
+  // the per-piece NUMA hints the solvers pass to flux).
+  std::vector<std::int32_t> affinity(g.task_count(), -1);
+
+  // Ready pools: per-core locality deques for every policy, plus a global
+  // pool ordered by topo index for kDsTopo/kRgtWindow (DeepSparse's
+  // spawn-order discipline). kFluxWs uses only the deques + stealing.
+  std::set<std::pair<std::int64_t, graph::TaskId>> global_ready;
+  std::vector<std::deque<graph::TaskId>> local_ready(cores);
+
+  const bool flux = options.policy == Policy::kFluxWs;
+  unsigned rr_core = 0;
+
+  auto make_ready = [&](graph::TaskId id, double time, std::int32_t core) {
+    release_time[static_cast<std::size_t>(id)] = time;
+    std::int32_t target = affinity[static_cast<std::size_t>(id)];
+    if (target < 0) target = core;
+    if (target >= 0) {
+      local_ready[static_cast<unsigned>(target) % cores].push_front(id);
+      return;
+    }
+    // Root task: round-robin (flux honors the piece -> domain hint).
+    if (flux && options.numa_aware && machine.numa_domains > 1) {
+      const std::int32_t bi = g.task(id).bi;
+      const unsigned dom = bi >= 0
+                               ? static_cast<unsigned>(bi) %
+                                     machine.numa_domains
+                               : rr_core % machine.numa_domains;
+      const unsigned per = std::max(1u, cores / machine.numa_domains);
+      unsigned t = dom * per + (rr_core++ % per);
+      if (t >= cores) t = dom % cores;
+      local_ready[t].push_front(id);
+    } else if (flux) {
+      local_ready[rr_core++ % cores].push_front(id);
+    } else {
+      global_ready.insert({topo_index[static_cast<std::size_t>(id)], id});
+    }
+  };
+
+  for (graph::TaskId id : topo) {
+    if (remaining[static_cast<std::size_t>(id)] == 0) {
+      make_ready(id, 0.0, -1);
+    }
+  }
+
+  struct Completion {
+    double time;
+    unsigned core;
+    graph::TaskId task;
+    bool operator>(const Completion& o) const { return time > o.time; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  std::vector<char> core_busy(cores, 0);
+  std::vector<double> core_avail(cores, 0.0);
+  double busy_ns = 0.0;
+  std::uint64_t steals = 0;
+  double analysis_stall = 0.0;
+
+  auto pick_for_core = [&](unsigned core) -> graph::TaskId {
+    // Own locality deque first (the continuation just enabled, or work for
+    // pieces this core has touched).
+    if (!local_ready[core].empty()) {
+      const graph::TaskId id = local_ready[core].front();
+      local_ready[core].pop_front();
+      return id;
+    }
+    if (!flux && !global_ready.empty()) {
+      const graph::TaskId id = global_ready.begin()->second;
+      global_ready.erase(global_ready.begin());
+      return id;
+    }
+    // Steal the oldest entry from a victim (NUMA-aware: same-domain
+    // victims first for flux). A singleton deque is left for its owner --
+    // stealing the only queued task of an about-to-idle affinity core
+    // destroys the locality the runtimes work to preserve -- unless no
+    // richer victim exists anywhere.
+    auto try_steal = [&](unsigned victim,
+                         std::size_t min_size) -> graph::TaskId {
+      if (victim == core || local_ready[victim].size() < min_size) {
+        return graph::kInvalidTask;
+      }
+      const graph::TaskId id = local_ready[victim].back();
+      local_ready[victim].pop_back();
+      ++steals;
+      return id;
+    };
+    const unsigned start = static_cast<unsigned>(rng.below(cores));
+    for (const std::size_t min_size : {std::size_t{2}, std::size_t{1}}) {
+      if (flux && options.numa_aware && machine.numa_domains > 1) {
+        const unsigned per = std::max(1u, cores / machine.numa_domains);
+        const unsigned dom = core / per;
+        for (unsigned k = 0; k < cores; ++k) {
+          const unsigned v = (start + k) % cores;
+          if (v / per == dom) {
+            const graph::TaskId id = try_steal(v, min_size);
+            if (id != graph::kInvalidTask) return id;
+          }
+        }
+      }
+      for (unsigned k = 0; k < cores; ++k) {
+        const graph::TaskId id = try_steal((start + k) % cores, min_size);
+        if (id != graph::kInvalidTask) return id;
+      }
+    }
+    return graph::kInvalidTask;
+  };
+
+  auto dispatch_all = [&]() {
+    // Keep assigning while an idle core can find work. Idle cores with
+    // work on their own (affinity) deque are served before empty-handed
+    // cores start stealing: because ready tasks are gated by their release
+    // time anyway, letting the owner run its own task costs no makespan
+    // and preserves locality.
+    while (true) {
+      int best = -1;
+      for (unsigned c = 0; c < cores; ++c) {
+        if (core_busy[c] || local_ready[c].empty()) continue;
+        if (best < 0 ||
+            core_avail[c] < core_avail[static_cast<unsigned>(best)]) {
+          best = static_cast<int>(c);
+        }
+      }
+      if (best < 0) {
+        // No owner work pending: earliest-available idle core steals or
+        // pulls from the global pool.
+        for (unsigned c = 0; c < cores; ++c) {
+          if (core_busy[c]) continue;
+          if (best < 0 ||
+              core_avail[c] < core_avail[static_cast<unsigned>(best)]) {
+            best = static_cast<int>(c);
+          }
+        }
+      }
+      if (best < 0) return;
+      const unsigned core = static_cast<unsigned>(best);
+      const graph::TaskId id = pick_for_core(core);
+      if (id == graph::kInvalidTask) return;
+
+      const graph::Task& task = g.task(static_cast<graph::TaskId>(id));
+      double start = std::max(core_avail[core],
+                              release_time[static_cast<std::size_t>(id)]);
+      const double ar = analysis_ready[static_cast<std::size_t>(id)];
+      if (ar > start) {
+        analysis_stall += ar - start;
+        start = ar;
+      }
+      const double dur = options.task_overhead_ns +
+                         task_duration_ns(task, core, caches, layout, machine,
+                                          options.first_touch);
+      record_event(events, task, id, core, start, start + dur);
+      core_busy[core] = 1;
+      busy_ns += dur;
+      completions.push({start + dur, core, id});
+    }
+  };
+
+  dispatch_all();
+  double makespan = 0.0;
+  while (!completions.empty()) {
+    const Completion done = completions.top();
+    completions.pop();
+    makespan = std::max(makespan, done.time);
+    core_busy[done.core] = 0;
+    core_avail[done.core] = done.time;
+    const std::int32_t done_bi =
+        g.task(done.task).bi;
+    for (graph::TaskId s : succ[static_cast<std::size_t>(done.task)]) {
+      // Record piece affinity: a successor operating on the same block row
+      // should run where that row's data is hot, even if a later (global)
+      // predecessor is the one that finally releases it.
+      if (done_bi >= 0 && g.task(s).bi == done_bi) {
+        affinity[static_cast<std::size_t>(s)] =
+            static_cast<std::int32_t>(done.core);
+      }
+      if (--remaining[static_cast<std::size_t>(s)] == 0) {
+        make_ready(s, done.time, static_cast<std::int32_t>(done.core));
+      }
+    }
+    dispatch_all();
+  }
+
+  result.makespan_seconds = makespan * 1e-9;
+  result.misses = caches.totals();
+  result.busy_fraction =
+      makespan > 0 ? busy_ns / (makespan * static_cast<double>(cores)) : 0.0;
+  result.steals = steals;
+  result.analysis_stall_seconds = analysis_stall * 1e-9;
+  return result;
+}
+
+} // namespace sts::sim

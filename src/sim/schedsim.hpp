@@ -1,0 +1,96 @@
+// Discrete-event schedule simulator.
+//
+// Executes a task graph (or a phase-barriered BSP task list) on a modeled
+// machine, with task costs derived from flop counts plus the cache
+// hierarchy's per-line costs. One scheduling policy per runtime captures
+// the characteristic the paper attributes to it:
+//
+//   kBsp       - phases in order, dynamic chunk assignment, barrier + idle
+//                time between phases (libcsr / libcsb).
+//   kDsTopo    - global ready pool ordered by depth-first-topological spawn
+//                order with continuation affinity: the core that enables a
+//                successor runs it next (DeepSparse / OpenMP tasking's
+//                pipelined, spawn-order-respecting execution).
+//   kFluxWs    - per-core deques, enabled successors pushed to the enabling
+//                core, random oldest-first stealing (HPX's more "shuffled"
+//                schedule, Fig. 13); optional NUMA-aware stealing.
+//   kRgtWindow - kDsTopo ordering, but tasks are released through a serial
+//                dependence-analysis pipeline with a fixed per-task cost
+//                shared by `util_threads` analyzers, and `util_threads`
+//                cores are reserved for the runtime (Regent's -ll:util);
+//                this is what makes very fine task grains collapse
+//                (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tdg.hpp"
+#include "perf/trace.hpp"
+#include "sim/cachesim.hpp"
+#include "sim/layout.hpp"
+#include "sim/machine.hpp"
+
+namespace sts::sim {
+
+enum class Policy { kBsp, kDsTopo, kFluxWs, kRgtWindow };
+
+[[nodiscard]] const char* to_string(Policy p);
+
+struct SimOptions {
+  Policy policy = Policy::kDsTopo;
+  bool first_touch = true;
+  // Overhead defaults are calibrated to the scaled-down suite: the
+  // matrices carry ~1000x fewer nonzeros than the paper's at the same
+  // block *counts*, so per-task work is ~1000x smaller and the scheduling
+  // overheads are scaled to keep the overhead:work regime of the real
+  // runtimes (see DESIGN.md section 5). Absolute magnitudes are therefore
+  // not meaningful; ratios between versions are.
+
+  /// Per-task dispatch overhead on the executing core, ns.
+  double task_overhead_ns = 50;
+  /// BSP: cost of the barrier closing each phase, ns.
+  double barrier_overhead_ns = 1000;
+  /// BSP: static contiguous chunk assignment (library/MKL loop behavior;
+  /// the source of end-of-phase load imbalance on skewed matrices). false
+  /// simulates a dynamic OpenMP schedule.
+  bool bsp_static = true;
+  /// kRgtWindow: serial dependence-analysis cost per task, ns (divided
+  /// across util_threads).
+  double analysis_ns_per_task = 250;
+  unsigned util_threads = 1;
+  /// Cores running application tasks; 0 = machine.cores (kRgtWindow
+  /// subtracts util_threads itself when this is 0).
+  unsigned cores_used = 0;
+  bool numa_aware = false; // kFluxWs stealing preference
+  std::uint64_t seed = 12345;
+  /// Record per-task events for flow graphs (adds memory).
+  bool record_events = false;
+};
+
+struct SimResult {
+  double makespan_seconds = 0.0;
+  MissCounts misses;
+  double busy_fraction = 0.0;     // mean core utilization
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;        // kFluxWs
+  double analysis_stall_seconds = 0.0; // kRgtWindow: ready-but-unanalyzed
+  std::vector<perf::TaskEvent> events;  // sim-time ns, if record_events
+};
+
+/// Simulates the dependency-respecting execution of `g` under a task
+/// policy (kDsTopo / kFluxWs / kRgtWindow).
+[[nodiscard]] SimResult simulate_task_graph(const graph::Tdg& g,
+                                            const DataLayout& layout,
+                                            const MachineModel& machine,
+                                            const SimOptions& options);
+
+/// Simulates BSP execution of `g`: tasks grouped by `phase`, phases run in
+/// order with a barrier between them, dependencies within a phase ignored
+/// (the BSP code writes disjoint outputs within a superstep).
+[[nodiscard]] SimResult simulate_bsp(const graph::Tdg& g,
+                                     const DataLayout& layout,
+                                     const MachineModel& machine,
+                                     const SimOptions& options);
+
+} // namespace sts::sim

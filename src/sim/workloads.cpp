@@ -1,0 +1,286 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ds/program.hpp"
+
+namespace sts::sim {
+
+namespace {
+
+using graph::Access;
+using graph::KernelKind;
+using graph::Task;
+
+/// Replaces the SpMM/SpMV phases of `src` with CSR row-chunk tasks and
+/// returns the libcsr-variant graph (phases preserved; edges are not needed
+/// because only the BSP simulator consumes this graph).
+graph::Tdg make_csr_variant(const graph::Tdg& src, const sparse::Csr& csr,
+                            std::uint32_t a_data_id) {
+  // Identify the phases that contain matrix tasks and their x/y data ids.
+  struct SpmmPhase {
+    std::uint32_t x_id = 0;
+    std::uint32_t y_id = 0;
+    index_t ncols = 1;
+    KernelKind kind = KernelKind::kSpMM;
+  };
+  std::map<std::int32_t, SpmmPhase> spmm_phases;
+  for (std::size_t i = 0; i < src.task_count(); ++i) {
+    const Task& t = src.task(static_cast<graph::TaskId>(i));
+    if (t.kind != KernelKind::kSpMM && t.kind != KernelKind::kSpMV) continue;
+    auto& ph = spmm_phases[t.phase];
+    ph.kind = t.kind;
+    // Accesses are [A, x(read), y(readwrite)] (see Program::spmm).
+    if (t.accesses.size() >= 3) {
+      ph.x_id = t.accesses[1].data_id;
+      ph.y_id = t.accesses[2].data_id;
+    }
+    ph.ncols = t.kind == KernelKind::kSpMV ? 1 : 0; // fixed below
+  }
+
+  graph::Tdg out;
+  const auto rowptr = csr.rowptr();
+  const auto colidx = csr.colidx();
+  const index_t m = csr.rows();
+  constexpr std::uint64_t kCsrEntryBytes = 12; // 4B colidx + 8B value
+
+  // Scratch for distinct-x-line counting (epoch-tagged to avoid clearing).
+  std::vector<std::int32_t> line_epoch;
+  std::int32_t epoch = 0;
+
+  std::int32_t last_emitted_phase = -2;
+  for (std::size_t i = 0; i < src.task_count(); ++i) {
+    const Task& t = src.task(static_cast<graph::TaskId>(i));
+    const auto it = spmm_phases.find(t.phase);
+    const bool matrix_phase =
+        it != spmm_phases.end() &&
+        (t.kind == KernelKind::kSpMM || t.kind == KernelKind::kSpMV ||
+         t.kind == KernelKind::kZero);
+    if (!matrix_phase) {
+      out.add_task(t); // vector kernels are identical in libcsr
+      continue;
+    }
+    if (t.phase == last_emitted_phase) continue; // phase already expanded
+    last_emitted_phase = t.phase;
+
+    const SpmmPhase& ph = it->second;
+    // Column width of the vector block: the x structure spans m * width * 8
+    // bytes; recover the extent from the phase's x accesses.
+    std::uint64_t x_extent = 0;
+    for (std::size_t j = 0; j < src.task_count(); ++j) {
+      const Task& u = src.task(static_cast<graph::TaskId>(j));
+      if (u.phase != t.phase) continue;
+      for (const Access& a : u.accesses) {
+        if (a.data_id == ph.x_id) {
+          x_extent = std::max(x_extent, a.offset + a.bytes);
+        }
+      }
+    }
+    const index_t width = std::max<index_t>(
+        1, static_cast<index_t>(x_extent / (static_cast<std::uint64_t>(m) * 8)));
+
+    const std::uint64_t row_bytes = static_cast<std::uint64_t>(width) * 8;
+    const std::uint64_t x_lines =
+        (static_cast<std::uint64_t>(m) * row_bytes + kLineBytes - 1) /
+        kLineBytes;
+    if (line_epoch.size() < x_lines) line_epoch.assign(x_lines, 0);
+
+    for (index_t r0 = 0; r0 < m; r0 += kCsrChunkRows) {
+      const index_t r1 = std::min(m, r0 + kCsrChunkRows);
+      const std::int64_t k0 = rowptr[static_cast<std::size_t>(r0)];
+      const std::int64_t k1 = rowptr[static_cast<std::size_t>(r1)];
+      // Distinct x cache lines gathered by this chunk.
+      ++epoch;
+      std::uint64_t touched = 0;
+      for (std::int64_t k = k0; k < k1; ++k) {
+        const std::uint64_t line =
+            static_cast<std::uint64_t>(colidx[static_cast<std::size_t>(k)]) *
+            row_bytes / kLineBytes;
+        if (line_epoch[line] != epoch) {
+          line_epoch[line] = epoch;
+          ++touched;
+        }
+      }
+      Task chunk;
+      chunk.kind = ph.kind;
+      chunk.bi = static_cast<std::int32_t>(r0 / kCsrChunkRows);
+      chunk.phase = t.phase;
+      chunk.flops = 2.0 * static_cast<double>(k1 - k0) *
+                    static_cast<double>(width);
+      chunk.accesses.push_back(
+          {a_data_id, static_cast<std::uint64_t>(k0) * kCsrEntryBytes,
+           static_cast<std::uint64_t>(k1 - k0) * kCsrEntryBytes,
+           Access::Mode::kRead});
+      if (touched > 0) {
+        const std::uint32_t stride = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, x_lines / touched));
+        chunk.accesses.push_back({ph.x_id, 0,
+                                  static_cast<std::uint64_t>(x_lines) *
+                                      kLineBytes,
+                                  Access::Mode::kRead, stride});
+      }
+      chunk.accesses.push_back(
+          {ph.y_id, static_cast<std::uint64_t>(r0) * row_bytes,
+           static_cast<std::uint64_t>(r1 - r0) * row_bytes,
+           Access::Mode::kWrite});
+      out.add_task(std::move(chunk));
+    }
+  }
+  return out;
+}
+
+/// Builds both graphs + layouts given a recipe applied to a Program.
+template <typename Recipe>
+Workload build_workload(const sparse::Csr& csr, const sparse::Csb& csb,
+                        const WorkloadOptions& options,
+                        const Recipe& recipe) {
+  Workload w;
+  ds::Program prog(&csb,
+                   {.skip_empty_blocks = options.skip_empty_blocks,
+                    .dependency_based_spmm = options.dependency_based_spmm,
+                    .spmm_buffers = options.spmm_buffers});
+  w.partitions = prog.partitions();
+  recipe(prog, w);
+  // Layout for the task graph from the builder's registry; the libcsr
+  // layout differs only in the matrix entry size (12 B vs 16 B per nnz).
+  auto data = prog.builder().data();
+  w.layout = std::make_unique<DataLayout>(data);
+  auto csr_data = data;
+  csr_data[static_cast<std::size_t>(prog.matrix_data_id())].bytes =
+      static_cast<std::uint64_t>(csr.nnz()) * 12;
+  w.csr_layout = std::make_unique<DataLayout>(csr_data);
+  w.task_graph = prog.build();
+  w.csr_graph = make_csr_variant(
+      w.task_graph, csr,
+      static_cast<std::uint32_t>(prog.matrix_data_id()));
+  return w;
+}
+
+} // namespace
+
+Workload build_lanczos_workload(const sparse::Csr& csr,
+                                const sparse::Csb& csb, index_t basis_cols,
+                                WorkloadOptions options) {
+  return build_workload(csr, csb, options, [&](ds::Program& prog, Workload& w) {
+    const index_t m = csb.rows();
+    auto add = [&](index_t rows, index_t cols) {
+      w.storage.push_back(std::make_unique<la::DenseMatrix>(rows, cols));
+      return w.storage.back().get();
+    };
+    la::DenseMatrix* q = add(m, 1);
+    la::DenseMatrix* z = add(m, 1);
+    la::DenseMatrix* qbasis = add(m, basis_cols);
+    la::DenseMatrix* proj = add(basis_cols, 1);
+    w.storage.push_back(std::make_unique<la::DenseMatrix>(2, 1));
+    double* scalars = w.storage.back()->data();
+
+    const ds::DataId qid = prog.vec("q", q);
+    const ds::DataId zid = prog.vec("z", z);
+    const ds::DataId Qid = prog.vec("Q", qbasis);
+    const ds::DataId projid = prog.small("proj", proj);
+    const ds::DataId b2 = prog.scalar("beta2", scalars);
+    const ds::DataId bb = prog.scalar("beta", scalars + 1);
+
+    prog.spmm(qid, zid);
+    prog.xty(Qid, zid, projid);
+    prog.xy(Qid, projid, zid, -1.0, 1.0);
+    prog.dot(zid, zid, b2);
+    prog.small_task(KernelKind::kNorm, [] {}, {b2}, {bb});
+    prog.scale_into(zid, bb, true, qid);
+    static const index_t kCol = 1;
+    prog.copy_into_column(qid, Qid, &kCol);
+  });
+}
+
+Workload build_lobpcg_workload(const sparse::Csr& csr,
+                               const sparse::Csb& csb, index_t nev,
+                               WorkloadOptions options) {
+  return build_workload(csr, csb, options, [&](ds::Program& prog, Workload& w) {
+    const index_t m = csb.rows();
+    const index_t n = nev;
+    auto add = [&](index_t rows, index_t cols) {
+      w.storage.push_back(std::make_unique<la::DenseMatrix>(rows, cols));
+      return w.storage.back().get();
+    };
+    la::DenseMatrix* X = add(m, n);
+    la::DenseMatrix* AX = add(m, n);
+    la::DenseMatrix* W = add(m, n);
+    la::DenseMatrix* AW = add(m, n);
+    la::DenseMatrix* P = add(m, n);
+    la::DenseMatrix* AP = add(m, n);
+    la::DenseMatrix* R = add(m, n);
+    la::DenseMatrix* Xn = add(m, n);
+    la::DenseMatrix* AXn = add(m, n);
+    la::DenseMatrix* Pn = add(m, n);
+    la::DenseMatrix* APn = add(m, n);
+
+    const ds::DataId x = prog.vec("X", X);
+    const ds::DataId ax = prog.vec("AX", AX);
+    const ds::DataId wv = prog.vec("W", W);
+    const ds::DataId aw = prog.vec("AW", AW);
+    const ds::DataId p = prog.vec("P", P);
+    const ds::DataId ap = prog.vec("AP", AP);
+    const ds::DataId r = prog.vec("R", R);
+    const ds::DataId xn = prog.vec("Xn", Xn);
+    const ds::DataId axn = prog.vec("AXn", AXn);
+    const ds::DataId pn = prog.vec("Pn", Pn);
+    const ds::DataId apn = prog.vec("APn", APn);
+
+    std::vector<ds::DataId> smalls;
+    for (const char* name :
+         {"M", "RR", "CXW", "GWW", "WSC", "ga01", "ga02", "ga11", "ga12",
+          "ga22", "gb00", "gb01", "gb02", "gb11", "gb12", "gb22", "CX", "CW",
+          "CP", "NRM"}) {
+      smalls.push_back(prog.small(name, add(n, n)));
+    }
+    const ds::DataId M = smalls[0], RR = smalls[1], CXW = smalls[2],
+                     GWW = smalls[3], WSC = smalls[4], ga01 = smalls[5],
+                     ga02 = smalls[6], ga11 = smalls[7], ga12 = smalls[8],
+                     ga22 = smalls[9], gb00 = smalls[10], gb01 = smalls[11],
+                     gb02 = smalls[12], gb11 = smalls[13], gb12 = smalls[14],
+                     gb22 = smalls[15], CX = smalls[16], CW = smalls[17],
+                     CP = smalls[18], NRM = smalls[19];
+
+    prog.xty(x, ax, M);
+    prog.copy(ax, r);
+    prog.xy(x, M, r, -1.0, 1.0);
+    prog.xty(r, r, RR);
+    prog.small_task(KernelKind::kConvCheck, [] {}, {RR}, {NRM});
+    prog.xty(x, r, CXW);
+    prog.xy(x, CXW, r, -1.0, 1.0);
+    prog.xty(r, r, GWW);
+    prog.small_task(KernelKind::kOrtho, [] {}, {GWW}, {WSC});
+    prog.xy(r, WSC, wv, 1.0, 0.0);
+    prog.spmm(wv, aw);
+    prog.xty(x, aw, ga01);
+    prog.xty(x, ap, ga02);
+    prog.xty(wv, aw, ga11);
+    prog.xty(wv, ap, ga12);
+    prog.xty(p, ap, ga22);
+    prog.xty(x, x, gb00);
+    prog.xty(x, wv, gb01);
+    prog.xty(x, p, gb02);
+    prog.xty(wv, wv, gb11);
+    prog.xty(wv, p, gb12);
+    prog.xty(p, p, gb22);
+    prog.small_task(KernelKind::kOrtho, [] {},
+                    {M, ga01, ga02, ga11, ga12, ga22, gb00, gb01, gb02, gb11,
+                     gb12, gb22},
+                    {CX, CW, CP});
+    prog.xy(wv, CW, pn, 1.0, 0.0);
+    prog.xy(p, CP, pn, 1.0, 1.0);
+    prog.xy(aw, CW, apn, 1.0, 0.0);
+    prog.xy(ap, CP, apn, 1.0, 1.0);
+    prog.xy(x, CX, xn, 1.0, 0.0);
+    prog.axpy(1.0, pn, xn);
+    prog.xy(ax, CX, axn, 1.0, 0.0);
+    prog.axpy(1.0, apn, axn);
+    prog.copy(xn, x);
+    prog.copy(axn, ax);
+    prog.copy(pn, p);
+    prog.copy(apn, ap);
+  });
+}
+
+} // namespace sts::sim

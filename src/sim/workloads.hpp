@@ -1,0 +1,62 @@
+// Simulator workload construction.
+//
+// A Workload packages everything the schedule simulator needs to replay one
+// solver iteration on a modeled machine:
+//   * task_graph - the genuine per-iteration TDG from ds::Program (the same
+//     DAG all three task runtimes execute, per the paper's observation that
+//     "all AMT models are essentially presented the same DAG"); also used
+//     for the libcsb BSP simulation via its phase tags.
+//   * csr_graph  - the libcsr variant: identical vector-kernel phases, but
+//     SpMM/SpMV phases replaced by CSR row-chunk tasks whose input-vector
+//     accesses are scattered over the whole vector (no 2D blocking), the
+//     cache behavior that separates libcsr from CSB-based versions.
+//   * layouts    - synthetic address maps for both graphs.
+#pragma once
+
+#include <memory>
+
+#include "graph/tdg.hpp"
+#include "sim/layout.hpp"
+#include "sparse/csb.hpp"
+#include "sparse/csr.hpp"
+
+namespace sts::sim {
+
+using la::index_t;
+
+struct Workload {
+  graph::Tdg task_graph;
+  graph::Tdg csr_graph;
+  std::unique_ptr<DataLayout> layout;
+  std::unique_ptr<DataLayout> csr_layout;
+  index_t partitions = 0;
+  /// State buffers backing the ds::Program registration; bodies are never
+  /// executed by the simulator but registration requires live storage.
+  std::vector<std::unique_ptr<la::DenseMatrix>> storage;
+};
+
+/// Options forwarded to the underlying ds::Program (ablations: Fig. 6 skip
+/// optimization, Fig. 7 reduction-based SpMM with per-core buffers).
+struct WorkloadOptions {
+  bool skip_empty_blocks = true;
+  bool dependency_based_spmm = true;
+  std::int32_t spmm_buffers = 4;
+};
+
+/// One Lanczos iteration with a Krylov basis of `basis_cols` columns.
+[[nodiscard]] Workload build_lanczos_workload(const sparse::Csr& csr,
+                                              const sparse::Csb& csb,
+                                              index_t basis_cols = 21,
+                                              WorkloadOptions options = {});
+
+/// One LOBPCG iteration with block width `nev`.
+[[nodiscard]] Workload build_lobpcg_workload(const sparse::Csr& csr,
+                                             const sparse::Csb& csb,
+                                             index_t nev = 8,
+                                             WorkloadOptions options = {});
+
+/// Number of rows per libcsr SpMM chunk (mirrors the OpenMP dynamic
+/// schedule in bsp::spmm).
+inline constexpr index_t kCsrChunkRows = 512;
+
+} // namespace sts::sim

@@ -1,0 +1,16 @@
+#include "solvers/common.hpp"
+
+namespace sts::solver {
+
+const char* to_string(Version v) {
+  switch (v) {
+    case Version::kLibCsr: return "libcsr";
+    case Version::kLibCsb: return "libcsb";
+    case Version::kDs: return "deepsparse";
+    case Version::kFlux: return "hpx-flux";
+    case Version::kRgt: return "regent-rgt";
+  }
+  return "?";
+}
+
+} // namespace sts::solver

@@ -1,0 +1,61 @@
+// Shared types for the Lanczos / LOBPCG solver drivers.
+//
+// Every solver exists in five execution versions, matching the paper's
+// comparison set:
+//   kLibCsr  - BSP, thread-parallel kernels on CSR        ("libcsr")
+//   kLibCsb  - BSP, thread-parallel kernels on CSB        ("libcsb")
+//   kDs      - DeepSparse: explicit TDG + OpenMP tasks
+//   kFlux    - HPX-style futures/dataflow                  ("hpx")
+//   kRgt     - Regent-style regions/privileges             ("regent")
+#pragma once
+
+#include <string>
+
+#include "la/dense.hpp"
+#include "perf/trace.hpp"
+#include "sparse/csb.hpp"
+#include "sparse/csr.hpp"
+
+namespace sts::solver {
+
+using la::index_t;
+
+enum class Version { kLibCsr, kLibCsb, kDs, kFlux, kRgt };
+
+[[nodiscard]] const char* to_string(Version v);
+
+/// All versions in the paper's presentation order.
+inline constexpr Version kAllVersions[] = {
+    Version::kLibCsr, Version::kLibCsb, Version::kDs, Version::kFlux,
+    Version::kRgt};
+
+struct SolverOptions {
+  /// CSB block size == uniform partitioning factor for vector kernels.
+  index_t block_size = 4096;
+  /// Worker threads for the task runtimes / OpenMP.
+  unsigned threads = 2;
+  /// Create no tasks for empty CSB blocks (paper Fig. 6).
+  bool skip_empty_blocks = true;
+  /// Dependency-based (true) vs reduction-based (false) SpMM output
+  /// updates (paper Fig. 7). Reduction variant supported by ds and rgt.
+  bool dependency_based_spmm = true;
+  /// Parallel first-touch initialization of vectors (paper Fig. 5).
+  bool first_touch = true;
+  /// NUMA domains exposed to the flux scheduler (>=2 enables the
+  /// NUMA-aware scheduling hints the paper discusses for HPX on EPYC).
+  unsigned numa_domains = 1;
+  /// Optional execution trace for flow graphs.
+  perf::TraceRecorder* trace = nullptr;
+  std::uint64_t seed = 42;
+};
+
+struct IterationTiming {
+  double total_seconds = 0.0;   // solver loop only (setup excluded)
+  double graph_build_seconds = 0.0; // ds only: TDG generation time
+  int iterations = 0;
+  [[nodiscard]] double per_iteration() const {
+    return iterations > 0 ? total_seconds / iterations : 0.0;
+  }
+};
+
+} // namespace sts::solver

@@ -1,0 +1,32 @@
+// Lanczos eigensolver (paper Alg. 1) in five execution versions.
+//
+// SpMV-based: each iteration performs one SpMV, a full reorthogonalization
+// against the Krylov basis Q (expressed as the XTY + XY kernel pair of
+// Listing 1), a norm, and a normalization. The Krylov basis is kept as an
+// m x (k+1) block vector so every iteration has an identical task graph.
+//
+// All five versions compute identical mathematics; property tests assert
+// their tridiagonal coefficients agree to rounding.
+#pragma once
+
+#include <vector>
+
+#include "solvers/common.hpp"
+
+namespace sts::solver {
+
+struct LanczosResult {
+  std::vector<double> alphas;      // diagonal of the tridiagonal matrix
+  std::vector<double> betas;       // off-diagonal (betas[i] couples i,i+1)
+  std::vector<double> ritz_values; // ascending eigenvalue estimates
+  IterationTiming timing;
+};
+
+/// Runs `k` Lanczos iterations of version `v`. `csr` is used by kLibCsr,
+/// `csb` by every other version; both must represent the same symmetric
+/// matrix.
+[[nodiscard]] LanczosResult lanczos(const sparse::Csr& csr,
+                                    const sparse::Csb& csb, int k, Version v,
+                                    const SolverOptions& options);
+
+} // namespace sts::solver

@@ -1,0 +1,40 @@
+// LOBPCG eigensolver (paper Alg. 2) in five execution versions.
+//
+// SpMM-based, block width n in 8..16 as in the paper. Each iteration:
+//   M = X^T AX;  R = AX - X M;  convergence check on ||R_j||;
+//   W = orthonormalize(R - X X^T R);  AW = A W;
+//   Rayleigh-Ritz on span{X, W, P} via Gram matrices (block XTY kernels);
+//   X,P (and AX,AP) updated from the lowest-n Ritz vectors (XY kernels).
+//
+// The iteration is expressed with the same XY / XTY / SpMM kernel
+// decomposition in all five versions, so the per-iteration task graph is
+// the one the paper analyzes (critical path ~29 function calls, abundant
+// cross-kernel data reuse on the same vector pieces).
+#pragma once
+
+#include <vector>
+
+#include "solvers/common.hpp"
+
+namespace sts::solver {
+
+struct LobpcgOptions : SolverOptions {
+  index_t nev = 8;          // block width n (number of eigenpairs)
+  double tolerance = 1e-6;  // residual 2-norm per eigenpair
+};
+
+struct LobpcgResult {
+  std::vector<double> eigenvalues;     // lowest nev, ascending
+  std::vector<double> residual_norms;  // per eigenpair at exit
+  int converged = 0;                   // eigenpairs below tolerance at exit
+  IterationTiming timing;
+};
+
+/// Runs up to `max_iterations` LOBPCG iterations of version `v` for the
+/// lowest `options.nev` eigenpairs. `csr` is used by kLibCsr, `csb` by all
+/// other versions.
+[[nodiscard]] LobpcgResult lobpcg(const sparse::Csr& csr,
+                                  const sparse::Csb& csb, int max_iterations,
+                                  Version v, const LobpcgOptions& options);
+
+} // namespace sts::solver

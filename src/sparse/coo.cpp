@@ -1,0 +1,82 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sts::sparse {
+
+namespace {
+bool coord_less(const Triplet& a, const Triplet& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+} // namespace
+
+void Coo::finalize() {
+  std::sort(entries_.begin(), entries_.end(), coord_less);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    Triplet merged = entries_[i];
+    std::size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].row == merged.row &&
+           entries_[j].col == merged.col) {
+      merged.value += entries_[j].value;
+      ++j;
+    }
+    entries_[out++] = merged;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+void Coo::symmetrize_lower() {
+  STS_EXPECTS(rows_ == cols_);
+  finalize();
+  std::vector<Triplet> lower;
+  lower.reserve(entries_.size());
+  for (const Triplet& t : entries_) {
+    if (t.row >= t.col) lower.push_back(t);
+  }
+  entries_.clear();
+  for (const Triplet& t : lower) {
+    entries_.push_back(t);
+    if (t.row != t.col) entries_.push_back({t.col, t.row, t.value});
+  }
+  finalize();
+}
+
+void Coo::fill_random_symmetric(support::Xoshiro256& rng, double lo,
+                                double hi) {
+  (void)rng; // values are derived from a per-pair hash so that (i,j) and
+             // (j,i) agree without a lookup structure
+  for (Triplet& t : entries_) {
+    const std::uint64_t a = static_cast<std::uint32_t>(std::min(t.row, t.col));
+    const std::uint64_t b = static_cast<std::uint32_t>(std::max(t.row, t.col));
+    support::SplitMix64 h((a << 32) ^ b ^ 0x5bf03635ULL);
+    const double u =
+        static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+    t.value = lo + (hi - lo) * u;
+  }
+}
+
+bool Coo::is_symmetric(double tol) const {
+  std::vector<Triplet> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), coord_less);
+  for (const Triplet& t : sorted) {
+    const Triplet probe{t.col, t.row, 0.0};
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), probe,
+                               coord_less);
+    if (it == sorted.end() || it->row != t.col || it->col != t.row) {
+      return false;
+    }
+    if (std::abs(it->value - t.value) > tol) return false;
+  }
+  return true;
+}
+
+la::DenseMatrix Coo::to_dense() const {
+  la::DenseMatrix d(rows_, cols_);
+  for (const Triplet& t : entries_) d.at(t.row, t.col) += t.value;
+  return d;
+}
+
+} // namespace sts::sparse

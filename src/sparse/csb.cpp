@@ -1,0 +1,117 @@
+#include "sparse/csb.hpp"
+
+#include <algorithm>
+
+namespace sts::sparse {
+
+Csb Csb::from_coo(const Coo& coo, index_t block_size) {
+  STS_EXPECTS(block_size > 0);
+  Csb out;
+  out.rows_ = coo.rows();
+  out.cols_ = coo.cols();
+  out.block_ = block_size;
+  out.nb_rows_ = (coo.rows() + block_size - 1) / block_size;
+  out.nb_cols_ = (coo.cols() + block_size - 1) / block_size;
+  const std::size_t nblocks =
+      static_cast<std::size_t>(out.nb_rows_) *
+      static_cast<std::size_t>(out.nb_cols_);
+
+  // Counting sort by block id keeps construction O(nnz + #blocks).
+  out.blkptr_.assign(nblocks + 1, 0);
+  for (const Triplet& t : coo.entries()) {
+    const index_t bi = t.row / block_size;
+    const index_t bj = t.col / block_size;
+    ++out.blkptr_[static_cast<std::size_t>(bi * out.nb_cols_ + bj) + 1];
+  }
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    out.blkptr_[k + 1] += out.blkptr_[k];
+  }
+  out.entries_.resize(coo.entries().size());
+  std::vector<std::int64_t> cursor(out.blkptr_.begin(), out.blkptr_.end() - 1);
+  for (const Triplet& t : coo.entries()) {
+    const index_t bi = t.row / block_size;
+    const index_t bj = t.col / block_size;
+    const std::size_t blk = static_cast<std::size_t>(bi * out.nb_cols_ + bj);
+    out.entries_[static_cast<std::size_t>(cursor[blk]++)] = {
+        static_cast<std::int32_t>(t.row - bi * block_size),
+        static_cast<std::int32_t>(t.col - bj * block_size), t.value};
+  }
+  // Sort each block by local (row, col): keeps the SpMV inner loop walking
+  // y and x with monotone strides inside the block.
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    std::sort(out.entries_.begin() + out.blkptr_[k],
+              out.entries_.begin() + out.blkptr_[k + 1],
+              [](const Entry& a, const Entry& b) {
+                return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+  }
+  return out;
+}
+
+Csb Csb::from_csr(const Csr& csr, index_t block_size) {
+  return from_coo(csr.to_coo(), block_size);
+}
+
+index_t Csb::nonempty_blocks() const {
+  index_t count = 0;
+  for (std::size_t k = 0; k + 1 < blkptr_.size(); ++k) {
+    count += (blkptr_[k + 1] > blkptr_[k]) ? 1 : 0;
+  }
+  return count;
+}
+
+Coo Csb::to_coo() const {
+  Coo coo(rows_, cols_);
+  coo.reserve(entries_.size());
+  for (index_t bi = 0; bi < nb_rows_; ++bi) {
+    for (index_t bj = 0; bj < nb_cols_; ++bj) {
+      for (const Entry& e : block(bi, bj)) {
+        coo.add(bi * block_ + e.row, bj * block_ + e.col, e.value);
+      }
+    }
+  }
+  return coo;
+}
+
+void csb_block_spmv(const Csb& a, index_t bi, index_t bj,
+                    std::span<const double> x, std::span<double> y) {
+  STS_EXPECTS(static_cast<index_t>(x.size()) == a.cols());
+  STS_EXPECTS(static_cast<index_t>(y.size()) == a.rows());
+  const double* xb = x.data() + bj * a.block_size();
+  double* yb = y.data() + bi * a.block_size();
+  for (const Csb::Entry& e : a.block(bi, bj)) {
+    yb[e.row] += e.value * xb[e.col];
+  }
+}
+
+void csb_block_spmm(const Csb& a, index_t bi, index_t bj,
+                    la::ConstMatrixView x, la::MatrixView y) {
+  STS_EXPECTS(x.rows == a.cols() && y.rows == a.rows() && x.cols == y.cols);
+  const index_t r0 = bi * a.block_size();
+  const index_t c0 = bj * a.block_size();
+  const index_t n = x.cols;
+  for (const Csb::Entry& e : a.block(bi, bj)) {
+    double* yr = y.row(r0 + e.row);
+    const double* xc = x.row(c0 + e.col);
+    for (index_t j = 0; j < n; ++j) yr[j] += e.value * xc[j];
+  }
+}
+
+void csb_block_zero(const Csb& a, index_t bi, std::span<double> y) {
+  STS_EXPECTS(static_cast<index_t>(y.size()) == a.rows());
+  const index_t r0 = bi * a.block_size();
+  const index_t nr = a.rows_in_block(bi);
+  std::fill(y.begin() + r0, y.begin() + r0 + nr, 0.0);
+}
+
+void csb_block_zero(const Csb& a, index_t bi, la::MatrixView y) {
+  STS_EXPECTS(y.rows == a.rows());
+  const index_t r0 = bi * a.block_size();
+  const index_t nr = a.rows_in_block(bi);
+  for (index_t r = 0; r < nr; ++r) {
+    double* yr = y.row(r0 + r);
+    for (index_t j = 0; j < y.cols; ++j) yr[j] = 0.0;
+  }
+}
+
+} // namespace sts::sparse

@@ -1,0 +1,103 @@
+// Compressed Sparse Blocks (CSB) storage [Buluc et al., SPAA'09].
+//
+// CSB is the partitioning that defines tasks in all three task-parallel
+// frameworks evaluated by the paper: the matrix is tiled into b x b blocks;
+// entries of one block are stored contiguously with block-local 32-bit
+// coordinates; blkptr indexes the (block-row-major) grid of blocks. A task
+// operates on exactly one non-empty block, reading input-vector block j and
+// updating output-vector block i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace sts::sparse {
+
+/// Immutable CSB matrix.
+class Csb {
+public:
+  struct Entry {
+    std::int32_t row; // block-local row
+    std::int32_t col; // block-local col
+    double value;
+  };
+
+  Csb() = default;
+
+  /// Builds from COO with the given block size (rows per block in both
+  /// dimensions). Entries within a block are sorted by local (row, col).
+  static Csb from_coo(const Coo& coo, index_t block_size);
+  static Csb from_csr(const Csr& csr, index_t block_size);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(entries_.size());
+  }
+  [[nodiscard]] index_t block_size() const noexcept { return block_; }
+  /// Blocks per dimension (row direction / column direction).
+  [[nodiscard]] index_t block_rows() const noexcept { return nb_rows_; }
+  [[nodiscard]] index_t block_cols() const noexcept { return nb_cols_; }
+
+  /// Number of rows covered by block-row `bi` (the last block may be short).
+  [[nodiscard]] index_t rows_in_block(index_t bi) const {
+    STS_EXPECTS(bi >= 0 && bi < nb_rows_);
+    return std::min(block_, rows_ - bi * block_);
+  }
+  [[nodiscard]] index_t cols_in_block(index_t bj) const {
+    STS_EXPECTS(bj >= 0 && bj < nb_cols_);
+    return std::min(block_, cols_ - bj * block_);
+  }
+
+  /// Nonzeros of block (bi, bj); empty span if the block has none.
+  [[nodiscard]] std::span<const Entry> block(index_t bi, index_t bj) const {
+    STS_EXPECTS(bi >= 0 && bi < nb_rows_ && bj >= 0 && bj < nb_cols_);
+    const std::size_t k = static_cast<std::size_t>(bi * nb_cols_ + bj);
+    return {entries_.data() + blkptr_[k],
+            static_cast<std::size_t>(blkptr_[k + 1] - blkptr_[k])};
+  }
+
+  [[nodiscard]] index_t block_nnz(index_t bi, index_t bj) const {
+    return static_cast<index_t>(block(bi, bj).size());
+  }
+  [[nodiscard]] bool block_empty(index_t bi, index_t bj) const {
+    return block_nnz(bi, bj) == 0;
+  }
+
+  /// Count of non-empty blocks (== SpMV/SpMM task count per iteration).
+  [[nodiscard]] index_t nonempty_blocks() const;
+
+  [[nodiscard]] std::span<const std::int64_t> blkptr() const noexcept {
+    return blkptr_;
+  }
+
+  [[nodiscard]] Coo to_coo() const;
+
+private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t block_ = 0;
+  index_t nb_rows_ = 0;
+  index_t nb_cols_ = 0;
+  std::vector<std::int64_t> blkptr_; // nb_rows_*nb_cols_ + 1 prefix offsets
+  std::vector<Entry> entries_;
+};
+
+/// y_block[bi] += A(bi,bj) * x_block[bj] for a single block (SpMV body).
+/// `x`/`y` are the *full* vectors; the block offsets are applied here.
+void csb_block_spmv(const Csb& a, index_t bi, index_t bj,
+                    std::span<const double> x, std::span<double> y);
+
+/// Y_block[bi] += A(bi,bj) * X_block[bj] for vector blocks (SpMM body).
+void csb_block_spmm(const Csb& a, index_t bi, index_t bj,
+                    la::ConstMatrixView x, la::MatrixView y);
+
+/// Zeroes y rows belonging to block-row bi (tasks accumulate, so each
+/// output block is cleared by its first task or an explicit zero task).
+void csb_block_zero(const Csb& a, index_t bi, std::span<double> y);
+void csb_block_zero(const Csb& a, index_t bi, la::MatrixView y);
+
+} // namespace sts::sparse

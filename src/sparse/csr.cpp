@@ -1,0 +1,76 @@
+#include "sparse/csr.hpp"
+
+namespace sts::sparse {
+
+Csr Csr::from_coo(Coo coo) {
+  coo.finalize();
+  Csr out;
+  out.rows_ = coo.rows();
+  out.cols_ = coo.cols();
+  out.rowptr_.assign(static_cast<std::size_t>(coo.rows()) + 1, 0);
+  out.colidx_.reserve(static_cast<std::size_t>(coo.nnz()));
+  out.values_.reserve(static_cast<std::size_t>(coo.nnz()));
+  for (const Triplet& t : coo.entries()) {
+    ++out.rowptr_[static_cast<std::size_t>(t.row) + 1];
+    out.colidx_.push_back(t.col);
+    out.values_.push_back(t.value);
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(coo.rows()); ++r) {
+    out.rowptr_[r + 1] += out.rowptr_[r];
+  }
+  return out;
+}
+
+Coo Csr::to_coo() const {
+  Coo coo(rows_, cols_);
+  coo.reserve(values_.size());
+  for (index_t r = 0; r < rows_; ++r) {
+    for (std::int64_t k = rowptr_[static_cast<std::size_t>(r)];
+         k < rowptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      coo.add(r, colidx_[static_cast<std::size_t>(k)],
+              values_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return coo;
+}
+
+void csr_spmv_range(const Csr& a, std::span<const double> x,
+                    std::span<double> y, index_t r0, index_t r1) {
+  STS_EXPECTS(r0 >= 0 && r0 <= r1 && r1 <= a.rows());
+  STS_EXPECTS(static_cast<index_t>(x.size()) == a.cols());
+  STS_EXPECTS(static_cast<index_t>(y.size()) == a.rows());
+  const auto rowptr = a.rowptr();
+  const auto colidx = a.colidx();
+  const auto values = a.values();
+  for (index_t r = r0; r < r1; ++r) {
+    double acc = 0.0;
+    for (std::int64_t k = rowptr[static_cast<std::size_t>(r)];
+         k < rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(colidx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void csr_spmm_range(const Csr& a, la::ConstMatrixView x, la::MatrixView y,
+                    index_t r0, index_t r1) {
+  STS_EXPECTS(r0 >= 0 && r0 <= r1 && r1 <= a.rows());
+  STS_EXPECTS(x.rows == a.cols() && y.rows == a.rows() && x.cols == y.cols);
+  const auto rowptr = a.rowptr();
+  const auto colidx = a.colidx();
+  const auto values = a.values();
+  const index_t n = x.cols;
+  for (index_t r = r0; r < r1; ++r) {
+    double* yr = y.row(r);
+    for (index_t j = 0; j < n; ++j) yr[j] = 0.0;
+    for (std::int64_t k = rowptr[static_cast<std::size_t>(r)];
+         k < rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      const double v = values[static_cast<std::size_t>(k)];
+      const double* xc = x.row(colidx[static_cast<std::size_t>(k)]);
+      for (index_t j = 0; j < n; ++j) yr[j] += v * xc[j];
+    }
+  }
+}
+
+} // namespace sts::sparse

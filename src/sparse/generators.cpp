@@ -1,0 +1,255 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sts::sparse {
+
+using support::Xoshiro256;
+
+Coo gen_fem3d(index_t nx, index_t ny, index_t nz, int reach,
+              std::uint64_t seed) {
+  STS_EXPECTS(nx > 0 && ny > 0 && nz > 0 && reach >= 1);
+  const index_t n = nx * ny * nz;
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  const int r = reach;
+  coo.reserve(static_cast<std::size_t>(n) *
+              static_cast<std::size_t>((2 * r + 1) * (2 * r + 1) *
+                                       (2 * r + 1)));
+  auto id = [&](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = id(x, y, z);
+        double offdiag_sum = 0.0;
+        for (int dz = -r; dz <= r; ++dz) {
+          for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const index_t xx = x + dx;
+              const index_t yy = y + dy;
+              const index_t zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              const index_t col = id(xx, yy, zz);
+              if (col > row) continue; // emit lower triangle, mirror below
+              // Symmetric value from the unordered pair hash so both
+              // triangles agree.
+              support::SplitMix64 h(
+                  (static_cast<std::uint64_t>(col) << 32) ^
+                  static_cast<std::uint64_t>(row) ^ seed);
+              const double v =
+                  -0.25 - 0.5 * static_cast<double>(h.next() >> 11) *
+                              0x1.0p-53;
+              coo.add(row, col, v);
+              if (col != row) coo.add(col, row, v);
+              offdiag_sum += std::abs(v);
+            }
+          }
+        }
+        // Diagonal dominance keeps the matrix SPD-like; the small random
+        // perturbation spreads the spectrum so eigensolvers converge
+        // non-trivially.
+        coo.add(row, row, 2.0 * offdiag_sum + 1.0 + rng.uniform());
+      }
+    }
+  }
+  // Note: the loop above emits the lower entry when visiting the larger row
+  // and mirrors it, so every off-diagonal pair appears exactly once per
+  // triangle. Duplicate-free, but finalize() sorts for CSR/CSB conversion.
+  coo.finalize();
+  STS_ENSURES(coo.nnz() > 0);
+  return coo;
+}
+
+Coo gen_saddle_kkt(index_t n_primal, index_t n_dual, int nnz_per_row,
+                   std::uint64_t seed) {
+  STS_EXPECTS(n_primal > 0 && n_dual > 0 && nnz_per_row > 0);
+  // H: 3D 7-point stencil on an approximately cubic grid over n_primal.
+  const index_t side =
+      std::max<index_t>(2, static_cast<index_t>(std::cbrt(
+                               static_cast<double>(n_primal))));
+  const index_t n = n_primal + n_dual;
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  auto clampi = [&](index_t v) { return std::min(v, n_primal - 1); };
+  for (index_t i = 0; i < n_primal; ++i) {
+    coo.add(i, i, 4.0 + rng.uniform());
+    const index_t nbrs[3] = {clampi(i + 1), clampi(i + side),
+                             clampi(i + side * side)};
+    for (index_t nb : nbrs) {
+      if (nb == i) continue;
+      const double v = -0.5 - 0.5 * rng.uniform();
+      coo.add(i, nb, v);
+      coo.add(nb, i, v);
+    }
+  }
+  // A: each dual row constrains primal variables in a local mesh
+  // neighborhood (PDE-constrained optimization couples nearby unknowns;
+  // this keeps the KKT matrix banded, like the real nlpkkt family).
+  for (index_t d = 0; d < n_dual; ++d) {
+    const index_t row = n_primal + d;
+    const index_t center = d * n_primal / n_dual;
+    for (int k = 0; k < nnz_per_row; ++k) {
+      const index_t offset =
+          static_cast<index_t>(rng.below(2 * static_cast<std::uint64_t>(
+                                                 side))) -
+          side;
+      const index_t col =
+          std::clamp<index_t>(center + offset, 0, n_primal - 1);
+      const double v = rng.uniform(-1.0, 1.0);
+      coo.add(row, col, v);
+      coo.add(col, row, v);
+    }
+    // Small regularization on the dual diagonal keeps Cholesky-based
+    // orthonormalization in LOBPCG well behaved.
+    coo.add(row, row, 1e-3);
+  }
+  coo.finalize();
+  return coo;
+}
+
+Coo gen_rmat(int scale, int edge_factor, double a, double b, double c,
+             std::uint64_t seed) {
+  STS_EXPECTS(scale >= 1 && scale < 31 && edge_factor >= 1);
+  STS_EXPECTS(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const index_t n = index_t{1} << scale;
+  const std::int64_t edges = static_cast<std::int64_t>(n) * edge_factor;
+  Coo coo(n, n);
+  coo.reserve(static_cast<std::size_t>(edges));
+  Xoshiro256 rng(seed);
+  // Raw R-MAT concentrates hubs at low vertex ids, which is an artifact of
+  // the recursion, not of real web/social graphs (crawl orderings scatter
+  // high-degree vertices). A random relabeling keeps the degree
+  // distribution but removes the artificial id clustering.
+  std::vector<index_t> relabel(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) relabel[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = static_cast<index_t>(
+        rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(relabel[static_cast<std::size_t>(i)],
+              relabel[static_cast<std::size_t>(j)]);
+  }
+  for (std::int64_t e = 0; e < edges; ++e) {
+    index_t r = 0;
+    index_t col = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double u = rng.uniform();
+      int quad;
+      if (u < a) {
+        quad = 0;
+      } else if (u < a + b) {
+        quad = 1;
+      } else if (u < a + b + c) {
+        quad = 2;
+      } else {
+        quad = 3;
+      }
+      r = (r << 1) | (quad >> 1);
+      col = (col << 1) | (quad & 1);
+    }
+    coo.add(relabel[static_cast<std::size_t>(r)],
+            relabel[static_cast<std::size_t>(col)], 1.0);
+  }
+  coo.symmetrize_lower();
+  Xoshiro256 fill_rng(seed ^ 0x9e3779b9ULL);
+  coo.fill_random_symmetric(fill_rng);
+  // Ensure no empty rows break Lanczos normalization: add a diagonal.
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  coo.finalize();
+  return coo;
+}
+
+Coo gen_block_random(index_t n_blocks, index_t block_dim, double fill_prob,
+                     double entry_prob, std::uint64_t seed) {
+  STS_EXPECTS(n_blocks > 0 && block_dim > 0);
+  STS_EXPECTS(fill_prob > 0.0 && fill_prob <= 1.0);
+  const index_t n = n_blocks * block_dim;
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  for (index_t bi = 0; bi < n_blocks; ++bi) {
+    for (index_t bj = 0; bj <= bi; ++bj) {
+      const bool present = bi == bj || rng.uniform() < fill_prob;
+      if (!present) continue;
+      for (index_t r = 0; r < block_dim; ++r) {
+        for (index_t c = 0; c < block_dim; ++c) {
+          const index_t gr = bi * block_dim + r;
+          const index_t gc = bj * block_dim + c;
+          if (gc > gr) continue;
+          if (gr != gc && rng.uniform() >= entry_prob) continue;
+          const double v =
+              gr == gc ? 4.0 + rng.uniform() : rng.uniform(-1.0, 1.0);
+          coo.add(gr, gc, v);
+          if (gr != gc) coo.add(gc, gr, v);
+        }
+      }
+    }
+  }
+  coo.finalize();
+  return coo;
+}
+
+Coo gen_banded_random(index_t n, index_t bw, double density,
+                      std::uint64_t seed) {
+  STS_EXPECTS(n > 0 && bw > 0 && density > 0.0 && density <= 1.0);
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  const double expected =
+      static_cast<double>(n) * static_cast<double>(bw) * density * 2.0;
+  coo.reserve(static_cast<std::size_t>(expected) + static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 4.0 + rng.uniform());
+    const index_t lo = std::max<index_t>(0, i - bw);
+    for (index_t j = lo; j < i; ++j) {
+      if (rng.uniform() >= density) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      coo.add(i, j, v);
+      coo.add(j, i, v);
+    }
+  }
+  coo.finalize();
+  return coo;
+}
+
+Coo gen_hub_trace(index_t n, index_t hubs, double avg_degree,
+                  std::uint64_t seed) {
+  STS_EXPECTS(n > 0 && hubs > 0 && hubs <= n && avg_degree > 0.0);
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  const std::int64_t edges =
+      static_cast<std::int64_t>(static_cast<double>(n) * avg_degree / 2.0);
+  // Hubs scattered across the id space (busy endpoints appear anywhere in
+  // a packet trace's address ordering).
+  std::vector<index_t> hub_ids(static_cast<std::size_t>(hubs));
+  for (index_t h = 0; h < hubs; ++h) {
+    hub_ids[static_cast<std::size_t>(h)] =
+        static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+  }
+  for (std::int64_t e = 0; e < edges; ++e) {
+    // 85% of edges touch a hub, matching the extreme skew of a packet
+    // trace where most flows involve a few busy endpoints.
+    const index_t u =
+        rng.uniform() < 0.85
+            ? hub_ids[static_cast<std::size_t>(
+                  rng.below(static_cast<std::uint64_t>(hubs)))]
+            : static_cast<index_t>(
+                  rng.below(static_cast<std::uint64_t>(n)));
+    const index_t v =
+        static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    const double w = rng.uniform(0.1, 1.0);
+    coo.add(u, v, w);
+    if (u != v) coo.add(v, u, w);
+  }
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  coo.finalize();
+  return coo;
+}
+
+} // namespace sts::sparse

@@ -1,0 +1,63 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on 14 SuiteSparse matrices plus the Nm7 nuclear-CI
+// matrix; neither the collection nor Nm7 is available offline, so each
+// structural class in the suite has a generator here producing a symmetric
+// matrix with the same qualitative structure (see DESIGN.md section 2.5):
+//
+//   fem3d          -> 3D FEM stencils (inline1, Flan_1565, Bump_2911, ...)
+//   saddle_kkt     -> KKT saddle-point systems (nlpkkt160/200/240)
+//   rmat           -> power-law web/social graphs (twitter7, it-2004, ...)
+//   block_random   -> CI-Hamiltonian-like scattered dense blocks (Nm7)
+//   banded_random  -> CFD-like banded matrices (HV15R)
+//   hub_trace      -> extreme-skew, ultra-sparse traffic matrix (mawi)
+//
+// Every generator returns a finalized symmetric Coo with a deterministic
+// seed, so suites are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+
+namespace sts::sparse {
+
+/// nx*ny*nz-point grid, each node coupled to all neighbors within
+/// `reach` in Chebyshev distance (reach=1 gives the 27-point stencil).
+/// Diagonally dominant SPD-style values.
+[[nodiscard]] Coo gen_fem3d(index_t nx, index_t ny, index_t nz,
+                            int reach = 1, std::uint64_t seed = 1);
+
+/// Symmetric saddle-point matrix [[H, A^T], [A, 0]] with H an SPD 3D
+/// stencil on `n_primal` nodes and A a sparse constraint block of
+/// `n_dual` rows with `nnz_per_row` entries each (nlpkkt-like).
+[[nodiscard]] Coo gen_saddle_kkt(index_t n_primal, index_t n_dual,
+                                 int nnz_per_row = 3, std::uint64_t seed = 2);
+
+/// R-MAT power-law graph with 2^scale vertices and edge_factor*2^scale
+/// edges before symmetrization/dedup. (a,b,c,d) are the RMAT quadrant
+/// probabilities; defaults give a heavy-tailed degree distribution. Values
+/// are random symmetric fill as the paper applies to binary matrices.
+[[nodiscard]] Coo gen_rmat(int scale, int edge_factor, double a = 0.57,
+                           double b = 0.19, double c = 0.19,
+                           std::uint64_t seed = 3);
+
+/// Block-sparse matrix: a grid of (n_blocks x n_blocks) tiles of size
+/// block_dim, where each tile is present with probability fill_prob and a
+/// present tile is dense-ish (entry_prob of its entries set). Models the
+/// CI Hamiltonian structure of Nm7.
+[[nodiscard]] Coo gen_block_random(index_t n_blocks, index_t block_dim,
+                                   double fill_prob, double entry_prob = 0.6,
+                                   std::uint64_t seed = 4);
+
+/// Banded matrix of size n with half-bandwidth bw and the given density
+/// within the band (HV15R-like locality).
+[[nodiscard]] Coo gen_banded_random(index_t n, index_t bw, double density,
+                                    std::uint64_t seed = 5);
+
+/// Ultra-sparse hub-and-spoke matrix: n nodes, `hubs` high-degree hubs, and
+/// avg_degree entries per node attached mostly to hubs (mawi-like).
+[[nodiscard]] Coo gen_hub_trace(index_t n, index_t hubs, double avg_degree,
+                                std::uint64_t seed = 6);
+
+} // namespace sts::sparse

@@ -1,0 +1,92 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sts::sparse {
+
+using support::Error;
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw Error("matrix market: empty input");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix") {
+    throw Error("matrix market: bad banner: " + line);
+  }
+  if (format != "coordinate") {
+    throw Error("matrix market: only coordinate format is supported");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    throw Error("matrix market: unsupported field type: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (symmetry != "general" && !symmetric) {
+    throw Error("matrix market: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz)) {
+    throw Error("matrix market: bad size line: " + line);
+  }
+
+  Coo coo(rows, cols);
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    index_t r = 0;
+    index_t c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw Error("matrix market: truncated entries");
+    if (!pattern && !(in >> v)) throw Error("matrix market: missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw Error("matrix market: index out of range");
+    }
+    coo.add(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.add(c - 1, r - 1, v);
+  }
+  coo.finalize();
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open matrix file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo, bool symmetric) {
+  out << "%%MatrixMarket matrix coordinate real "
+      << (symmetric ? "symmetric" : "general") << "\n";
+  std::int64_t count = 0;
+  for (const Triplet& t : coo.entries()) {
+    if (!symmetric || t.row >= t.col) ++count;
+  }
+  out << coo.rows() << ' ' << coo.cols() << ' ' << count << "\n";
+  out.precision(17);
+  for (const Triplet& t : coo.entries()) {
+    if (symmetric && t.row < t.col) continue;
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo,
+                              bool symmetric) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open output file: " + path);
+  write_matrix_market(out, coo, symmetric);
+}
+
+} // namespace sts::sparse

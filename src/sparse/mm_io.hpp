@@ -1,0 +1,31 @@
+// Matrix Market coordinate-format I/O.
+//
+// The paper's suite comes from the SuiteSparse collection, which distributes
+// Matrix Market files. This reader/writer lets users run the benchmarks on
+// the real matrices when available; the synthetic suite (generators.hpp) is
+// the offline substitute.
+//
+// Supported: `%%MatrixMarket matrix coordinate <real|integer|pattern>
+// <general|symmetric>`. Pattern entries get value 1.0; symmetric files are
+// expanded to both triangles on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace sts::sparse {
+
+/// Parses a Matrix Market stream. Throws support::Error on malformed input.
+[[nodiscard]] Coo read_matrix_market(std::istream& in);
+[[nodiscard]] Coo read_matrix_market_file(const std::string& path);
+
+/// Writes in `coordinate real` layout. When `symmetric` is true only the
+/// lower triangle is emitted (caller asserts the matrix is symmetric).
+void write_matrix_market(std::ostream& out, const Coo& coo,
+                         bool symmetric = false);
+void write_matrix_market_file(const std::string& path, const Coo& coo,
+                              bool symmetric = false);
+
+} // namespace sts::sparse

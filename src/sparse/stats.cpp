@@ -1,0 +1,66 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sts::sparse {
+
+MatrixStats compute_stats(const Csr& a) {
+  MatrixStats s;
+  s.rows = a.rows();
+  s.nnz = a.nnz();
+  if (a.rows() == 0) return s;
+  s.min_row_nnz = a.rows() > 0 ? a.row_nnz(0) : 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double dist_sum = 0.0;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    const index_t k = a.row_nnz(r);
+    sum += static_cast<double>(k);
+    sumsq += static_cast<double>(k) * static_cast<double>(k);
+    s.max_row_nnz = std::max(s.max_row_nnz, k);
+    s.min_row_nnz = std::min(s.min_row_nnz, k);
+  }
+  const auto rowptr = a.rowptr();
+  const auto colidx = a.colidx();
+  for (index_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t k = rowptr[static_cast<std::size_t>(r)];
+         k < rowptr[static_cast<std::size_t>(r) + 1]; ++k) {
+      dist_sum += std::abs(static_cast<double>(
+          colidx[static_cast<std::size_t>(k)] - r));
+    }
+  }
+  const double n = static_cast<double>(a.rows());
+  s.avg_row_nnz = sum / n;
+  const double var = std::max(0.0, sumsq / n - s.avg_row_nnz * s.avg_row_nnz);
+  s.row_nnz_cv = s.avg_row_nnz > 0 ? std::sqrt(var) / s.avg_row_nnz : 0.0;
+  s.relative_bandwidth =
+      a.nnz() > 0 ? dist_sum / static_cast<double>(a.nnz()) / n : 0.0;
+  return s;
+}
+
+BlockingStats compute_blocking_stats(const Csb& a) {
+  BlockingStats s;
+  s.block_size = a.block_size();
+  s.block_count = a.block_rows();
+  s.total_blocks = a.block_rows() * a.block_cols();
+  s.nonempty_blocks = a.nonempty_blocks();
+  s.empty_fraction =
+      s.total_blocks > 0
+          ? 1.0 - static_cast<double>(s.nonempty_blocks) /
+                      static_cast<double>(s.total_blocks)
+          : 0.0;
+  s.avg_block_nnz =
+      s.nonempty_blocks > 0
+          ? static_cast<double>(a.nnz()) /
+                static_cast<double>(s.nonempty_blocks)
+          : 0.0;
+  for (index_t bi = 0; bi < a.block_rows(); ++bi) {
+    for (index_t bj = 0; bj < a.block_cols(); ++bj) {
+      s.max_block_nnz = std::max(s.max_block_nnz, a.block_nnz(bi, bj));
+    }
+  }
+  return s;
+}
+
+} // namespace sts::sparse

@@ -1,0 +1,40 @@
+// Structural statistics of sparse matrices.
+//
+// Used by Table 1 reproduction, by the block-size heuristic (block counts,
+// empty-block ratios), and by tests asserting generator shape (degree skew
+// of power-law graphs, bandedness of FEM matrices).
+#pragma once
+
+#include "sparse/csb.hpp"
+#include "sparse/csr.hpp"
+
+namespace sts::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t nnz = 0;
+  double avg_row_nnz = 0.0;
+  index_t max_row_nnz = 0;
+  index_t min_row_nnz = 0;
+  /// Coefficient of variation of row nnz: skew indicator driving the BSP
+  /// load-imbalance the paper attributes its speedups to.
+  double row_nnz_cv = 0.0;
+  /// Mean |i - j| over nonzeros, as a fraction of n: locality indicator.
+  double relative_bandwidth = 0.0;
+};
+
+[[nodiscard]] MatrixStats compute_stats(const Csr& a);
+
+struct BlockingStats {
+  index_t block_size = 0;
+  index_t block_count = 0;      // blocks per dimension
+  index_t nonempty_blocks = 0;  // SpMV/SpMM task count
+  index_t total_blocks = 0;
+  double empty_fraction = 0.0;
+  double avg_block_nnz = 0.0;
+  index_t max_block_nnz = 0;
+};
+
+[[nodiscard]] BlockingStats compute_blocking_stats(const Csb& a);
+
+} // namespace sts::sparse

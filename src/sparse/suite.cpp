@@ -1,0 +1,139 @@
+#include "sparse/suite.hpp"
+
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "support/error.hpp"
+
+namespace sts::sparse {
+
+const char* to_string(MatrixClass c) {
+  switch (c) {
+    case MatrixClass::kFem3D: return "fem3d";
+    case MatrixClass::kCfdBanded: return "cfd-banded";
+    case MatrixClass::kSaddleKkt: return "saddle-kkt";
+    case MatrixClass::kNuclearCI: return "nuclear-ci";
+    case MatrixClass::kPowerLaw: return "power-law";
+    case MatrixClass::kHubTrace: return "hub-trace";
+  }
+  return "?";
+}
+
+namespace {
+
+index_t scaled(index_t base, double scale, index_t minimum = 1024) {
+  const double v = static_cast<double>(base) * scale;
+  return std::max<index_t>(minimum, static_cast<index_t>(v));
+}
+
+/// Cube side for an ~n-node FEM grid.
+index_t cube_side(index_t n) {
+  return std::max<index_t>(
+      4, static_cast<index_t>(std::llround(std::cbrt(static_cast<double>(n)))));
+}
+
+int rmat_scale(index_t target_rows) {
+  int s = 10;
+  while ((index_t{1} << (s + 1)) <= target_rows && s < 29) ++s;
+  return s;
+}
+
+Coo make_fem(index_t target_rows, double scale, std::uint64_t seed) {
+  const index_t side = cube_side(scaled(target_rows, scale));
+  return gen_fem3d(side, side, side, 1, seed);
+}
+
+} // namespace
+
+const std::vector<SuiteEntry>& paper_suite() {
+  // Base sizes are paper rows / ~25 with the top of the suite compressed
+  // further to fit container memory; relative ordering and structure class
+  // follow Table 1.
+  static const std::vector<SuiteEntry> suite = {
+      {"inline_1", MatrixClass::kFem3D, 503712, 36816170, false, false,
+       [](double s) { return make_fem(20000, s, 101); }},
+      {"dielFilterV3real", MatrixClass::kFem3D, 1102824, 89306020, false,
+       false, [](double s) { return make_fem(27000, s, 102); }},
+      {"Flan_1565", MatrixClass::kFem3D, 1564794, 117406044, false, false,
+       [](double s) { return make_fem(35000, s, 103); }},
+      {"HV15R", MatrixClass::kCfdBanded, 2017169, 281419743, true, false,
+       [](double s) {
+         const index_t n = scaled(42000, s);
+         return gen_banded_random(n, 150, 0.22, 104);
+       }},
+      {"Bump_2911", MatrixClass::kFem3D, 2911419, 127729899, false, false,
+       [](double s) { return make_fem(50000, s, 105); }},
+      {"Queen_4147", MatrixClass::kFem3D, 4147110, 329499284, false, false,
+       [](double s) { return make_fem(62000, s, 106); }},
+      {"Nm7", MatrixClass::kNuclearCI, 4985422, 647663919, false, false,
+       [](double s) {
+         const index_t n = scaled(72000, s);
+         const index_t block_dim = 24;
+         const index_t blocks = std::max<index_t>(8, n / block_dim);
+         const double fill =
+             60.0 / (static_cast<double>(block_dim) * 0.6 *
+                     static_cast<double>(blocks));
+         return gen_block_random(blocks, block_dim, std::min(1.0, fill), 0.6,
+                                 107);
+       }},
+      {"nlpkkt160", MatrixClass::kSaddleKkt, 8345600, 229518112, false, false,
+       [](double s) {
+         return gen_saddle_kkt(scaled(60000, s), scaled(30000, s, 512), 3,
+                               108);
+       }},
+      {"nlpkkt200", MatrixClass::kSaddleKkt, 16240000, 448225632, false,
+       false,
+       [](double s) {
+         return gen_saddle_kkt(scaled(80000, s), scaled(40000, s, 512), 3,
+                               109);
+       }},
+      {"nlpkkt240", MatrixClass::kSaddleKkt, 27993600, 774472352, false,
+       false,
+       [](double s) {
+         return gen_saddle_kkt(scaled(100000, s), scaled(50000, s, 512), 3,
+                               110);
+       }},
+      {"it-2004", MatrixClass::kPowerLaw, 41291594, 1120355761, true, false,
+       [](double s) {
+         return gen_rmat(rmat_scale(scaled(131072, s)), 13, 0.57, 0.19, 0.19,
+                         111);
+       }},
+      {"twitter7", MatrixClass::kPowerLaw, 41652230, 868012304, true, true,
+       [](double s) {
+         return gen_rmat(rmat_scale(scaled(131072, s)), 10, 0.57, 0.19, 0.19,
+                         112);
+       }},
+      {"sk-2005", MatrixClass::kPowerLaw, 50636154, 1909906755, true, false,
+       [](double s) {
+         return gen_rmat(rmat_scale(scaled(131072, s)), 19, 0.57, 0.19, 0.19,
+                         113);
+       }},
+      {"webbase-2001", MatrixClass::kPowerLaw, 118142155, 1013570040, true,
+       true,
+       [](double s) {
+         return gen_rmat(rmat_scale(scaled(262144, s)), 5, 0.57, 0.19, 0.19,
+                         114);
+       }},
+      {"mawi_201512020130", MatrixClass::kHubTrace, 128568730, 270234840,
+       true, true,
+       [](double s) {
+         const index_t n = scaled(280000, s);
+         return gen_hub_trace(n, 64, 2.1, 115);
+       }},
+  };
+  return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const SuiteEntry& e : paper_suite()) {
+    if (e.name == name) return e;
+  }
+  throw support::Error("unknown suite matrix: " + name);
+}
+
+std::vector<std::string> default_bench_subset() {
+  return {"inline_1", "HV15R",    "Nm7",
+          "nlpkkt240", "twitter7", "mawi_201512020130"};
+}
+
+} // namespace sts::sparse

@@ -1,0 +1,51 @@
+// The evaluation suite: synthetic analogues of the paper's Table 1 matrices.
+//
+// Each entry keeps the paper's matrix name (with a "-like" suffix implied),
+// its structural class, and its paper-reported dimensions for reference.
+// make(scale) generates the analogue at a size scaled for the host:
+// scale = 1.0 produces the default container-sized suite (rows roughly
+// paper_rows/25, capped for memory); smaller scales shrink further for
+// quick runs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace sts::sparse {
+
+enum class MatrixClass {
+  kFem3D,       // structural FEM problems
+  kCfdBanded,   // CFD with strong banded locality
+  kSaddleKkt,   // optimization KKT systems
+  kNuclearCI,   // block-sparse configuration-interaction Hamiltonians
+  kPowerLaw,    // web/social graphs
+  kHubTrace,    // ultra-sparse skewed traffic matrices
+};
+
+[[nodiscard]] const char* to_string(MatrixClass c);
+
+struct SuiteEntry {
+  std::string name;            // paper matrix name
+  MatrixClass matrix_class;
+  index_t paper_rows;          // as reported in Table 1
+  index_t paper_nnz;
+  bool paper_symmetrized;      // bold in Table 1: L + L^T - D applied
+  bool paper_random_filled;    // italic in Table 1: binary, random values
+  std::function<Coo(double scale)> make;
+};
+
+/// All 15 suite entries, in the paper's Table 1 order.
+[[nodiscard]] const std::vector<SuiteEntry>& paper_suite();
+
+/// Entry lookup by paper name; throws support::Error if unknown.
+[[nodiscard]] const SuiteEntry& suite_entry(const std::string& name);
+
+/// A representative 6-matrix subset spanning all structure classes, used by
+/// benches when the full 15-matrix sweep would be too slow (override with
+/// STS_FULL_SUITE=1).
+[[nodiscard]] std::vector<std::string> default_bench_subset();
+
+} // namespace sts::sparse

@@ -1,0 +1,27 @@
+#include "support/aligned.hpp"
+
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace sts::support {
+
+void first_touch_zero(double* data, std::size_t n, bool parallel) {
+  if (n == 0) return;
+  if (!parallel) {
+    std::memset(data, 0, n * sizeof(double));
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    data[i] = 0.0;
+  }
+#else
+  std::memset(data, 0, n * sizeof(double));
+#endif
+}
+
+} // namespace sts::support

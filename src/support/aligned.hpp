@@ -1,0 +1,91 @@
+// Cache-line-aligned, optionally first-touch-initialized buffers.
+//
+// Sparse-solver performance on NUMA machines depends on where pages land;
+// the paper's "first-touch placement" optimization (Fig. 5) is modeled here
+// by initializing pages from parallel threads so each page is faulted in by
+// the thread that will use it. On non-NUMA hosts the parallel first touch is
+// harmless; the simulator (src/sim) models the NUMA cost explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace sts::support {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// RAII owner of a 64-byte-aligned array of trivially-destructible T.
+/// Non-copyable, movable; zero-initialization is explicit (see first_touch_zero).
+template <typename T>
+class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes = round_up(n * sizeof(T), kCacheLineBytes);
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    STS_EXPECTS(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    STS_EXPECTS(i < size_);
+    return data_[i];
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+private:
+  static std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) / align * align;
+  }
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Zero `buf` with the calling policy used by the paper's first-touch
+/// optimization: when `parallel` is true each OpenMP thread touches the
+/// chunk it will later operate on, distributing pages across NUMA nodes.
+void first_touch_zero(double* data, std::size_t n, bool parallel);
+
+} // namespace sts::support

@@ -1,0 +1,21 @@
+// Environment-variable configuration helpers.
+//
+// Bench binaries honor a small set of STS_* variables (e.g. STS_SCALE to
+// shrink workloads on tiny machines); these helpers centralize the parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sts::support {
+
+/// Returns the value of `name`, or `fallback` if unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the integer value of `name`, or `fallback` if unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Returns the double value of `name`, or `fallback` if unset or unparsable.
+double env_double(const char* name, double fallback);
+
+} // namespace sts::support

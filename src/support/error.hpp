@@ -1,0 +1,42 @@
+// Contract-checking and error-reporting primitives used across the library.
+//
+// Follows the C++ Core Guidelines (I.6/I.8): preconditions are checked with
+// STS_EXPECTS, postconditions with STS_ENSURES, internal invariants with
+// STS_ASSERT. All three are active in every build type -- the checks guard
+// indexing into shared buffers from concurrently executing tasks, where a
+// silent out-of-bounds write would be a data race rather than a clean crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sts::support {
+
+/// Thrown by recoverable failures (bad input files, invalid configuration).
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "sts: %s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+} // namespace sts::support
+
+#define STS_EXPECTS(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::sts::support::contract_failure("precondition", #cond, __FILE__,  \
+                                             __LINE__))
+#define STS_ENSURES(cond)                                                      \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::sts::support::contract_failure("postcondition", #cond, __FILE__, \
+                                             __LINE__))
+#define STS_ASSERT(cond)                                                       \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::sts::support::contract_failure("invariant", #cond, __FILE__,     \
+                                             __LINE__))

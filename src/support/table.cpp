@@ -1,0 +1,99 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace sts::support {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  STS_EXPECTS(!header_.empty());
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  STS_EXPECTS(!cells_.empty());
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell;
+      if (c + 1 < width.size()) {
+        os << std::string(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+} // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open CSV output file: " + path);
+  write_csv(out);
+}
+
+} // namespace sts::support

@@ -1,0 +1,46 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series the corresponding paper table or
+// figure reports; Table gives them a uniform, aligned text rendering plus a
+// CSV dump for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sts::support {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering pads each column to its widest
+/// cell.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::int64_t value);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Renders with a header rule, e.g. for bench stdout.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (header first). Cells containing commas are quoted.
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string format_double(double value, int precision);
+
+} // namespace sts::support

@@ -1,0 +1,40 @@
+// Wall-clock timing helpers for benches and the trace recorder.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sts::support {
+
+/// Monotonic wall-clock stopwatch. seconds()/ns() read elapsed time since
+/// construction or the last reset().
+class Timer {
+public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Nanoseconds since an arbitrary (per-process) epoch; used to timestamp
+/// task start/finish events for execution-flow graphs.
+inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace sts::support

@@ -1,0 +1,82 @@
+#include "tuning/sweep.hpp"
+
+#include "sim/schedsim.hpp"
+#include "sim/workloads.hpp"
+#include "sparse/csb.hpp"
+
+namespace sts::tune {
+
+namespace {
+
+sim::SimResult run_version(solver::Version version, const sim::Workload& wl,
+                           const sim::MachineModel& machine) {
+  sim::SimOptions options;
+  switch (version) {
+    case solver::Version::kLibCsr:
+      options.policy = sim::Policy::kBsp;
+      return sim::simulate_bsp(wl.csr_graph, *wl.csr_layout, machine,
+                               options);
+    case solver::Version::kLibCsb:
+      options.policy = sim::Policy::kBsp;
+      return sim::simulate_bsp(wl.task_graph, *wl.layout, machine, options);
+    case solver::Version::kDs:
+      options.policy = sim::Policy::kDsTopo;
+      break;
+    case solver::Version::kFlux:
+      options.policy = sim::Policy::kFluxWs;
+      options.numa_aware = machine.numa_domains > 1;
+      break;
+    case solver::Version::kRgt:
+      options.policy = sim::Policy::kRgtWindow;
+      options.util_threads = machine.cores >= 64 ? 18 : 4;
+      break;
+  }
+  return sim::simulate_task_graph(wl.task_graph, *wl.layout, machine,
+                                  options);
+}
+
+} // namespace
+
+SweepResult sweep_block_sizes_simulated(const sparse::Csr& csr,
+                                        SweepSolver solver,
+                                        solver::Version version,
+                                        const sim::MachineModel& machine,
+                                        bool full_sweep, index_t lobpcg_nev) {
+  std::vector<index_t> candidates;
+  if (full_sweep) {
+    candidates = sweep_block_sizes(csr.rows());
+  } else {
+    for (const Bucket& bucket : heuristic_buckets()) {
+      const index_t size = block_size_for_bucket(csr.rows(), bucket);
+      if (size > 0) candidates.push_back(size);
+    }
+    if (candidates.empty()) {
+      candidates.push_back(std::max<index_t>(1, csr.rows() / 4));
+    }
+  }
+
+  SweepResult result;
+  for (index_t block : candidates) {
+    const sparse::Csb csb = sparse::Csb::from_csr(csr, block);
+    const sim::Workload wl =
+        solver == SweepSolver::kLanczos
+            ? sim::build_lanczos_workload(csr, csb, 21)
+            : sim::build_lobpcg_workload(csr, csb, lobpcg_nev);
+    const sim::SimResult sr = run_version(version, wl, machine);
+    SweepPoint point;
+    point.block_size = block;
+    point.block_count = (csr.rows() + block - 1) / block;
+    point.simulated_seconds = sr.makespan_seconds;
+    point.tasks = version == solver::Version::kLibCsr
+                      ? wl.csr_graph.task_count()
+                      : wl.task_graph.task_count();
+    result.points.push_back(point);
+    if (point.simulated_seconds <
+        result.points[result.best].simulated_seconds) {
+      result.best = result.points.size() - 1;
+    }
+  }
+  return result;
+}
+
+} // namespace sts::tune

@@ -1,0 +1,47 @@
+// Simulation-backed block-size auto-tuning.
+//
+// The paper found optimal block sizes by brute-force wall-clock sweeps
+// (section 5.4) and distilled the bucket heuristic from them. This driver
+// mechanizes the sweep: it builds the per-iteration task graph for each
+// candidate block size and measures simulated makespan on a machine model,
+// returning the full profile plus the winner. Useful both to pick a block
+// size for a concrete (matrix, solver, runtime, machine) combination and
+// to regenerate Fig. 14-style data programmatically.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "solvers/common.hpp"
+#include "sparse/csr.hpp"
+#include "tuning/block_select.hpp"
+
+namespace sts::tune {
+
+struct SweepPoint {
+  index_t block_size = 0;
+  index_t block_count = 0;
+  double simulated_seconds = 0.0;
+  std::size_t tasks = 0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  /// Index into points of the fastest configuration.
+  std::size_t best = 0;
+
+  [[nodiscard]] index_t best_block_size() const {
+    return points.empty() ? 0 : points[best].block_size;
+  }
+};
+
+enum class SweepSolver { kLanczos, kLobpcg };
+
+/// Sweeps the six heuristic buckets (or, with `full_sweep`, every power of
+/// two from 2^10 to 2^24 that fits) for one version on one machine model.
+[[nodiscard]] SweepResult sweep_block_sizes_simulated(
+    const sparse::Csr& csr, SweepSolver solver, solver::Version version,
+    const sim::MachineModel& machine, bool full_sweep = false,
+    index_t lobpcg_nev = 8);
+
+} // namespace sts::tune

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "bsp/kernels.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace sts::bsp {
+namespace {
+
+using la::DenseMatrix;
+using sparse::Coo;
+using sparse::Csb;
+using sparse::Csr;
+
+struct Fixture {
+  Coo coo;
+  Csr csr;
+  Csb csb;
+  DenseMatrix dense;
+
+  explicit Fixture(index_t block = 37)
+      : coo(sparse::gen_fem3d(6, 6, 6, 1, 21)),
+        csr(Csr::from_coo(coo)),
+        csb(Csb::from_coo(coo, block)),
+        dense(coo.to_dense()) {}
+};
+
+TEST(BspSpmv, CsrAndCsbMatchDense) {
+  Fixture f;
+  const index_t m = f.csr.rows();
+  std::vector<double> x(static_cast<std::size_t>(m));
+  support::Xoshiro256 rng(3);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y_csr(static_cast<std::size_t>(m));
+  std::vector<double> y_csb(static_cast<std::size_t>(m));
+  spmv(f.csr, x, y_csr);
+  spmv(f.csb, x, y_csb);
+  for (index_t r = 0; r < m; ++r) {
+    double acc = 0.0;
+    for (index_t c = 0; c < m; ++c) {
+      acc += f.dense.at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    ASSERT_NEAR(y_csr[static_cast<std::size_t>(r)], acc, 1e-9);
+    ASSERT_NEAR(y_csb[static_cast<std::size_t>(r)], acc, 1e-9);
+  }
+}
+
+class BspSpmmParam : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(BspSpmmParam, CsrEqualsCsbForAllShapes) {
+  const auto [block, ncols] = GetParam();
+  Fixture f(block);
+  const index_t m = f.csr.rows();
+  DenseMatrix x(m, ncols);
+  support::Xoshiro256 rng(4);
+  x.fill_random(rng);
+  DenseMatrix y_csr(m, ncols);
+  DenseMatrix y_csb(m, ncols);
+  spmm(f.csr, x.view(), y_csr.view());
+  spmm(f.csb, x.view(), y_csb.view());
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < ncols; ++j) {
+      ASSERT_NEAR(y_csr.at(i, j), y_csb.at(i, j), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BspSpmmParam,
+    ::testing::Values(std::pair<index_t, index_t>{16, 1},
+                      std::pair<index_t, index_t>{16, 8},
+                      std::pair<index_t, index_t>{64, 4},
+                      std::pair<index_t, index_t>{216, 16},
+                      std::pair<index_t, index_t>{1000, 2}));
+
+TEST(BspXy, MatchesSerialGemm) {
+  DenseMatrix x(101, 5);
+  DenseMatrix z(5, 3);
+  DenseMatrix y(101, 3);
+  support::Xoshiro256 rng(8);
+  x.fill_random(rng);
+  z.fill_random(rng);
+  y.fill_random(rng);
+  DenseMatrix expected = y.clone();
+  la::gemm(-1.0, x.view(), z.view(), 1.0, expected.view());
+  xy(x.view(), z.view(), y.view(), 13, -1.0, 1.0);
+  for (index_t i = 0; i < 101; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      ASSERT_NEAR(y.at(i, j), expected.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(BspXty, ReducesPartialsCorrectly) {
+  DenseMatrix x(97, 4);
+  DenseMatrix y(97, 6);
+  support::Xoshiro256 rng(9);
+  x.fill_random(rng);
+  y.fill_random(rng);
+  DenseMatrix p(4, 6);
+  xty(x.view(), y.view(), p.view(), 10);
+  DenseMatrix expected(4, 6);
+  la::gemm_tn(1.0, x.view(), y.view(), 0.0, expected.view());
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      ASSERT_NEAR(p.at(i, j), expected.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(BspVector, AxpyScalDot) {
+  DenseMatrix x(55, 2);
+  DenseMatrix y(55, 2);
+  support::Xoshiro256 rng(10);
+  x.fill_random(rng);
+  y.fill_random(rng);
+  const double expected_dot = la::dot(x.view(), y.view());
+  EXPECT_NEAR(dot(x.view(), y.view(), 7), expected_dot, 1e-10);
+
+  DenseMatrix y2 = y.clone();
+  la::axpy(0.5, x.view(), y2.view());
+  axpy(0.5, x.view(), y.view(), 9);
+  for (index_t i = 0; i < 55; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_NEAR(y.at(i, j), y2.at(i, j), 1e-13);
+    }
+  }
+  scal(2.0, y.view(), 5);
+  for (index_t i = 0; i < 55; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_NEAR(y.at(i, j), 2.0 * y2.at(i, j), 1e-13);
+    }
+  }
+}
+
+TEST(BspVector, SpanKernelsMatchSerial) {
+  std::vector<double> x(1000);
+  std::vector<double> y(1000);
+  support::Xoshiro256 rng(11);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  const double ref = la::dot(std::span<const double>(x), std::span<const double>(y));
+  EXPECT_NEAR(dot(std::span<const double>(x), std::span<const double>(y)), ref, 1e-10);
+  std::vector<double> y2 = y;
+  axpy(3.0, std::span<const double>(x), std::span<double>(y));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], y2[i] + 3.0 * x[i], 1e-13);
+  }
+  scal(0.0, std::span<double>(y));
+  for (double v : y) ASSERT_EQ(v, 0.0);
+}
+
+} // namespace
+} // namespace sts::bsp

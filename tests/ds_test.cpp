@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "ds/builder.hpp"
+#include "ds/executor.hpp"
+#include "ds/program.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace sts::ds {
+namespace {
+
+using graph::KernelKind;
+using graph::Task;
+using la::DenseMatrix;
+using la::index_t;
+
+TEST(GraphBuilder, WiresRawWarWaw) {
+  GraphBuilder b;
+  const DataId d = b.register_data("d", 1, 64);
+  const DataPiece piece{d, 0};
+  // w0 writes, r1 reads (RAW edge w0->r1), w2 writes (WAR r1->w2, WAW
+  // w0->w2 is subsumed since readers were cleared... the builder links
+  // last_writer too).
+  const auto w0 = b.add_task(Task{}, {}, {&piece, 1});
+  const auto r1 = b.add_task(Task{}, {&piece, 1}, {});
+  const auto w2 = b.add_task(Task{}, {}, {&piece, 1});
+  const auto& g = b.graph();
+  ASSERT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.successors(w0).size(), 2u); // -> r1 (RAW) and -> w2 (WAW)
+  ASSERT_EQ(g.successors(r1).size(), 1u);
+  EXPECT_EQ(g.successors(r1)[0], w2);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(GraphBuilder, PieceGranularityAvoidsFalseEdges) {
+  GraphBuilder b;
+  const DataId d = b.register_data("d", 4, 256);
+  for (std::int32_t p = 0; p < 4; ++p) {
+    const DataPiece piece{d, p};
+    b.add_task(Task{}, {}, {&piece, 1});
+  }
+  for (std::size_t t = 0; t < b.graph().task_count(); ++t) {
+    EXPECT_TRUE(b.graph().successors(static_cast<graph::TaskId>(t)).empty());
+  }
+}
+
+TEST(GraphBuilder, WholeStructureConflictsWithEveryPiece) {
+  GraphBuilder b;
+  const DataId d = b.register_data("d", 4, 256);
+  const DataPiece whole{d, -1};
+  const auto w = b.add_task(Task{}, {}, {&whole, 1});
+  const DataPiece piece{d, 2};
+  const auto r = b.add_task(Task{}, {&piece, 1}, {});
+  (void)r;
+  ASSERT_EQ(b.graph().successors(w).size(), 1u);
+}
+
+struct ProgramFixture {
+  sparse::Coo coo;
+  sparse::Csb csb;
+  DenseMatrix dense;
+
+  explicit ProgramFixture(index_t block = 32)
+      : coo(sparse::gen_fem3d(5, 5, 5, 1, 31)),
+        csb(sparse::Csb::from_coo(coo, block)),
+        dense(coo.to_dense()) {}
+};
+
+class ProgramExecModes : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(ProgramExecModes, SpmmKernelMatchesDense) {
+  ProgramFixture f;
+  const index_t m = f.csb.rows();
+  DenseMatrix x(m, 4);
+  DenseMatrix y(m, 4);
+  support::Xoshiro256 rng(5);
+  x.fill_random(rng);
+  Program prog(&f.csb, {});
+  const DataId xid = prog.vec("x", &x);
+  const DataId yid = prog.vec("y", &y);
+  prog.spmm(xid, yid);
+  const graph::Tdg g = prog.build();
+  execute(g, {.mode = GetParam(), .trace = nullptr});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (index_t c = 0; c < m; ++c) acc += f.dense.at(i, c) * x.at(c, j);
+      ASSERT_NEAR(y.at(i, j), acc, 1e-10);
+    }
+  }
+}
+
+TEST_P(ProgramExecModes, FullKernelPipelineIsCorrect) {
+  ProgramFixture f(17);
+  const index_t m = f.csb.rows();
+  DenseMatrix x(m, 3);
+  DenseMatrix y(m, 3);
+  DenseMatrix z(3, 3);
+  DenseMatrix p(3, 3);
+  support::Xoshiro256 rng(6);
+  x.fill_random(rng);
+  z.fill_random(rng);
+  double dot_result = 0.0;
+  double norm_result = 0.0;
+  (void)y;
+
+  DenseMatrix y2(m, 3);
+  DenseMatrix q(m, 3);
+  Program prog2(&f.csb, {});
+  const DataId x2 = prog2.vec("x", &x);
+  const DataId y2id = prog2.vec("y", &y2);
+  const DataId q2 = prog2.vec("q", &q);
+  const DataId z2 = prog2.small("z", &z);
+  const DataId p2 = prog2.small("p", &p);
+  const DataId dot2 = prog2.scalar("dot", &dot_result);
+  const DataId norm2 = prog2.scalar("norm", &norm_result);
+  prog2.spmm(x2, y2id);             // y2 = A x
+  prog2.xy(y2id, z2, q2, 1.0, 0.0); // q = y2 z
+  prog2.xty(y2id, q2, p2);          // p = y2^T q
+  prog2.dot(q2, q2, dot2);          // dot = <q, q>
+  prog2.small_task(KernelKind::kNorm,
+                   [&] { norm_result = std::sqrt(dot_result); }, {dot2},
+                   {norm2});
+  const graph::Tdg g = prog2.build();
+  EXPECT_TRUE(g.is_acyclic());
+  execute(g, {.mode = GetParam(), .trace = nullptr});
+
+  // Reference.
+  DenseMatrix y_ref(m, 3);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (index_t c = 0; c < m; ++c) acc += f.dense.at(i, c) * x.at(c, j);
+      y_ref.at(i, j) = acc;
+    }
+  }
+  DenseMatrix q_ref(m, 3);
+  la::gemm(1.0, y_ref.view(), z.view(), 0.0, q_ref.view());
+  DenseMatrix p_ref(3, 3);
+  la::gemm_tn(1.0, y_ref.view(), q_ref.view(), 0.0, p_ref.view());
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      ASSERT_NEAR(p.at(i, j), p_ref.at(i, j), 1e-8);
+    }
+  }
+  EXPECT_NEAR(dot_result, la::dot(q_ref.view(), q_ref.view()), 1e-8);
+  EXPECT_NEAR(norm_result, la::norm_fro(q_ref.view()), 1e-10);
+}
+
+TEST_P(ProgramExecModes, ReductionBasedSpmmMatchesDependencyBased) {
+  ProgramFixture f(25);
+  const index_t m = f.csb.rows();
+  DenseMatrix x(m, 2);
+  support::Xoshiro256 rng(7);
+  x.fill_random(rng);
+
+  DenseMatrix y_dep(m, 2);
+  Program dep(&f.csb, {.skip_empty_blocks = true,
+                       .dependency_based_spmm = true,
+                       .spmm_buffers = 3});
+  dep.spmm(dep.vec("x", &x), dep.vec("y", &y_dep));
+  execute(dep.build(), {.mode = GetParam(), .trace = nullptr});
+
+  DenseMatrix y_red(m, 2);
+  Program red(&f.csb, {.skip_empty_blocks = true,
+                       .dependency_based_spmm = false,
+                       .spmm_buffers = 3});
+  red.spmm(red.vec("x", &x), red.vec("y", &y_red));
+  execute(red.build(), {.mode = GetParam(), .trace = nullptr});
+
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_NEAR(y_dep.at(i, j), y_red.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST_P(ProgramExecModes, VectorKernels) {
+  ProgramFixture f(40);
+  const index_t m = f.csb.rows();
+  DenseMatrix x(m, 2);
+  DenseMatrix y(m, 2);
+  DenseMatrix w(m, 1);
+  DenseMatrix wide(m, 5);
+  support::Xoshiro256 rng(8);
+  x.fill_random(rng);
+  y.fill_random(rng);
+  w.fill_random(rng);
+  DenseMatrix x0 = x.clone();
+  DenseMatrix y0 = y.clone();
+  double scale_cell = 4.0;
+
+  Program prog(&f.csb, {});
+  const DataId xid = prog.vec("x", &x);
+  const DataId yid = prog.vec("y", &y);
+  const DataId wid = prog.vec("w", &w);
+  const DataId wideid = prog.vec("wide", &wide);
+  const DataId sid = prog.scalar("s", &scale_cell);
+  prog.axpy(2.0, xid, yid);                   // y += 2x
+  prog.copy(yid, xid);                        // x = y
+  prog.scale_by_scalar(xid, sid, true);       // x /= 4
+  static const index_t kCol = 3;
+  prog.copy_into_column(wid, wideid, &kCol);  // wide(:,3) = w
+  prog.scale_into(wid, sid, false, wid);      // w *= 4  (in place via copy)
+  execute(prog.build(), {.mode = GetParam(), .trace = nullptr});
+
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      const double expected_y = y0.at(i, j) + 2.0 * x0.at(i, j);
+      ASSERT_NEAR(y.at(i, j), expected_y, 1e-12);
+      ASSERT_NEAR(x.at(i, j), expected_y / 4.0, 1e-12);
+    }
+    ASSERT_NEAR(wide.at(i, 3), w.at(i, 0) / 4.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ProgramExecModes,
+                         ::testing::Values(ExecMode::kSerial,
+                                           ExecMode::kOmpTasks));
+
+TEST(Program, SkipEmptyBlocksShrinksGraph) {
+  ProgramFixture f(8); // small blocks: plenty of empty ones in a stencil
+  DenseMatrix x(f.csb.rows(), 1);
+  DenseMatrix y(f.csb.rows(), 1);
+
+  Program skip(&f.csb, {.skip_empty_blocks = true,
+                        .dependency_based_spmm = true,
+                        .spmm_buffers = 2});
+  skip.spmm(skip.vec("x", &x), skip.vec("y", &y));
+  Program noskip(&f.csb, {.skip_empty_blocks = false,
+                          .dependency_based_spmm = true,
+                          .spmm_buffers = 2});
+  noskip.spmm(noskip.vec("x", &x), noskip.vec("y", &y));
+  EXPECT_LT(skip.build().task_count(), noskip.build().task_count());
+}
+
+TEST(Program, TaskCountMatchesNonemptyBlocks) {
+  ProgramFixture f(16);
+  DenseMatrix x(f.csb.rows(), 1);
+  DenseMatrix y(f.csb.rows(), 1);
+  Program prog(&f.csb, {});
+  prog.spmm(prog.vec("x", &x), prog.vec("y", &y));
+  const graph::Tdg g = prog.build();
+  const index_t np = prog.partitions();
+  // zero tasks (np) + one task per non-empty block.
+  EXPECT_EQ(static_cast<index_t>(g.task_count()),
+            np + f.csb.nonempty_blocks());
+}
+
+TEST(Executor, OmpMatchesSerialOnRandomGraphs) {
+  support::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 100;
+    graph::Tdg g;
+    std::vector<std::atomic<int>*> order_box;
+    std::vector<int> finish_order(n, -1);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < n; ++i) {
+      graph::Task t;
+      t.body = [&finish_order, &counter, i] {
+        finish_order[static_cast<std::size_t>(i)] = counter.fetch_add(1);
+      };
+      g.add_task(std::move(t));
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int rep = 0; rep < 2; ++rep) {
+        const int j = i + 1 + static_cast<int>(rng.below(
+                                  static_cast<std::uint64_t>(n - i)));
+        if (j < n) {
+          g.add_edge(static_cast<graph::TaskId>(i),
+                     static_cast<graph::TaskId>(j));
+        }
+      }
+    }
+    execute(g, {.mode = ExecMode::kOmpTasks, .trace = nullptr});
+    // Every task ran exactly once and dependencies were respected.
+    for (int i = 0; i < n; ++i) {
+      ASSERT_GE(finish_order[static_cast<std::size_t>(i)], 0);
+      for (graph::TaskId s : g.successors(static_cast<graph::TaskId>(i))) {
+        ASSERT_LT(finish_order[static_cast<std::size_t>(i)],
+                  finish_order[static_cast<std::size_t>(s)]);
+      }
+    }
+    ASSERT_EQ(counter.load(), n);
+  }
+}
+
+TEST(Executor, RecordsTraceEvents) {
+  ProgramFixture f(32);
+  DenseMatrix x(f.csb.rows(), 1);
+  DenseMatrix y(f.csb.rows(), 1);
+  Program prog(&f.csb, {});
+  prog.spmm(prog.vec("x", &x), prog.vec("y", &y));
+  const graph::Tdg g = prog.build();
+  perf::TraceRecorder trace(8);
+  execute(g, {.mode = ExecMode::kOmpTasks, .trace = &trace});
+  const auto events = trace.events();
+  EXPECT_EQ(events.size(), g.task_count());
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.end_ns, ev.start_ns);
+  }
+}
+
+} // namespace
+} // namespace sts::ds

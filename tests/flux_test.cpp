@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "flux/dataflow.hpp"
+#include "support/rng.hpp"
+
+namespace sts::flux {
+namespace {
+
+Scheduler::Config cfg(unsigned threads, unsigned domains = 1,
+                      bool numa = false) {
+  return {.threads = threads, .numa_domains = domains, .numa_aware = numa};
+}
+
+TEST(Scheduler, RunsSubmittedTasks) {
+  Scheduler s(cfg(2));
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    s.submit([&count] { count.fetch_add(1); });
+  }
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(s.stats().executed, 100u);
+}
+
+TEST(Scheduler, NestedSubmissionsComplete) {
+  Scheduler s(cfg(2));
+  std::atomic<int> count{0};
+  s.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      s.submit([&] {
+        count.fetch_add(1);
+        s.submit([&] { count.fetch_add(1); });
+      });
+    }
+  });
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Scheduler, DomainHintsTargetDomains) {
+  Scheduler s(cfg(4, 2, true));
+  EXPECT_EQ(s.domain_count(), 2u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    s.submit([&count] { count.fetch_add(1); }, i % 2);
+  }
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Scheduler, CurrentWorkerOnlyInsideWorkers) {
+  Scheduler s(cfg(2));
+  EXPECT_EQ(s.current_worker(), -1);
+  std::atomic<int> seen{-2};
+  s.submit([&] { seen = s.current_worker(); });
+  s.wait_for_quiescence();
+  EXPECT_GE(seen.load(), 0);
+  EXPECT_LT(seen.load(), 2);
+}
+
+TEST(Future, PromiseDeliversValue) {
+  promise<int> p;
+  auto f = p.get_future();
+  EXPECT_FALSE(f.is_ready());
+  p.set_value(42);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(Future, MakeReadyFuture) {
+  auto f = make_ready_future();
+  EXPECT_TRUE(f.is_ready());
+  auto g = make_ready_future(3.5);
+  EXPECT_EQ(g.get(), 3.5);
+}
+
+TEST(Future, SharedFutureMultipleReaders) {
+  promise<int> p;
+  shared_future<int> a = p.get_shared_future();
+  shared_future<int> b = a;
+  p.set_value(7);
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), 7);
+}
+
+TEST(Future, ContinuationFiresOnce) {
+  promise<void> p;
+  auto f = p.get_shared_future();
+  std::atomic<int> fired{0};
+  f.state()->add_continuation([&] { fired.fetch_add(1); });
+  p.set_value();
+  EXPECT_EQ(fired.load(), 1);
+  // Late continuation on a ready future runs immediately.
+  f.state()->add_continuation([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(Async, ReturnsResult) {
+  Scheduler s(cfg(2));
+  auto f = async(s, [] { return std::string("hi"); });
+  EXPECT_EQ(f.get(), "hi");
+  s.wait_for_quiescence();
+}
+
+TEST(Async, PropagatesExceptions) {
+  Scheduler s(cfg(2));
+  auto f = async(s, []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+  s.wait_for_quiescence();
+}
+
+TEST(Dataflow, WaitsForAllDependencies) {
+  Scheduler s(cfg(2));
+  promise<void> p1;
+  promise<void> p2;
+  std::atomic<bool> ran{false};
+  auto f = dataflow(s, unwrapping([&ran] { ran = true; }),
+                    p1.get_shared_future(), p2.get_shared_future());
+  EXPECT_FALSE(ran.load());
+  p1.set_value();
+  EXPECT_FALSE(ran.load());
+  p2.set_value();
+  f.get();
+  EXPECT_TRUE(ran.load());
+  s.wait_for_quiescence();
+}
+
+TEST(Dataflow, VectorOfFuturesAsDependency) {
+  Scheduler s(cfg(2));
+  std::vector<promise<void>> promises(8);
+  std::vector<shared_future<void>> futs;
+  for (auto& p : promises) futs.push_back(p.get_shared_future());
+  std::atomic<bool> ran{false};
+  auto f = dataflow(s, unwrapping([&ran] { ran = true; }), futs);
+  for (std::size_t i = 0; i + 1 < promises.size(); ++i) {
+    promises[i].set_value();
+  }
+  EXPECT_FALSE(ran.load());
+  promises.back().set_value();
+  f.get();
+  EXPECT_TRUE(ran.load());
+  s.wait_for_quiescence();
+}
+
+TEST(Dataflow, UnwrappingPassesValuesAndDropsVoids) {
+  Scheduler s(cfg(2));
+  auto vf = make_ready_future();
+  auto iv = make_ready_future(5);
+  auto f = dataflow(
+      s, unwrapping([](int v, double d) { return v + static_cast<int>(d); }),
+      vf, iv, 2.0);
+  EXPECT_EQ(f.get(), 7);
+  s.wait_for_quiescence();
+}
+
+TEST(Dataflow, SelfChainSerializesWrites) {
+  Scheduler s(cfg(4));
+  int value = 0; // unsynchronized on purpose: the chain must serialize
+  shared_future<void> chain = make_ready_future();
+  for (int i = 0; i < 200; ++i) {
+    chain = dataflow(s, unwrapping([&value] { ++value; }), chain).share();
+  }
+  chain.get();
+  s.wait_for_quiescence();
+  EXPECT_EQ(value, 200);
+}
+
+TEST(WhenAll, ReadyWhenAllReady) {
+  Scheduler s(cfg(2));
+  std::vector<promise<void>> promises(4);
+  std::vector<shared_future<void>> futs;
+  for (auto& p : promises) futs.push_back(p.get_shared_future());
+  auto all = when_all(s, futs);
+  for (auto& p : promises) p.set_value();
+  all.get();
+  s.wait_for_quiescence();
+}
+
+/// Property test: a random dataflow DAG computed with flux must produce the
+/// same values as a sequential evaluation.
+TEST(Dataflow, RandomDagMatchesSerialEvaluation) {
+  support::Xoshiro256 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 30 + static_cast<int>(rng.below(40));
+    // node value = 1 + sum of dependency values (mod large prime).
+    std::vector<std::vector<int>> deps(static_cast<std::size_t>(n));
+    for (int i = 1; i < n; ++i) {
+      const int ndeps = static_cast<int>(rng.below(4));
+      for (int d = 0; d < ndeps; ++d) {
+        deps[static_cast<std::size_t>(i)].push_back(
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(i))));
+      }
+    }
+    std::vector<std::int64_t> serial(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::int64_t v = 1;
+      for (int d : deps[static_cast<std::size_t>(i)]) {
+        v += serial[static_cast<std::size_t>(d)];
+      }
+      serial[static_cast<std::size_t>(i)] = v % 1000003;
+    }
+
+    Scheduler s(cfg(4));
+    std::vector<std::int64_t> values(static_cast<std::size_t>(n), 0);
+    std::vector<shared_future<void>> done(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<shared_future<void>> my_deps;
+      for (int d : deps[static_cast<std::size_t>(i)]) {
+        my_deps.push_back(done[static_cast<std::size_t>(d)]);
+      }
+      auto body = [i, &values, deps_copy = deps[static_cast<std::size_t>(i)]] {
+        std::int64_t v = 1;
+        for (int d : deps_copy) v += values[static_cast<std::size_t>(d)];
+        values[static_cast<std::size_t>(i)] = v % 1000003;
+      };
+      done[static_cast<std::size_t>(i)] =
+          dataflow(s, unwrapping(body), std::move(my_deps)).share();
+    }
+    for (auto& f : done) f.get();
+    s.wait_for_quiescence();
+    ASSERT_EQ(values, serial) << "trial " << trial;
+  }
+}
+
+TEST(Scheduler, StealStatsAccumulate) {
+  Scheduler s(cfg(4));
+  std::atomic<int> count{0};
+  // Submit chains from outside so some workers must steal.
+  for (int i = 0; i < 400; ++i) {
+    s.submit([&count] {
+      volatile double x = 0;
+      for (int k = 0; k < 1000; ++k) x = x + k;
+      count.fetch_add(1);
+    });
+  }
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), 400);
+  // steals is machine-dependent; just verify the counter is readable.
+  EXPECT_GE(s.stats().steals, 0u);
+}
+
+} // namespace
+} // namespace sts::flux

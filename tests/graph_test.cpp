@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "graph/tdg.hpp"
+#include "support/rng.hpp"
+
+namespace sts::graph {
+namespace {
+
+/// Diamond: 0 -> {1, 2} -> 3.
+Tdg diamond() {
+  Tdg g;
+  for (int i = 0; i < 4; ++i) {
+    Task t;
+    t.kind = KernelKind::kOther;
+    t.flops = 1.0;
+    g.add_task(std::move(t));
+  }
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Tdg, IndegreesCountUniquePredecessors) {
+  Tdg g = diamond();
+  g.add_edge(0, 1); // duplicate
+  const auto indeg = g.indegrees();
+  EXPECT_EQ(indeg[0], 0);
+  EXPECT_EQ(indeg[1], 1); // duplicate counted once
+  EXPECT_EQ(indeg[3], 2);
+}
+
+TEST(Tdg, TopologicalOrderRespectsEdges) {
+  Tdg g = diamond();
+  const auto order = g.depth_first_topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Tdg, DepthFirstOrderFollowsChains) {
+  // Two independent chains a0->a1->a2 and b0->b1->b2: DFS order should
+  // finish one chain before starting the other (pipelining property).
+  Tdg g;
+  for (int i = 0; i < 6; ++i) g.add_task(Task{});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const auto order = g.depth_first_topological_order();
+  std::vector<int> pos(6);
+  for (int i = 0; i < 6; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  EXPECT_EQ(pos[1], pos[0] + 1);
+  EXPECT_EQ(pos[2], pos[0] + 2);
+}
+
+TEST(Tdg, CriticalPathOfDiamond) {
+  Tdg g = diamond();
+  EXPECT_EQ(g.critical_path_tasks(), 3);
+  EXPECT_NEAR(g.critical_path_flops(), 3.0, 1e-12);
+  EXPECT_NEAR(g.total_flops(), 4.0, 1e-12);
+  EXPECT_EQ(g.max_parallelism(), 2);
+}
+
+TEST(Tdg, AcyclicDetection) {
+  Tdg g = diamond();
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(3, 0);
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Tdg, EmptyGraphBehaves) {
+  Tdg g;
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.critical_path_tasks(), 0);
+  EXPECT_TRUE(g.depth_first_topological_order().empty());
+}
+
+TEST(Tdg, DotExportContainsNodesAndEdges) {
+  Tdg g = diamond();
+  g.task(0).kind = KernelKind::kSpMM;
+  g.task(0).bi = 1;
+  g.task(0).bj = 2;
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("spmm (1,2)"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+TEST(Tdg, RandomDagTopoOrderProperty) {
+  support::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tdg g;
+    const int n = 2 + static_cast<int>(rng.below(60));
+    for (int i = 0; i < n; ++i) g.add_task(Task{});
+    // Edges only from lower to higher id: guaranteed acyclic.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.uniform() < 0.15) {
+          g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+        }
+      }
+    }
+    ASSERT_TRUE(g.is_acyclic());
+    const auto order = g.depth_first_topological_order();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+    std::vector<int> pos(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+    }
+    for (int u = 0; u < n; ++u) {
+      for (TaskId v : g.successors(static_cast<TaskId>(u))) {
+        ASSERT_LT(pos[static_cast<std::size_t>(u)],
+                  pos[static_cast<std::size_t>(v)]);
+      }
+    }
+    ASSERT_GE(g.critical_path_tasks(), 1);
+    ASSERT_LE(g.critical_path_tasks(), n);
+    ASSERT_GE(g.max_parallelism(), 1);
+  }
+}
+
+TEST(KernelKind, AllNamesDistinct) {
+  EXPECT_STREQ(to_string(KernelKind::kSpMM), "spmm");
+  EXPECT_STREQ(to_string(KernelKind::kXTY), "xty");
+  EXPECT_STREQ(to_string(KernelKind::kConvCheck), "conv");
+}
+
+} // namespace
+} // namespace sts::graph

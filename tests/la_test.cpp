@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/dense.hpp"
+#include "la/eig.hpp"
+#include "support/rng.hpp"
+
+namespace sts::la {
+namespace {
+
+using support::Xoshiro256;
+
+DenseMatrix random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  Xoshiro256 rng(seed);
+  m.fill_random(rng);
+  return m;
+}
+
+DenseMatrix random_spd(index_t n, std::uint64_t seed) {
+  DenseMatrix b = random_matrix(n, n, seed);
+  DenseMatrix spd(n, n);
+  // spd = B^T B + n * I is symmetric positive definite.
+  gemm_tn(1.0, b.view(), b.view(), 0.0, spd.view());
+  for (index_t i = 0; i < n; ++i) {
+    spd.at(i, i) += static_cast<double>(n);
+  }
+  return spd;
+}
+
+/// Reference O(n^3) triple-loop multiply.
+DenseMatrix naive_gemm(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (index_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(DenseMatrix, InitializerListAndAccess) {
+  DenseMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+  m.at(1, 0) = 9.0;
+  EXPECT_EQ(m.at(1, 0), 9.0);
+}
+
+TEST(DenseMatrix, RowBlockViewsShareStorage) {
+  DenseMatrix m(10, 3);
+  auto blk = m.row_block(4, 2);
+  blk.at(0, 1) = 5.0;
+  EXPECT_EQ(m.at(4, 1), 5.0);
+  EXPECT_EQ(blk.rows, 2);
+  EXPECT_EQ(blk.ld, 3);
+}
+
+TEST(DenseMatrix, CloneIsDeep) {
+  DenseMatrix m{{1.0}};
+  DenseMatrix c = m.clone();
+  c.at(0, 0) = 2.0;
+  EXPECT_EQ(m.at(0, 0), 1.0);
+}
+
+struct GemmCase {
+  index_t m, n, k;
+  double alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, n, k, alpha, beta] = GetParam();
+  DenseMatrix a = random_matrix(m, k, 1);
+  DenseMatrix b = random_matrix(k, n, 2);
+  DenseMatrix c = random_matrix(m, n, 3);
+  DenseMatrix expected = c.clone();
+  DenseMatrix ab = naive_gemm(a, b);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      expected.at(i, j) = alpha * ab.at(i, j) + beta * expected.at(i, j);
+    }
+  }
+  gemm(alpha, a.view(), b.view(), beta, c.view());
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(c.at(i, j), expected.at(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmCase{1, 1, 1, 1.0, 0.0},
+                      GemmCase{5, 3, 4, 1.0, 0.0},
+                      GemmCase{16, 8, 16, -1.0, 1.0},
+                      GemmCase{33, 7, 12, 2.5, 0.5},
+                      GemmCase{64, 1, 64, 1.0, 1.0},
+                      GemmCase{10, 48, 10, 0.5, 0.0}));
+
+class GemmTnTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTnTest, MatchesTransposedReference) {
+  const auto [m, n, k, alpha, beta] = GetParam();
+  // C(k x n) = alpha A(m x k)^T B(m x n) + beta C.
+  DenseMatrix a = random_matrix(m, k, 4);
+  DenseMatrix b = random_matrix(m, n, 5);
+  DenseMatrix c = random_matrix(k, n, 6);
+  DenseMatrix at(k, m);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) at.at(j, i) = a.at(i, j);
+  }
+  DenseMatrix ab = naive_gemm(at, b);
+  DenseMatrix expected = c.clone();
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      expected.at(i, j) = alpha * ab.at(i, j) + beta * expected.at(i, j);
+    }
+  }
+  gemm_tn(alpha, a.view(), b.view(), beta, c.view());
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(c.at(i, j), expected.at(i, j), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTnTest,
+    ::testing::Values(GemmCase{4, 4, 4, 1.0, 0.0},
+                      GemmCase{100, 8, 8, 1.0, 0.0},
+                      GemmCase{77, 5, 9, -1.0, 1.0},
+                      GemmCase{12, 16, 1, 1.0, 0.5}));
+
+TEST(Blas, AxpyDotNormAgree) {
+  DenseMatrix x = random_matrix(20, 3, 7);
+  DenseMatrix y = random_matrix(20, 3, 8);
+  DenseMatrix y0 = y.clone();
+  axpy(2.0, x.view(), y.view());
+  for (index_t i = 0; i < 20; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      ASSERT_NEAR(y.at(i, j), y0.at(i, j) + 2.0 * x.at(i, j), 1e-14);
+    }
+  }
+  double expected_dot = 0.0;
+  for (index_t i = 0; i < 20; ++i) {
+    for (index_t j = 0; j < 3; ++j) expected_dot += x.at(i, j) * y.at(i, j);
+  }
+  EXPECT_NEAR(dot(x.view(), y.view()), expected_dot, 1e-12);
+  EXPECT_NEAR(norm_fro(x.view()), std::sqrt(dot(x.view(), x.view())), 1e-14);
+}
+
+TEST(Blas, ScalAndCopy) {
+  DenseMatrix x = random_matrix(9, 2, 10);
+  DenseMatrix orig = x.clone();
+  scal(-3.0, x.view());
+  for (index_t i = 0; i < 9; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_EQ(x.at(i, j), -3.0 * orig.at(i, j));
+    }
+  }
+  DenseMatrix y(9, 2);
+  copy(x.view(), y.view());
+  for (index_t i = 0; i < 9; ++i) {
+    for (index_t j = 0; j < 2; ++j) ASSERT_EQ(y.at(i, j), x.at(i, j));
+  }
+}
+
+TEST(Blas, SpanKernels) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_NEAR(dot(std::span<const double>(x), std::span<const double>(y)),
+              32.0, 1e-14);
+  axpy(2.0, std::span<const double>(x), std::span<double>(y));
+  EXPECT_EQ(y[0], 6.0);
+  scal(0.5, std::span<double>(y));
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_NEAR(nrm2(std::span<const double>(x)), std::sqrt(14.0), 1e-14);
+}
+
+TEST(Jacobi, DiagonalMatrixEigenvalues) {
+  DenseMatrix a{{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  EigenResult r = jacobi_eigen(a.view());
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  DenseMatrix a{{2.0, 1.0}, {1.0, 2.0}};
+  EigenResult r = jacobi_eigen(a.view());
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(JacobiPropertyTest, ReconstructsMatrixAndOrthonormalVectors) {
+  const index_t n = GetParam();
+  DenseMatrix a = random_spd(n, 42 + static_cast<std::uint64_t>(n));
+  EigenResult r = jacobi_eigen(a.view());
+  // Vectors orthonormal: V^T V = I.
+  DenseMatrix vtv(n, n);
+  gemm_tn(1.0, r.vectors.view(), r.vectors.view(), 0.0, vtv.view());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(vtv.at(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  // A v_i = lambda_i v_i.
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (index_t k = 0; k < n; ++k) av += a.at(i, k) * r.vectors.at(k, c);
+      ASSERT_NEAR(av, r.values[static_cast<std::size_t>(c)] *
+                          r.vectors.at(i, c),
+                  1e-8 * static_cast<double>(n));
+    }
+  }
+  // Values ascending.
+  for (std::size_t i = 1; i < r.values.size(); ++i) {
+    ASSERT_LE(r.values[i - 1], r.values[i] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 24, 48));
+
+TEST(Tridiag, MatchesJacobiOnTridiagonalMatrix) {
+  const index_t n = 12;
+  std::vector<double> alpha(n);
+  std::vector<double> beta(n - 1);
+  Xoshiro256 rng(3);
+  DenseMatrix full(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    alpha[static_cast<std::size_t>(i)] = rng.uniform(-2, 2);
+    full.at(i, i) = alpha[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i + 1 < n; ++i) {
+    beta[static_cast<std::size_t>(i)] = rng.uniform(0.1, 1.0);
+    full.at(i, i + 1) = beta[static_cast<std::size_t>(i)];
+    full.at(i + 1, i) = beta[static_cast<std::size_t>(i)];
+  }
+  const std::vector<double> ql = tridiag_eigenvalues(alpha, beta);
+  const EigenResult ref = jacobi_eigen(full.view());
+  ASSERT_EQ(ql.size(), ref.values.size());
+  for (std::size_t i = 0; i < ql.size(); ++i) {
+    EXPECT_NEAR(ql[i], ref.values[i], 1e-9);
+  }
+}
+
+TEST(Tridiag, HandlesEmptyAndSingle) {
+  EXPECT_TRUE(tridiag_eigenvalues({}, {}).empty());
+  const auto single = tridiag_eigenvalues({5.0}, {});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_NEAR(single[0], 5.0, 1e-14);
+}
+
+TEST(Cholesky, FactorizesSpdAndSolves) {
+  const index_t n = 10;
+  DenseMatrix a = random_spd(n, 99);
+  DenseMatrix l = a.clone();
+  ASSERT_TRUE(cholesky_lower(l.view()));
+  // Check A = L L^T (lower triangle of l is the factor).
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (index_t k = 0; k <= j; ++k) acc += l.at(i, k) * l.at(j, k);
+      ASSERT_NEAR(acc, a.at(i, j), 1e-9);
+    }
+  }
+  // Solve L (L^T x) = b and verify A x = b.
+  DenseMatrix b = random_matrix(n, 2, 11);
+  DenseMatrix x = b.clone();
+  solve_lower(l.view(), x.view());
+  solve_lower_transposed(l.view(), x.view());
+  DenseMatrix ax = naive_gemm(a, x);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < 2; ++j) {
+      ASSERT_NEAR(ax.at(i, j), b.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a{{1.0, 2.0}, {2.0, 1.0}}; // eigenvalues -1, 3
+  EXPECT_FALSE(cholesky_lower(a.view()));
+}
+
+TEST(GeneralizedEigen, ReducesToStandardWithIdentityB) {
+  const index_t n = 6;
+  DenseMatrix a = random_spd(n, 17);
+  DenseMatrix b(n, n);
+  for (index_t i = 0; i < n; ++i) b.at(i, i) = 1.0;
+  const EigenResult gen = sym_generalized_eigen(a.view(), b.view());
+  const EigenResult std_r = jacobi_eigen(a.view());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(gen.values[static_cast<std::size_t>(i)],
+                std_r.values[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(GeneralizedEigen, SatisfiesPencilEquation) {
+  const index_t n = 8;
+  DenseMatrix a = random_spd(n, 21);
+  DenseMatrix b = random_spd(n, 22);
+  const EigenResult r = sym_generalized_eigen(a.view(), b.view());
+  // A v = lambda B v and V^T B V = I.
+  DenseMatrix bv = naive_gemm(b, r.vectors);
+  DenseMatrix av = naive_gemm(a, r.vectors);
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(av.at(i, c),
+                  r.values[static_cast<std::size_t>(c)] * bv.at(i, c), 1e-7);
+    }
+  }
+  DenseMatrix vtbv(n, n);
+  gemm_tn(1.0, r.vectors.view(), bv.view(), 0.0, vtbv.view());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(vtbv.at(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(GeneralizedEigen, ThrowsOnNonSpdB) {
+  DenseMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+  DenseMatrix b{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_THROW((void)sym_generalized_eigen(a.view(), b.view()),
+               support::Error);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  DenseMatrix x = random_matrix(50, 6, 31);
+  const index_t rank = orthonormalize_columns(x.view());
+  EXPECT_EQ(rank, 6);
+  DenseMatrix g(6, 6);
+  gemm_tn(1.0, x.view(), x.view(), 0.0, g.view());
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      ASSERT_NEAR(g.at(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Orthonormalize, DetectsRankDeficiency) {
+  DenseMatrix x(20, 3);
+  Xoshiro256 rng(5);
+  for (index_t i = 0; i < 20; ++i) {
+    x.at(i, 0) = rng.uniform(-1, 1);
+    x.at(i, 1) = 2.0 * x.at(i, 0); // dependent column
+    x.at(i, 2) = rng.uniform(-1, 1);
+  }
+  EXPECT_EQ(orthonormalize_columns(x.view()), 2);
+}
+
+} // namespace
+} // namespace sts::la

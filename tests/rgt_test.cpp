@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "rgt/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace sts::rgt {
+namespace {
+
+Runtime::Config cfg(unsigned workers = 2, bool verify = false) {
+  return {.cpu_workers = workers,
+          .util_threads = 1,
+          .verify_index_launches = verify,
+          .window = 1024};
+}
+
+TEST(Runtime, RunsIndependentTasks) {
+  std::vector<double> data(10, 0.0);
+  Runtime rt(cfg());
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 10);
+  for (std::int32_t i = 0; i < 10; ++i) {
+    rt.execute({[&data, i](TaskContext&) { data[static_cast<std::size_t>(i)] = i; },
+                {{r, i, Privilege::kWrite}},
+                "w"});
+  }
+  rt.wait_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(rt.stats().tasks_launched, 10u);
+}
+
+TEST(Runtime, ReadAfterWriteIsOrdered) {
+  std::vector<double> data(1, 0.0);
+  std::vector<double> out(1, 0.0);
+  Runtime rt(cfg(4));
+  const RegionId rd = rt.register_region(data, "d");
+  const RegionId ro = rt.register_region(out, "o");
+  for (int iter = 0; iter < 50; ++iter) {
+    rt.execute({[&data](TaskContext&) { data[0] += 1.0; },
+                {{rd, -1, Privilege::kReadWrite}},
+                "inc"});
+  }
+  rt.execute({[&data, &out](TaskContext&) { out[0] = data[0]; },
+              {{rd, -1, Privilege::kRead}, {ro, -1, Privilege::kWrite}},
+              "read"});
+  rt.wait_all();
+  EXPECT_EQ(out[0], 50.0);
+}
+
+TEST(Runtime, ParallelReadsDoNotSerialize) {
+  // Many readers of one region plus a final writer: readers must all finish
+  // before the writer (WAR).
+  std::vector<double> data(1, 5.0);
+  Runtime rt(cfg(4));
+  const RegionId r = rt.register_region(data, "d");
+  std::atomic<int> reads{0};
+  std::atomic<int> reads_at_write{-1};
+  for (int i = 0; i < 32; ++i) {
+    rt.execute({[&](TaskContext&) { reads.fetch_add(1); },
+                {{r, -1, Privilege::kRead}},
+                "r"});
+  }
+  rt.execute({[&](TaskContext&) { reads_at_write = reads.load(); },
+              {{r, -1, Privilege::kWrite}},
+              "w"});
+  rt.wait_all();
+  EXPECT_EQ(reads_at_write.load(), 32);
+}
+
+TEST(Runtime, PieceRangesPartitionEvenly) {
+  std::vector<double> data(103, 0.0);
+  Runtime rt(cfg());
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 10);
+  EXPECT_EQ(rt.pieces_of(r), 10);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (std::int32_t p = 0; p < 10; ++p) {
+    const auto [b, e] = rt.piece_range(r, p);
+    EXPECT_EQ(b, prev_end);
+    prev_end = e;
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(Runtime, DisjointPiecesRunWithoutFalseDependencies) {
+  std::vector<double> data(8, 0.0);
+  Runtime rt(cfg(4));
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 8);
+  // Writers on distinct pieces: no dependence edges should be created.
+  for (std::int32_t i = 0; i < 8; ++i) {
+    rt.execute({[&data, i](TaskContext&) { data[static_cast<std::size_t>(i)] = 1.0; },
+                {{r, i, Privilege::kWrite}},
+                "w"});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().dependence_edges, 0u);
+}
+
+TEST(IndexLaunch, RunsAllPointTasks) {
+  std::vector<double> data(64, 0.0);
+  Runtime rt(cfg(4));
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 64);
+  rt.index_launch(64, [&](std::int32_t i) {
+    return TaskLaunch{[&data, i](TaskContext&) {
+                        data[static_cast<std::size_t>(i)] = 2.0 * i;
+                      },
+                      {{r, i, Privilege::kWrite}},
+                      "il"};
+  });
+  rt.wait_all();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(data[static_cast<std::size_t>(i)], 2.0 * i);
+  }
+}
+
+TEST(IndexLaunch, VerificationCatchesInterference) {
+  std::vector<double> data(8, 0.0);
+  Runtime rt(cfg(2, /*verify=*/true));
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 8);
+  EXPECT_THROW(rt.index_launch(2,
+                               [&](std::int32_t) {
+                                 return TaskLaunch{[](TaskContext&) {},
+                                                   {{r, 3, Privilege::kWrite}},
+                                                   "conflict"};
+                               }),
+               support::Error);
+  rt.wait_all();
+}
+
+TEST(IndexLaunch, VerificationAllowsReadSharing) {
+  std::vector<double> data(8, 0.0);
+  Runtime rt(cfg(2, /*verify=*/true));
+  const RegionId r = rt.register_region(data, "d");
+  std::vector<double> out(8, 0.0);
+  const RegionId ro = rt.register_region(out, "o");
+  rt.partition_equal(ro, 8);
+  EXPECT_NO_THROW(rt.index_launch(8, [&](std::int32_t i) {
+    return TaskLaunch{[](TaskContext&) {},
+                      {{r, -1, Privilege::kRead}, {ro, i, Privilege::kWrite}},
+                      "ok"};
+  }));
+  rt.wait_all();
+}
+
+TEST(Reduction, FoldsPerWorkerInstances) {
+  std::vector<double> acc(4, 0.0);
+  std::vector<double> out(4, 0.0);
+  Runtime rt(cfg(4));
+  const RegionId r = rt.register_region(acc, "acc");
+  const RegionId ro = rt.register_region(out, "out");
+  for (int i = 0; i < 100; ++i) {
+    rt.execute({[r](TaskContext& ctx) {
+                  auto buf = ctx.reduce_target(r);
+                  buf[0] += 1.0;
+                  buf[2] += 0.5;
+                },
+                {{r, -1, Privilege::kReduce}},
+                "red"});
+  }
+  rt.execute({[&acc, &out](TaskContext&) {
+                for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = acc[static_cast<std::size_t>(i)];
+              },
+              {{r, -1, Privilege::kRead},
+               {ro, -1, Privilege::kWrite}},
+              "read"});
+  rt.wait_all();
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 50.0);
+  EXPECT_GE(rt.stats().folds_inserted, 1u);
+}
+
+TEST(Reduction, AccumulatesOntoExistingContents) {
+  std::vector<double> acc(1, 10.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(acc, "acc");
+  for (int i = 0; i < 5; ++i) {
+    rt.execute({[r](TaskContext& ctx) { ctx.reduce_target(r)[0] += 1.0; },
+                {{r, -1, Privilege::kReduce}},
+                "red"});
+  }
+  rt.wait_all(); // wait_all closes the epoch
+  EXPECT_DOUBLE_EQ(acc[0], 15.0);
+}
+
+TEST(Tracing, ReplayMatchesDirectExecution) {
+  const int np = 6;
+  std::vector<double> x(static_cast<std::size_t>(np), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(np), 0.0);
+  Runtime rt(cfg(4));
+  const RegionId rx = rt.register_region(x, "x");
+  const RegionId ry = rt.register_region(y, "y");
+  rt.partition_equal(rx, np);
+  rt.partition_equal(ry, np);
+
+  auto one_iteration = [&] {
+    for (std::int32_t i = 0; i < np; ++i) {
+      rt.execute({[&x, &y, i](TaskContext&) {
+                    y[static_cast<std::size_t>(i)] =
+                        2.0 * x[static_cast<std::size_t>(i)];
+                  },
+                  {{rx, i, Privilege::kRead}, {ry, i, Privilege::kWrite}},
+                  "double"});
+    }
+    for (std::int32_t i = 0; i < np; ++i) {
+      rt.execute({[&x, &y, i](TaskContext&) {
+                    x[static_cast<std::size_t>(i)] =
+                        y[static_cast<std::size_t>(i)] + 1.0;
+                  },
+                  {{ry, i, Privilege::kRead}, {rx, i, Privilege::kReadWrite}},
+                  "inc"});
+    }
+  };
+
+  for (int iter = 0; iter < 5; ++iter) {
+    rt.begin_trace(1);
+    one_iteration();
+    rt.end_trace(1);
+    rt.wait_all();
+  }
+  // x follows x -> 2x + 1 five times from x=1: 1,3,7,15,31,63.
+  for (int i = 0; i < np; ++i) {
+    EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], 63.0);
+  }
+  EXPECT_GT(rt.stats().traced_replays, 0u);
+}
+
+TEST(Tracing, ReplaySkipsAnalysisWork) {
+  std::vector<double> x(4, 0.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(x, "x");
+  rt.partition_equal(r, 4);
+  auto body = [&](std::int32_t i) {
+    return TaskLaunch{[&x, i](TaskContext&) { x[static_cast<std::size_t>(i)] += 1.0; },
+                      {{r, i, Privilege::kReadWrite}},
+                      "t"};
+  };
+  rt.begin_trace(9);
+  for (std::int32_t i = 0; i < 4; ++i) rt.execute(body(i));
+  rt.end_trace(9);
+  rt.wait_all();
+  const auto checks_after_capture = rt.stats().piece_checks;
+  rt.begin_trace(9);
+  for (std::int32_t i = 0; i < 4; ++i) rt.execute(body(i));
+  rt.end_trace(9);
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().piece_checks, checks_after_capture);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+/// Property test: a random sequence of read/write/readwrite tasks over
+/// partitioned regions must produce the same result as serial execution.
+TEST(Runtime, RandomProgramMatchesSerialSemantics) {
+  support::Xoshiro256 rng(321);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int np = 4 + static_cast<int>(rng.below(5));
+    const int ntasks = 80;
+    std::vector<double> serial(static_cast<std::size_t>(np), 0.0);
+    std::vector<double> parallel(static_cast<std::size_t>(np), 0.0);
+
+    struct Op {
+      std::int32_t src;
+      std::int32_t dst;
+      double scale;
+    };
+    std::vector<Op> ops;
+    for (int t = 0; t < ntasks; ++t) {
+      ops.push_back({static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(np))),
+                     static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(np))),
+                     rng.uniform(0.5, 1.5)});
+    }
+    for (const Op& op : ops) {
+      serial[static_cast<std::size_t>(op.dst)] =
+          serial[static_cast<std::size_t>(op.dst)] * 0.5 +
+          serial[static_cast<std::size_t>(op.src)] * op.scale + 1.0;
+    }
+
+    Runtime rt(cfg(4));
+    const RegionId r = rt.register_region(parallel, "v");
+    rt.partition_equal(r, np);
+    for (const Op& op : ops) {
+      std::vector<RegionReq> reqs;
+      reqs.push_back({r, op.dst, Privilege::kReadWrite});
+      if (op.src != op.dst) reqs.push_back({r, op.src, Privilege::kRead});
+      rt.execute({[&parallel, op](TaskContext&) {
+                    parallel[static_cast<std::size_t>(op.dst)] =
+                        parallel[static_cast<std::size_t>(op.dst)] * 0.5 +
+                        parallel[static_cast<std::size_t>(op.src)] * op.scale +
+                        1.0;
+                  },
+                  std::move(reqs),
+                  "op"});
+    }
+    rt.wait_all();
+    for (int p = 0; p < np; ++p) {
+      ASSERT_DOUBLE_EQ(parallel[static_cast<std::size_t>(p)],
+                       serial[static_cast<std::size_t>(p)])
+          << "trial " << trial << " piece " << p;
+    }
+  }
+}
+
+TEST(Runtime, StatsTrackAnalysis) {
+  std::vector<double> d(4, 0.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(d, "d");
+  rt.partition_equal(r, 4);
+  rt.execute({[](TaskContext&) {}, {{r, 0, Privilege::kWrite}}, "a"});
+  rt.execute({[](TaskContext&) {}, {{r, 0, Privilege::kRead}}, "b"});
+  rt.wait_all();
+  const auto st = rt.stats();
+  EXPECT_EQ(st.tasks_launched, 2u);
+  EXPECT_EQ(st.dependence_edges, 1u);
+  EXPECT_GT(st.piece_checks, 0u);
+  EXPECT_GE(st.analysis_seconds, 0.0);
+}
+
+} // namespace
+} // namespace sts::rgt

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "sim/cachesim.hpp"
+#include "sim/layout.hpp"
+#include "sim/machine.hpp"
+#include "sim/schedsim.hpp"
+#include "sim/workloads.hpp"
+#include "sparse/generators.hpp"
+
+namespace sts::sim {
+namespace {
+
+TEST(SetAssocCache, HitsAfterInstall) {
+  SetAssocCache c(1024, 2); // 16 lines, 8 sets x 2 ways
+  EXPECT_FALSE(c.access(5));
+  EXPECT_TRUE(c.access(5));
+}
+
+TEST(SetAssocCache, LruEvictsOldest) {
+  SetAssocCache c(128, 2); // 2 lines... 1 set x 2 ways
+  ASSERT_EQ(c.sets(), 1u);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_TRUE(c.access(1));  // refresh 1
+  EXPECT_FALSE(c.access(3)); // evicts 2 (LRU)
+  EXPECT_TRUE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+}
+
+TEST(SetAssocCache, StreamingLargerThanCacheAlwaysMisses) {
+  SetAssocCache c(64 * 64, 8); // 64 lines
+  int misses = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t line = 0; line < 256; ++line) {
+      misses += c.access(line) ? 0 : 1;
+    }
+  }
+  EXPECT_EQ(misses, 512); // capacity misses every round
+}
+
+TEST(SetAssocCache, ResidentSetOnlyCompulsoryMisses) {
+  SetAssocCache c(64 * 1024, 8); // 1024 lines
+  int misses = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t line = 0; line < 256; ++line) {
+      misses += c.access(line) ? 0 : 1;
+    }
+  }
+  EXPECT_EQ(misses, 256);
+}
+
+TEST(MachineModel, TopologyHelpers) {
+  const MachineModel bw = MachineModel::broadwell();
+  EXPECT_EQ(bw.cores, 28u);
+  EXPECT_EQ(bw.domain_of_core(0), 0u);
+  EXPECT_EQ(bw.domain_of_core(27), 1u);
+  EXPECT_EQ(bw.l3_groups(), 2u);
+  const MachineModel ep = MachineModel::epyc7h12();
+  EXPECT_EQ(ep.cores, 128u);
+  EXPECT_EQ(ep.numa_domains, 8u);
+  EXPECT_EQ(ep.l3_group_of_core(5), 1u);
+  EXPECT_EQ(ep.l3_groups(), 32u);
+}
+
+TEST(CacheHierarchy, CountsMissesPerLevel) {
+  CacheHierarchy h(MachineModel::testbox(2));
+  // First touch misses everywhere.
+  const double cold = h.access(0, 12345, 0, false);
+  EXPECT_GE(cold, h.machine().mem_latency_cycles);
+  // Immediately after: L1 hit.
+  const double hot = h.access(0, 12345, 0, false);
+  EXPECT_EQ(hot, h.machine().l1.latency_cycles);
+  const MissCounts t = h.totals();
+  EXPECT_EQ(t.accesses, 2u);
+  EXPECT_EQ(t.l1_misses, 1u);
+  EXPECT_EQ(t.l3_misses, 1u);
+}
+
+TEST(CacheHierarchy, SharedL3VisibleToGroupPeers) {
+  MachineModel m = MachineModel::testbox(2); // both cores share L3
+  CacheHierarchy h(m);
+  (void)h.access(0, 777, 0, false); // core 0 installs in L1/L2/L3
+  const double peer = h.access(1, 777, 0, false);
+  EXPECT_EQ(peer, m.l3.latency_cycles); // L3 hit from the other core
+}
+
+TEST(CacheHierarchy, NumaPenaltiesApplied) {
+  MachineModel m = MachineModel::broadwell();
+  CacheHierarchy h(m);
+  const double local = h.access(0, 1, 0, false);
+  const double remote = h.access(0, 99999, 1, false);
+  EXPECT_GT(remote, local);
+  const double congested = h.access(0, 555555, 1, true);
+  EXPECT_GT(congested, remote * 0.99);
+}
+
+TEST(DataLayout, AssignsDisjointPageAlignedBases) {
+  std::vector<ds::GraphBuilder::DataInfo> data = {
+      {"a", 1, 100}, {"b", 4, 8192}, {"c", 2, 1}};
+  DataLayout layout(data);
+  EXPECT_EQ(layout.base(0), 0u);
+  EXPECT_EQ(layout.base(1) % 4096, 0u);
+  EXPECT_GT(layout.base(2), layout.base(1));
+  EXPECT_GE(layout.total_bytes(), 8192u + 4096u + 4096u);
+}
+
+TEST(DataLayout, FirstTouchHomesByPiece) {
+  // Contiguous piece -> domain ranges (the placement a static-chunked
+  // parallel initialization produces): pieces {0,1} on domain 0,
+  // pieces {2,3} on domain 1.
+  std::vector<ds::GraphBuilder::DataInfo> data = {{"v", 4, 4096}};
+  DataLayout layout(data);
+  EXPECT_EQ(layout.home_domain(0, 0, 2, true), 0u);
+  EXPECT_EQ(layout.home_domain(0, 1024, 2, true), 0u);
+  EXPECT_EQ(layout.home_domain(0, 2048, 2, true), 1u);
+  EXPECT_EQ(layout.home_domain(0, 3072, 2, true), 1u);
+  EXPECT_EQ(layout.home_domain(0, 2048, 2, false), 0u); // all on domain 0
+}
+
+struct SimFixture {
+  sparse::Coo coo;
+  sparse::Csr csr;
+  sparse::Csb csb;
+  Workload wl;
+
+  SimFixture()
+      : coo(sparse::gen_fem3d(8, 8, 8, 1, 77)),
+        csr(sparse::Csr::from_coo(coo)),
+        csb(sparse::Csb::from_coo(coo, 64)),
+        wl(build_lanczos_workload(csr, csb, 11)) {}
+};
+
+TEST(Workload, LanczosGraphHasExpectedShape) {
+  SimFixture f;
+  EXPECT_TRUE(f.wl.task_graph.is_acyclic());
+  EXPECT_GT(f.wl.task_graph.task_count(), 20u);
+  // Critical path in kernel stages should be small (paper: ~5).
+  EXPECT_LE(f.wl.task_graph.critical_path_tasks(), 40);
+  EXPECT_GT(f.wl.csr_graph.task_count(), 0u);
+  EXPECT_GT(f.wl.task_graph.total_flops(), 0.0);
+}
+
+TEST(Workload, LobpcgGraphIsLargerAndDeeper) {
+  SimFixture f;
+  Workload lob = build_lobpcg_workload(f.csr, f.csb, 8);
+  EXPECT_TRUE(lob.task_graph.is_acyclic());
+  EXPECT_GT(lob.task_graph.task_count(), f.wl.task_graph.task_count());
+  EXPECT_GT(lob.task_graph.critical_path_tasks(),
+            f.wl.task_graph.critical_path_tasks());
+}
+
+TEST(Workload, CsrVariantReplacesMatrixPhases) {
+  // Needs a matrix big enough that one 512-row CSR chunk gathers only a
+  // sparse subset of the x vector's cache lines.
+  sparse::Coo coo = sparse::gen_fem3d(18, 18, 18, 1, 78);
+  sparse::Csr csr = sparse::Csr::from_coo(coo);
+  sparse::Csb csb = sparse::Csb::from_coo(coo, 256);
+  const Workload wl = build_lanczos_workload(csr, csb, 11);
+  bool has_scattered = false;
+  std::size_t zero_tasks_in_spmv_phase = 0;
+  for (std::size_t i = 0; i < wl.csr_graph.task_count(); ++i) {
+    const auto& t = wl.csr_graph.task(static_cast<graph::TaskId>(i));
+    for (const auto& a : t.accesses) {
+      if (a.stride_lines > 1) has_scattered = true;
+    }
+    if (t.kind == graph::KernelKind::kZero) ++zero_tasks_in_spmv_phase;
+  }
+  EXPECT_TRUE(has_scattered);
+  EXPECT_EQ(zero_tasks_in_spmv_phase, 0u); // CSR writes rows directly
+}
+
+class PolicyTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicyTest, SimulationRespectsBasicBounds) {
+  SimFixture f;
+  const MachineModel m = MachineModel::testbox(4);
+  SimOptions o;
+  o.policy = GetParam();
+  o.record_events = true;
+  const SimResult r =
+      GetParam() == Policy::kBsp
+          ? simulate_bsp(f.wl.task_graph, *f.wl.layout, m, o)
+          : simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, o);
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_EQ(r.tasks, f.wl.task_graph.task_count());
+  EXPECT_GT(r.misses.accesses, 0u);
+  EXPECT_GE(r.misses.l1_misses, r.misses.l2_misses * 0 + r.misses.l3_misses);
+  EXPECT_GT(r.busy_fraction, 0.0);
+  EXPECT_LE(r.busy_fraction, 1.0 + 1e-9);
+  EXPECT_EQ(r.events.size(), f.wl.task_graph.task_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(Policy::kBsp, Policy::kDsTopo,
+                                           Policy::kFluxWs,
+                                           Policy::kRgtWindow));
+
+TEST(ScheduleSim, DependenciesRespectedInEvents) {
+  SimFixture f;
+  const MachineModel m = MachineModel::testbox(4);
+  SimOptions o;
+  o.policy = Policy::kFluxWs;
+  o.record_events = true;
+  const SimResult r =
+      simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, o);
+  std::vector<std::int64_t> end(f.wl.task_graph.task_count(), -1);
+  std::vector<std::int64_t> start(f.wl.task_graph.task_count(), -1);
+  for (const auto& ev : r.events) {
+    start[static_cast<std::size_t>(ev.task_id)] = ev.start_ns;
+    end[static_cast<std::size_t>(ev.task_id)] = ev.end_ns;
+  }
+  for (std::size_t u = 0; u < f.wl.task_graph.task_count(); ++u) {
+    ASSERT_GE(start[u], 0);
+    for (graph::TaskId v :
+         f.wl.task_graph.successors(static_cast<graph::TaskId>(u))) {
+      ASSERT_GE(start[static_cast<std::size_t>(v)], end[u])
+          << "edge " << u << "->" << v;
+    }
+  }
+}
+
+TEST(ScheduleSim, MoreCoresNeverMuchSlower) {
+  SimFixture f;
+  SimOptions o;
+  o.policy = Policy::kDsTopo;
+  const SimResult two = simulate_task_graph(f.wl.task_graph, *f.wl.layout,
+                                            MachineModel::testbox(2), o);
+  const SimResult eight = simulate_task_graph(f.wl.task_graph, *f.wl.layout,
+                                              MachineModel::testbox(8), o);
+  EXPECT_LT(eight.makespan_seconds, two.makespan_seconds * 1.1);
+}
+
+TEST(ScheduleSim, RgtAnalysisPipelineSlowsFineGrains) {
+  SimFixture f;
+  const MachineModel m = MachineModel::testbox(8);
+  SimOptions fast;
+  fast.policy = Policy::kRgtWindow;
+  fast.analysis_ns_per_task = 0.0;
+  SimOptions slow = fast;
+  slow.analysis_ns_per_task = 100000.0; // 100 us per task, serial
+  const SimResult a =
+      simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, fast);
+  const SimResult b =
+      simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, slow);
+  EXPECT_GT(b.makespan_seconds, a.makespan_seconds * 2.0);
+  EXPECT_GT(b.analysis_stall_seconds, 0.0);
+}
+
+TEST(ScheduleSim, FirstTouchHelpsOnNumaMachine) {
+  SimFixture f;
+  const MachineModel m = MachineModel::epyc7h12();
+  SimOptions on;
+  on.policy = Policy::kDsTopo;
+  on.first_touch = true;
+  SimOptions off = on;
+  off.first_touch = false;
+  const SimResult with_ft =
+      simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, on);
+  const SimResult without_ft =
+      simulate_task_graph(f.wl.task_graph, *f.wl.layout, m, off);
+  EXPECT_LT(with_ft.makespan_seconds, without_ft.makespan_seconds);
+}
+
+TEST(ScheduleSim, BspBarriersCostTime) {
+  SimFixture f;
+  const MachineModel m = MachineModel::testbox(4);
+  SimOptions cheap;
+  cheap.policy = Policy::kBsp;
+  cheap.barrier_overhead_ns = 0.0;
+  SimOptions costly = cheap;
+  costly.barrier_overhead_ns = 1e6; // 1 ms per phase
+  const SimResult a = simulate_bsp(f.wl.task_graph, *f.wl.layout, m, cheap);
+  const SimResult b = simulate_bsp(f.wl.task_graph, *f.wl.layout, m, costly);
+  EXPECT_GT(b.makespan_seconds, a.makespan_seconds);
+}
+
+} // namespace
+} // namespace sts::sim

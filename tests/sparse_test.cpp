@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/coo.hpp"
+#include "sparse/csb.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/suite.hpp"
+
+namespace sts::sparse {
+namespace {
+
+TEST(Coo, FinalizeSortsAndSumsDuplicates) {
+  Coo coo(3, 3);
+  coo.add(2, 1, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 1, 3.0);
+  coo.finalize();
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 2.0}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{2, 1, 4.0}));
+}
+
+TEST(Coo, SymmetrizeLowerMatchesPaperFormula) {
+  // A_new = L + L^T - D where L is the lower triangle incl. diagonal.
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 9.0); // upper entry must be discarded
+  coo.add(1, 0, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.symmetrize_lower();
+  la::DenseMatrix d = coo.to_dense();
+  EXPECT_EQ(d.at(0, 0), 1.0);
+  EXPECT_EQ(d.at(0, 1), 2.0);
+  EXPECT_EQ(d.at(1, 0), 2.0);
+  EXPECT_EQ(d.at(1, 1), 3.0);
+  EXPECT_TRUE(coo.is_symmetric());
+}
+
+TEST(Coo, FillRandomSymmetricKeepsSymmetry) {
+  Coo coo(10, 10);
+  support::Xoshiro256 rng(4);
+  for (int k = 0; k < 30; ++k) {
+    const auto i = static_cast<index_t>(rng.below(10));
+    const auto j = static_cast<index_t>(rng.below(10));
+    coo.add(i, j, 1.0);
+    if (i != j) coo.add(j, i, 1.0);
+  }
+  coo.finalize();
+  support::Xoshiro256 fill(9);
+  coo.fill_random_symmetric(fill);
+  EXPECT_TRUE(coo.is_symmetric());
+  for (const Triplet& t : coo.entries()) {
+    EXPECT_GE(t.value, 0.1);
+    EXPECT_LE(t.value, 1.0);
+  }
+}
+
+TEST(Csr, RoundTripsThroughCoo) {
+  Coo coo(4, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(3, 3, 2.0);
+  coo.add(1, 0, 3.0);
+  Csr csr = Csr::from_coo(coo);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_EQ(csr.row_nnz(0), 1);
+  EXPECT_EQ(csr.row_nnz(2), 0);
+  Coo back = csr.to_coo();
+  back.finalize();
+  coo.finalize();
+  EXPECT_EQ(back.entries(), coo.entries());
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  Coo coo = gen_fem3d(4, 4, 4, 1, 11);
+  Csr csr = Csr::from_coo(coo);
+  la::DenseMatrix dense = coo.to_dense();
+  std::vector<double> x(static_cast<std::size_t>(csr.cols()));
+  support::Xoshiro256 rng(2);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(static_cast<std::size_t>(csr.rows()));
+  csr_spmv_range(csr, x, y, 0, csr.rows());
+  for (index_t r = 0; r < csr.rows(); ++r) {
+    double acc = 0.0;
+    for (index_t c = 0; c < csr.cols(); ++c) {
+      acc += dense.at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    ASSERT_NEAR(y[static_cast<std::size_t>(r)], acc, 1e-10);
+  }
+}
+
+TEST(Csr, SpmmRangeComputesSubsetOnly) {
+  Coo coo = gen_banded_random(32, 4, 0.8, 3);
+  Csr csr = Csr::from_coo(coo);
+  la::DenseMatrix x(32, 3);
+  support::Xoshiro256 rng(5);
+  x.fill_random(rng);
+  la::DenseMatrix y(32, 3);
+  y.fill(-7.0);
+  csr_spmm_range(csr, x.view(), y.view(), 8, 16);
+  for (index_t r = 0; r < 8; ++r) {
+    ASSERT_EQ(y.at(r, 0), -7.0); // untouched outside the range
+  }
+  la::DenseMatrix dense = coo.to_dense();
+  for (index_t r = 8; r < 16; ++r) {
+    for (index_t j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (index_t c = 0; c < 32; ++c) acc += dense.at(r, c) * x.at(c, j);
+      ASSERT_NEAR(y.at(r, j), acc, 1e-10);
+    }
+  }
+}
+
+class CsbRoundTrip : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(CsbRoundTrip, PreservesAllEntries) {
+  const index_t block = GetParam();
+  Coo coo = gen_rmat(7, 6, 0.57, 0.19, 0.19, 13);
+  Csb csb = Csb::from_coo(coo, block);
+  EXPECT_EQ(csb.nnz(), coo.nnz());
+  Coo back = csb.to_coo();
+  back.finalize();
+  coo.finalize();
+  EXPECT_EQ(back.entries(), coo.entries());
+  EXPECT_EQ(csb.block_rows(), (coo.rows() + block - 1) / block);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CsbRoundTrip,
+                         ::testing::Values(1, 3, 16, 50, 128, 1000));
+
+TEST(Csb, BlockSpmvAccumulatesAcrossBlocks) {
+  Coo coo = gen_fem3d(5, 5, 5, 1, 17);
+  const index_t block = 32;
+  Csb csb = Csb::from_coo(coo, block);
+  Csr csr = Csr::from_coo(coo);
+  std::vector<double> x(static_cast<std::size_t>(csb.cols()));
+  support::Xoshiro256 rng(6);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(static_cast<std::size_t>(csb.rows()), 0.0);
+  for (index_t bi = 0; bi < csb.block_rows(); ++bi) {
+    for (index_t bj = 0; bj < csb.block_cols(); ++bj) {
+      if (!csb.block_empty(bi, bj)) csb_block_spmv(csb, bi, bj, x, y);
+    }
+  }
+  std::vector<double> ref(static_cast<std::size_t>(csb.rows()));
+  csr_spmv_range(csr, x, ref, 0, csr.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-10);
+}
+
+TEST(Csb, BlockSpmmMatchesCsr) {
+  Coo coo = gen_banded_random(100, 10, 0.5, 19);
+  Csb csb = Csb::from_coo(coo, 17); // deliberately non-dividing block size
+  Csr csr = Csr::from_coo(coo);
+  la::DenseMatrix x(100, 4);
+  support::Xoshiro256 rng(7);
+  x.fill_random(rng);
+  la::DenseMatrix y(100, 4);
+  for (index_t bi = 0; bi < csb.block_rows(); ++bi) {
+    csb_block_zero(csb, bi, y.view());
+    for (index_t bj = 0; bj < csb.block_cols(); ++bj) {
+      if (!csb.block_empty(bi, bj)) {
+        csb_block_spmm(csb, bi, bj, x.view(), y.view());
+      }
+    }
+  }
+  la::DenseMatrix ref(100, 4);
+  csr_spmm_range(csr, x.view(), ref.view(), 0, 100);
+  for (index_t i = 0; i < 100; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      ASSERT_NEAR(y.at(i, j), ref.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Csb, NonemptyBlockCountsAndStats) {
+  Coo coo(8, 8);
+  coo.add(0, 0, 1.0);
+  coo.add(7, 7, 1.0);
+  Csb csb = Csb::from_coo(coo, 4);
+  EXPECT_EQ(csb.nonempty_blocks(), 2);
+  const BlockingStats st = compute_blocking_stats(csb);
+  EXPECT_EQ(st.total_blocks, 4);
+  EXPECT_DOUBLE_EQ(st.empty_fraction, 0.5);
+  EXPECT_EQ(st.max_block_nnz, 1);
+}
+
+TEST(MatrixMarket, RoundTripsGeneral) {
+  Coo coo(3, 4);
+  coo.add(0, 1, 1.5);
+  coo.add(2, 3, -2.0);
+  coo.finalize();
+  std::stringstream ss;
+  write_matrix_market(ss, coo, false);
+  Coo back = read_matrix_market(ss);
+  EXPECT_EQ(back.rows(), 3);
+  EXPECT_EQ(back.cols(), 4);
+  EXPECT_EQ(back.entries(), coo.entries());
+}
+
+TEST(MatrixMarket, ExpandsSymmetricFiles) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% comment line\n"
+     << "2 2 2\n"
+     << "1 1 1.0\n"
+     << "2 1 5.0\n";
+  Coo coo = read_matrix_market(ss);
+  EXPECT_EQ(coo.nnz(), 3);
+  EXPECT_TRUE(coo.is_symmetric());
+}
+
+TEST(MatrixMarket, ReadsPatternFiles) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "2 2 1\n"
+     << "2 2\n";
+  Coo coo = read_matrix_market(ss);
+  ASSERT_EQ(coo.nnz(), 1);
+  EXPECT_EQ(coo.entries()[0].value, 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  std::stringstream bad1("not a banner\n");
+  EXPECT_THROW((void)read_matrix_market(bad1), support::Error);
+  std::stringstream bad2(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n");
+  EXPECT_THROW((void)read_matrix_market(bad2), support::Error);
+}
+
+class GeneratorSymmetryTest
+    : public ::testing::TestWithParam<std::function<Coo()>> {};
+
+TEST_P(GeneratorSymmetryTest, ProducesSymmetricSquareMatrix) {
+  Coo coo = GetParam()();
+  EXPECT_EQ(coo.rows(), coo.cols());
+  EXPECT_GT(coo.nnz(), 0);
+  EXPECT_TRUE(coo.is_symmetric(0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSymmetryTest,
+    ::testing::Values([] { return gen_fem3d(6, 5, 4, 1, 1); },
+                      [] { return gen_saddle_kkt(300, 100, 3, 2); },
+                      [] { return gen_rmat(9, 8, 0.57, 0.19, 0.19, 3); },
+                      [] { return gen_block_random(20, 8, 0.2, 0.6, 4); },
+                      [] { return gen_banded_random(200, 12, 0.4, 5); },
+                      [] { return gen_hub_trace(500, 8, 2.1, 6); }));
+
+TEST(Generators, Fem3dHasStencilDegree) {
+  Coo coo = gen_fem3d(10, 10, 10, 1, 7);
+  EXPECT_EQ(coo.rows(), 1000);
+  const MatrixStats st = compute_stats(Csr::from_coo(coo));
+  // Interior nodes have 27 couplings (26 neighbors + diagonal).
+  EXPECT_EQ(st.max_row_nnz, 27);
+  EXPECT_GT(st.avg_row_nnz, 15.0);
+  EXPECT_LT(st.relative_bandwidth, 0.2); // strongly banded
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Coo coo = gen_rmat(11, 8, 0.57, 0.19, 0.19, 8);
+  const MatrixStats st = compute_stats(Csr::from_coo(coo));
+  // Power-law: max degree far above average.
+  EXPECT_GT(static_cast<double>(st.max_row_nnz), 8.0 * st.avg_row_nnz);
+  EXPECT_GT(st.row_nnz_cv, 1.0);
+}
+
+TEST(Generators, HubTraceIsUltraSparse) {
+  Coo coo = gen_hub_trace(5000, 16, 2.1, 9);
+  const MatrixStats st = compute_stats(Csr::from_coo(coo));
+  EXPECT_LT(st.avg_row_nnz, 5.0);
+  EXPECT_GT(st.max_row_nnz, 100); // hubs
+}
+
+TEST(Generators, Deterministic) {
+  Coo a = gen_rmat(8, 4, 0.57, 0.19, 0.19, 5);
+  Coo b = gen_rmat(8, 4, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(a.entries(), b.entries());
+}
+
+TEST(Suite, HasAllFifteenPaperMatrices) {
+  const auto& suite = paper_suite();
+  ASSERT_EQ(suite.size(), 15u);
+  EXPECT_EQ(suite.front().name, "inline_1");
+  EXPECT_EQ(suite.back().name, "mawi_201512020130");
+  // Paper Table 1 ordering: rows ascending.
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_GT(suite[i].paper_rows, suite[i - 1].paper_rows);
+  }
+}
+
+TEST(Suite, GeneratesScaledSymmetricMatrices) {
+  const SuiteEntry& entry = suite_entry("nlpkkt160");
+  Coo coo = entry.make(0.05);
+  EXPECT_TRUE(coo.is_symmetric(0.0));
+  EXPECT_GT(coo.rows(), 1000);
+  EXPECT_THROW((void)suite_entry("no_such_matrix"), support::Error);
+}
+
+TEST(Suite, DefaultSubsetIsValid) {
+  for (const std::string& name : default_bench_subset()) {
+    EXPECT_NO_THROW((void)suite_entry(name));
+  }
+}
+
+TEST(Stats, ComputesRowStatistics) {
+  Coo coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 1, 1.0);
+  const MatrixStats st = compute_stats(Csr::from_coo(coo));
+  EXPECT_EQ(st.nnz, 4);
+  EXPECT_EQ(st.max_row_nnz, 3);
+  EXPECT_EQ(st.min_row_nnz, 0);
+  EXPECT_NEAR(st.avg_row_nnz, 4.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace sts::sparse

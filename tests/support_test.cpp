@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "support/aligned.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace sts::support {
+namespace {
+
+TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  AlignedBuffer<double> buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<double> sized(0);
+  EXPECT_TRUE(sized.empty());
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(64);
+  a[0] = 42.0;
+  double* p = a.data();
+  AlignedBuffer<double> b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+  AlignedBuffer<double> c(8);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(FirstTouch, ZeroesSerialAndParallel) {
+  AlignedBuffer<double> a(4096);
+  for (auto& v : a) v = 7.0;
+  first_touch_zero(a.data(), a.size(), false);
+  for (double v : a) ASSERT_EQ(v, 0.0);
+  for (auto& v : a) v = 7.0;
+  first_touch_zero(a.data(), a.size(), true);
+  for (double v : a) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  SplitMix64 sm(0);
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 2);
+  t.row().add("b").add(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("plain");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_EQ(env_string("STS_TEST_UNSET_VAR", "dflt"), "dflt");
+  EXPECT_EQ(env_int("STS_TEST_UNSET_VAR", 7), 7);
+  EXPECT_EQ(env_double("STS_TEST_UNSET_VAR", 0.5), 0.5);
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("STS_TEST_VAR_I", "123", 1);
+  setenv("STS_TEST_VAR_D", "2.5", 1);
+  setenv("STS_TEST_VAR_S", "hello", 1);
+  EXPECT_EQ(env_int("STS_TEST_VAR_I", 0), 123);
+  EXPECT_EQ(env_double("STS_TEST_VAR_D", 0), 2.5);
+  EXPECT_EQ(env_string("STS_TEST_VAR_S", ""), "hello");
+  setenv("STS_TEST_VAR_I", "notanint", 1);
+  EXPECT_EQ(env_int("STS_TEST_VAR_I", -1), -1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  t.reset();
+  EXPECT_GE(t.ns(), 0);
+  EXPECT_GT(now_ns(), 0);
+}
+
+} // namespace
+} // namespace sts::support

@@ -1,0 +1,191 @@
+// stsolve: command-line driver for the sparsetask solvers.
+//
+// Loads a matrix (Matrix Market file or a named synthetic suite matrix),
+// optionally auto-tunes the CSB block size via the simulated sweep, and
+// runs Lanczos or LOBPCG under any of the five execution versions.
+//
+// Usage:
+//   stsolve [options]
+//     --matrix <path.mtx>     Matrix Market input (symmetrized if needed)
+//     --suite <name>          synthetic suite matrix (see --list)
+//     --scale <f>             suite scale factor (default 0.2)
+//     --solver lanczos|lobpcg (default lobpcg)
+//     --version libcsr|libcsb|ds|flux|rgt   (default flux)
+//     --iterations <n>        (default 30)
+//     --nev <n>               LOBPCG block width (default 8)
+//     --block <rows>          CSB block size; 0 = heuristic (default)
+//     --autotune              pick the block size by simulated sweep
+//     --threads <n>           worker threads (default: hardware)
+//     --list                  print suite matrix names and exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "sim/machine.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/lobpcg.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/suite.hpp"
+#include "tuning/sweep.hpp"
+
+namespace {
+
+using namespace sts;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--matrix f.mtx | --suite name] [--solver "
+              "lanczos|lobpcg]\n"
+              "  [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
+              "[--nev n]\n"
+              "  [--block rows | --autotune] [--threads n] [--scale f] "
+              "[--list]\n",
+              argv0);
+  std::exit(2);
+}
+
+solver::Version parse_version(const std::string& v) {
+  if (v == "libcsr") return solver::Version::kLibCsr;
+  if (v == "libcsb") return solver::Version::kLibCsb;
+  if (v == "ds" || v == "deepsparse") return solver::Version::kDs;
+  if (v == "flux" || v == "hpx") return solver::Version::kFlux;
+  if (v == "rgt" || v == "regent") return solver::Version::kRgt;
+  throw support::Error("unknown version: " + v);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string matrix_path;
+  std::string suite_name;
+  std::string solver_name = "lobpcg";
+  std::string version_name = "flux";
+  double scale = 0.2;
+  int iterations = 30;
+  la::index_t nev = 8;
+  la::index_t block = 0;
+  bool autotune = false;
+  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--matrix") {
+      matrix_path = next();
+    } else if (arg == "--suite") {
+      suite_name = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--solver") {
+      solver_name = next();
+    } else if (arg == "--version") {
+      version_name = next();
+    } else if (arg == "--iterations") {
+      iterations = std::atoi(next());
+    } else if (arg == "--nev") {
+      nev = std::atoll(next());
+    } else if (arg == "--block") {
+      block = std::atoll(next());
+    } else if (arg == "--autotune") {
+      autotune = true;
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--list") {
+      for (const auto& e : sparse::paper_suite()) {
+        std::printf("%-20s %s (paper: %lld rows, %lld nnz)\n",
+                    e.name.c_str(), sparse::to_string(e.matrix_class),
+                    static_cast<long long>(e.paper_rows),
+                    static_cast<long long>(e.paper_nnz));
+      }
+      return 0;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    sparse::Coo coo(0, 0);
+    if (!matrix_path.empty()) {
+      coo = sparse::read_matrix_market_file(matrix_path);
+      if (!coo.is_symmetric(1e-12)) {
+        std::printf("input not symmetric; applying A = L + L^T - D\n");
+        coo.symmetrize_lower();
+      }
+    } else if (!suite_name.empty()) {
+      coo = sparse::suite_entry(suite_name).make(scale);
+    } else {
+      usage(argv[0]);
+    }
+
+    sparse::Csr csr = sparse::Csr::from_coo(coo);
+    const sparse::MatrixStats st = sparse::compute_stats(csr);
+    std::printf("matrix: %lld rows, %lld nnz (avg %.1f/row, max %lld)\n",
+                static_cast<long long>(st.rows),
+                static_cast<long long>(st.nnz), st.avg_row_nnz,
+                static_cast<long long>(st.max_row_nnz));
+
+    const solver::Version version = parse_version(version_name);
+    if (autotune) {
+      const auto sweep = tune::sweep_block_sizes_simulated(
+          csr,
+          solver_name == "lanczos" ? tune::SweepSolver::kLanczos
+                                   : tune::SweepSolver::kLobpcg,
+          version, sim::MachineModel::broadwell(), /*full_sweep=*/false,
+          nev);
+      block = sweep.best_block_size();
+      std::printf("autotune: ");
+      for (const auto& p : sweep.points) {
+        std::printf("[%lld blocks: %.2f ms] ",
+                    static_cast<long long>(p.block_count),
+                    p.simulated_seconds * 1e3);
+      }
+      std::printf("\n-> block size %lld\n", static_cast<long long>(block));
+    } else if (block == 0) {
+      block = tune::recommended_block_size(version, threads, csr.rows());
+      std::printf("heuristic block size: %lld (%lld blocks)\n",
+                  static_cast<long long>(block),
+                  static_cast<long long>((csr.rows() + block - 1) / block));
+    }
+
+    sparse::Csb csb = sparse::Csb::from_csr(csr, block);
+
+    if (solver_name == "lanczos") {
+      solver::SolverOptions options;
+      options.block_size = block;
+      options.threads = threads;
+      const auto r = solver::lanczos(csr, csb, iterations, version, options);
+      std::printf("\nLanczos (%s), %d iterations, %.3f s",
+                  solver::to_string(version), r.timing.iterations,
+                  r.timing.total_seconds);
+      if (r.timing.graph_build_seconds > 0) {
+        std::printf(" (+%.4f s graph build)", r.timing.graph_build_seconds);
+      }
+      std::printf("\nextremal Ritz values: %.10g (low)  %.10g (high)\n",
+                  r.ritz_values.front(), r.ritz_values.back());
+    } else if (solver_name == "lobpcg") {
+      solver::LobpcgOptions options;
+      options.block_size = block;
+      options.threads = threads;
+      options.nev = nev;
+      const auto r = solver::lobpcg(csr, csb, iterations, version, options);
+      std::printf("\nLOBPCG (%s), %d iterations, %d/%lld converged, %.3f s\n",
+                  solver::to_string(version), r.timing.iterations,
+                  r.converged, static_cast<long long>(nev),
+                  r.timing.total_seconds);
+      for (std::size_t j = 0; j < r.eigenvalues.size(); ++j) {
+        std::printf("  lambda_%zu = %+.10g  (residual %.2e)\n", j,
+                    r.eigenvalues[j], r.residual_norms[j]);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stsolve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
