@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lanczos_flowgraph.dir/bench_fig10_lanczos_flowgraph.cpp.o"
+  "CMakeFiles/bench_fig10_lanczos_flowgraph.dir/bench_fig10_lanczos_flowgraph.cpp.o.d"
+  "bench_fig10_lanczos_flowgraph"
+  "bench_fig10_lanczos_flowgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lanczos_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

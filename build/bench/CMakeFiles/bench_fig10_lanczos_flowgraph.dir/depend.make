@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_lanczos_flowgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_block_profiles.dir/bench_fig14_block_profiles.cpp.o"
+  "CMakeFiles/bench_fig14_block_profiles.dir/bench_fig14_block_profiles.cpp.o.d"
+  "bench_fig14_block_profiles"
+  "bench_fig14_block_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_block_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_empty_tasks.dir/bench_fig6_empty_tasks.cpp.o"
+  "CMakeFiles/bench_fig6_empty_tasks.dir/bench_fig6_empty_tasks.cpp.o.d"
+  "bench_fig6_empty_tasks"
+  "bench_fig6_empty_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_empty_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_runtime.dir/bench_native_runtime.cpp.o"
+  "CMakeFiles/bench_native_runtime.dir/bench_native_runtime.cpp.o.d"
+  "bench_native_runtime"
+  "bench_native_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

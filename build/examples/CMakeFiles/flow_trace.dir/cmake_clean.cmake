@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_trace.dir/flow_trace.cpp.o"
+  "CMakeFiles/flow_trace.dir/flow_trace.cpp.o.d"
+  "flow_trace"
+  "flow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

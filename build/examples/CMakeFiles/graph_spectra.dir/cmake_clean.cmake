@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_spectra.dir/graph_spectra.cpp.o"
+  "CMakeFiles/graph_spectra.dir/graph_spectra.cpp.o.d"
+  "graph_spectra"
+  "graph_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuclear_ci.dir/nuclear_ci.cpp.o"
+  "CMakeFiles/nuclear_ci.dir/nuclear_ci.cpp.o.d"
+  "nuclear_ci"
+  "nuclear_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuclear_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nuclear_ci.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_bsp.dir/kernels.cpp.o"
+  "CMakeFiles/sts_bsp.dir/kernels.cpp.o.d"
+  "libsts_bsp.a"
+  "libsts_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/builder.cpp" "src/ds/CMakeFiles/sts_ds.dir/builder.cpp.o" "gcc" "src/ds/CMakeFiles/sts_ds.dir/builder.cpp.o.d"
+  "/root/repo/src/ds/executor.cpp" "src/ds/CMakeFiles/sts_ds.dir/executor.cpp.o" "gcc" "src/ds/CMakeFiles/sts_ds.dir/executor.cpp.o.d"
+  "/root/repo/src/ds/program.cpp" "src/ds/CMakeFiles/sts_ds.dir/program.cpp.o" "gcc" "src/ds/CMakeFiles/sts_ds.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sts_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/sts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sts_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_ds.dir/builder.cpp.o"
+  "CMakeFiles/sts_ds.dir/builder.cpp.o.d"
+  "CMakeFiles/sts_ds.dir/executor.cpp.o"
+  "CMakeFiles/sts_ds.dir/executor.cpp.o.d"
+  "CMakeFiles/sts_ds.dir/program.cpp.o"
+  "CMakeFiles/sts_ds.dir/program.cpp.o.d"
+  "libsts_ds.a"
+  "libsts_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

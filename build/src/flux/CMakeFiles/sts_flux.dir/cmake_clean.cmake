@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_flux.dir/scheduler.cpp.o"
+  "CMakeFiles/sts_flux.dir/scheduler.cpp.o.d"
+  "libsts_flux.a"
+  "libsts_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_graph.dir/tdg.cpp.o"
+  "CMakeFiles/sts_graph.dir/tdg.cpp.o.d"
+  "libsts_graph.a"
+  "libsts_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_la.dir/blas.cpp.o"
+  "CMakeFiles/sts_la.dir/blas.cpp.o.d"
+  "CMakeFiles/sts_la.dir/dense.cpp.o"
+  "CMakeFiles/sts_la.dir/dense.cpp.o.d"
+  "CMakeFiles/sts_la.dir/eig.cpp.o"
+  "CMakeFiles/sts_la.dir/eig.cpp.o.d"
+  "libsts_la.a"
+  "libsts_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

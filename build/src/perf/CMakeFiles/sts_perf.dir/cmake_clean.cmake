@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_perf.dir/profiles.cpp.o"
+  "CMakeFiles/sts_perf.dir/profiles.cpp.o.d"
+  "CMakeFiles/sts_perf.dir/trace.cpp.o"
+  "CMakeFiles/sts_perf.dir/trace.cpp.o.d"
+  "libsts_perf.a"
+  "libsts_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

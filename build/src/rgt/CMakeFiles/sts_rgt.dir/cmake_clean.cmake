@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_rgt.dir/runtime.cpp.o"
+  "CMakeFiles/sts_rgt.dir/runtime.cpp.o.d"
+  "libsts_rgt.a"
+  "libsts_rgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_rgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_sim.dir/cachesim.cpp.o"
+  "CMakeFiles/sts_sim.dir/cachesim.cpp.o.d"
+  "CMakeFiles/sts_sim.dir/layout.cpp.o"
+  "CMakeFiles/sts_sim.dir/layout.cpp.o.d"
+  "CMakeFiles/sts_sim.dir/machine.cpp.o"
+  "CMakeFiles/sts_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/sts_sim.dir/schedsim.cpp.o"
+  "CMakeFiles/sts_sim.dir/schedsim.cpp.o.d"
+  "CMakeFiles/sts_sim.dir/workloads.cpp.o"
+  "CMakeFiles/sts_sim.dir/workloads.cpp.o.d"
+  "libsts_sim.a"
+  "libsts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

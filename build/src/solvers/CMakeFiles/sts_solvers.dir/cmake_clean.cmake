@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_solvers.dir/common.cpp.o"
+  "CMakeFiles/sts_solvers.dir/common.cpp.o.d"
+  "CMakeFiles/sts_solvers.dir/lanczos.cpp.o"
+  "CMakeFiles/sts_solvers.dir/lanczos.cpp.o.d"
+  "CMakeFiles/sts_solvers.dir/lobpcg.cpp.o"
+  "CMakeFiles/sts_solvers.dir/lobpcg.cpp.o.d"
+  "libsts_solvers.a"
+  "libsts_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

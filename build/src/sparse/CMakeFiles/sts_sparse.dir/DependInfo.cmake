@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csb.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/csb.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/csb.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/mm_io.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/stats.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/stats.cpp.o.d"
+  "/root/repo/src/sparse/suite.cpp" "src/sparse/CMakeFiles/sts_sparse.dir/suite.cpp.o" "gcc" "src/sparse/CMakeFiles/sts_sparse.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/sts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

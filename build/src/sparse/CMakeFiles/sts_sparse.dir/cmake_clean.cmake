@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_sparse.dir/coo.cpp.o"
+  "CMakeFiles/sts_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/csb.cpp.o"
+  "CMakeFiles/sts_sparse.dir/csb.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/csr.cpp.o"
+  "CMakeFiles/sts_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/generators.cpp.o"
+  "CMakeFiles/sts_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/mm_io.cpp.o"
+  "CMakeFiles/sts_sparse.dir/mm_io.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/stats.cpp.o"
+  "CMakeFiles/sts_sparse.dir/stats.cpp.o.d"
+  "CMakeFiles/sts_sparse.dir/suite.cpp.o"
+  "CMakeFiles/sts_sparse.dir/suite.cpp.o.d"
+  "libsts_sparse.a"
+  "libsts_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_support.dir/aligned.cpp.o"
+  "CMakeFiles/sts_support.dir/aligned.cpp.o.d"
+  "CMakeFiles/sts_support.dir/env.cpp.o"
+  "CMakeFiles/sts_support.dir/env.cpp.o.d"
+  "CMakeFiles/sts_support.dir/table.cpp.o"
+  "CMakeFiles/sts_support.dir/table.cpp.o.d"
+  "libsts_support.a"
+  "libsts_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_tuning.dir/block_select.cpp.o"
+  "CMakeFiles/sts_tuning.dir/block_select.cpp.o.d"
+  "CMakeFiles/sts_tuning.dir/sweep.cpp.o"
+  "CMakeFiles/sts_tuning.dir/sweep.cpp.o.d"
+  "libsts_tuning.a"
+  "libsts_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_test.dir/flux_test.cpp.o"
+  "CMakeFiles/flux_test.dir/flux_test.cpp.o.d"
+  "flux_test"
+  "flux_test.pdb"
+  "flux_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgt_test.dir/rgt_test.cpp.o"
+  "CMakeFiles/rgt_test.dir/rgt_test.cpp.o.d"
+  "rgt_test"
+  "rgt_test.pdb"
+  "rgt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsolve.dir/stsolve.cpp.o"
+  "CMakeFiles/stsolve.dir/stsolve.cpp.o.d"
+  "stsolve"
+  "stsolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
