@@ -224,9 +224,13 @@ bench/CMakeFiles/bench_runtime_overhead.dir/bench_runtime_overhead.cpp.o: \
  /root/repo/src/support/aligned.hpp /root/repo/src/support/rng.hpp \
  /root/repo/src/sparse/csb.hpp /root/repo/src/sparse/csr.hpp \
  /root/repo/src/sparse/coo.hpp /root/repo/src/flux/dataflow.hpp \
- /root/repo/src/flux/future.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/flux/future.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -234,7 +238,7 @@ bench/CMakeFiles/bench_runtime_overhead.dir/bench_runtime_overhead.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/optional /root/repo/src/flux/scheduler.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/optional /usr/include/c++/12/thread \
+ /root/repo/src/flux/scheduler.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/rgt/runtime.hpp /root/repo/src/sparse/generators.hpp

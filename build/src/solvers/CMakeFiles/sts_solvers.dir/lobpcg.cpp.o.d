@@ -244,9 +244,13 @@ src/solvers/CMakeFiles/sts_solvers.dir/lobpcg.cpp.o: \
  /root/repo/src/la/blas.hpp /root/repo/src/ds/executor.hpp \
  /root/repo/src/ds/program.hpp /root/repo/src/ds/builder.hpp \
  /root/repo/src/flux/dataflow.hpp /usr/include/c++/12/atomic \
- /root/repo/src/flux/future.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/flux/future.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -254,12 +258,9 @@ src/solvers/CMakeFiles/sts_solvers.dir/lobpcg.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/optional /root/repo/src/flux/scheduler.hpp \
- /usr/include/c++/12/thread /root/repo/src/la/eig.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/thread \
+ /root/repo/src/flux/scheduler.hpp /root/repo/src/la/eig.hpp \
  /root/repo/src/rgt/runtime.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/aligned.cpp" "src/support/CMakeFiles/sts_support.dir/aligned.cpp.o" "gcc" "src/support/CMakeFiles/sts_support.dir/aligned.cpp.o.d"
   "/root/repo/src/support/env.cpp" "src/support/CMakeFiles/sts_support.dir/env.cpp.o" "gcc" "src/support/CMakeFiles/sts_support.dir/env.cpp.o.d"
+  "/root/repo/src/support/fault.cpp" "src/support/CMakeFiles/sts_support.dir/fault.cpp.o" "gcc" "src/support/CMakeFiles/sts_support.dir/fault.cpp.o.d"
   "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/sts_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/sts_support.dir/table.cpp.o.d"
   )
 

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sts_support.dir/aligned.cpp.o.d"
   "CMakeFiles/sts_support.dir/env.cpp.o"
   "CMakeFiles/sts_support.dir/env.cpp.o.d"
+  "CMakeFiles/sts_support.dir/fault.cpp.o"
+  "CMakeFiles/sts_support.dir/fault.cpp.o.d"
   "CMakeFiles/sts_support.dir/table.cpp.o"
   "CMakeFiles/sts_support.dir/table.cpp.o.d"
   "libsts_support.a"

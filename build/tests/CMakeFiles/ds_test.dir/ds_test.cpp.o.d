@@ -321,4 +321,5 @@ tests/CMakeFiles/ds_test.dir/ds_test.cpp.o: /root/repo/tests/ds_test.cpp \
  /root/repo/src/la/blas.hpp /root/repo/src/la/dense.hpp \
  /root/repo/src/support/aligned.hpp /root/repo/src/support/rng.hpp \
  /root/repo/src/sparse/csb.hpp /root/repo/src/sparse/csr.hpp \
- /root/repo/src/sparse/coo.hpp /root/repo/src/sparse/generators.hpp
+ /root/repo/src/sparse/coo.hpp /root/repo/src/sparse/generators.hpp \
+ /root/repo/src/support/fault.hpp

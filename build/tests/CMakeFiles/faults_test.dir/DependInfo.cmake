@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faults_test.cpp" "tests/CMakeFiles/faults_test.dir/faults_test.cpp.o" "gcc" "tests/CMakeFiles/faults_test.dir/faults_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solvers/CMakeFiles/sts_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/sts_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/sts_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgt/CMakeFiles/sts_rgt.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/sts_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/sts_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/sts_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/sts_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -14,5 +14,6 @@ include("/root/repo/build/tests/rgt_test[1]_include.cmake")
 include("/root/repo/build/tests/ds_test[1]_include.cmake")
 include("/root/repo/build/tests/perf_test[1]_include.cmake")
 include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/tuning_test[1]_include.cmake")

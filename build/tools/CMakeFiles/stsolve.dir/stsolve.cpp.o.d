@@ -216,5 +216,5 @@ tools/CMakeFiles/stsolve.dir/stsolve.cpp.o: /root/repo/tools/stsolve.cpp \
  /root/repo/src/sparse/csb.hpp /root/repo/src/sparse/csr.hpp \
  /root/repo/src/sparse/coo.hpp /root/repo/src/solvers/lobpcg.hpp \
  /root/repo/src/sparse/mm_io.hpp /root/repo/src/sparse/stats.hpp \
- /root/repo/src/sparse/suite.hpp /root/repo/src/tuning/sweep.hpp \
- /root/repo/src/tuning/block_select.hpp
+ /root/repo/src/sparse/suite.hpp /root/repo/src/support/fault.hpp \
+ /root/repo/src/tuning/sweep.hpp /root/repo/src/tuning/block_select.hpp

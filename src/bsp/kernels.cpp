@@ -1,5 +1,7 @@
 #include "bsp/kernels.hpp"
 
+#include <exception>
+#include <mutex>
 #include <vector>
 
 #ifdef _OPENMP
@@ -12,6 +14,33 @@ int omp_get_thread_num() { return 0; }
 #endif
 
 namespace sts::bsp {
+
+namespace {
+
+/// An exception escaping an OpenMP parallel region is std::terminate; the
+/// block-level kernels route bodies through this latch so a failing block
+/// (e.g. an injected fault) surfaces as one catchable rethrow instead.
+class OmpExceptionLatch {
+public:
+  template <typename F>
+  void run(F&& f) noexcept {
+    try {
+      f();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  void rethrow() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+} // namespace
 
 void spmv(const sparse::Csr& a, std::span<const double> x,
           std::span<double> y) {
@@ -33,24 +62,32 @@ void spmm(const sparse::Csr& a, ConstMatrixView x, MatrixView y) {
 void spmv(const sparse::Csb& a, std::span<const double> x,
           std::span<double> y) {
   const index_t nb = a.block_rows();
+  OmpExceptionLatch latch;
 #pragma omp parallel for schedule(dynamic, 1)
   for (index_t bi = 0; bi < nb; ++bi) {
-    sparse::csb_block_zero(a, bi, y);
-    for (index_t bj = 0; bj < a.block_cols(); ++bj) {
-      if (!a.block_empty(bi, bj)) sparse::csb_block_spmv(a, bi, bj, x, y);
-    }
+    latch.run([&] {
+      sparse::csb_block_zero(a, bi, y);
+      for (index_t bj = 0; bj < a.block_cols(); ++bj) {
+        if (!a.block_empty(bi, bj)) sparse::csb_block_spmv(a, bi, bj, x, y);
+      }
+    });
   }
+  latch.rethrow();
 }
 
 void spmm(const sparse::Csb& a, ConstMatrixView x, MatrixView y) {
   const index_t nb = a.block_rows();
+  OmpExceptionLatch latch;
 #pragma omp parallel for schedule(dynamic, 1)
   for (index_t bi = 0; bi < nb; ++bi) {
-    sparse::csb_block_zero(a, bi, y);
-    for (index_t bj = 0; bj < a.block_cols(); ++bj) {
-      if (!a.block_empty(bi, bj)) sparse::csb_block_spmm(a, bi, bj, x, y);
-    }
+    latch.run([&] {
+      sparse::csb_block_zero(a, bi, y);
+      for (index_t bj = 0; bj < a.block_cols(); ++bj) {
+        if (!a.block_empty(bi, bj)) sparse::csb_block_spmm(a, bi, bj, x, y);
+      }
+    });
   }
+  latch.rethrow();
 }
 
 namespace {

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
 
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 #ifdef _OPENMP
@@ -26,20 +30,35 @@ std::vector<std::vector<graph::TaskId>> unique_successors(
   return out;
 }
 
+void invoke_body(const graph::Task& task) {
+  support::fault::check("ds:task");
+  if (task.body) task.body();
+}
+
+/// Runs one task; any exception escaping the body is wrapped in a
+/// support::TaskError naming the failing task.
 void run_task(const graph::Tdg& g, graph::TaskId id,
               perf::TraceRecorder* trace, unsigned worker) {
   const graph::Task& task = g.task(id);
-  if (trace != nullptr) {
-    perf::TaskEvent ev;
-    ev.task_id = id;
-    ev.kind = task.kind;
-    ev.worker = static_cast<std::int32_t>(worker);
-    ev.start_ns = support::now_ns();
-    if (task.body) task.body();
-    ev.end_ns = support::now_ns();
-    trace->record(worker, ev);
-  } else if (task.body) {
-    task.body();
+  try {
+    if (trace != nullptr) {
+      perf::TaskEvent ev;
+      ev.task_id = id;
+      ev.kind = task.kind;
+      ev.worker = static_cast<std::int32_t>(worker);
+      ev.start_ns = support::now_ns();
+      invoke_body(task);
+      ev.end_ns = support::now_ns();
+      trace->record(worker, ev);
+    } else {
+      invoke_body(task);
+    }
+  } catch (const support::TaskError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw support::TaskError(graph::task_label(task), e.what());
+  } catch (...) {
+    throw support::TaskError(graph::task_label(task), "unknown exception");
   }
 }
 
@@ -56,6 +75,14 @@ struct OmpContext {
   std::vector<std::vector<graph::TaskId>> succ;
   std::unique_ptr<std::atomic<std::int32_t>[]> remaining;
   perf::TraceRecorder* trace;
+  // Failure containment: the first exception is latched; a failed task does
+  // NOT decrement its successors' counters, so everything downstream of the
+  // failure stays unspawned (poisoned readiness), and `cancelled` makes
+  // already-spawned-but-not-started tasks skip their bodies.
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::uint64_t> suppressed{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
 };
 
 void spawn_task(OmpContext& ctx, graph::TaskId id);
@@ -73,9 +100,21 @@ void spawn_task(OmpContext& ctx, graph::TaskId id) {
   OmpContext* c = &ctx;
 #pragma omp task firstprivate(c, id) untied
   {
-    run_task(*c->graph, id, c->trace,
-             static_cast<unsigned>(omp_get_thread_num()));
-    finish_task(*c, id);
+    if (c->cancelled.load(std::memory_order_acquire)) {
+      c->suppressed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        run_task(*c->graph, id, c->trace,
+                 static_cast<unsigned>(omp_get_thread_num()));
+        finish_task(*c, id);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(c->error_mutex);
+          if (!c->error) c->error = std::current_exception();
+        }
+        c->cancelled.store(true, std::memory_order_release);
+      }
+    }
   }
 }
 
@@ -101,7 +140,11 @@ void execute_omp(const graph::Tdg& g, perf::TraceRecorder* trace) {
       if (indeg[static_cast<std::size_t>(id)] == 0) spawn_task(ctx, id);
     }
   }
-  // Implicit barrier of the parallel region waits for all spawned tasks.
+  // Implicit barrier of the parallel region waits for all spawned tasks —
+  // and only for spawned ones, so the poisoned (never-spawned) successors
+  // of a failed task don't stall it. Surface the single latched failure
+  // here, on the calling thread, where it is catchable.
+  if (ctx.error) std::rethrow_exception(ctx.error);
 }
 
 #endif // _OPENMP

@@ -26,6 +26,14 @@ struct ExecOptions {
 };
 
 /// Executes every task in `g` respecting dependencies. Blocks until done.
+///
+/// Failure contract: an exception escaping a task body is wrapped in a
+/// support::TaskError naming the task (e.g. "spmv[3,2]"). In kOmpTasks mode
+/// the first failure is latched, the failed task's successors are never
+/// spawned (their readiness counters stay poisoned), queued-but-unstarted
+/// tasks skip their bodies, and the single latched TaskError is rethrown
+/// from execute() after the region drains. In kSerial mode the TaskError
+/// propagates directly and later tasks never run.
 void execute(const graph::Tdg& g, const ExecOptions& options);
 
 } // namespace sts::ds

@@ -59,6 +59,22 @@ void attach_continuations(const A& arg, const Cb& cb) {
   }
 }
 
+/// First stored exception among the (ready) futures inside `arg`, if any.
+template <typename A>
+std::exception_ptr dependency_error(const A& arg) {
+  if constexpr (!is_future_like_v<A>) {
+    (void)arg;
+    return nullptr;
+  } else if constexpr (requires { arg.begin(); }) {
+    for (const auto& f : arg) {
+      if (auto e = f.state()->error()) return e;
+    }
+    return nullptr;
+  } else {
+    return arg.state()->error();
+  }
+}
+
 template <typename R>
 struct Invoker {
   template <typename F, typename Tuple>
@@ -89,12 +105,20 @@ auto async(Scheduler& sched, F&& f, Args&&... args)
   using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>;
   promise<R> result;
   auto fut = result.get_future();
-  sched.submit([f = std::forward<F>(f),
-                args = std::make_tuple(std::forward<Args>(args)...),
-                result]() mutable {
+  // submit_always: this closure owns a promise, so it must run even under
+  // cancellation (a dropped body would strand the future); it skips the user
+  // body itself via rethrow_if_cancelled().
+  sched.submit_always([&sched, f = std::forward<F>(f),
+                       args = std::make_tuple(std::forward<Args>(args)...),
+                       result]() mutable {
     try {
+      sched.rethrow_if_cancelled();
       detail::Invoker<R>::run(f, args, result);
     } catch (...) {
+      // Latch with the scheduler *before* publishing to the promise, so by
+      // the time a waiter observes the exception the runtime is already
+      // cancelling — the ordering the watchdog tests rely on.
+      sched.report_task_error(std::current_exception());
       result.set_exception(std::current_exception());
     }
   });
@@ -140,12 +164,33 @@ auto dataflow_hint(Scheduler& sched, int domain_hint, F&& f, Args&&... args)
 
   auto on_dep_ready = [pending]() {
     if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      pending->sched->submit(
+      // submit_always: the closure owns a promise and must complete it even
+      // under cancellation (a dropped body would strand the future).
+      pending->sched->submit_always(
           [pending]() {
+            // A failed dependency poisons this node: forward its exception
+            // without invoking the body, so errors flow along dataflow
+            // edges exactly like values do.
+            std::exception_ptr dep_err;
+            std::apply(
+                [&](const auto&... unpacked) {
+                  ((dep_err = dep_err ? dep_err
+                                      : detail::dependency_error(unpacked)),
+                   ...);
+                },
+                pending->args);
+            if (dep_err) {
+              pending->result.set_exception(dep_err);
+              return;
+            }
             try {
+              // An unrelated task's failure cancels this body too; the
+              // latched error flows into this node's promise.
+              pending->sched->rethrow_if_cancelled();
               detail::Invoker<R>::run(pending->fn, pending->args,
                                       pending->result);
             } catch (...) {
+              pending->sched->report_task_error(std::current_exception());
               pending->result.set_exception(std::current_exception());
             }
           },

@@ -9,12 +9,14 @@
 // waiting is the equivalent for kernel-thread workers).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -65,17 +67,38 @@ public:
   }
 
   /// Blocks until ready; `helper` (may be null) is invoked repeatedly to
-  /// make progress while waiting (see future::get).
+  /// make progress while waiting (see future::get). With a helper, the wait
+  /// is cancellation-aware: if the scheduler latches a task failure, the
+  /// failure is rethrown here instead of blocking on a future whose
+  /// producer was cancelled and will never complete.
   void wait(Scheduler* helper) {
-    if (helper != nullptr && helper->current_worker() >= 0) {
-      // Cooperative wait on a worker: run other tasks instead of sleeping.
+    if (helper != nullptr) {
+      const bool on_worker = helper->current_worker() >= 0;
       while (!ready()) {
-        if (!helper->try_run_one()) std::this_thread::yield();
+        helper->rethrow_if_cancelled();
+        if (helper->try_run_one()) continue;
+        if (on_worker) {
+          // Cooperative wait on a worker: stay hot, another worker is about
+          // to publish the value.
+          std::this_thread::yield();
+          continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait_for(lock, std::chrono::milliseconds(1),
+                     [&] { return ready_; });
       }
       return;
     }
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return ready_; });
+  }
+
+  /// Stored exception if the state completed exceptionally; null while
+  /// pending or on success. Used by dataflow() to forward dependency
+  /// failures without invoking the dependent body.
+  [[nodiscard]] std::exception_ptr error() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ready_ ? error_ : nullptr;
   }
 
   /// Precondition: ready. Rethrows a stored exception.

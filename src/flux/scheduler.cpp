@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace sts::flux {
@@ -29,14 +31,24 @@ Scheduler::Scheduler(Config config) : config_(config) {
 }
 
 Scheduler::~Scheduler() {
-  wait_for_quiescence();
+  // A throwing wait here during exception unwinding would std::terminate;
+  // drain() swallows any still-latched error instead.
+  drain();
   stopping_.store(true, std::memory_order_release);
   work_available_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
 void Scheduler::submit(std::function<void()> fn, int domain_hint) {
-  STS_EXPECTS(fn != nullptr);
+  enqueue({std::move(fn), /*always_run=*/false}, domain_hint);
+}
+
+void Scheduler::submit_always(std::function<void()> fn, int domain_hint) {
+  enqueue({std::move(fn), /*always_run=*/true}, domain_hint);
+}
+
+void Scheduler::enqueue(QueuedTask task, int domain_hint) {
+  STS_EXPECTS(task.fn != nullptr);
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
 
   unsigned target;
@@ -62,7 +74,7 @@ void Scheduler::submit(std::function<void()> fn, int domain_hint) {
   {
     Worker& w = *workers_[target];
     const std::lock_guard<std::mutex> lock(w.mutex);
-    w.deque.push_front(std::move(fn));
+    w.deque.push_front(std::move(task));
   }
   // Taking sleep_mutex_ (even empty) orders this submission against any
   // worker between its idle check and its sleep, preventing a lost wakeup.
@@ -70,7 +82,7 @@ void Scheduler::submit(std::function<void()> fn, int domain_hint) {
   work_available_.notify_one();
 }
 
-bool Scheduler::pop_own(unsigned index, std::function<void()>& out) {
+bool Scheduler::pop_own(unsigned index, QueuedTask& out) {
   Worker& w = *workers_[index];
   const std::lock_guard<std::mutex> lock(w.mutex);
   if (w.deque.empty()) return false;
@@ -79,7 +91,7 @@ bool Scheduler::pop_own(unsigned index, std::function<void()>& out) {
   return true;
 }
 
-bool Scheduler::steal(unsigned thief, std::function<void()>& out) {
+bool Scheduler::steal(unsigned thief, QueuedTask& out) {
   // Same-domain victims first when NUMA-aware, then everyone. Victim order
   // is a rotating scan starting after the thief to spread contention.
   const unsigned n = config_.threads;
@@ -118,14 +130,31 @@ void Scheduler::on_task_done() {
   }
 }
 
+void Scheduler::run_task(QueuedTask& task) {
+  // After cancellation only the accounting runs: bodies of already-queued
+  // tasks are dropped so the scheduler drains instead of compounding the
+  // failure. Promise-completing closures (async/dataflow) are exempt — they
+  // must reach their promise or a helper-less get() would block forever —
+  // and observe cancelled() themselves. Any exception that reaches the
+  // worker is latched, never terminated on.
+  if (task.always_run || !cancelled_.load(std::memory_order_acquire)) {
+    try {
+      support::fault::check("flux:task");
+      task.fn();
+    } catch (...) {
+      report_task_error(std::current_exception());
+    }
+  }
+  task.fn = nullptr;
+}
+
 void Scheduler::worker_loop(unsigned index) {
   tls_scheduler = this;
   tls_worker_index = static_cast<int>(index);
-  std::function<void()> task;
+  QueuedTask task;
   while (true) {
     if (pop_own(index, task) || steal(index, task)) {
-      task();
-      task = nullptr;
+      run_task(task);
       ++workers_[index]->executed;
       on_task_done();
       continue;
@@ -147,14 +176,99 @@ void Scheduler::worker_loop(unsigned index) {
 
 void Scheduler::wait_for_quiescence() {
   STS_EXPECTS(tls_scheduler != this); // a worker waiting here would deadlock
-  std::unique_lock<std::mutex> lock(sleep_mutex_);
-  quiescent_.wait(lock, [&] {
-    return outstanding_.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    quiescent_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  rethrow_and_reset();
+}
+
+void Scheduler::wait_for_quiescence(std::chrono::milliseconds deadline) {
+  STS_EXPECTS(tls_scheduler != this);
+  {
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    const bool quiet = quiescent_.wait_for(lock, deadline, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+    if (!quiet) {
+      lock.unlock();
+      throw support::TimeoutError(
+          "flux: quiescence deadline (" + std::to_string(deadline.count()) +
+          " ms) expired: " + diagnostics().to_string());
+    }
+  }
+  rethrow_and_reset();
+}
+
+void Scheduler::report_task_error(std::exception_ptr error) noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = error;
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void Scheduler::rethrow_if_cancelled() {
+  if (!cancelled_.load(std::memory_order_acquire)) return;
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+  throw support::Error("flux: scheduler cancelled");
+}
+
+void Scheduler::rethrow_and_reset() {
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  cancelled_.store(false, std::memory_order_release);
+  if (err) std::rethrow_exception(err);
+}
+
+void Scheduler::drain() noexcept {
+  {
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    quiescent_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    first_error_ = nullptr;
+  }
+  cancelled_.store(false, std::memory_order_release);
+}
+
+Scheduler::QueueDiagnostics Scheduler::diagnostics() const {
+  QueueDiagnostics d;
+  d.outstanding = outstanding_.load(std::memory_order_acquire);
+  d.queue_depths.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    const std::lock_guard<std::mutex> lock(w->mutex);
+    d.queue_depths.push_back(w->deque.size());
+  }
+  return d;
+}
+
+std::string Scheduler::QueueDiagnostics::to_string() const {
+  std::string out = std::to_string(outstanding) + " task(s) outstanding, " +
+                    "queue depths [";
+  for (std::size_t i = 0; i < queue_depths.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(queue_depths[i]);
+  }
+  out += "]";
+  return out;
 }
 
 bool Scheduler::try_run_one() {
-  std::function<void()> task;
+  QueuedTask task;
   bool got = false;
   if (tls_scheduler == this && tls_worker_index >= 0) {
     got = pop_own(static_cast<unsigned>(tls_worker_index), task) ||
@@ -172,7 +286,7 @@ bool Scheduler::try_run_one() {
     }
   }
   if (!got) return false;
-  task();
+  run_task(task);
   on_task_done();
   return true;
 }

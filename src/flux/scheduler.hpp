@@ -9,12 +9,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -56,13 +59,49 @@ public:
   /// including workers (where it pushes to the caller's own deque).
   void submit(std::function<void()> fn, int domain_hint = -1);
 
+  /// Like submit(), but the task still runs after cancellation. For closures
+  /// that complete a promise (async/dataflow internals): dropping them would
+  /// strand their future, so they run regardless and are expected to observe
+  /// cancelled() themselves and complete the promise exceptionally.
+  void submit_always(std::function<void()> fn, int domain_hint = -1);
+
   /// Blocks until every submitted task (including tasks submitted by
   /// running tasks) has finished. Must be called from a non-worker thread.
+  /// If a task failed since the last wait, rethrows the first failure and
+  /// resets the error state, leaving the scheduler reusable.
   void wait_for_quiescence();
+
+  /// Bounded wait: like wait_for_quiescence(), but throws
+  /// support::TimeoutError carrying outstanding-task counts and per-worker
+  /// queue depths if the runtime has not drained within `deadline`.
+  void wait_for_quiescence(std::chrono::milliseconds deadline);
 
   /// Runs one pending task on the calling thread if any is available.
   /// Used by future::get() to help instead of blocking a worker.
   bool try_run_one();
+
+  /// Latches `error` as the first task failure (later reports are dropped)
+  /// and cancels remaining work: queued task bodies are skipped, only their
+  /// accounting runs, so the scheduler drains instead of hanging. Called by
+  /// the worker loop and by dataflow/async when a task body throws.
+  void report_task_error(std::exception_ptr error) noexcept;
+
+  /// True between the first task failure and the wait that consumes it.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Throws the latched failure (without consuming it) if cancelled. Used
+  /// by future waits so external threads unblock on cancellation.
+  void rethrow_if_cancelled();
+
+  /// Stall snapshot for watchdog reporting.
+  struct QueueDiagnostics {
+    std::uint64_t outstanding = 0;
+    std::vector<std::size_t> queue_depths; // one entry per worker
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] QueueDiagnostics diagnostics() const;
 
   [[nodiscard]] unsigned thread_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
@@ -83,18 +122,27 @@ public:
   [[nodiscard]] Stats stats() const;
 
 private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    bool always_run = false; // exempt from drop-on-cancel (see submit_always)
+  };
+
   struct Worker {
     std::mutex mutex;
-    std::deque<std::function<void()>> deque;
+    std::deque<QueuedTask> deque;
     std::uint64_t executed = 0;
     std::uint64_t steals = 0;
     std::uint64_t cross_domain_steals = 0;
   };
 
   void worker_loop(unsigned index);
-  bool pop_own(unsigned index, std::function<void()>& out);
-  bool steal(unsigned thief, std::function<void()>& out);
+  void enqueue(QueuedTask task, int domain_hint);
+  bool pop_own(unsigned index, QueuedTask& out);
+  bool steal(unsigned thief, QueuedTask& out);
+  void run_task(QueuedTask& task);
   void on_task_done();
+  void rethrow_and_reset();
+  void drain() noexcept;
 
   Config config_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -103,6 +151,10 @@ private:
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<unsigned> next_worker_{0};
+
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex error_mutex_;
+  std::exception_ptr first_error_;
 
   std::mutex sleep_mutex_;
   std::condition_variable work_available_;

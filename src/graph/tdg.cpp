@@ -25,6 +25,17 @@ const char* to_string(KernelKind k) {
   return "?";
 }
 
+std::string task_label(const Task& task) {
+  std::string label = to_string(task.kind);
+  if (task.bi >= 0 && task.bj >= 0) {
+    label += "[" + std::to_string(task.bi) + "," + std::to_string(task.bj) +
+             "]";
+  } else if (task.bi >= 0) {
+    label += "[" + std::to_string(task.bi) + "]";
+  }
+  return label;
+}
+
 TaskId Tdg::add_task(Task task) {
   tasks_.push_back(std::move(task));
   succ_.emplace_back();

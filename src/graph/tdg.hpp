@@ -54,6 +54,12 @@ struct Access {
 using TaskId = std::int32_t;
 inline constexpr TaskId kInvalidTask = -1;
 
+struct Task;
+
+/// Human-readable task label for diagnostics and error messages:
+/// "spmv[3,2]" for block-structured tasks, "reduce[5]" / "conv" otherwise.
+[[nodiscard]] std::string task_label(const Task& task);
+
 struct Task {
   KernelKind kind = KernelKind::kOther;
   std::int32_t bi = -1; // block-row coordinate, -1 if not block-structured

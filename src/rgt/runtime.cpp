@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace sts::rgt {
@@ -58,7 +60,10 @@ Runtime::Runtime(Config config)
                   .numa_domains = 1,
                   .numa_aware = false}) {}
 
-Runtime::~Runtime() { wait_all(); }
+Runtime::~Runtime() {
+  // Must not throw during unwinding: drain() swallows any latched error.
+  drain();
+}
 
 RegionId Runtime::register_region(std::span<double> storage,
                                   std::string name) {
@@ -160,12 +165,38 @@ void Runtime::append_capture_entry(const TaskPtr& task, bool is_fold,
       static_cast<std::int32_t>(active_capture_->entries.size() - 1);
 }
 
+void Runtime::run_body(const TaskPtr& task) {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  try {
+    support::fault::check("rgt:task");
+    TaskContext ctx(this, scheduler_.current_worker());
+    task->body(ctx);
+  } catch (const support::TaskError&) {
+    report_error(std::current_exception());
+  } catch (const std::exception& e) {
+    report_error(
+        std::make_exception_ptr(support::TaskError(task->name, e.what())));
+  } catch (...) {
+    report_error(std::make_exception_ptr(
+        support::TaskError(task->name, "unknown exception")));
+  }
+}
+
 void Runtime::notify_ready(const TaskPtr& task) {
   if (task->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   Runtime* rt = this;
-  scheduler_.submit([rt, task]() {
-    TaskContext ctx(rt, rt->scheduler_.current_worker());
-    task->body(ctx);
+  // submit_always: this closure carries the in_flight_ accounting and the
+  // successor notifications; a scheduler-level cancellation dropping it
+  // would leave wait_all() stuck. run_body() does its own containment.
+  scheduler_.submit_always([rt, task]() {
+    rt->run_body(task);
+    // Successors are notified even when the body failed or was skipped:
+    // every launch holds an in_flight_ count, so withholding notifications
+    // would leave wait_all() stuck. Downstream bodies are suppressed by the
+    // cancelled flag instead.
     std::vector<TaskPtr> succ;
     {
       const std::lock_guard<std::mutex> lock(task->mutex);
@@ -175,6 +206,45 @@ void Runtime::notify_ready(const TaskPtr& task) {
     for (const TaskPtr& s : succ) rt->notify_ready(s);
     rt->on_finished();
   });
+}
+
+void Runtime::report_error(std::exception_ptr error) noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = error;
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void Runtime::rethrow_and_reset() {
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  cancelled_.store(false, std::memory_order_release);
+  suppressed_.store(0, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
+}
+
+void Runtime::drain() noexcept {
+  if (active_capture_ == nullptr && active_replay_ == nullptr) {
+    for (std::size_t rid = 0; rid < regions_.size(); ++rid) {
+      close_reduction_epoch(static_cast<RegionId>(rid));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(window_mutex_);
+    window_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    first_error_ = nullptr;
+  }
+  cancelled_.store(false, std::memory_order_release);
+  suppressed_.store(0, std::memory_order_relaxed);
 }
 
 void Runtime::enforce_window() {
@@ -571,10 +641,37 @@ void Runtime::wait_all() {
   for (std::size_t rid = 0; rid < regions_.size(); ++rid) {
     close_reduction_epoch(static_cast<RegionId>(rid));
   }
-  std::unique_lock<std::mutex> lock(window_mutex_);
-  window_cv_.wait(lock, [&] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(window_mutex_);
+    window_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  rethrow_and_reset();
+}
+
+void Runtime::wait_all(std::chrono::milliseconds deadline) {
+  STS_EXPECTS(active_capture_ == nullptr && active_replay_ == nullptr);
+  for (std::size_t rid = 0; rid < regions_.size(); ++rid) {
+    close_reduction_epoch(static_cast<RegionId>(rid));
+  }
+  {
+    std::unique_lock<std::mutex> lock(window_mutex_);
+    const bool quiet = window_cv_.wait_for(lock, deadline, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+    if (!quiet) {
+      const std::uint64_t pending =
+          in_flight_.load(std::memory_order_acquire);
+      lock.unlock();
+      throw support::TimeoutError(
+          "rgt: wait_all deadline (" + std::to_string(deadline.count()) +
+          " ms) expired: " + std::to_string(pending) +
+          " task(s) in flight, scheduler " +
+          scheduler_.diagnostics().to_string());
+    }
+  }
+  rethrow_and_reset();
 }
 
 Runtime::Stats Runtime::stats() const { return stats_; }

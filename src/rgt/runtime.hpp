@@ -23,7 +23,9 @@
 // -ll:util and is consumed by the schedule simulator's Regent policy.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -136,8 +138,23 @@ public:
   void begin_trace(std::int32_t trace_id);
   void end_trace(std::int32_t trace_id);
 
-  /// Blocks until all launched tasks (and pending folds) completed.
+  /// Blocks until all launched tasks (and pending folds) completed. If a
+  /// task body threw, the first failure is rethrown here as a
+  /// support::TaskError naming the failing task, the error state is reset,
+  /// and the runtime stays usable for subsequent launches.
   void wait_all();
+
+  /// Bounded wait_all: throws support::TimeoutError carrying the in-flight
+  /// task count and the worker pool's queue depths if the runtime has not
+  /// drained within `deadline`.
+  void wait_all(std::chrono::milliseconds deadline);
+
+  /// True between the first task failure and the wait_all that consumes it.
+  /// While cancelled, bodies of still-pending tasks are skipped (their
+  /// dependence bookkeeping still runs so the runtime drains).
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] unsigned cpu_workers() const noexcept {
@@ -182,6 +199,10 @@ private:
                             RegionId fold_region);
   /// Drops one pending-dependency count; submits the task when it hits 0.
   void notify_ready(const TaskPtr& task);
+  void run_body(const TaskPtr& task);
+  void report_error(std::exception_ptr error) noexcept;
+  void rethrow_and_reset();
+  void drain() noexcept;
   void on_finished();
   void enforce_window();
   void snapshot_boundary();
@@ -196,6 +217,11 @@ private:
   std::atomic<std::uint64_t> in_flight_{0};
   std::mutex window_mutex_;
   std::condition_variable window_cv_;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> suppressed_{0};
+  mutable std::mutex error_mutex_;
+  std::exception_ptr first_error_;
 
   Stats stats_;
 

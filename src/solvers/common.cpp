@@ -1,5 +1,7 @@
 #include "solvers/common.hpp"
 
+#include "support/error.hpp"
+
 namespace sts::solver {
 
 const char* to_string(Version v) {
@@ -11,6 +13,28 @@ const char* to_string(Version v) {
     case Version::kRgt: return "regent-rgt";
   }
   return "?";
+}
+
+const char* to_string(SolverStatus s) {
+  switch (s) {
+    case SolverStatus::kOk: return "ok";
+    case SolverStatus::kBreakdown: return "breakdown";
+    case SolverStatus::kNotFinite: return "not_finite";
+  }
+  return "?";
+}
+
+void validate(const SolverOptions& options) {
+  if (options.block_size <= 0) {
+    throw support::Error("solver options: block_size must be positive, got " +
+                         std::to_string(options.block_size));
+  }
+  if (options.threads == 0) {
+    throw support::Error("solver options: threads must be positive");
+  }
+  if (options.numa_domains == 0) {
+    throw support::Error("solver options: numa_domains must be >= 1");
+  }
 }
 
 } // namespace sts::solver

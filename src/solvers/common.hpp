@@ -24,6 +24,19 @@ enum class Version { kLibCsr, kLibCsb, kDs, kFlux, kRgt };
 
 [[nodiscard]] const char* to_string(Version v);
 
+/// How a solver run ended. Anything other than kOk means the returned
+/// result is truncated at the last numerically sound iteration — still
+/// valid data, never NaN Ritz values or a crash.
+enum class SolverStatus : std::uint8_t {
+  kOk,        // ran to the requested iteration/convergence criterion
+  kBreakdown, // Lanczos beta ~ 0 (invariant subspace) or singular
+              // Rayleigh-Ritz Gram matrix: iteration stopped early
+  kNotFinite, // NaN/Inf detected in iterates; results before the
+              // contamination point are kept
+};
+
+[[nodiscard]] const char* to_string(SolverStatus s);
+
 /// All versions in the paper's presentation order.
 inline constexpr Version kAllVersions[] = {
     Version::kLibCsr, Version::kLibCsb, Version::kDs, Version::kFlux,
@@ -48,6 +61,12 @@ struct SolverOptions {
   perf::TraceRecorder* trace = nullptr;
   std::uint64_t seed = 42;
 };
+
+/// Throws support::Error if the options are unusable (non-positive block
+/// size or thread count, zero NUMA domains). Called by every solver driver
+/// before touching a runtime, so misconfiguration surfaces as a catchable
+/// error instead of a contract abort deep inside a kernel.
+void validate(const SolverOptions& options);
 
 struct IterationTiming {
   double total_seconds = 0.0;   // solver loop only (setup excluded)

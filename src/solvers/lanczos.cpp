@@ -20,6 +20,30 @@ namespace {
 
 constexpr double kBreakdownFloor = 1e-300;
 
+/// Relative tolerance below which beta counts as an invariant-subspace
+/// breakdown: continuing would divide by (numerical) zero and fill the next
+/// basis vector with garbage.
+constexpr double kBreakdownTol = 1e-12;
+
+/// Records one iteration's (alpha, beta) pair. Returns false when the
+/// recursion must stop: on NaN/Inf the poisoned pair is dropped and status
+/// becomes kNotFinite; on breakdown the pair is recorded (the truncated
+/// tridiagonal matrix is still valid) and status becomes kBreakdown.
+bool accept_iteration(double alpha, double beta, std::vector<double>& alphas,
+                      std::vector<double>& betas, SolverStatus& status) {
+  if (!std::isfinite(alpha) || !std::isfinite(beta)) {
+    status = SolverStatus::kNotFinite;
+    return false;
+  }
+  alphas.push_back(alpha);
+  betas.push_back(beta);
+  if (beta < kBreakdownTol * std::max(1.0, std::abs(alpha))) {
+    status = SolverStatus::kBreakdown;
+    return false;
+  }
+  return true;
+}
+
 /// Buffers shared by every version. Q holds the full Krylov basis as an
 /// m x (k+1) block vector (unused columns stay zero so each iteration's
 /// task graph has identical shape).
@@ -51,10 +75,11 @@ State make_state(const sparse::Csb& a, int k, const SolverOptions& options) {
 }
 
 LanczosResult finalize(std::vector<double> alphas, std::vector<double> betas,
-                       IterationTiming timing) {
+                       SolverStatus status, IterationTiming timing) {
   LanczosResult result;
   result.alphas = std::move(alphas);
   result.betas = std::move(betas);
+  result.status = status;
   // The tridiagonal matrix is built from the alphas and the couplings
   // beta_1..beta_{k-1}; the trailing beta_k is the next-residual norm.
   std::vector<double> off = result.betas;
@@ -74,6 +99,7 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
   const index_t chunk = options.block_size;
   std::vector<double> alphas;
   std::vector<double> betas;
+  SolverStatus status = SolverStatus::kOk;
 
   IterationTiming timing;
   const support::Timer timer;
@@ -87,8 +113,8 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
     const double alpha = s.proj.at(i, 0);
     bsp::xy(s.Q.view(), s.proj.view(), s.z.view(), chunk, -1.0, 1.0);
     const double beta = std::sqrt(bsp::dot(s.z.flat(), s.z.flat()));
-    alphas.push_back(alpha);
-    betas.push_back(beta);
+    ++timing.iterations;
+    if (!accept_iteration(alpha, beta, alphas, betas, status)) break;
     const double inv = 1.0 / std::max(beta, kBreakdownFloor);
     la::DenseMatrix* q = &s.q;
     la::DenseMatrix* z = &s.z;
@@ -101,10 +127,9 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
       q->at(r, 0) = v;
       Q->at(r, col) = v;
     }
-    ++timing.iterations;
   }
   timing.total_seconds = timer.seconds();
-  return finalize(std::move(alphas), std::move(betas), timing);
+  return finalize(std::move(alphas), std::move(betas), status, timing);
 }
 
 // --------------------------------------------------------------------------
@@ -151,19 +176,21 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
 
   std::vector<double> alphas;
   std::vector<double> betas;
+  SolverStatus status = SolverStatus::kOk;
   const ds::ExecOptions exec{.mode = ds::ExecMode::kOmpTasks,
                              .trace = options.trace};
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
     ds::execute(graph, exec);
-    alphas.push_back(s.proj.at(i, 0));
-    betas.push_back(s.beta);
-    cur_col = i + 2;
     ++timing.iterations;
+    if (!accept_iteration(s.proj.at(i, 0), s.beta, alphas, betas, status)) {
+      break;
+    }
+    cur_col = i + 2;
   }
   timing.total_seconds = timer.seconds();
-  return finalize(std::move(alphas), std::move(betas), timing);
+  return finalize(std::move(alphas), std::move(betas), status, timing);
 }
 
 // --------------------------------------------------------------------------
@@ -224,6 +251,7 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
 
   std::vector<double> alphas;
   std::vector<double> betas;
+  SolverStatus status = SolverStatus::kOk;
   IterationTiming timing;
 
   la::DenseMatrix* Q = &s.Q;
@@ -406,13 +434,14 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
     // Convergence check: the per-iteration synchronization point.
     proj_f.get(&sched);
     beta_f.get(&sched);
-    alphas.push_back(s.proj.at(i, 0));
-    betas.push_back(s.beta);
     ++timing.iterations;
+    if (!accept_iteration(s.proj.at(i, 0), s.beta, alphas, betas, status)) {
+      break;
+    }
   }
   sched.wait_for_quiescence();
   timing.total_seconds = timer.seconds();
-  return finalize(std::move(alphas), std::move(betas), timing);
+  return finalize(std::move(alphas), std::move(betas), status, timing);
 }
 
 // --------------------------------------------------------------------------
@@ -485,6 +514,7 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
 
   std::vector<double> alphas;
   std::vector<double> betas;
+  SolverStatus status = SolverStatus::kOk;
   IterationTiming timing;
 
   const support::Timer timer;
@@ -651,21 +681,35 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
     });
 
     rt.wait_all(); // convergence check barrier
-    alphas.push_back(s.proj.at(i, 0));
-    betas.push_back(*beta);
     ++timing.iterations;
+    if (!accept_iteration(s.proj.at(i, 0), *beta, alphas, betas, status)) {
+      break;
+    }
   }
   timing.total_seconds = timer.seconds();
-  return finalize(std::move(alphas), std::move(betas), timing);
+  return finalize(std::move(alphas), std::move(betas), status, timing);
 }
 
 } // namespace
 
 LanczosResult lanczos(const sparse::Csr& csr, const sparse::Csb& csb, int k,
                       Version v, const SolverOptions& options) {
-  STS_EXPECTS(k >= 1);
-  STS_EXPECTS(csb.rows() == csb.cols());
-  STS_EXPECTS(csb.block_size() == options.block_size);
+  validate(options);
+  if (k < 1) {
+    throw support::Error("lanczos: iteration count must be >= 1, got " +
+                         std::to_string(k));
+  }
+  if (csb.rows() != csb.cols()) {
+    throw support::Error("lanczos: matrix must be square, got " +
+                         std::to_string(csb.rows()) + " x " +
+                         std::to_string(csb.cols()));
+  }
+  if (csb.block_size() != options.block_size) {
+    throw support::Error(
+        "lanczos: CSB block size " + std::to_string(csb.block_size()) +
+        " does not match options.block_size " +
+        std::to_string(options.block_size));
+  }
 #ifdef _OPENMP
   omp_set_num_threads(static_cast<int>(options.threads));
 #endif

@@ -19,12 +19,19 @@ struct LanczosResult {
   std::vector<double> alphas;      // diagonal of the tridiagonal matrix
   std::vector<double> betas;       // off-diagonal (betas[i] couples i,i+1)
   std::vector<double> ritz_values; // ascending eigenvalue estimates
+  /// kOk after k full iterations; kBreakdown when beta ~ 0 ended the
+  /// recursion early (alphas/betas/ritz_values hold the truncated — still
+  /// valid — factorization); kNotFinite when NaN/Inf contaminated an
+  /// iteration (the poisoned pair is dropped, earlier data kept).
+  SolverStatus status = SolverStatus::kOk;
   IterationTiming timing;
 };
 
 /// Runs `k` Lanczos iterations of version `v`. `csr` is used by kLibCsr,
 /// `csb` by every other version; both must represent the same symmetric
-/// matrix.
+/// matrix. Throws support::Error on invalid options or k < 1; numerical
+/// trouble is reported through LanczosResult::status, never by NaN Ritz
+/// values.
 [[nodiscard]] LanczosResult lanczos(const sparse::Csr& csr,
                                     const sparse::Csb& csb, int k, Version v,
                                     const SolverOptions& options);

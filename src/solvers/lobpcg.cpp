@@ -33,6 +33,10 @@ struct Smalls {
   DenseMatrix norms; // nev x 1 residual norms
   std::vector<double> theta;
   int converged = 0;
+  // Degradation flags checked at the per-iteration barrier: set by the
+  // small-task bodies (which run on workers and must not throw).
+  bool rr_failed = false; // Rayleigh-Ritz pencil singular beyond repair
+  bool nonfinite = false; // NaN/Inf reached residual norms or Gram blocks
 
   explicit Smalls(index_t n)
       : M(n, n), RR(n, n), CXW(n, n), GWW(n, n), WSC(n, n), ga01(n, n),
@@ -74,6 +78,7 @@ void body_conv_check(Smalls* sm, double tol) {
   for (index_t j = 0; j < n; ++j) {
     const double norm = std::sqrt(std::max(0.0, sm->RR.at(j, j)));
     sm->norms.at(j, 0) = norm;
+    if (!std::isfinite(norm)) sm->nonfinite = true;
     if (norm < tol) ++converged;
   }
   sm->converged = converged;
@@ -150,6 +155,25 @@ void body_rayleigh_ritz(Smalls* sm) {
     }
   }
 
+  // A degenerate pencil must not throw from a task body; degrade instead:
+  // CX = I, CW = CP = 0 makes the update a no-op, the flag stops the
+  // driver loop at its next barrier, and the previous theta survives.
+  auto degrade = [&] {
+    sm->CX.fill(0.0);
+    for (index_t i = 0; i < n; ++i) sm->CX.at(i, i) = 1.0;
+    sm->CW.fill(0.0);
+    sm->CP.fill(0.0);
+  };
+  for (index_t i = 0; i < dim; ++i) {
+    for (index_t j = 0; j < dim; ++j) {
+      if (!std::isfinite(ga.at(i, j)) || !std::isfinite(gb.at(i, j))) {
+        sm->nonfinite = true;
+        degrade();
+        return;
+      }
+    }
+  }
+
   la::EigenResult eig;
   double jitter = 0.0;
   for (int attempt = 0;; ++attempt) {
@@ -159,7 +183,11 @@ void body_rayleigh_ritz(Smalls* sm) {
       eig = la::sym_generalized_eigen(ga.view(), gbj.view());
       break;
     } catch (const support::Error&) {
-      if (attempt >= 8) throw;
+      if (attempt >= 8) {
+        sm->rr_failed = true;
+        degrade();
+        return;
+      }
       jitter = jitter == 0.0 ? 1e-12 : jitter * 100.0;
     }
   }
@@ -182,6 +210,11 @@ LobpcgResult finalize(const State& s, IterationTiming timing) {
     result.residual_norms[static_cast<std::size_t>(j)] = s.sm.norms.at(j, 0);
   }
   result.converged = s.sm.converged;
+  if (s.sm.nonfinite) {
+    result.status = SolverStatus::kNotFinite;
+  } else if (s.sm.rr_failed) {
+    result.status = SolverStatus::kBreakdown;
+  }
   result.timing = timing;
   return result;
 }
@@ -255,7 +288,7 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
     std::swap(s.P, s.Pn);
     std::swap(s.AP, s.APn);
     ++timing.iterations;
-    if (sm.converged >= s.n) break;
+    if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -364,7 +397,7 @@ LobpcgResult run_ds(const sparse::Csb& csb, int max_iterations,
   for (int it = 0; it < max_iterations; ++it) {
     ds::execute(graph, exec);
     ++timing.iterations;
-    if (sm.converged >= s.n) break;
+    if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -753,7 +786,7 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
 
     conv.get(&fx.scheduler()); // per-iteration convergence check
     ++timing.iterations;
-    if (sm.converged >= s.n) break;
+    if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
   fx.scheduler().wait_for_quiescence();
   timing.total_seconds = timer.seconds();
@@ -1116,7 +1149,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
 
     rg.runtime().wait_all(); // per-iteration convergence barrier
     ++timing.iterations;
-    if (sm.converged >= s.n) break;
+    if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -1127,10 +1160,30 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
 LobpcgResult lobpcg(const sparse::Csr& csr, const sparse::Csb& csb,
                     int max_iterations, Version v,
                     const LobpcgOptions& options) {
-  STS_EXPECTS(max_iterations >= 1);
-  STS_EXPECTS(csb.rows() == csb.cols());
-  STS_EXPECTS(csb.block_size() == options.block_size);
-  STS_EXPECTS(options.nev >= 1 && options.nev <= csb.rows() / 4);
+  validate(options);
+  if (max_iterations < 1) {
+    throw support::Error("lobpcg: max_iterations must be >= 1, got " +
+                         std::to_string(max_iterations));
+  }
+  if (csb.rows() != csb.cols()) {
+    throw support::Error("lobpcg: matrix must be square, got " +
+                         std::to_string(csb.rows()) + " x " +
+                         std::to_string(csb.cols()));
+  }
+  if (csb.block_size() != options.block_size) {
+    throw support::Error(
+        "lobpcg: CSB block size " + std::to_string(csb.block_size()) +
+        " does not match options.block_size " +
+        std::to_string(options.block_size));
+  }
+  if (options.nev < 1 || options.nev > csb.rows() / 4) {
+    throw support::Error("lobpcg: nev must be in [1, rows/4], got " +
+                         std::to_string(options.nev) + " for " +
+                         std::to_string(csb.rows()) + " rows");
+  }
+  if (!(options.tolerance > 0.0) || !std::isfinite(options.tolerance)) {
+    throw support::Error("lobpcg: tolerance must be positive and finite");
+  }
 #ifdef _OPENMP
   omp_set_num_threads(static_cast<int>(options.threads));
 #endif

@@ -27,6 +27,11 @@ struct LobpcgResult {
   std::vector<double> eigenvalues;     // lowest nev, ascending
   std::vector<double> residual_norms;  // per eigenpair at exit
   int converged = 0;                   // eigenpairs below tolerance at exit
+  /// kOk normally; kBreakdown when the Rayleigh-Ritz Gram pencil stayed
+  /// singular through all conditioning attempts (iteration stopped, the
+  /// last sound Ritz values are returned); kNotFinite when NaN/Inf reached
+  /// the residual norms or Gram matrices.
+  SolverStatus status = SolverStatus::kOk;
   IterationTiming timing;
 };
 

@@ -1,6 +1,9 @@
 #include "sparse/csb.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "support/fault.hpp"
 
 namespace sts::sparse {
 
@@ -73,12 +76,20 @@ Coo Csb::to_coo() const {
   return coo;
 }
 
+// Fault point "spmv_block": every solver version funnels its SpMV/SpMM
+// work through these two kernels, so one site covers all five execution
+// styles. kind=throw aborts the enclosing task; kind=nan poisons the first
+// output row of the block, exercising the solvers' non-finite guards.
+
 void csb_block_spmv(const Csb& a, index_t bi, index_t bj,
                     std::span<const double> x, std::span<double> y) {
   STS_EXPECTS(static_cast<index_t>(x.size()) == a.cols());
   STS_EXPECTS(static_cast<index_t>(y.size()) == a.rows());
   const double* xb = x.data() + bj * a.block_size();
   double* yb = y.data() + bi * a.block_size();
+  if (support::fault::check("spmv_block") && a.rows_in_block(bi) > 0) {
+    yb[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   for (const Csb::Entry& e : a.block(bi, bj)) {
     yb[e.row] += e.value * xb[e.col];
   }
@@ -90,6 +101,12 @@ void csb_block_spmm(const Csb& a, index_t bi, index_t bj,
   const index_t r0 = bi * a.block_size();
   const index_t c0 = bj * a.block_size();
   const index_t n = x.cols;
+  if (support::fault::check("spmv_block") && a.rows_in_block(bi) > 0) {
+    double* yr = y.row(r0);
+    for (index_t j = 0; j < n; ++j) {
+      yr[j] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
   for (const Csb::Entry& e : a.block(bi, bj)) {
     double* yr = y.row(r0 + e.row);
     const double* xc = x.row(c0 + e.col);

@@ -9,9 +9,24 @@ namespace sts::sparse {
 
 using support::Error;
 
+namespace {
+
+/// Files written on Windows carry CRLF line endings; getline leaves the
+/// '\r' on the line, which would break token comparisons and size parsing.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+std::string entry_context(std::int64_t k, std::int64_t nnz) {
+  return "entry " + std::to_string(k + 1) + " of " + std::to_string(nnz);
+}
+
+} // namespace
+
 Coo read_matrix_market(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) throw Error("matrix market: empty input");
+  strip_cr(line);
 
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
@@ -21,6 +36,10 @@ Coo read_matrix_market(std::istream& in) {
   }
   if (format != "coordinate") {
     throw Error("matrix market: only coordinate format is supported");
+  }
+  if (field == "complex") {
+    throw Error("matrix market: complex matrices are not supported "
+                "(only real, integer and pattern fields)");
   }
   const bool pattern = field == "pattern";
   if (field != "real" && field != "integer" && !pattern) {
@@ -33,29 +52,56 @@ Coo read_matrix_market(std::istream& in) {
 
   // Skip comments, read the size line.
   while (std::getline(in, line)) {
+    strip_cr(line);
     if (!line.empty() && line[0] != '%') break;
   }
   std::istringstream size_line(line);
-  index_t rows = 0;
-  index_t cols = 0;
+  // Parse into 64-bit so absurd values are caught by the explicit checks
+  // below instead of silently failing or wrapping in narrower types.
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
   std::int64_t nnz = 0;
   if (!(size_line >> rows >> cols >> nnz)) {
     throw Error("matrix market: bad size line: " + line);
   }
+  if (rows < 0 || cols < 0 || nnz < 0) {
+    throw Error("matrix market: negative dimensions or nnz: " + line);
+  }
+  // Triplet indices are 32-bit; larger dimensions would narrow silently.
+  constexpr std::int64_t kMaxDim = 2147483647; // INT32_MAX
+  if (rows > kMaxDim || cols > kMaxDim) {
+    throw Error("matrix market: dimensions exceed 32-bit index range: " +
+                line);
+  }
+  if (rows == 0 || cols == 0 ? nnz != 0 : nnz > rows * cols) {
+    throw Error("matrix market: nnz " + std::to_string(nnz) +
+                " exceeds matrix capacity " + std::to_string(rows) + " x " +
+                std::to_string(cols));
+  }
 
-  Coo coo(rows, cols);
+  Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
   coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
   for (std::int64_t k = 0; k < nnz; ++k) {
-    index_t r = 0;
-    index_t c = 0;
+    std::int64_t r = 0;
+    std::int64_t c = 0;
     double v = 1.0;
-    if (!(in >> r >> c)) throw Error("matrix market: truncated entries");
-    if (!pattern && !(in >> v)) throw Error("matrix market: missing value");
-    if (r < 1 || r > rows || c < 1 || c > cols) {
-      throw Error("matrix market: index out of range");
+    if (!(in >> r >> c)) {
+      throw Error("matrix market: truncated entries at " +
+                  entry_context(k, nnz));
     }
-    coo.add(r - 1, c - 1, v);
-    if (symmetric && r != c) coo.add(c - 1, r - 1, v);
+    if (!pattern && !(in >> v)) {
+      throw Error("matrix market: missing value at " + entry_context(k, nnz));
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw Error("matrix market: index (" + std::to_string(r) + ", " +
+                  std::to_string(c) + ") out of range at " +
+                  entry_context(k, nnz) + " (matrix is " +
+                  std::to_string(rows) + " x " + std::to_string(cols) + ")");
+    }
+    coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetric && r != c) {
+      coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    }
   }
   coo.finalize();
   return coo;

@@ -20,6 +20,26 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// An exception escaped a task body inside one of the task runtimes. The
+/// runtime latches the first such failure, cancels remaining work, and
+/// rethrows this from its quiescence wait, carrying the failing task's label.
+class TaskError : public Error {
+public:
+  TaskError(const std::string& task, const std::string& message)
+      : Error("task '" + task + "' failed: " + message), task_(task) {}
+  [[nodiscard]] const std::string& task() const noexcept { return task_; }
+
+private:
+  std::string task_;
+};
+
+/// A bounded quiescence wait expired before the runtime drained; the message
+/// carries outstanding-task counts and per-worker queue depths.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {
   std::fprintf(stderr, "sts: %s violated: %s at %s:%d\n", kind, expr, file, line);

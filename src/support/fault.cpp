@@ -1,0 +1,177 @@
+#include "support/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace sts::support::fault {
+namespace {
+
+struct Armed {
+  Spec spec;
+  std::uint64_t visits = 0;
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Armed> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast-path gate: check() is a single relaxed load while nothing is armed.
+std::atomic<int> g_armed_count{0};
+std::once_flag g_env_once;
+
+void arm_locked(Registry& r, const Spec& spec) {
+  auto [it, inserted] = r.sites.insert_or_assign(spec.site, Armed{spec});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_release);
+}
+
+void init_from_env() {
+  const char* raw = std::getenv("STS_FAULT");
+  if (raw == nullptr || *raw == '\0') return;
+  std::string text(raw);
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string part = text.substr(begin, end - begin);
+    if (!part.empty()) arm_locked(r, parse_spec(part));
+    begin = end + 1;
+  }
+}
+
+} // namespace
+
+const char* to_string(Kind k) {
+  switch (k) {
+  case Kind::kThrow: return "throw";
+  case Kind::kNan: return "nan";
+  case Kind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+Injected::Injected(const std::string& site, std::uint64_t hit)
+    : Error("injected fault at '" + site + "' (hit " + std::to_string(hit) +
+            ")"),
+      site_(site) {}
+
+Spec parse_spec(const std::string& text) {
+  Spec spec;
+  std::size_t begin = 0;
+  bool in_options = false;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(':', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string part = text.substr(begin, end - begin);
+    // Site names may themselves contain ':' ("flux:task"): segments belong
+    // to the site until the first key=value segment.
+    if (!in_options && part.find('=') == std::string::npos) {
+      if (!part.empty()) {
+        spec.site += spec.site.empty() ? part : ":" + part;
+      }
+    } else if (!part.empty()) {
+      in_options = true;
+      std::size_t eq = part.find('=');
+      if (eq == std::string::npos)
+        throw Error("fault spec '" + text + "': expected key=value, got '" +
+                    part + "'");
+      std::string key = part.substr(0, eq);
+      std::string value = part.substr(eq + 1);
+      if (key == "hit") {
+        char* tail = nullptr;
+        unsigned long long v = std::strtoull(value.c_str(), &tail, 10);
+        if (value.empty() || *tail != '\0' || v == 0)
+          throw Error("fault spec '" + text + "': hit must be a positive " +
+                      "integer, got '" + value + "'");
+        spec.hit = v;
+      } else if (key == "kind") {
+        if (value == "throw") spec.kind = Kind::kThrow;
+        else if (value == "nan") spec.kind = Kind::kNan;
+        else if (value == "delay") spec.kind = Kind::kDelay;
+        else
+          throw Error("fault spec '" + text + "': unknown kind '" + value +
+                      "' (expected throw|nan|delay)");
+      } else if (key == "delay_ms") {
+        char* tail = nullptr;
+        unsigned long long v = std::strtoull(value.c_str(), &tail, 10);
+        if (value.empty() || *tail != '\0')
+          throw Error("fault spec '" + text + "': bad delay_ms '" + value +
+                      "'");
+        spec.delay_ms = static_cast<std::uint32_t>(v);
+      } else {
+        throw Error("fault spec '" + text + "': unknown key '" + key + "'");
+      }
+    }
+    begin = end + 1;
+  }
+  if (spec.site.empty()) throw Error("fault spec '" + text + "': empty site");
+  return spec;
+}
+
+void arm(const Spec& spec) {
+  if (spec.site.empty()) throw Error("fault spec: empty site");
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  arm_locked(r, spec);
+}
+
+void arm(const std::string& text) { arm(parse_spec(text)); }
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.sites.clear();
+  g_armed_count.store(0, std::memory_order_release);
+}
+
+std::uint64_t visits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.visits;
+}
+
+bool check(const char* site) {
+  std::call_once(g_env_once, init_from_env);
+  if (g_armed_count.load(std::memory_order_acquire) == 0) return false;
+
+  Spec fire;
+  std::uint64_t visit = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return false;
+    Armed& armed = it->second;
+    visit = ++armed.visits;
+    if (armed.fired || visit != armed.spec.hit) return false;
+    armed.fired = true;
+    fire = armed.spec;
+  }
+
+  switch (fire.kind) {
+  case Kind::kThrow:
+    throw Injected(fire.site, fire.hit);
+  case Kind::kNan:
+    return true;
+  case Kind::kDelay:
+    std::this_thread::sleep_for(std::chrono::milliseconds(fire.delay_ms));
+    return false;
+  }
+  return false;
+}
+
+} // namespace sts::support::fault

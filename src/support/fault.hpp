@@ -1,0 +1,81 @@
+// Deterministic, seeded fault injection for the task runtimes.
+//
+// Named fault points (e.g. "spmv_block", "flux:task") are compiled into the
+// product unconditionally; each call to check() visits the point. A fault is
+// armed either programmatically (arm()) or from the STS_FAULT environment
+// variable, with specs of the form
+//
+//   <site>[:hit=<n>][:kind=throw|nan|delay][:delay_ms=<ms>]
+//
+// separated by ';'. `hit` counts visits from 1 (default 1: the first visit
+// fires); a fault fires exactly once per arming, so a given task site fails
+// at a reproducible point in the task graph. Kinds:
+//
+//   throw  - throw fault::Injected from the fault point (default)
+//   nan    - check() returns true; the caller poisons its output with NaN
+//   delay  - sleep delay_ms at the fault point (stall injection for
+//            quiescence-watchdog tests)
+//
+// When nothing is armed, check() is one atomic load — the points are cheap
+// enough to keep in release kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace sts::support::fault {
+
+enum class Kind : std::uint8_t { kThrow, kNan, kDelay };
+
+[[nodiscard]] const char* to_string(Kind k);
+
+struct Spec {
+  std::string site;
+  std::uint64_t hit = 1;      // 1-based visit index that fires
+  Kind kind = Kind::kThrow;
+  std::uint32_t delay_ms = 50; // only meaningful for kDelay
+};
+
+/// Thrown from a fault point armed with kind=throw.
+class Injected : public Error {
+public:
+  Injected(const std::string& site, std::uint64_t hit);
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+private:
+  std::string site_;
+};
+
+/// Parses one spec ("site:hit=3:kind=throw"). Throws Error on bad syntax.
+[[nodiscard]] Spec parse_spec(const std::string& text);
+
+/// Arms a fault; replaces any previous arming of the same site.
+void arm(const Spec& spec);
+void arm(const std::string& text);
+
+/// Disarms every fault and resets all visit counters.
+void clear();
+
+/// Visit count of an armed site since it was armed (0 for unarmed sites —
+/// visits are only tracked while a fault is armed, keeping the unarmed
+/// fast path allocation-free).
+[[nodiscard]] std::uint64_t visits(const std::string& site);
+
+/// Visits the fault point `site`. Returns true iff a kind=nan fault fired
+/// here (the caller should poison its output); throws Injected for
+/// kind=throw; sleeps for kind=delay. The STS_FAULT environment variable is
+/// consulted once, on the first visit to any point in the process.
+bool check(const char* site);
+
+/// RAII arming for tests: arms on construction, clear()s on destruction.
+class ScopedFault {
+public:
+  explicit ScopedFault(const std::string& spec) { arm(spec); }
+  ~ScopedFault() { clear(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+} // namespace sts::support::fault

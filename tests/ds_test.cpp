@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "ds/builder.hpp"
 #include "ds/executor.hpp"
 #include "ds/program.hpp"
 #include "sparse/generators.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace sts::ds {
@@ -285,6 +289,79 @@ TEST(Executor, OmpMatchesSerialOnRandomGraphs) {
       }
     }
     ASSERT_EQ(counter.load(), n);
+  }
+}
+
+TEST(Executor, MidGraphThrowSurfacesOneTaskErrorAndSkipsSuccessors) {
+  for (const ExecMode mode : {ExecMode::kSerial, ExecMode::kOmpTasks}) {
+    graph::Tdg g;
+    std::atomic<bool> ran_pre{false};
+    std::atomic<bool> ran_after{false};
+    graph::Task pre;
+    pre.body = [&] { ran_pre = true; };
+    const auto t0 = g.add_task(std::move(pre));
+    graph::Task bad;
+    bad.kind = graph::KernelKind::kSpMV;
+    bad.bi = 2;
+    bad.bj = 1;
+    bad.body = [] { throw std::runtime_error("boom"); };
+    const auto t1 = g.add_task(std::move(bad));
+    graph::Task after;
+    after.body = [&] { ran_after = true; };
+    const auto t2 = g.add_task(std::move(after));
+    g.add_edge(t0, t1);
+    g.add_edge(t1, t2);
+    try {
+      execute(g, {.mode = mode, .trace = nullptr});
+      FAIL() << "expected TaskError";
+    } catch (const support::TaskError& e) {
+      EXPECT_EQ(e.task(), "spmv[2,1]");
+      EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+    EXPECT_TRUE(ran_pre.load());
+    EXPECT_FALSE(ran_after.load()); // successor readiness stays poisoned
+  }
+}
+
+TEST(Executor, ReusableAfterFailure) {
+  graph::Tdg bad;
+  graph::Task t;
+  t.body = [] { throw std::runtime_error("boom"); };
+  bad.add_task(std::move(t));
+  EXPECT_THROW(execute(bad, {.mode = ExecMode::kOmpTasks, .trace = nullptr}),
+               support::TaskError);
+  // The failure is contained to that execute() call.
+  ProgramFixture f;
+  DenseMatrix x(f.csb.rows(), 1);
+  DenseMatrix y(f.csb.rows(), 1);
+  x.fill(1.0);
+  Program prog(&f.csb, {});
+  prog.spmm(prog.vec("x", &x), prog.vec("y", &y));
+  EXPECT_NO_THROW(
+      execute(prog.build(), {.mode = ExecMode::kOmpTasks, .trace = nullptr}));
+}
+
+TEST(Executor, InjectedFaultNamesFailingTask) {
+  support::fault::ScopedFault inject("ds:task:hit=2");
+  graph::Tdg g;
+  std::array<graph::KernelKind, 3> kinds = {graph::KernelKind::kZero,
+                                            graph::KernelKind::kSpMV,
+                                            graph::KernelKind::kReduce};
+  graph::TaskId prev = 0;
+  for (int i = 0; i < 3; ++i) {
+    graph::Task t;
+    t.kind = kinds[static_cast<std::size_t>(i)];
+    t.bi = i;
+    const auto id = g.add_task(std::move(t));
+    if (i > 0) g.add_edge(prev, id);
+    prev = id;
+  }
+  try {
+    execute(g, {.mode = ExecMode::kOmpTasks, .trace = nullptr});
+    FAIL() << "expected TaskError from the injected fault";
+  } catch (const support::TaskError& e) {
+    EXPECT_EQ(e.task(), "spmv[1]"); // second task in the chain
+    EXPECT_NE(std::string(e.what()).find("ds:task"), std::string::npos);
   }
 }
 

@@ -1,0 +1,200 @@
+// End-to-end failure containment: deterministic fault injection through the
+// solvers, breakdown detection, and option validation. These tests carry the
+// ctest label "faults" (run with `ctest -L faults`).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "solvers/lanczos.hpp"
+#include "solvers/lobpcg.hpp"
+#include "sparse/generators.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace sts {
+namespace {
+
+using solver::SolverStatus;
+using solver::Version;
+
+/// gtest parameter names must be alphanumeric; version names carry dashes.
+std::string version_name(const ::testing::TestParamInfo<Version>& info) {
+  std::string name = solver::to_string(info.param);
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return name;
+}
+
+TEST(FaultSpec, ParsesSiteAndOptions) {
+  const auto s = support::fault::parse_spec("spmv_block:hit=3:kind=nan");
+  EXPECT_EQ(s.site, "spmv_block");
+  EXPECT_EQ(s.hit, 3u);
+  EXPECT_EQ(s.kind, support::fault::Kind::kNan);
+
+  const auto d = support::fault::parse_spec("x:kind=delay:delay_ms=7");
+  EXPECT_EQ(d.kind, support::fault::Kind::kDelay);
+  EXPECT_EQ(d.delay_ms, 7u);
+
+  const auto plain = support::fault::parse_spec("flux:task");
+  EXPECT_EQ(plain.site, "flux:task"); // ':' without '=' stays in the site
+  EXPECT_EQ(plain.hit, 1u);
+  EXPECT_EQ(plain.kind, support::fault::Kind::kThrow);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)support::fault::parse_spec(""), support::Error);
+  EXPECT_THROW((void)support::fault::parse_spec("site:hit=0"),
+               support::Error);
+  EXPECT_THROW((void)support::fault::parse_spec("site:kind=explode"),
+               support::Error);
+}
+
+TEST(FaultRegistry, FiresExactlyOnceAtTheArmedVisit) {
+  support::fault::ScopedFault f("reg_test:hit=3");
+  EXPECT_FALSE(support::fault::check("reg_test"));
+  EXPECT_FALSE(support::fault::check("reg_test"));
+  EXPECT_THROW(support::fault::check("reg_test"),
+               support::fault::Injected);
+  // Fired once: later visits pass through.
+  EXPECT_FALSE(support::fault::check("reg_test"));
+  EXPECT_EQ(support::fault::visits("reg_test"), 4u);
+  EXPECT_FALSE(support::fault::check("other_site")); // unarmed site
+  EXPECT_EQ(support::fault::visits("other_site"), 0u);
+}
+
+TEST(FaultRegistry, ClearDisarmsAndResetsCounters) {
+  support::fault::arm("reg_test2:hit=1");
+  EXPECT_THROW(support::fault::check("reg_test2"),
+               support::fault::Injected);
+  support::fault::clear();
+  EXPECT_FALSE(support::fault::check("reg_test2"));
+  EXPECT_EQ(support::fault::visits("reg_test2"), 0u);
+}
+
+TEST(FaultRegistry, DelayKindStallsTheCaller) {
+  support::fault::ScopedFault f("reg_test3:kind=delay:delay_ms=50");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(support::fault::check("reg_test3"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 40);
+}
+
+struct SolverFixture {
+  sparse::Coo coo;
+  sparse::Csr csr;
+  sparse::Csb csb;
+  solver::SolverOptions options;
+
+  SolverFixture()
+      : coo(sparse::gen_fem3d(5, 5, 5, 1, 31)),
+        csr(sparse::Csr::from_coo(coo)),
+        csb(sparse::Csb::from_coo(coo, 32)) {
+    options.block_size = 32;
+    options.threads = 2;
+  }
+};
+
+class LanczosFaultVersions : public ::testing::TestWithParam<Version> {};
+
+TEST_P(LanczosFaultVersions, ThrowFaultInSpmvSurfacesAsCatchableError) {
+  SolverFixture f;
+  support::fault::ScopedFault inject("spmv_block:hit=4:kind=throw");
+  // The injected throw escapes the runtime as one support::Error (the task
+  // runtimes wrap it in TaskError naming the failing task; the BSP versions
+  // surface the Injected itself) — never std::terminate, never a hang.
+  EXPECT_THROW((void)solver::lanczos(f.csr, f.csb, 8, GetParam(), f.options),
+               support::Error);
+}
+
+TEST_P(LanczosFaultVersions, NanFaultYieldsTruncatedNotFiniteResult) {
+  SolverFixture f;
+  support::fault::ScopedFault inject("spmv_block:hit=4:kind=nan");
+  const auto r = solver::lanczos(f.csr, f.csb, 8, GetParam(), f.options);
+  EXPECT_EQ(r.status, SolverStatus::kNotFinite);
+  EXPECT_LT(r.alphas.size(), 8u); // the poisoned iteration was dropped
+  for (const double v : r.ritz_values) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCsbVersions, LanczosFaultVersions,
+                         ::testing::Values(Version::kLibCsb, Version::kDs,
+                                           Version::kFlux, Version::kRgt),
+                         version_name);
+
+class LanczosBreakdownVersions : public ::testing::TestWithParam<Version> {};
+
+TEST_P(LanczosBreakdownVersions, ScaledIdentityBreaksDownCleanly) {
+  // A = 2I: the Krylov space collapses after one step (A q = alpha q, so
+  // beta_1 ~ 0). The solver must stop with kBreakdown and return the
+  // truncated — still exact — factorization instead of NaN Ritz values.
+  const la::index_t n = 64;
+  sparse::Coo coo(n, n);
+  for (la::index_t i = 0; i < n; ++i) coo.add(i, i, 2.0);
+  coo.finalize();
+  const sparse::Csr csr = sparse::Csr::from_coo(coo);
+  const sparse::Csb csb = sparse::Csb::from_coo(coo, 16);
+  solver::SolverOptions options;
+  options.block_size = 16;
+  options.threads = 2;
+  const auto r = solver::lanczos(csr, csb, 10, GetParam(), options);
+  EXPECT_EQ(r.status, SolverStatus::kBreakdown);
+  ASSERT_GE(r.ritz_values.size(), 1u);
+  for (const double v : r.ritz_values) {
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 2.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, LanczosBreakdownVersions,
+                         ::testing::ValuesIn(solver::kAllVersions),
+                         version_name);
+
+TEST(LobpcgFaults, NanFaultStopsCleanlyWithStatus) {
+  SolverFixture f;
+  solver::LobpcgOptions options;
+  options.block_size = 32;
+  options.threads = 2;
+  options.nev = 4;
+  support::fault::ScopedFault inject("spmv_block:hit=6:kind=nan");
+  const auto r = solver::lobpcg(f.csr, f.csb, 10, Version::kDs, options);
+  EXPECT_NE(r.status, SolverStatus::kOk);
+  EXPECT_LT(r.timing.iterations, 10);
+}
+
+TEST(OptionValidation, BadOptionsThrowInsteadOfAborting) {
+  SolverFixture f;
+  EXPECT_THROW((void)solver::lanczos(f.csr, f.csb, 0, Version::kLibCsb,
+                                     f.options),
+               support::Error);
+  solver::SolverOptions bad = f.options;
+  bad.threads = 0;
+  EXPECT_THROW((void)solver::lanczos(f.csr, f.csb, 4, Version::kLibCsb, bad),
+               support::Error);
+  bad = f.options;
+  bad.block_size = -1;
+  EXPECT_THROW((void)solver::lanczos(f.csr, f.csb, 4, Version::kLibCsb, bad),
+               support::Error);
+  // CSB block size disagreeing with the options is caught up front.
+  bad = f.options;
+  bad.block_size = 64;
+  EXPECT_THROW((void)solver::lanczos(f.csr, f.csb, 4, Version::kDs, bad),
+               support::Error);
+
+  solver::LobpcgOptions lo;
+  lo.block_size = 32;
+  lo.threads = 2;
+  lo.nev = 0;
+  EXPECT_THROW((void)solver::lobpcg(f.csr, f.csb, 4, Version::kLibCsb, lo),
+               support::Error);
+  lo.nev = 4;
+  lo.tolerance = -1.0;
+  EXPECT_THROW((void)solver::lobpcg(f.csr, f.csb, 4, Version::kLibCsb, lo),
+               support::Error);
+}
+
+} // namespace
+} // namespace sts

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 
 #include "flux/dataflow.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace sts::flux {
@@ -109,6 +114,9 @@ TEST(Async, PropagatesExceptions) {
   Scheduler s(cfg(2));
   auto f = async(s, []() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW((void)f.get(), std::runtime_error);
+  // The scheduler latched the same error; the next quiescence wait
+  // surfaces it once, then the scheduler is clean again.
+  EXPECT_THROW(s.wait_for_quiescence(), std::runtime_error);
   s.wait_for_quiescence();
 }
 
@@ -223,6 +231,86 @@ TEST(Dataflow, RandomDagMatchesSerialEvaluation) {
     s.wait_for_quiescence();
     ASSERT_EQ(values, serial) << "trial " << trial;
   }
+}
+
+TEST(Faults, MidChainErrorSkipsSuccessorsAndSurfacesOnce) {
+  Scheduler s(cfg(2));
+  std::atomic<bool> ran_a{false};
+  std::atomic<bool> ran_c{false};
+  auto a = dataflow(s, unwrapping([&] { ran_a = true; })).share();
+  auto b = dataflow(s, unwrapping([]() -> void {
+                      throw support::TaskError("spmv[1,1]", "injected");
+                    }),
+                    a)
+               .share();
+  auto c = dataflow(s, unwrapping([&] { ran_c = true; }), b).share();
+  try {
+    c.get();
+    FAIL() << "expected TaskError";
+  } catch (const support::TaskError& e) {
+    EXPECT_EQ(e.task(), "spmv[1,1]");
+  }
+  EXPECT_TRUE(ran_a.load());
+  EXPECT_FALSE(ran_c.load()); // the dependency's error was forwarded
+  EXPECT_TRUE(s.cancelled());
+  EXPECT_THROW(s.wait_for_quiescence(), support::TaskError);
+  // Clean after the rethrow: the scheduler is reusable.
+  EXPECT_FALSE(s.cancelled());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) s.submit([&] { count.fetch_add(1); });
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(Faults, CancellationDropsQueuedTasks) {
+  // One worker makes the schedule deterministic: the failing task enqueues
+  // its successors, throws, and only then can the worker dequeue them.
+  Scheduler s(cfg(1));
+  std::atomic<int> ran{0};
+  s.submit([&] {
+    for (int i = 0; i < 64; ++i) s.submit([&] { ran.fetch_add(1); });
+    throw std::runtime_error("abort the rest");
+  });
+  EXPECT_THROW(s.wait_for_quiescence(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);
+  s.wait_for_quiescence(); // reusable and clean
+}
+
+TEST(Faults, InjectedFaultAtTaskSite) {
+  Scheduler s(cfg(2));
+  support::fault::ScopedFault f("flux:task:hit=3");
+  for (int i = 0; i < 8; ++i) {
+    s.submit([] {});
+  }
+  try {
+    s.wait_for_quiescence();
+    FAIL() << "expected fault::Injected";
+  } catch (const support::fault::Injected& e) {
+    EXPECT_EQ(e.site(), "flux:task");
+  }
+}
+
+TEST(Faults, QuiescenceDeadlineReportsDiagnostics) {
+  Scheduler s(cfg(2));
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  s.submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  });
+  try {
+    s.wait_for_quiescence(std::chrono::milliseconds(100));
+    FAIL() << "expected TimeoutError";
+  } catch (const support::TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("outstanding"), std::string::npos);
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  s.wait_for_quiescence(std::chrono::seconds(5));
 }
 
 TEST(Scheduler, StealStatsAccumulate) {

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
 
 #include "rgt/runtime.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace sts::rgt {
@@ -305,6 +311,82 @@ TEST(Runtime, RandomProgramMatchesSerialSemantics) {
           << "trial " << trial << " piece " << p;
     }
   }
+}
+
+TEST(Faults, FailedTaskSuppressesSuccessorsAndNamesItself) {
+  std::vector<double> data(1, 0.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(data, "d");
+  std::atomic<bool> ran_after{false};
+  rt.execute({[](TaskContext&) { throw std::runtime_error("boom"); },
+              {{r, -1, Privilege::kWrite}},
+              "bad_write"});
+  rt.execute({[&](TaskContext&) { ran_after = true; },
+              {{r, -1, Privilege::kRead}},
+              "read"});
+  try {
+    rt.wait_all();
+    FAIL() << "expected TaskError";
+  } catch (const support::TaskError& e) {
+    EXPECT_EQ(e.task(), "bad_write");
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  // The dependent read was suppressed, not run against poisoned data.
+  EXPECT_FALSE(ran_after.load());
+  // The runtime is clean again and reusable.
+  EXPECT_FALSE(rt.cancelled());
+  rt.execute({[&data](TaskContext&) { data[0] = 7.0; },
+              {{r, -1, Privilege::kWrite}},
+              "write"});
+  rt.wait_all();
+  EXPECT_EQ(data[0], 7.0);
+}
+
+TEST(Faults, InjectedFaultAtTaskSite) {
+  std::vector<double> data(4, 0.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(data, "d");
+  rt.partition_equal(r, 4);
+  support::fault::ScopedFault inject("rgt:task:hit=2");
+  for (std::int32_t i = 0; i < 4; ++i) {
+    rt.execute({[&data, i](TaskContext&) { data[static_cast<std::size_t>(i)] = 1.0; },
+                {{r, i, Privilege::kWrite}},
+                "w"});
+  }
+  try {
+    rt.wait_all();
+    FAIL() << "expected TaskError from the injected fault";
+  } catch (const support::TaskError& e) {
+    EXPECT_EQ(e.task(), "w");
+    EXPECT_NE(std::string(e.what()).find("rgt:task"), std::string::npos);
+  }
+}
+
+TEST(Faults, WaitAllDeadlineReportsInFlightTasks) {
+  std::vector<double> data(1, 0.0);
+  Runtime rt(cfg(2));
+  const RegionId r = rt.register_region(data, "d");
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  rt.execute({[&](TaskContext&) {
+                std::unique_lock<std::mutex> lock(m);
+                cv.wait(lock, [&] { return release; });
+              },
+              {{r, -1, Privilege::kWrite}},
+              "stall"});
+  try {
+    rt.wait_all(std::chrono::milliseconds(100));
+    FAIL() << "expected TimeoutError";
+  } catch (const support::TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("in flight"), std::string::npos);
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  rt.wait_all(std::chrono::seconds(5));
 }
 
 TEST(Runtime, StatsTrackAnalysis) {

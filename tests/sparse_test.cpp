@@ -230,6 +230,78 @@ TEST(MatrixMarket, RejectsMalformedInput) {
   EXPECT_THROW((void)read_matrix_market(bad2), support::Error);
 }
 
+/// what() of the support::Error thrown when parsing `text`.
+std::string mm_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)read_matrix_market(ss);
+  } catch (const support::Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected support::Error for: " << text;
+  return {};
+}
+
+TEST(MatrixMarket, RejectsNegativeAndOversizedHeaders) {
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "-2 2 1\n1 1 1.0\n")
+                .find("negative"),
+            std::string::npos);
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 -1\n")
+                .find("negative"),
+            std::string::npos);
+  // 2^33 rows: exceeds the 32-bit triplet index range.
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "8589934592 2 1\n1 1 1.0\n")
+                .find("32-bit"),
+            std::string::npos);
+  // More entries than the matrix has cells.
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 5\n1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n")
+                .find("capacity"),
+            std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsComplexFieldWithSpecificMessage) {
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate complex general\n"
+                     "2 2 1\n1 1 1.0 0.0\n")
+                .find("complex"),
+            std::string::npos);
+}
+
+TEST(MatrixMarket, ErrorsNameTheOffendingEntry) {
+  // Second of three entries is out of range.
+  const std::string msg =
+      mm_error("%%MatrixMarket matrix coordinate real general\n"
+               "2 2 3\n1 1 1.0\n5 1 2.0\n2 2 3.0\n");
+  EXPECT_NE(msg.find("entry 2 of 3"), std::string::npos);
+  EXPECT_NE(msg.find("(5, 1)"), std::string::npos);
+  // Truncated after the first of two entries.
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n1 1 1.0\n")
+                .find("entry 2 of 2"),
+            std::string::npos);
+  // Pattern-style entry in a real file: the value is missing.
+  EXPECT_NE(mm_error("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n1 1\n")
+                .find("missing value"),
+            std::string::npos);
+}
+
+TEST(MatrixMarket, AcceptsCrlfLineEndings) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\r\n"
+                       "% written on Windows\r\n"
+                       "2 2 2\r\n"
+                       "1 1 1.5\r\n"
+                       "2 2 2.5\r\n");
+  Coo coo = read_matrix_market(ss);
+  EXPECT_EQ(coo.rows(), 2);
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0].value, 1.5);
+  EXPECT_EQ(coo.entries()[1].value, 2.5);
+}
+
 class GeneratorSymmetryTest
     : public ::testing::TestWithParam<std::function<Coo()>> {};
 

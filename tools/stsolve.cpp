@@ -17,6 +17,10 @@
 //     --autotune              pick the block size by simulated sweep
 //     --threads <n>           worker threads (default: hardware)
 //     --list                  print suite matrix names and exit
+//
+// Exit codes: 0 success, 1 unexpected error, 2 usage, 3 bad input
+// (unreadable or malformed matrix, invalid options), 4 solver breakdown
+// or task failure inside a runtime.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,6 +32,8 @@
 #include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/suite.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
 #include "tuning/sweep.hpp"
 
 namespace {
@@ -153,25 +159,31 @@ int main(int argc, char** argv) {
 
     sparse::Csb csb = sparse::Csb::from_csr(csr, block);
 
+    solver::SolverStatus status = solver::SolverStatus::kOk;
     if (solver_name == "lanczos") {
       solver::SolverOptions options;
       options.block_size = block;
       options.threads = threads;
       const auto r = solver::lanczos(csr, csb, iterations, version, options);
+      status = r.status;
       std::printf("\nLanczos (%s), %d iterations, %.3f s",
                   solver::to_string(version), r.timing.iterations,
                   r.timing.total_seconds);
       if (r.timing.graph_build_seconds > 0) {
         std::printf(" (+%.4f s graph build)", r.timing.graph_build_seconds);
       }
-      std::printf("\nextremal Ritz values: %.10g (low)  %.10g (high)\n",
-                  r.ritz_values.front(), r.ritz_values.back());
+      std::printf("\n");
+      if (!r.ritz_values.empty()) {
+        std::printf("extremal Ritz values: %.10g (low)  %.10g (high)\n",
+                    r.ritz_values.front(), r.ritz_values.back());
+      }
     } else if (solver_name == "lobpcg") {
       solver::LobpcgOptions options;
       options.block_size = block;
       options.threads = threads;
       options.nev = nev;
       const auto r = solver::lobpcg(csr, csb, iterations, version, options);
+      status = r.status;
       std::printf("\nLOBPCG (%s), %d iterations, %d/%lld converged, %.3f s\n",
                   solver::to_string(version), r.timing.iterations,
                   r.converged, static_cast<long long>(nev),
@@ -183,6 +195,25 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+    if (status != solver::SolverStatus::kOk) {
+      std::fprintf(stderr, "stsolve: solver stopped early (%s)\n",
+                   solver::to_string(status));
+      return 4;
+    }
+  } catch (const support::TaskError& e) {
+    // A task body failed inside one of the runtimes (exit 4, like solver
+    // breakdown: the run produced no trustworthy result).
+    std::fprintf(stderr, "stsolve: %s\n", e.what());
+    return 4;
+  } catch (const support::fault::Injected& e) {
+    // An STS_FAULT-injected failure escaped a kernel outside the task
+    // runtimes (BSP versions); treat like a task failure, not bad input.
+    std::fprintf(stderr, "stsolve: %s\n", e.what());
+    return 4;
+  } catch (const support::Error& e) {
+    // Bad input: unreadable/malformed matrix, invalid options.
+    std::fprintf(stderr, "stsolve: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stsolve: %s\n", e.what());
     return 1;
