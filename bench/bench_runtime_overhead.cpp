@@ -2,20 +2,43 @@
 // flux task spawn/dataflow overhead, rgt dependence analysis throughput
 // (with and without dynamic tracing), and ds graph build + execution
 // overhead. These are the per-task costs the paper's block-size heuristic
-// (Fig. 14) trades against parallelism.
+// (Fig. 14) trades against parallelism. The spawn/execute benchmarks take
+// an Arg(0)/Arg(1) telemetry toggle so the obs-layer overhead (the ≤2%
+// budget from DESIGN.md) is measurable as a same-binary delta.
 #include <benchmark/benchmark.h>
 
 #include "ds/executor.hpp"
 #include "ds/program.hpp"
 #include "flux/dataflow.hpp"
+#include "obs/obs.hpp"
 #include "rgt/runtime.hpp"
 #include "sparse/generators.hpp"
+
+namespace {
+
+/// Scoped telemetry toggle: Arg(1) runs with the metrics registry active
+/// (buffer-only, nothing written), Arg(0) with telemetry fully off.
+class ScopedTelemetry {
+public:
+  explicit ScopedTelemetry(bool on) : on_(on) {
+    if (on_) sts::obs::enable_metrics("");
+  }
+  ~ScopedTelemetry() {
+    if (on_) sts::obs::disable();
+  }
+
+private:
+  bool on_;
+};
+
+} // namespace
 
 namespace {
 
 using namespace sts;
 
 void BM_FluxSpawn(benchmark::State& state) {
+  const ScopedTelemetry telemetry(state.range(0) != 0);
   flux::Scheduler sched({.threads = 2});
   for (auto _ : state) {
     std::atomic<int> c{0};
@@ -25,8 +48,9 @@ void BM_FluxSpawn(benchmark::State& state) {
     benchmark::DoNotOptimize(c.load());
   }
   state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(state.range(0) != 0 ? "telemetry on" : "telemetry off");
 }
-BENCHMARK(BM_FluxSpawn);
+BENCHMARK(BM_FluxSpawn)->Arg(0)->Arg(1);
 
 void BM_FluxDataflowChain(benchmark::State& state) {
   flux::Scheduler sched({.threads = 2});
@@ -79,6 +103,7 @@ void BM_DsGraphBuild(benchmark::State& state) {
 BENCHMARK(BM_DsGraphBuild)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_DsExecuteOverhead(benchmark::State& state) {
+  const ScopedTelemetry telemetry(state.range(0) != 0);
   // Pure overhead: empty-bodied graph of independent tasks.
   graph::Tdg g;
   for (int i = 0; i < 1024; ++i) {
@@ -90,8 +115,9 @@ void BM_DsExecuteOverhead(benchmark::State& state) {
     ds::execute(g, {.mode = ds::ExecMode::kOmpTasks, .trace = nullptr});
   }
   state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(state.range(0) != 0 ? "telemetry on" : "telemetry off");
 }
-BENCHMARK(BM_DsExecuteOverhead);
+BENCHMARK(BM_DsExecuteOverhead)->Arg(0)->Arg(1);
 
 } // namespace
 

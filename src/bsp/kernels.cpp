@@ -10,8 +10,11 @@
 namespace {
 int omp_get_num_threads() { return 1; }
 int omp_get_thread_num() { return 0; }
+int omp_get_max_threads() { return 1; }
 } // namespace
 #endif
+
+#include "obs/obs.hpp"
 
 namespace sts::bsp {
 
@@ -42,20 +45,43 @@ private:
 
 } // namespace
 
+// The matrix and multivector kernels time each thread's share of the
+// parallel region through obs::RegionTimer: the split `parallel` +
+// `for nowait` form below is equivalent to the combined `parallel for`
+// (same scheduling, same implicit barrier at region end) but exposes the
+// per-thread begin/end the barrier-imbalance metric needs. With telemetry
+// off the timer calls reduce to a branch on a cached flag.
+
 void spmv(const sparse::Csr& a, std::span<const double> x,
           std::span<double> y) {
   const index_t rows = a.rows();
-#pragma omp parallel for schedule(dynamic, 512)
-  for (index_t r = 0; r < rows; ++r) {
-    sparse::csr_spmv_range(a, x, y, r, r + 1);
+  obs::RegionTimer region("bsp", graph::KernelKind::kSpMV,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 512) nowait
+    for (index_t r = 0; r < rows; ++r) {
+      sparse::csr_spmv_range(a, x, y, r, r + 1);
+    }
+    region.thread_end(tid);
   }
 }
 
 void spmm(const sparse::Csr& a, ConstMatrixView x, MatrixView y) {
   const index_t rows = a.rows();
-#pragma omp parallel for schedule(dynamic, 256)
-  for (index_t r = 0; r < rows; ++r) {
-    sparse::csr_spmm_range(a, x, y, r, r + 1);
+  obs::RegionTimer region("bsp", graph::KernelKind::kSpMM,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 256) nowait
+    for (index_t r = 0; r < rows; ++r) {
+      sparse::csr_spmm_range(a, x, y, r, r + 1);
+    }
+    region.thread_end(tid);
   }
 }
 
@@ -63,14 +89,22 @@ void spmv(const sparse::Csb& a, std::span<const double> x,
           std::span<double> y) {
   const index_t nb = a.block_rows();
   OmpExceptionLatch latch;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (index_t bi = 0; bi < nb; ++bi) {
-    latch.run([&] {
-      sparse::csb_block_zero(a, bi, y);
-      for (index_t bj = 0; bj < a.block_cols(); ++bj) {
-        if (!a.block_empty(bi, bj)) sparse::csb_block_spmv(a, bi, bj, x, y);
-      }
-    });
+  obs::RegionTimer region("bsp", graph::KernelKind::kSpMV,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
+    for (index_t bi = 0; bi < nb; ++bi) {
+      latch.run([&] {
+        sparse::csb_block_zero(a, bi, y);
+        for (index_t bj = 0; bj < a.block_cols(); ++bj) {
+          if (!a.block_empty(bi, bj)) sparse::csb_block_spmv(a, bi, bj, x, y);
+        }
+      });
+    }
+    region.thread_end(tid);
   }
   latch.rethrow();
 }
@@ -78,14 +112,22 @@ void spmv(const sparse::Csb& a, std::span<const double> x,
 void spmm(const sparse::Csb& a, ConstMatrixView x, MatrixView y) {
   const index_t nb = a.block_rows();
   OmpExceptionLatch latch;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (index_t bi = 0; bi < nb; ++bi) {
-    latch.run([&] {
-      sparse::csb_block_zero(a, bi, y);
-      for (index_t bj = 0; bj < a.block_cols(); ++bj) {
-        if (!a.block_empty(bi, bj)) sparse::csb_block_spmm(a, bi, bj, x, y);
-      }
-    });
+  obs::RegionTimer region("bsp", graph::KernelKind::kSpMM,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
+    for (index_t bi = 0; bi < nb; ++bi) {
+      latch.run([&] {
+        sparse::csb_block_zero(a, bi, y);
+        for (index_t bj = 0; bj < a.block_cols(); ++bj) {
+          if (!a.block_empty(bi, bj)) sparse::csb_block_spmm(a, bi, bj, x, y);
+        }
+      });
+    }
+    region.thread_end(tid);
   }
   latch.rethrow();
 }
@@ -100,12 +142,20 @@ index_t chunk_count(index_t rows, index_t chunk) {
 void xy(ConstMatrixView x, ConstMatrixView z, MatrixView y, index_t chunk,
         double alpha, double beta) {
   const index_t nchunks = chunk_count(x.rows, chunk);
-#pragma omp parallel for schedule(dynamic, 1)
-  for (index_t c = 0; c < nchunks; ++c) {
-    const index_t r0 = c * chunk;
-    const index_t nr = std::min(chunk, x.rows - r0);
-    la::gemm(alpha, ConstMatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld}, z,
-             beta, MatrixView{y.data + r0 * y.ld, nr, y.cols, y.ld});
+  obs::RegionTimer region("bsp", graph::KernelKind::kXY,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
+    for (index_t c = 0; c < nchunks; ++c) {
+      const index_t r0 = c * chunk;
+      const index_t nr = std::min(chunk, x.rows - r0);
+      la::gemm(alpha, ConstMatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld},
+               z, beta, MatrixView{y.data + r0 * y.ld, nr, y.cols, y.ld});
+    }
+    region.thread_end(tid);
   }
 }
 
@@ -116,12 +166,16 @@ void xty(ConstMatrixView x, ConstMatrixView y, MatrixView p, index_t chunk) {
       static_cast<std::size_t>(p.rows) * static_cast<std::size_t>(p.cols);
   // Per-thread partial buffers + serial fold: the classic BSP reduction.
   std::vector<std::vector<double>> partials;
+  obs::RegionTimer region("bsp", graph::KernelKind::kXTY,
+                          omp_get_max_threads());
 #pragma omp parallel
   {
 #pragma omp single
     partials.assign(static_cast<std::size_t>(omp_get_num_threads()),
                     std::vector<double>(psize, 0.0));
-#pragma omp for schedule(dynamic, 1)
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
     for (index_t c = 0; c < nchunks; ++c) {
       const index_t r0 = c * chunk;
       const index_t nr = std::min(chunk, x.rows - r0);
@@ -130,6 +184,7 @@ void xty(ConstMatrixView x, ConstMatrixView y, MatrixView p, index_t chunk) {
                   ConstMatrixView{y.data + r0 * y.ld, nr, y.cols, y.ld}, 1.0,
                   MatrixView{buf.data(), p.rows, p.cols, p.cols});
     }
+    region.thread_end(tid);
   }
   for (index_t i = 0; i < p.rows; ++i) {
     for (index_t j = 0; j < p.cols; ++j) p.at(i, j) = 0.0;
@@ -144,22 +199,38 @@ void xty(ConstMatrixView x, ConstMatrixView y, MatrixView p, index_t chunk) {
 
 void axpy(double alpha, ConstMatrixView x, MatrixView y, index_t chunk) {
   const index_t nchunks = chunk_count(x.rows, chunk);
-#pragma omp parallel for schedule(dynamic, 1)
-  for (index_t c = 0; c < nchunks; ++c) {
-    const index_t r0 = c * chunk;
-    const index_t nr = std::min(chunk, x.rows - r0);
-    la::axpy(alpha, ConstMatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld},
-             MatrixView{y.data + r0 * y.ld, nr, y.cols, y.ld});
+  obs::RegionTimer region("bsp", graph::KernelKind::kAxpy,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
+    for (index_t c = 0; c < nchunks; ++c) {
+      const index_t r0 = c * chunk;
+      const index_t nr = std::min(chunk, x.rows - r0);
+      la::axpy(alpha, ConstMatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld},
+               MatrixView{y.data + r0 * y.ld, nr, y.cols, y.ld});
+    }
+    region.thread_end(tid);
   }
 }
 
 void scal(double alpha, MatrixView x, index_t chunk) {
   const index_t nchunks = chunk_count(x.rows, chunk);
-#pragma omp parallel for schedule(dynamic, 1)
-  for (index_t c = 0; c < nchunks; ++c) {
-    const index_t r0 = c * chunk;
-    const index_t nr = std::min(chunk, x.rows - r0);
-    la::scal(alpha, MatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld});
+  obs::RegionTimer region("bsp", graph::KernelKind::kScale,
+                          omp_get_max_threads());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    region.thread_begin(tid);
+#pragma omp for schedule(dynamic, 1) nowait
+    for (index_t c = 0; c < nchunks; ++c) {
+      const index_t r0 = c * chunk;
+      const index_t nr = std::min(chunk, x.rows - r0);
+      la::scal(alpha, MatrixView{x.data + r0 * x.ld, nr, x.cols, x.ld});
+    }
+    region.thread_end(tid);
   }
 }
 

@@ -6,7 +6,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
 
@@ -35,13 +37,28 @@ void invoke_body(const graph::Task& task) {
   if (task.body) task.body();
 }
 
+obs::Counter& spawned_counter() {
+  static obs::Counter& c = obs::counter("ds.tasks_spawned");
+  return c;
+}
+obs::Counter& ready_counter() {
+  static obs::Counter& c = obs::counter("ds.ready_events");
+  return c;
+}
+obs::Counter& poisoned_counter() {
+  static obs::Counter& c = obs::counter("ds.tasks_poisoned");
+  return c;
+}
+
 /// Runs one task; any exception escaping the body is wrapped in a
-/// support::TaskError naming the failing task.
+/// support::TaskError naming the failing task. Task events flow through
+/// obs::publish_task, which feeds the bench recorder, the Chrome trace, and
+/// the per-kernel latency histograms from one timing pass.
 void run_task(const graph::Tdg& g, graph::TaskId id,
               perf::TraceRecorder* trace, unsigned worker) {
   const graph::Task& task = g.task(id);
   try {
-    if (trace != nullptr) {
+    if (trace != nullptr || obs::task_timing_enabled()) {
       perf::TaskEvent ev;
       ev.task_id = id;
       ev.kind = task.kind;
@@ -49,7 +66,7 @@ void run_task(const graph::Tdg& g, graph::TaskId id,
       ev.start_ns = support::now_ns();
       invoke_body(task);
       ev.end_ns = support::now_ns();
-      trace->record(worker, ev);
+      obs::publish_task("ds", ev, trace);
     } else {
       invoke_body(task);
     }
@@ -91,6 +108,7 @@ void finish_task(OmpContext& ctx, graph::TaskId id) {
   for (graph::TaskId s : ctx.succ[static_cast<std::size_t>(id)]) {
     if (ctx.remaining[static_cast<std::size_t>(s)].fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
+      ready_counter().add(1);
       spawn_task(ctx, s);
     }
   }
@@ -98,21 +116,33 @@ void finish_task(OmpContext& ctx, graph::TaskId id) {
 
 void spawn_task(OmpContext& ctx, graph::TaskId id) {
   OmpContext* c = &ctx;
+  spawned_counter().add(1);
 #pragma omp task firstprivate(c, id) untied
   {
     if (c->cancelled.load(std::memory_order_acquire)) {
       c->suppressed.fetch_add(1, std::memory_order_relaxed);
+      poisoned_counter().add(1);
+      obs::instant("ds:poisoned", "cancel",
+                   "{\"task\":\"" +
+                       support::json_escape(
+                           graph::task_label(c->graph->task(id))) +
+                       "\"}");
     } else {
       try {
         run_task(*c->graph, id, c->trace,
                  static_cast<unsigned>(omp_get_thread_num()));
         finish_task(*c, id);
       } catch (...) {
+        bool latched = false;
         {
           const std::lock_guard<std::mutex> lock(c->error_mutex);
-          if (!c->error) c->error = std::current_exception();
+          if (!c->error) {
+            c->error = std::current_exception();
+            latched = true;
+          }
         }
         c->cancelled.store(true, std::memory_order_release);
+        if (latched) obs::instant("ds:cancel", "cancel");
       }
     }
   }

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace sts::flux {
 
@@ -14,9 +17,39 @@ namespace {
 // Which scheduler (if any) the current thread is a worker of, and its index.
 thread_local const Scheduler* tls_scheduler = nullptr;
 thread_local int tls_worker_index = -1;
+
+// Telemetry handles, resolved once; the registry outlives every scheduler.
+obs::Counter& steal_counter() {
+  static obs::Counter& c = obs::counter("flux.steals");
+  return c;
+}
+obs::Counter& cross_domain_steal_counter() {
+  static obs::Counter& c = obs::counter("flux.cross_domain_steals");
+  return c;
+}
+obs::Counter& executed_counter() {
+  static obs::Counter& c = obs::counter("flux.tasks_executed");
+  return c;
+}
+obs::Histogram& queue_depth_histogram() {
+  static obs::Histogram& h = obs::histogram("flux.queue_depth");
+  return h;
+}
+obs::Histogram& task_wait_histogram() {
+  static obs::Histogram& h = obs::histogram("flux.task_wait_ns");
+  return h;
+}
+obs::Histogram& task_run_histogram() {
+  static obs::Histogram& h = obs::histogram("flux.task_run_ns");
+  return h;
+}
 } // namespace
 
 Scheduler::Scheduler(Config config) : config_(config) {
+  // Pre-register the steal counters so a metrics dump lists them even for a
+  // run that never stole (a zero row beats an absent one when diffing).
+  steal_counter();
+  cross_domain_steal_counter();
   config_.threads = std::max(1u, config_.threads);
   config_.numa_domains =
       std::clamp(config_.numa_domains, 1u, config_.threads);
@@ -49,6 +82,8 @@ void Scheduler::submit_always(std::function<void()> fn, int domain_hint) {
 
 void Scheduler::enqueue(QueuedTask task, int domain_hint) {
   STS_EXPECTS(task.fn != nullptr);
+  const bool metered = obs::metrics_enabled();
+  if (metered) task.enqueue_ns = support::now_ns();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
 
   unsigned target;
@@ -71,10 +106,15 @@ void Scheduler::enqueue(QueuedTask task, int domain_hint) {
     }
   }
 
+  std::size_t depth = 0;
   {
     Worker& w = *workers_[target];
     const std::lock_guard<std::mutex> lock(w.mutex);
     w.deque.push_front(std::move(task));
+    depth = w.deque.size();
+  }
+  if (metered) {
+    queue_depth_histogram().observe(static_cast<std::int64_t>(depth));
   }
   // Taking sleep_mutex_ (even empty) orders this submission against any
   // worker between its idle check and its sleep, preventing a lost wakeup.
@@ -104,8 +144,10 @@ bool Scheduler::steal(unsigned thief, QueuedTask& out) {
     w.deque.pop_back();
     Worker& me = *workers_[thief];
     ++me.steals;
+    steal_counter().add(1);
     if (domain_of_worker(v) != domain_of_worker(thief)) {
       ++me.cross_domain_steals;
+      cross_domain_steal_counter().add(1);
     }
     return true;
   };
@@ -137,6 +179,12 @@ void Scheduler::run_task(QueuedTask& task) {
   // must reach their promise or a helper-less get() would block forever —
   // and observe cancelled() themselves. Any exception that reaches the
   // worker is latched, never terminated on.
+  const bool timed = obs::task_timing_enabled();
+  std::int64_t t0 = 0;
+  if (timed) {
+    t0 = support::now_ns();
+    if (task.enqueue_ns != 0) task_wait_histogram().observe(t0 - task.enqueue_ns);
+  }
   if (task.always_run || !cancelled_.load(std::memory_order_acquire)) {
     try {
       support::fault::check("flux:task");
@@ -146,6 +194,13 @@ void Scheduler::run_task(QueuedTask& task) {
     }
   }
   task.fn = nullptr;
+  if (timed) {
+    const std::int64_t t1 = support::now_ns();
+    task_run_histogram().observe(t1 - t0);
+    // The scheduler-level span encloses whatever kernel span the task body
+    // published, giving the trace genuine nesting on each worker track.
+    obs::span("task", "flux", t0, t1);
+  }
 }
 
 void Scheduler::worker_loop(unsigned index) {
@@ -156,6 +211,7 @@ void Scheduler::worker_loop(unsigned index) {
     if (pop_own(index, task) || steal(index, task)) {
       run_task(task);
       ++workers_[index]->executed;
+      executed_counter().add(1);
       on_task_done();
       continue;
     }
@@ -194,20 +250,35 @@ void Scheduler::wait_for_quiescence(std::chrono::milliseconds deadline) {
     });
     if (!quiet) {
       lock.unlock();
+      const std::string detail = diagnostics().to_string();
+      obs::counter("flux.watchdog_fired").add(1);
+      obs::instant("flux:watchdog", "watchdog",
+                   "{\"detail\":\"" + support::json_escape(detail) + "\"}");
       throw support::TimeoutError(
           "flux: quiescence deadline (" + std::to_string(deadline.count()) +
-          " ms) expired: " + diagnostics().to_string());
+          " ms) expired: " + detail);
     }
   }
   rethrow_and_reset();
 }
 
 void Scheduler::report_task_error(std::exception_ptr error) noexcept {
+  bool latched = false;
   {
     const std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = error;
+    if (!first_error_) {
+      first_error_ = error;
+      latched = true;
+    }
   }
   cancelled_.store(true, std::memory_order_release);
+  if (latched) {
+    try {
+      obs::counter("flux.cancellations").add(1);
+    } catch (...) {
+    }
+    obs::instant("flux:cancel", "cancel");
+  }
 }
 
 void Scheduler::rethrow_if_cancelled() {

@@ -125,6 +125,7 @@ private:
   struct QueuedTask {
     std::function<void()> fn;
     bool always_run = false; // exempt from drop-on-cancel (see submit_always)
+    std::int64_t enqueue_ns = 0; // stamped only while metrics are enabled
   };
 
   struct Worker {

@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "support/escape.hpp"
+
+namespace sts::obs {
+
+namespace {
+
+int bucket_of(std::int64_t v) noexcept {
+  if (v <= 1) return 0;
+  const int b = std::bit_width(static_cast<std::uint64_t>(v)) - 1;
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+double bucket_low(int b) noexcept {
+  return b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << b);
+}
+
+double bucket_high(int b) noexcept {
+  return static_cast<double>(std::uint64_t{1} << (b + 1));
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+} // namespace
+
+void Histogram::observe(std::int64_t v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t lo = min_.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  std::int64_t hi = max_.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::min() const noexcept {
+  const std::int64_t v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::max() ? 0 : v;
+}
+
+std::int64_t Histogram::max() const noexcept {
+  const std::int64_t v = max_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<std::int64_t>::min() ? 0 : v;
+}
+
+double Histogram::quantile(double p) const noexcept {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Snapshot: concurrent observes may skew the snapshot by a few samples,
+  // which is fine for a monitoring estimate.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    total += counts[static_cast<std::size_t>(b)];
+  }
+  if (total == 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double n = static_cast<double>(counts[static_cast<std::size_t>(b)]);
+    if (n == 0.0) continue;
+    if (seen + n >= rank) {
+      // Spread the bucket's samples evenly across [low, high) and take the
+      // midpoint of the sample the rank lands on.
+      double frac = (rank - seen) / n;
+      if (frac < 0.5 / n) frac = 0.5 / n; // at least half a sample in
+      return bucket_low(b) + frac * (bucket_high(b) - bucket_low(b));
+    }
+    seen += n;
+  }
+  return bucket_high(kBuckets - 1);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "name,type,value,count,min,max,p50,p95,p99\n";
+  for (const auto& [name, c] : counters_) {
+    os << support::csv_field(name) << ",counter," << c->value() << ",,,,,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << support::csv_field(name) << ",gauge," << g->value() << ",,,"
+       << g->peak() << ",,,\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << support::csv_field(name) << ",histogram," << h->sum() << ","
+       << h->count() << "," << h->min() << "," << h->max() << ","
+       << format_double(h->quantile(0.50)) << ","
+       << format_double(h->quantile(0.95)) << ","
+       << format_double(h->quantile(0.99)) << "\n";
+  }
+}
+
+void Registry::write_text(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "== sts metrics ==\n";
+  for (const auto& [name, c] : counters_) {
+    os << "  " << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  " << name << " = " << g->value() << " (peak " << g->peak()
+       << ")\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name << ": n=" << h->count() << " sum=" << h->sum()
+       << " min=" << h->min() << " max=" << h->max()
+       << " p50=" << format_double(h->quantile(0.50))
+       << " p95=" << format_double(h->quantile(0.95))
+       << " p99=" << format_double(h->quantile(0.99)) << "\n";
+  }
+}
+
+} // namespace sts::obs

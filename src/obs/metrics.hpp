@@ -1,0 +1,113 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket latency
+// histograms with interpolated p50/p95/p99.
+//
+// Instruments on the hot paths (steal loops, task bodies) touch metrics via
+// relaxed atomics only; the registry mutex is taken when a metric is first
+// looked up by name and when the registry is dumped. References returned by
+// the registry stay valid for the life of the process — instrumentation
+// sites cache them in function-local statics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sts::obs {
+
+/// Monotonic event count (steals, cancellations, tasks executed, ...).
+class Counter {
+public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value plus the high-water mark (e.g. tasks in flight).
+class Gauge {
+public:
+  void observe(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t p = peak_.load(std::memory_order_relaxed);
+    while (v > p && !peak_.compare_exchange_weak(p, v,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Lock-free latency/size histogram with power-of-two buckets: bucket b
+/// covers [2^b, 2^(b+1)) (bucket 0 also absorbs values <= 1). Quantiles are
+/// linearly interpolated inside the winning bucket, so they are estimates
+/// with at most 2x relative error — plenty for p50/p95/p99 latency triage.
+class Histogram {
+public:
+  static constexpr int kBuckets = 48;
+
+  void observe(std::int64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Smallest / largest observed value; 0 when empty.
+  [[nodiscard]] std::int64_t min() const noexcept;
+  [[nodiscard]] std::int64_t max() const noexcept;
+
+  /// Interpolated quantile for p in [0, 1]; 0 when empty. Monotone in p.
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/// Name -> metric map. Metrics are created on first lookup and never
+/// removed, so returned references are stable for the process lifetime.
+class Registry {
+public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One CSV row per metric:
+  /// name,type,value,count,min,max,p50,p95,p99 (histogram `value` = sum).
+  void write_csv(std::ostream& os) const;
+  /// Human-readable dump of the same data (for STS_METRICS=stderr).
+  void write_text(std::ostream& os) const;
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace sts::obs

@@ -1,0 +1,316 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <mutex>
+
+#include "obs/trace_sink.hpp"
+#include "support/env.hpp"
+#include "support/escape.hpp"
+#include "support/fault.hpp"
+#include "support/timer.hpp"
+
+namespace sts::obs {
+
+namespace {
+
+constexpr int kTraceBit = 1;
+constexpr int kMetricsBit = 2;
+
+// -1 = not yet initialized from the environment; >= 0 = active bit set.
+std::atomic<int> g_flags{-1};
+std::mutex g_config_mutex;
+std::string g_trace_path;   // guarded by g_config_mutex
+std::string g_metrics_dest; // guarded by g_config_mutex
+bool g_atexit_registered = false;
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Fault observer: counts the fire and pins it to the firing thread's track
+/// so trace instants correlate with the STS_FAULT site that caused them.
+void on_fault_fired(const support::fault::Spec& spec, std::uint64_t visit) {
+  static Counter& fired = counter("faults.injected");
+  fired.add(1);
+  instant("fault:" + spec.site, "fault",
+          "{\"site\":\"" + support::json_escape(spec.site) +
+              "\",\"kind\":\"" + support::fault::to_string(spec.kind) +
+              "\",\"visit\":" + std::to_string(visit) + "}");
+}
+
+int init_flags() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  int f = g_flags.load(std::memory_order_acquire);
+  if (f >= 0) return f;
+  // Touch the singletons before registering the atexit hook so they are
+  // destroyed after the final flush runs.
+  Registry::instance();
+  TraceSink::instance();
+  f = 0;
+  const std::string trace = support::env_string("STS_TRACE", "");
+  if (!trace.empty()) {
+    g_trace_path = trace;
+    f |= kTraceBit;
+  }
+  const std::string metrics = support::env_string("STS_METRICS", "");
+  if (!metrics.empty()) {
+    g_metrics_dest = metrics;
+    f |= kMetricsBit;
+  }
+  support::fault::set_observer(&on_fault_fired);
+  if (!g_atexit_registered) {
+    std::atexit([] { flush(); });
+    g_atexit_registered = true;
+  }
+  g_flags.store(f, std::memory_order_release);
+  return f;
+}
+
+int flags() noexcept {
+  const int f = g_flags.load(std::memory_order_acquire);
+  if (f >= 0) return f;
+  try {
+    return init_flags();
+  } catch (...) {
+    return 0;
+  }
+}
+
+} // namespace
+
+bool tracing_enabled() noexcept { return (flags() & kTraceBit) != 0; }
+bool metrics_enabled() noexcept { return (flags() & kMetricsBit) != 0; }
+bool task_timing_enabled() noexcept { return flags() != 0; }
+
+void enable_tracing(const std::string& path) {
+  flags(); // force init so the atexit hook and fault observer are in place
+  TraceSink::instance().reset();
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_trace_path = path;
+  }
+  g_flags.fetch_or(kTraceBit, std::memory_order_acq_rel);
+}
+
+void enable_metrics(const std::string& dest) {
+  flags();
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_metrics_dest = dest;
+  }
+  g_flags.fetch_or(kMetricsBit, std::memory_order_acq_rel);
+}
+
+void disable() noexcept {
+  if (g_flags.load(std::memory_order_acquire) > 0) {
+    g_flags.fetch_and(0, std::memory_order_acq_rel);
+  }
+}
+
+void flush() noexcept {
+  const int f = flags();
+  if (f == 0) return;
+  try {
+    std::string trace_path;
+    std::string metrics_dest;
+    {
+      std::lock_guard<std::mutex> lock(g_config_mutex);
+      trace_path = g_trace_path;
+      metrics_dest = g_metrics_dest;
+    }
+    if ((f & kTraceBit) != 0 && !trace_path.empty()) {
+      std::ofstream os(trace_path);
+      if (os) {
+        TraceSink::instance().write_json(os);
+      } else {
+        std::fprintf(stderr, "obs: cannot write trace to '%s'\n",
+                     trace_path.c_str());
+      }
+    }
+    if ((f & kMetricsBit) != 0 && !metrics_dest.empty()) {
+      if (metrics_dest == "stderr") {
+        Registry::instance().write_text(std::cerr);
+      } else {
+        std::ofstream os(metrics_dest);
+        if (os) {
+          Registry::instance().write_csv(os);
+        } else {
+          std::fprintf(stderr, "obs: cannot write metrics to '%s'\n",
+                       metrics_dest.c_str());
+        }
+      }
+    }
+  } catch (...) {
+    // A failed dump must not take the process down during exit.
+  }
+  disable();
+}
+
+void write_trace_json(std::ostream& os) { TraceSink::instance().write_json(os); }
+
+void write_metrics_csv(std::ostream& os) {
+  Registry::instance().write_csv(os);
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+
+void publish_task(const char* runtime, const perf::TaskEvent& event,
+                  perf::TraceRecorder* recorder) noexcept {
+  try {
+    if (recorder != nullptr) {
+      recorder->record(
+          event.worker < 0 ? 0u : static_cast<unsigned>(event.worker), event);
+    }
+    const int f = flags();
+    if (f == 0) return;
+    const char* kernel = graph::to_string(event.kind);
+    if ((f & kTraceBit) != 0) {
+      TraceSink& sink = TraceSink::instance();
+      sink.name_current_lane(std::string(runtime) + "/w" +
+                             std::to_string(event.worker));
+      sink.push(TraceEvent{kernel, kernel, 'X', event.start_ns,
+                           event.end_ns - event.start_ns,
+                           "{\"task_id\":" + std::to_string(event.task_id) +
+                               "}"});
+    }
+    if ((f & kMetricsBit) != 0) {
+      histogram(std::string(runtime) + ".task_ns." + kernel)
+          .observe(event.end_ns - event.start_ns);
+    }
+  } catch (...) {
+  }
+}
+
+void span(const std::string& name, const std::string& cat,
+          std::int64_t start_ns, std::int64_t end_ns,
+          const std::string& args) noexcept {
+  if (!tracing_enabled()) return;
+  try {
+    TraceSink::instance().push(
+        TraceEvent{name, cat, 'X', start_ns, end_ns - start_ns, args});
+  } catch (...) {
+  }
+}
+
+void instant(const std::string& name, const std::string& cat,
+             const std::string& args) noexcept {
+  if (!tracing_enabled()) return;
+  try {
+    TraceSink::instance().push(
+        TraceEvent{name, cat, 'i', support::now_ns(), 0, args});
+  } catch (...) {
+  }
+}
+
+RegionTimer::RegionTimer(const char* runtime, graph::KernelKind kind,
+                         int threads)
+    : runtime_(runtime), kind_(kind), enabled_(task_timing_enabled()) {
+  if (!enabled_) return;
+  const std::size_t n = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+  begin_ns_.assign(n, 0);
+  end_ns_.assign(n, 0);
+}
+
+void RegionTimer::thread_begin(int tid) noexcept {
+  if (!enabled_ || tid < 0 ||
+      static_cast<std::size_t>(tid) >= begin_ns_.size()) {
+    return;
+  }
+  begin_ns_[static_cast<std::size_t>(tid)] = support::now_ns();
+}
+
+void RegionTimer::thread_end(int tid) noexcept {
+  if (!enabled_ || tid < 0 ||
+      static_cast<std::size_t>(tid) >= end_ns_.size()) {
+    return;
+  }
+  const std::size_t i = static_cast<std::size_t>(tid);
+  if (begin_ns_[i] == 0) return;
+  end_ns_[i] = support::now_ns();
+  perf::TaskEvent ev;
+  ev.kind = kind_;
+  ev.worker = tid;
+  ev.start_ns = begin_ns_[i];
+  ev.end_ns = end_ns_[i];
+  publish_task(runtime_, ev, nullptr);
+}
+
+RegionTimer::~RegionTimer() {
+  if (!enabled_) return;
+  try {
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t hi = 0;
+    int participants = 0;
+    for (std::size_t i = 0; i < begin_ns_.size(); ++i) {
+      if (end_ns_[i] == 0) continue;
+      const std::int64_t busy = end_ns_[i] - begin_ns_[i];
+      lo = std::min(lo, busy);
+      hi = std::max(hi, busy);
+      ++participants;
+    }
+    if (participants > 0 && metrics_enabled()) {
+      histogram(std::string(runtime_) + ".imbalance_ns." +
+                graph::to_string(kind_))
+          .observe(participants > 1 ? hi - lo : 0);
+    }
+  } catch (...) {
+  }
+}
+
+IterScope::IterScope(const char* label, int iteration) noexcept
+    : label_(label), iteration_(iteration) {
+  if (task_timing_enabled()) start_ns_ = support::now_ns();
+}
+
+void IterScope::metric(const char* name, double value) noexcept {
+  if (!enabled() || values_ >= 4) return;
+  names_[values_] = name;
+  data_[values_] = value;
+  ++values_;
+}
+
+IterScope::~IterScope() {
+  if (!enabled()) return;
+  try {
+    const std::int64_t end = support::now_ns();
+    const int f = flags();
+    if ((f & kTraceBit) != 0) {
+      std::string args;
+      for (int i = 0; i < values_; ++i) {
+        args += args.empty() ? "{\"" : ",\"";
+        args += support::json_escape(names_[i]);
+        args += "\":";
+        args += json_number(data_[i]);
+      }
+      if (!args.empty()) args += "}";
+      span("iter[" + std::to_string(iteration_) + "]", label_, start_ns_, end,
+           args);
+    }
+    if ((f & kMetricsBit) != 0) {
+      const std::string label(label_);
+      histogram(label + ".iter_ns").observe(end - start_ns_);
+      counter(label + ".iterations").add(1);
+    }
+  } catch (...) {
+  }
+}
+
+} // namespace sts::obs

@@ -1,0 +1,113 @@
+#include "obs/trace_sink.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "support/escape.hpp"
+
+namespace sts::obs {
+
+TraceSink& TraceSink::instance() {
+  static TraceSink s;
+  return s;
+}
+
+TraceSink::Lane& TraceSink::lane_for_this_thread() {
+  // One process-wide sink, so a function-local thread_local cache is enough.
+  static thread_local Lane* cached = nullptr;
+  if (cached != nullptr) return *cached;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lanes_.push_back(std::make_unique<Lane>());
+  cached = lanes_.back().get();
+  return *cached;
+}
+
+void TraceSink::push(TraceEvent event) {
+  Lane& lane = lane_for_this_thread();
+  const std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.events.push_back(std::move(event));
+}
+
+void TraceSink::name_current_lane(const std::string& name) {
+  if (name.empty()) return;
+  Lane& lane = lane_for_this_thread();
+  const std::lock_guard<std::mutex> lock(lane.mutex);
+  if (lane.name.empty()) lane.name = name;
+}
+
+void TraceSink::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& lane : lanes_) {
+    const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    lane->events.clear();
+  }
+}
+
+std::size_t TraceSink::event_count() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (auto& lane : lanes_) {
+    const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    n += lane->events.size();
+  }
+  return n;
+}
+
+void TraceSink::write_json(std::ostream& os) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  // Rebase timestamps so the trace starts at t=0 regardless of clock epoch.
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  for (auto& lane : lanes_) {
+    const std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    for (const TraceEvent& e : lane->events) {
+      if (e.ts_ns < base) base = e.ts_ns;
+    }
+  }
+  if (base == std::numeric_limits<std::int64_t>::max()) base = 0;
+
+  auto emit_us = [&os](std::int64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    os << buf;
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (std::size_t tid = 0; tid < lanes_.size(); ++tid) {
+    Lane& lane = *lanes_[tid];
+    const std::lock_guard<std::mutex> lane_lock(lane.mutex);
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << support::json_escape(lane.name.empty() ? "lane" + std::to_string(tid)
+                                                 : lane.name)
+       << "\"}}";
+    for (const TraceEvent& e : lane.events) {
+      sep();
+      os << "{\"name\":\"" << support::json_escape(e.name) << "\",\"cat\":\""
+         << support::json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+         << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+      emit_us(e.ts_ns - base);
+      if (e.ph == 'X') {
+        os << ",\"dur\":";
+        emit_us(e.dur_ns);
+      } else if (e.ph == 'i') {
+        os << ",\"s\":\"t\"";
+      }
+      if (!e.args.empty()) os << ",\"args\":" << e.args;
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+} // namespace sts::obs

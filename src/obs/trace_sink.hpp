@@ -1,0 +1,65 @@
+// In-memory Chrome trace-event buffer with one lane per emitting thread.
+//
+// Each thread appends to its own lane (created on first use, cached in a
+// thread_local), so pushes contend only with a concurrent export. Lanes are
+// never destroyed while the process lives: worker threads from short-lived
+// schedulers leave their events behind for a post-mortem export.
+//
+// write_json() emits the Chrome trace-event JSON object format
+// ({"traceEvents":[...]}) that chrome://tracing and ui.perfetto.dev load
+// directly: one pid, one tid per lane (with a thread_name metadata record),
+// "X" complete events with microsecond timestamps rebased to the earliest
+// event, and "i" instant events for point occurrences (faults,
+// cancellations, watchdog firings).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sts::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';            // 'X' complete span, 'i' instant
+  std::int64_t ts_ns = 0;   // support::now_ns() timestamp
+  std::int64_t dur_ns = 0;  // span duration; ignored for instants
+  std::string args;         // pre-rendered JSON object body, may be empty
+};
+
+class TraceSink {
+public:
+  static TraceSink& instance();
+
+  /// Appends an event to the calling thread's lane.
+  void push(TraceEvent event);
+
+  /// Names the calling thread's lane (first non-empty name wins).
+  void name_current_lane(const std::string& name);
+
+  /// Drops all buffered events (lanes and their names survive).
+  void reset();
+
+  [[nodiscard]] std::size_t event_count();
+
+  /// Writes the full buffer as Chrome trace-event JSON.
+  void write_json(std::ostream& os);
+
+private:
+  struct Lane {
+    std::mutex mutex;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+
+  Lane& lane_for_this_thread();
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+} // namespace sts::obs

@@ -5,14 +5,24 @@
 #include <ostream>
 
 #include "support/error.hpp"
+#include "support/escape.hpp"
 
 namespace sts::perf {
 
 TraceRecorder::TraceRecorder(unsigned workers) : lanes_(std::max(1u, workers)) {}
 
 void TraceRecorder::record(unsigned worker, TaskEvent event) {
-  STS_EXPECTS(worker < lanes_.size());
-  lanes_[worker].push_back(event);
+  if (worker < lanes_.size()) {
+    lanes_[worker].push_back(event);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(overflow_mutex_);
+  overflow_.push_back(event);
+}
+
+std::size_t TraceRecorder::overflow_count() const {
+  const std::lock_guard<std::mutex> lock(overflow_mutex_);
+  return overflow_.size();
 }
 
 std::vector<TaskEvent> TraceRecorder::events() const {
@@ -21,6 +31,10 @@ std::vector<TaskEvent> TraceRecorder::events() const {
   for (const auto& lane : lanes_) total += lane.size();
   all.reserve(total);
   for (const auto& lane : lanes_) all.insert(all.end(), lane.begin(), lane.end());
+  {
+    const std::lock_guard<std::mutex> lock(overflow_mutex_);
+    all.insert(all.end(), overflow_.begin(), overflow_.end());
+  }
   if (all.empty()) return all;
   std::int64_t t0 = std::numeric_limits<std::int64_t>::max();
   for (const TaskEvent& e : all) t0 = std::min(t0, e.start_ns);
@@ -36,6 +50,8 @@ std::vector<TaskEvent> TraceRecorder::events() const {
 
 void TraceRecorder::clear() {
   for (auto& lane : lanes_) lane.clear();
+  const std::lock_guard<std::mutex> lock(overflow_mutex_);
+  overflow_.clear();
 }
 
 FlowGraph build_flow_graph(const std::vector<TaskEvent>& events, int buckets) {
@@ -79,7 +95,9 @@ FlowGraph build_flow_graph(const std::vector<TaskEvent>& events, int buckets) {
 
 void write_flow_graph_csv(std::ostream& os, const FlowGraph& fg) {
   os << "time_ms";
-  for (graph::KernelKind k : fg.kinds) os << ',' << graph::to_string(k);
+  for (graph::KernelKind k : fg.kinds) {
+    os << ',' << support::csv_field(graph::to_string(k));
+  }
   os << '\n';
   for (std::size_t b = 0; b < fg.counts.size(); ++b) {
     os << (static_cast<double>(fg.bucket_ns) * static_cast<double>(b) / 1e6);

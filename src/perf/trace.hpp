@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,20 +32,29 @@ public:
   explicit TraceRecorder(unsigned workers);
 
   /// Called by worker `w` (0-based). Not synchronized across workers; each
-  /// worker must only use its own lane.
+  /// worker must only use its own lane. Out-of-range worker ids (events
+  /// reported from an external submission thread, or from a helper thread
+  /// the recorder was not sized for) go to a shared mutex-guarded overflow
+  /// lane instead of being dropped.
   void record(unsigned worker, TaskEvent event);
 
-  /// Merged events sorted by start time, rebased so the earliest start is 0.
+  /// Merged events (worker lanes plus overflow) sorted by start time,
+  /// rebased so the earliest start is 0.
   [[nodiscard]] std::vector<TaskEvent> events() const;
 
   [[nodiscard]] unsigned workers() const noexcept {
     return static_cast<unsigned>(lanes_.size());
   }
 
+  /// Events routed to the overflow lane so far.
+  [[nodiscard]] std::size_t overflow_count() const;
+
   void clear();
 
 private:
   std::vector<std::vector<TaskEvent>> lanes_;
+  mutable std::mutex overflow_mutex_;
+  std::vector<TaskEvent> overflow_;
 };
 
 /// One row of a flow graph: time bucket -> number of tasks of each kernel

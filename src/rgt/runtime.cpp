@@ -4,10 +4,24 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/obs.hpp"
+#include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace sts::rgt {
+
+namespace {
+
+/// Tracks the launched-but-unfinished task window (peak = max concurrency
+/// exposure the analyzer created).
+void note_in_flight(std::uint64_t now_in_flight) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Gauge& g = obs::gauge("rgt.in_flight");
+  g.observe(static_cast<std::int64_t>(now_in_flight));
+}
+
+} // namespace
 
 const char* to_string(Privilege p) {
   switch (p) {
@@ -139,6 +153,8 @@ void Runtime::add_dependence(const TaskPtr& before, const TaskPtr& after) {
   }
   if (pending) {
     ++stats_.dependence_edges;
+    static obs::Counter& edges = obs::counter("rgt.dependence_edges");
+    edges.add(1);
     if (active_capture_ != nullptr) {
       if (before->trace_index >= 0) {
         after->trace_deps.push_back(before->trace_index);
@@ -168,8 +184,13 @@ void Runtime::append_capture_entry(const TaskPtr& task, bool is_fold,
 void Runtime::run_body(const TaskPtr& task) {
   if (cancelled_.load(std::memory_order_acquire)) {
     suppressed_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("rgt.tasks_suppressed").add(1);
+    obs::instant("rgt:suppressed", "cancel",
+                 "{\"task\":\"" + support::json_escape(task->name) + "\"}");
     return;
   }
+  const bool timed = obs::task_timing_enabled();
+  const std::int64_t t0 = timed ? support::now_ns() : 0;
   try {
     support::fault::check("rgt:task");
     TaskContext ctx(this, scheduler_.current_worker());
@@ -182,6 +203,15 @@ void Runtime::run_body(const TaskPtr& task) {
   } catch (...) {
     report_error(std::make_exception_ptr(
         support::TaskError(task->name, "unknown exception")));
+  }
+  if (timed) {
+    const std::int64_t t1 = support::now_ns();
+    static obs::Histogram& run_hist = obs::histogram("rgt.task_run_ns");
+    run_hist.observe(t1 - t0);
+    // Named after the launched task, so the trace shows the region-task
+    // structure ("spmv piece", "fold", ...) enclosing the kernel span the
+    // body publishes.
+    obs::span(task->name, "rgt", t0, t1);
   }
 }
 
@@ -209,11 +239,22 @@ void Runtime::notify_ready(const TaskPtr& task) {
 }
 
 void Runtime::report_error(std::exception_ptr error) noexcept {
+  bool latched = false;
   {
     const std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = error;
+    if (!first_error_) {
+      first_error_ = error;
+      latched = true;
+    }
   }
   cancelled_.store(true, std::memory_order_release);
+  if (latched) {
+    try {
+      obs::counter("rgt.cancellations").add(1);
+    } catch (...) {
+    }
+    obs::instant("rgt:cancel", "cancel");
+  }
 }
 
 void Runtime::rethrow_and_reset() {
@@ -306,7 +347,7 @@ void Runtime::close_reduction_epoch(RegionId region) {
     ps.readers_since_write.clear();
   }
   ++stats_.folds_inserted;
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  note_in_flight(in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1);
   ++stats_.tasks_launched;
   notify_ready(fold);
 }
@@ -415,7 +456,7 @@ void Runtime::execute(TaskLaunch launch) {
 
   stats_.analysis_seconds += analysis_timer.seconds();
   ++stats_.tasks_launched;
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  note_in_flight(in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1);
   notify_ready(task);
 }
 
@@ -456,7 +497,7 @@ void Runtime::index_launch(
   stats_.analysis_seconds += analysis_timer.seconds();
   for (const TaskPtr& t : tasks) {
     ++stats_.tasks_launched;
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    note_in_flight(in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1);
     notify_ready(t);
   }
 }
@@ -587,7 +628,7 @@ void Runtime::replay_fold_entry() {
   ++tr.cursor;
   ++stats_.folds_inserted;
   ++stats_.tasks_launched;
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  note_in_flight(in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1);
   notify_ready(fold);
 }
 
@@ -625,7 +666,10 @@ void Runtime::verify_noninterference(
 }
 
 void Runtime::on_finished() {
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  const std::uint64_t before =
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  note_in_flight(before - 1);
+  if (before == 1) {
     const std::lock_guard<std::mutex> lock(window_mutex_);
     window_cv_.notify_all();
   } else if (in_flight_.load(std::memory_order_acquire) <
@@ -664,6 +708,9 @@ void Runtime::wait_all(std::chrono::milliseconds deadline) {
       const std::uint64_t pending =
           in_flight_.load(std::memory_order_acquire);
       lock.unlock();
+      obs::counter("rgt.watchdog_fired").add(1);
+      obs::instant("rgt:watchdog", "watchdog",
+                   "{\"in_flight\":" + std::to_string(pending) + "}");
       throw support::TimeoutError(
           "rgt: wait_all deadline (" + std::to_string(deadline.count()) +
           " ms) expired: " + std::to_string(pending) +

@@ -7,6 +7,7 @@
 #include "ds/program.hpp"
 #include "flux/dataflow.hpp"
 #include "la/eig.hpp"
+#include "obs/obs.hpp"
 #include "rgt/runtime.hpp"
 #include "support/timer.hpp"
 
@@ -104,6 +105,8 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
   IterationTiming timing;
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    obs::IterScope iter(csr != nullptr ? "lanczos.libcsr" : "lanczos.libcsb",
+                        i);
     if (csr != nullptr) {
       bsp::spmv(*csr, s.q.flat(), s.z.flat());
     } else {
@@ -113,6 +116,8 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
     const double alpha = s.proj.at(i, 0);
     bsp::xy(s.Q.view(), s.proj.view(), s.z.view(), chunk, -1.0, 1.0);
     const double beta = std::sqrt(bsp::dot(s.z.flat(), s.z.flat()));
+    iter.metric("alpha", alpha);
+    iter.metric("beta", beta);
     ++timing.iterations;
     if (!accept_iteration(alpha, beta, alphas, betas, status)) break;
     const double inv = 1.0 / std::max(beta, kBreakdownFloor);
@@ -182,7 +187,10 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    obs::IterScope iter("lanczos.ds", i);
     ds::execute(graph, exec);
+    iter.metric("alpha", s.proj.at(i, 0));
+    iter.metric("beta", s.beta);
     ++timing.iterations;
     if (!accept_iteration(s.proj.at(i, 0), s.beta, alphas, betas, status)) {
       break;
@@ -214,22 +222,22 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   using Fut = flux::shared_future<void>;
   auto ready = [] { return flux::make_ready_future(); };
 
-  // Piece body wrapper that records trace events.
+  // Piece body wrapper publishing to the unified event stream (bench
+  // recorder, Chrome trace, latency histograms).
   auto traced = [&](graph::KernelKind kind, std::int32_t bi, auto fn) {
     return [&sched, trace, kind, bi, fn]() {
-      if (trace == nullptr) {
+      if (trace == nullptr && !obs::task_timing_enabled()) {
         fn();
         return;
       }
       perf::TaskEvent ev;
       ev.kind = kind;
       ev.task_id = bi;
-      const int w = std::max(0, sched.current_worker());
-      ev.worker = w;
+      ev.worker = std::max(0, sched.current_worker());
       ev.start_ns = support::now_ns();
       fn();
       ev.end_ns = support::now_ns();
-      trace->record(static_cast<unsigned>(w), ev);
+      obs::publish_task("flux", ev, trace);
     };
   };
 
@@ -267,6 +275,10 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    // The iteration span covers submission through the convergence-check
+    // gets — the driver's view of the iteration; kernel tasks may overlap
+    // the next iteration's submissions on the worker tracks.
+    obs::IterScope iter("lanczos.flux", i);
     // z = A q: zero, then a dependency chain per output piece.
     std::vector<Fut> z_chain(static_cast<std::size_t>(np));
     for (index_t bi = 0; bi < np; ++bi) {
@@ -434,6 +446,8 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
     // Convergence check: the per-iteration synchronization point.
     proj_f.get(&sched);
     beta_f.get(&sched);
+    iter.metric("alpha", s.proj.at(i, 0));
+    iter.metric("beta", s.beta);
     ++timing.iterations;
     if (!accept_iteration(s.proj.at(i, 0), s.beta, alphas, betas, status)) {
       break;
@@ -485,19 +499,18 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
   perf::TraceRecorder* trace = options.trace;
   auto traced = [trace](graph::KernelKind kind, std::int32_t bi, auto fn) {
     return [trace, kind, bi, fn](rgt::TaskContext& ctx) {
-      if (trace == nullptr) {
+      if (trace == nullptr && !obs::task_timing_enabled()) {
         fn(ctx);
         return;
       }
       perf::TaskEvent ev;
       ev.kind = kind;
       ev.task_id = bi;
-      const int w = std::max(0, ctx.worker());
-      ev.worker = w;
+      ev.worker = std::max(0, ctx.worker());
       ev.start_ns = support::now_ns();
       fn(ctx);
       ev.end_ns = support::now_ns();
-      trace->record(static_cast<unsigned>(w), ev);
+      obs::publish_task("rgt", ev, trace);
     };
   };
 
@@ -519,6 +532,7 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    obs::IterScope iter("lanczos.rgt", i);
     // z = A q.
     if (options.dependency_based_spmm) {
       for (index_t bi = 0; bi < np; ++bi) {
@@ -681,6 +695,8 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
     });
 
     rt.wait_all(); // convergence check barrier
+    iter.metric("alpha", s.proj.at(i, 0));
+    iter.metric("beta", *beta);
     ++timing.iterations;
     if (!accept_iteration(s.proj.at(i, 0), *beta, alphas, betas, status)) {
       break;

@@ -1,5 +1,6 @@
 #include "solvers/lobpcg.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <memory>
@@ -9,6 +10,7 @@
 #include "ds/program.hpp"
 #include "flux/dataflow.hpp"
 #include "la/eig.hpp"
+#include "obs/obs.hpp"
 #include "rgt/runtime.hpp"
 #include "support/timer.hpp"
 
@@ -202,6 +204,20 @@ void body_rayleigh_ritz(Smalls* sm) {
   }
 }
 
+/// Attaches the per-iteration convergence metrics to the iteration span.
+/// The norms/converged fields are valid here: every version's iteration
+/// barrier orders the kConvCheck task before this runs on the driver.
+void note_iteration_metrics(obs::IterScope& iter, const Smalls& sm,
+                            index_t n) {
+  if (!iter.enabled()) return;
+  double max_residual = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    max_residual = std::max(max_residual, sm.norms.at(j, 0));
+  }
+  iter.metric("converged", static_cast<double>(sm.converged));
+  iter.metric("max_residual", max_residual);
+}
+
 LobpcgResult finalize(const State& s, IterationTiming timing) {
   LobpcgResult result;
   result.eigenvalues = s.sm.theta;
@@ -232,6 +248,8 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    obs::IterScope iter(csr != nullptr ? "lobpcg.libcsr" : "lobpcg.libcsb",
+                        it);
     bsp::xty(s.X.view(), s.AX.view(), sm.M.view(), chunk);
     // R = AX - X M: copy AX -> R, then R -= X M.
     {
@@ -287,6 +305,7 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
     std::swap(s.AX, s.AXn);
     std::swap(s.P, s.Pn);
     std::swap(s.AP, s.APn);
+    note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
@@ -395,7 +414,9 @@ LobpcgResult run_ds(const sparse::Csb& csb, int max_iterations,
                              .trace = options.trace};
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    obs::IterScope iter("lobpcg.ds", it);
     ds::execute(graph, exec);
+    note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
@@ -492,19 +513,18 @@ public:
     perf::TraceRecorder* trace = opts_.trace;
     flux::Scheduler* sched = &sched_;
     return [trace, sched, kind, id, fn]() {
-      if (trace == nullptr) {
+      if (trace == nullptr && !obs::task_timing_enabled()) {
         fn();
         return;
       }
       perf::TaskEvent ev;
       ev.kind = kind;
       ev.task_id = id;
-      const int w = std::max(0, sched->current_worker());
-      ev.worker = w;
+      ev.worker = std::max(0, sched->current_worker());
       ev.start_ns = support::now_ns();
       fn();
       ev.end_ns = support::now_ns();
-      trace->record(static_cast<unsigned>(w), ev);
+      obs::publish_task("flux", ev, trace);
     };
   }
 
@@ -742,6 +762,9 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    // Driver-side span: submission through the convergence-check get; the
+    // tail kernels of the iteration may still be in flight on the workers.
+    obs::IterScope iter("lobpcg.flux", it);
     fx.begin_iteration();
     fx.xty(X, AX, M);
     fx.copy(AX, R);
@@ -785,6 +808,7 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
     fx.copy(APn, AP);
 
     conv.get(&fx.scheduler()); // per-iteration convergence check
+    note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
@@ -834,19 +858,18 @@ public:
   rgt::TaskBody traced(graph::KernelKind kind, std::int32_t id, Fn fn) {
     perf::TraceRecorder* trace = opts_.trace;
     return [trace, kind, id, fn](rgt::TaskContext& ctx) {
-      if (trace == nullptr) {
+      if (trace == nullptr && !obs::task_timing_enabled()) {
         fn(ctx);
         return;
       }
       perf::TaskEvent ev;
       ev.kind = kind;
       ev.task_id = id;
-      const int w = std::max(0, ctx.worker());
-      ev.worker = w;
+      ev.worker = std::max(0, ctx.worker());
       ev.start_ns = support::now_ns();
       fn(ctx);
       ev.end_ns = support::now_ns();
-      trace->record(static_cast<unsigned>(w), ev);
+      obs::publish_task("rgt", ev, trace);
     };
   }
 
@@ -1105,6 +1128,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    obs::IterScope iter("lobpcg.rgt", it);
     rg.begin_iteration();
     rg.xty(X, AX, M);
     rg.copy(AX, R);
@@ -1148,6 +1172,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
     rg.copy(APn, AP);
 
     rg.runtime().wait_all(); // per-iteration convergence barrier
+    note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }

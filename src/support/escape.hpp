@@ -1,0 +1,23 @@
+// String escaping for the exporters (trace JSON, metrics/flow-graph CSV).
+//
+// Kernel labels and task names flow into machine-readable dumps; a name
+// containing a quote, comma, or backslash must not corrupt the file. Every
+// exporter routes strings through these two helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sts::support {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters as \uXXXX). Returns the escaped body WITHOUT the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Renders `s` as one RFC 4180 CSV field: returned unchanged unless it
+/// contains a comma, quote, CR, or LF, in which case it is wrapped in
+/// quotes with embedded quotes doubled.
+[[nodiscard]] std::string csv_field(std::string_view s);
+
+} // namespace sts::support

@@ -29,6 +29,7 @@ Registry& registry() {
 // Fast-path gate: check() is a single relaxed load while nothing is armed.
 std::atomic<int> g_armed_count{0};
 std::once_flag g_env_once;
+std::atomic<Observer> g_observer{nullptr};
 
 void arm_locked(Registry& r, const Spec& spec) {
   auto [it, inserted] = r.sites.insert_or_assign(spec.site, Armed{spec});
@@ -144,6 +145,10 @@ std::uint64_t visits(const std::string& site) {
   return it == r.sites.end() ? 0 : it->second.visits;
 }
 
+void set_observer(Observer observer) noexcept {
+  g_observer.store(observer, std::memory_order_release);
+}
+
 bool check(const char* site) {
   std::call_once(g_env_once, init_from_env);
   if (g_armed_count.load(std::memory_order_acquire) == 0) return false;
@@ -160,6 +165,10 @@ bool check(const char* site) {
     if (armed.fired || visit != armed.spec.hit) return false;
     armed.fired = true;
     fire = armed.spec;
+  }
+
+  if (Observer obs = g_observer.load(std::memory_order_acquire)) {
+    obs(fire, visit);
   }
 
   switch (fire.kind) {

@@ -69,6 +69,16 @@ void clear();
 /// consulted once, on the first visit to any point in the process.
 bool check(const char* site);
 
+/// Observer invoked whenever an armed fault fires (any kind), before its
+/// effect takes hold (so a kThrow site is reported before the throw). Used
+/// by the telemetry layer to emit trace instants without support depending
+/// on obs. The observer runs outside the registry lock and must not call
+/// back into arm()/clear()/check().
+using Observer = void (*)(const Spec& spec, std::uint64_t visit);
+
+/// Installs the process-wide fire observer (nullptr to remove).
+void set_observer(Observer observer) noexcept;
+
 /// RAII arming for tests: arms on construction, clear()s on destruction.
 class ScopedFault {
 public:

@@ -8,6 +8,9 @@
 #include <cmath>
 #include <string>
 
+#include <sstream>
+
+#include "obs/obs.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "sparse/generators.hpp"
@@ -152,6 +155,23 @@ TEST_P(LanczosBreakdownVersions, ScaledIdentityBreaksDownCleanly) {
 INSTANTIATE_TEST_SUITE_P(AllVersions, LanczosBreakdownVersions,
                          ::testing::ValuesIn(solver::kAllVersions),
                          version_name);
+
+TEST(FaultTelemetry, InjectedFaultAppearsAsInstantEventInTrace) {
+  SolverFixture f;
+  obs::enable_tracing(""); // buffer only; clears earlier events
+  support::fault::ScopedFault inject("spmv_block:hit=4:kind=nan");
+  const auto r = solver::lanczos(f.csr, f.csb, 8, Version::kDs, f.options);
+  EXPECT_EQ(r.status, SolverStatus::kNotFinite);
+  std::ostringstream os;
+  obs::write_trace_json(os);
+  obs::disable();
+  const std::string json = os.str();
+  // The fault observer emits an instant event named after the site with
+  // category "fault" on the thread that tripped it.
+  EXPECT_NE(json.find("\"fault:spmv_block\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
 
 TEST(LobpcgFaults, NanFaultStopsCleanlyWithStatus) {
   SolverFixture f;

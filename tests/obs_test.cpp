@@ -1,0 +1,552 @@
+// Telemetry layer tests (ctest label "obs"): histogram quantile edge cases,
+// concurrent counter increments (exercised under STS_SANITIZE=thread),
+// string escaping, metrics CSV shape, and a full round trip — run a solver
+// with tracing enabled, export the Chrome trace JSON, re-parse it, and
+// check event nesting and timestamp sanity per thread track.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "solvers/lanczos.hpp"
+#include "sparse/generators.hpp"
+#include "support/escape.hpp"
+#include "support/timer.hpp"
+
+namespace sts {
+namespace {
+
+using solver::Version;
+
+// ---------------------------------------------------------------------------
+// A deliberately strict, minimal JSON parser — enough to round-trip what the
+// trace exporter emits. Any deviation from valid JSON fails the test.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\r' ||
+            s_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': {
+        literal("null");
+        return Json{};
+      }
+      default: return number();
+    }
+  }
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) expect(*p);
+  }
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u digit");
+            }
+          }
+          // The exporter only emits \u00XX for control bytes.
+          out.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Json export_and_parse() {
+  std::ostringstream os;
+  obs::write_trace_json(os);
+  return JsonParser(os.str()).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesLandInItsBucket) {
+  obs::Histogram h;
+  h.observe(700); // bucket [512, 1024)
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 700);
+  EXPECT_EQ(h.max(), 700);
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, 512.0) << "p=" << p;
+    EXPECT_LE(q, 1024.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, AllSamplesInOneBucketStayInThatBucket) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(700);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 700 * 1000);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAcrossBuckets) {
+  obs::Histogram h;
+  for (std::int64_t v : {1, 3, 9, 70, 700, 7000, 70000, 700000}) {
+    h.observe(v);
+  }
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 700000);
+}
+
+TEST(Histogram, TinyAndNegativeValuesFoldIntoBucketZero) {
+  obs::Histogram h;
+  h.observe(-5);
+  h.observe(0);
+  h.observe(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.quantile(1.0), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / gauge semantics (TSan builds check the data-race freedom)
+// ---------------------------------------------------------------------------
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  obs::Counter& c = obs::counter("obs_test.concurrent");
+  const std::uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SameNameYieldsSameMetric) {
+  obs::Counter& a = obs::counter("obs_test.same");
+  obs::Counter& b = obs::counter("obs_test.same");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& ha = obs::histogram("obs_test.same_h");
+  obs::Histogram& hb = obs::histogram("obs_test.same_h");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(Gauge, TracksValueAndPeakIndependently) {
+  obs::Gauge& g = obs::gauge("obs_test.gauge");
+  g.observe(5);
+  g.observe(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// String escaping
+// ---------------------------------------------------------------------------
+
+TEST(Escape, JsonEscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(support::json_escape("plain"), "plain");
+  EXPECT_EQ(support::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(support::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(support::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(support::json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(Escape, CsvQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(support::csv_field("plain"), "plain");
+  EXPECT_EQ(support::csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(support::csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(support::csv_field("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Metrics, CsvDumpEscapesNamesAndOrdersQuantiles) {
+  obs::counter("obs_test.csv,comma").add(3);
+  obs::Histogram& h = obs::histogram("obs_test.csv_hist");
+  for (int i = 1; i <= 100; ++i) h.observe(i * 10);
+  std::ostringstream os;
+  obs::write_metrics_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("name,type,value,count,min,max,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"obs_test.csv,comma\",counter,3"), std::string::npos);
+
+  // Pull the histogram row apart and check p50 <= p95 <= p99.
+  std::istringstream lines(csv);
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("obs_test.csv_hist,", 0) != 0) continue;
+    found = true;
+    std::vector<std::string> fields;
+    std::istringstream fs(line);
+    std::string field;
+    while (std::getline(fs, field, ',')) fields.push_back(field);
+    ASSERT_EQ(fields.size(), 9u) << line;
+    const double p50 = std::stod(fields[6]);
+    const double p95 = std::stod(fields[7]);
+    const double p99 = std::stod(fields[8]);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GT(p50, 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Trace export round trip
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SpanNamesWithQuotesSurviveTheRoundTrip) {
+  obs::enable_tracing("");
+  const std::int64_t t0 = support::now_ns();
+  obs::span("name \"quoted\" \\slash", "cat,comma", t0, t0 + 1000);
+  obs::instant("fault:spmv_block", "fault");
+  const Json doc = export_and_parse();
+  obs::disable();
+
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Kind::kArray);
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (const Json& ev : events->array) {
+    const Json* name = ev.find("name");
+    const Json* ph = ev.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    if (name->string == "name \"quoted\" \\slash") {
+      saw_span = true;
+      EXPECT_EQ(ph->string, "X");
+      EXPECT_EQ(ev.find("cat")->string, "cat,comma");
+    }
+    if (name->string == "fault:spmv_block") {
+      saw_instant = true;
+      EXPECT_EQ(ph->string, "i");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+struct ParsedTrack {
+  std::vector<const Json*> spans; // ph == "X", in file order
+};
+
+/// Spans on one track must nest: sorted by start, each next span either
+/// starts at/after the previous top's end (sibling) or ends at/before it
+/// (child). Partial overlap is a malformed trace.
+void check_nesting(const std::vector<const Json*>& spans) {
+  std::vector<std::pair<double, double>> sorted;
+  sorted.reserve(spans.size());
+  for (const Json* ev : spans) {
+    const double ts = ev->find("ts")->number;
+    const double dur = ev->find("dur")->number;
+    ASSERT_GE(dur, 0.0);
+    sorted.emplace_back(ts, ts + dur);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> stack;
+  for (const auto& [begin, end] : sorted) {
+    while (!stack.empty() && begin >= stack.back().second) stack.pop_back();
+    if (!stack.empty()) {
+      EXPECT_LE(end, stack.back().second + 1e-6)
+          << "span [" << begin << ", " << end
+          << ") partially overlaps an earlier span on the same track";
+    }
+    stack.emplace_back(begin, end);
+  }
+}
+
+class TraceRoundTrip : public ::testing::TestWithParam<Version> {};
+
+TEST_P(TraceRoundTrip, SolverRunExportsAWellFormedChromeTrace) {
+  const sparse::Coo coo = sparse::gen_fem3d(5, 5, 5, 1, 31);
+  const sparse::Csr csr = sparse::Csr::from_coo(coo);
+  const sparse::Csb csb = sparse::Csb::from_coo(coo, 32);
+  solver::SolverOptions options;
+  options.block_size = 32;
+  options.threads = 2;
+
+  obs::enable_tracing(""); // buffer only; also clears earlier events
+  const auto r = solver::lanczos(csr, csb, 6, GetParam(), options);
+  const Json doc = export_and_parse();
+  obs::disable();
+  ASSERT_GE(r.timing.iterations, 1);
+
+  ASSERT_EQ(doc.kind, Json::Kind::kObject);
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Kind::kArray);
+
+  std::map<double, ParsedTrack> tracks;
+  std::map<double, double> last_end; // per tid, event completion order
+  int iter_spans = 0;
+  int kernel_spans = 0;
+  for (const Json& ev : events->array) {
+    const Json* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") continue; // thread_name metadata
+    const Json* ts = ev.find("ts");
+    const Json* tid = ev.find("tid");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_GE(ts->number, 0.0); // rebased to the earliest event
+    if (ph->string != "X") continue;
+    const Json* dur = ev.find("dur");
+    ASSERT_NE(dur, nullptr);
+    tracks[tid->number].spans.push_back(&ev);
+    // Events are pushed at completion: per track, end times never go back.
+    const double end = ts->number + dur->number;
+    const auto it = last_end.find(tid->number);
+    if (it != last_end.end()) {
+      EXPECT_GE(end, it->second - 1e-6);
+    }
+    last_end[tid->number] = end;
+
+    const std::string& name = ev.find("name")->string;
+    const std::string& cat = ev.find("cat")->string;
+    if (name.rfind("iter[", 0) == 0) {
+      ++iter_spans;
+      EXPECT_NE(cat.find("lanczos."), std::string::npos);
+    }
+    if (cat == "spmv" || cat == "spmm") ++kernel_spans;
+  }
+  EXPECT_EQ(iter_spans, r.timing.iterations);
+  EXPECT_GT(kernel_spans, 0);
+  for (const auto& [tid, track] : tracks) check_nesting(track.spans);
+  // The task runtimes run kernels on dedicated workers, away from the
+  // driver thread's track.
+  if (GetParam() == Version::kFlux || GetParam() == Version::kRgt) {
+    EXPECT_GE(tracks.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, TraceRoundTrip,
+                         ::testing::ValuesIn(solver::kAllVersions),
+                         [](const ::testing::TestParamInfo<Version>& info) {
+                           std::string name = solver::to_string(info.param);
+                           for (char& c : name) {
+                             if (std::isalnum(
+                                     static_cast<unsigned char>(c)) == 0) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Trace, SchedulerMetricsSurfaceStealAndLatencyData) {
+  const sparse::Coo coo = sparse::gen_fem3d(5, 5, 5, 1, 31);
+  const sparse::Csr csr = sparse::Csr::from_coo(coo);
+  const sparse::Csb csb = sparse::Csb::from_coo(coo, 32);
+  solver::SolverOptions options;
+  options.block_size = 32;
+  options.threads = 2;
+
+  obs::enable_metrics(""); // collect only
+  (void)solver::lanczos(csr, csb, 6, Version::kFlux, options);
+  std::ostringstream os;
+  obs::write_metrics_csv(os);
+  obs::disable();
+  const std::string csv = os.str();
+
+  // The flux run must surface the scheduler counters and the per-kernel
+  // latency histograms the issue calls out.
+  EXPECT_NE(csv.find("flux.steals,counter"), std::string::npos);
+  EXPECT_NE(csv.find("flux.cross_domain_steals,counter"), std::string::npos);
+  EXPECT_NE(csv.find("flux.queue_depth,histogram"), std::string::npos);
+  EXPECT_NE(csv.find("flux.task_wait_ns,histogram"), std::string::npos);
+  EXPECT_NE(csv.find("flux.task_run_ns,histogram"), std::string::npos);
+  EXPECT_NE(csv.find("flux.task_ns.spmv,histogram"), std::string::npos);
+  EXPECT_NE(csv.find("lanczos.flux.iterations,counter"), std::string::npos);
+}
+
+} // namespace
+} // namespace sts

@@ -16,7 +16,12 @@
 //     --block <rows>          CSB block size; 0 = heuristic (default)
 //     --autotune              pick the block size by simulated sweep
 //     --threads <n>           worker threads (default: hardware)
+//     --trace <f.json>        write a Chrome trace-event file (Perfetto)
+//     --metrics <f.csv|stderr> dump the metrics registry at exit
 //     --list                  print suite matrix names and exit
+//
+// Telemetry can also be activated without flags via the STS_TRACE and
+// STS_METRICS environment variables (see DESIGN.md, "Observability").
 //
 // Exit codes: 0 success, 1 unexpected error, 2 usage, 3 bad input
 // (unreadable or malformed matrix, invalid options), 4 solver breakdown
@@ -26,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "sim/machine.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
@@ -46,7 +52,8 @@ using namespace sts;
               "  [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
               "[--nev n]\n"
               "  [--block rows | --autotune] [--threads n] [--scale f] "
-              "[--list]\n",
+              "[--list]\n"
+              "  [--trace f.json] [--metrics f.csv|stderr]\n",
               argv0);
   std::exit(2);
 }
@@ -73,10 +80,21 @@ int main(int argc, char** argv) {
   la::index_t block = 0;
   bool autotune = false;
   unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  std::string trace_path;
+  std::string metrics_dest;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const std::size_t eq = arg.find('=');
+        eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+      arg.resize(eq);
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline_value) return inline_value;
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
@@ -85,21 +103,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--suite") {
       suite_name = next();
     } else if (arg == "--scale") {
-      scale = std::atof(next());
+      scale = std::atof(next().c_str());
     } else if (arg == "--solver") {
       solver_name = next();
     } else if (arg == "--version") {
       version_name = next();
     } else if (arg == "--iterations") {
-      iterations = std::atoi(next());
+      iterations = std::atoi(next().c_str());
     } else if (arg == "--nev") {
-      nev = std::atoll(next());
+      nev = std::atoll(next().c_str());
     } else if (arg == "--block") {
-      block = std::atoll(next());
+      block = std::atoll(next().c_str());
     } else if (arg == "--autotune") {
       autotune = true;
     } else if (arg == "--threads") {
-      threads = static_cast<unsigned>(std::atoi(next()));
+      threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_dest = next();
     } else if (arg == "--list") {
       for (const auto& e : sparse::paper_suite()) {
         std::printf("%-20s %s (paper: %lld rows, %lld nnz)\n",
@@ -112,6 +134,12 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
+
+  // CLI flags layer on top of any STS_TRACE / STS_METRICS environment
+  // activation; the explicit flush before the successful return writes the
+  // files early, and the atexit hook covers the error paths.
+  if (!trace_path.empty()) obs::enable_tracing(trace_path);
+  if (!metrics_dest.empty()) obs::enable_metrics(metrics_dest);
 
   try {
     sparse::Coo coo(0, 0);
@@ -218,5 +246,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "stsolve: %s\n", e.what());
     return 1;
   }
+  obs::flush();
   return 0;
 }
