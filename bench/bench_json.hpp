@@ -1,0 +1,113 @@
+// Machine-readable benchmark export.
+//
+// google-benchmark's own --benchmark_out JSON is verbose and
+// version-dependent; CI and the regression scripts want a stable, minimal
+// schema. This header provides a drop-in main() body: console output stays
+// identical to BENCHMARK_MAIN(), and every completed run is additionally
+// appended to a JSON file:
+//
+//   { "benchmarks": [
+//       { "op": "BM_SpmmCsb/16/8", "iterations": 732,
+//         "ns_per_op": 389155.2, "counters": { "bytes_per_nnz": 10.17,
+//         "items_per_second": 4.05e9 } }, ... ] }
+//
+// The output path defaults to the per-binary name passed to run() (written
+// into the working directory) and can be overridden with the STS_BENCH_JSON
+// environment variable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sts::benchjson {
+
+/// Console reporter that tees every run into a flat JSON file.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      Row row;
+      row.op = r.benchmark_name();
+      row.iterations = r.iterations;
+      row.ns_per_op =
+          r.iterations > 0
+              ? r.real_accumulated_time / static_cast<double>(r.iterations) *
+                    1e9
+              : 0.0;
+      for (const auto& [name, counter] : r.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    write_json();
+    benchmark::ConsoleReporter::Finalize();
+  }
+
+private:
+  struct Row {
+    std::string op;
+    std::int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  void write_json() const {
+    std::ostringstream os;
+    os.precision(12);
+    os << "{ \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "  { \"op\": \"" << escape(r.op) << "\", \"iterations\": "
+         << r.iterations << ", \"ns_per_op\": " << r.ns_per_op
+         << ", \"counters\": {";
+      for (std::size_t c = 0; c < r.counters.size(); ++c) {
+        if (c > 0) os << ",";
+        os << " \"" << escape(r.counters[c].first)
+           << "\": " << r.counters[c].second;
+      }
+      os << " } }" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "] }\n";
+    std::ofstream f(path_);
+    f << os.str();
+  }
+
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body. `default_json` names
+/// the export file (overridden by $STS_BENCH_JSON).
+inline int run(int argc, char** argv, const char* default_json) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* env = std::getenv("STS_BENCH_JSON");
+  JsonTeeReporter reporter(env != nullptr ? env : default_json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace sts::benchjson

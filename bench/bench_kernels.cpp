@@ -1,8 +1,11 @@
 // Microbenchmarks (google-benchmark) of the kernel bodies the solvers are
-// built from: dense gemm / gemm_tn on block shapes, CSR vs CSB SpMV/SpMM,
-// and CSB construction cost.
+// built from: dense gemm / gemm_tn on block shapes, CSR vs CSB SpMV/SpMM
+// (including the packed row-segmented CSB layout against an AoS replica of
+// the former layout), and CSB construction cost. Results are exported to
+// BENCH_kernels.json (see bench_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bsp/kernels.hpp"
 #include "la/blas.hpp"
 #include "sparse/generators.hpp"
@@ -95,6 +98,110 @@ void BM_SpmmCsb(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmCsb)->Arg(16)->Arg(24);
 
+// Serial per-block SpMM on the packed row-segmented layout, one kernel call
+// per non-empty block -- the task-body cost the runtimes schedule, without
+// OpenMP in the measurement. Second arg is the block-vector width n.
+void BM_SpmmCsbPacked(benchmark::State& state) {
+  const la::index_t side = state.range(0);
+  const la::index_t n = state.range(1);
+  sparse::Coo coo = sparse::gen_fem3d(side, side, side, 1, 3);
+  sparse::Csb csb = sparse::Csb::from_coo(coo, 512);
+  la::DenseMatrix x(csb.rows(), n);
+  la::DenseMatrix y(csb.rows(), n);
+  support::Xoshiro256 rng(4);
+  x.fill_random(rng);
+  for (auto _ : state) {
+    for (la::index_t bi = 0; bi < csb.block_rows(); ++bi) {
+      sparse::csb_block_zero(csb, bi, y.view());
+      for (la::index_t bj = 0; bj < csb.block_cols(); ++bj) {
+        if (!csb.block_empty(bi, bj)) {
+          sparse::csb_block_spmm(csb, bi, bj, x.view(), y.view());
+        }
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csb.nnz() * 2 * n);
+  state.counters["bytes_per_nnz"] = csb.bytes_per_nnz();
+}
+BENCHMARK(BM_SpmmCsbPacked)
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Args({16, 5})
+    ->Args({24, 8});
+
+// AoS baseline: replica of the former block layout ({int32 row, int32 col,
+// double value} entries, per-entry strided y update) so BENCH_kernels.json
+// records the packed-layout speedup and bytes/nnz delta on the same build.
+struct AosEntry {
+  std::int32_t row;
+  std::int32_t col;
+  double value;
+};
+
+struct AosCsb {
+  la::index_t block = 0;
+  la::index_t nb_rows = 0;
+  la::index_t nb_cols = 0;
+  std::vector<std::int64_t> blkptr;
+  std::vector<AosEntry> entries;
+
+  explicit AosCsb(const sparse::Csb& csb)
+      : block(csb.block_size()), nb_rows(csb.block_rows()),
+        nb_cols(csb.block_cols()) {
+    blkptr.assign(csb.blkptr().begin(), csb.blkptr().end());
+    entries.resize(static_cast<std::size_t>(csb.nnz()));
+    for (la::index_t bi = 0; bi < nb_rows; ++bi) {
+      for (la::index_t bj = 0; bj < nb_cols; ++bj) {
+        const sparse::Csb::BlockView v = csb.block_view(bi, bj);
+        for (const sparse::Csb::RowSegment& seg : v.segments) {
+          for (std::int64_t t = seg.begin; t < seg.begin + seg.count; ++t) {
+            entries[static_cast<std::size_t>(t)] = {
+                seg.row, static_cast<std::int32_t>(v.col(t)),
+                csb.values()[static_cast<std::size_t>(t)]};
+          }
+        }
+      }
+    }
+  }
+};
+
+void BM_SpmmCsbAos(benchmark::State& state) {
+  const la::index_t side = state.range(0);
+  const la::index_t n = state.range(1);
+  sparse::Coo coo = sparse::gen_fem3d(side, side, side, 1, 3);
+  sparse::Csb csb = sparse::Csb::from_coo(coo, 512);
+  const AosCsb aos(csb);
+  la::DenseMatrix x(csb.rows(), n);
+  la::DenseMatrix y(csb.rows(), n);
+  support::Xoshiro256 rng(4);
+  x.fill_random(rng);
+  for (auto _ : state) {
+    for (la::index_t bi = 0; bi < aos.nb_rows; ++bi) {
+      sparse::csb_block_zero(csb, bi, y.view());
+      const la::index_t r0 = bi * aos.block;
+      for (la::index_t bj = 0; bj < aos.nb_cols; ++bj) {
+        const la::index_t c0 = bj * aos.block;
+        const std::size_t k =
+            static_cast<std::size_t>(bi) * static_cast<std::size_t>(aos.nb_cols) +
+            static_cast<std::size_t>(bj);
+        for (std::int64_t t = aos.blkptr[k]; t < aos.blkptr[k + 1]; ++t) {
+          const AosEntry& e = aos.entries[static_cast<std::size_t>(t)];
+          double* yr = y.view().row(r0 + e.row);
+          const double* xr = x.view().row(c0 + e.col);
+          for (la::index_t j = 0; j < n; ++j) yr[j] += e.value * xr[j];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csb.nnz() * 2 * n);
+  state.counters["bytes_per_nnz"] =
+      static_cast<double>(sizeof(AosEntry));
+}
+BENCHMARK(BM_SpmmCsbAos)->Args({16, 8})->Args({24, 8});
+
 void BM_CsbConstruction(benchmark::State& state) {
   sparse::Coo coo = sparse::gen_fem3d(20, 20, 20, 1, 5);
   for (auto _ : state) {
@@ -107,4 +214,6 @@ BENCHMARK(BM_CsbConstruction)->Arg(128)->Arg(512)->Arg(2048);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sts::benchjson::run(argc, argv, "BENCH_kernels.json");
+}

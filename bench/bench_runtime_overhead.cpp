@@ -7,6 +7,7 @@
 // budget from DESIGN.md) is measurable as a same-binary delta.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "ds/executor.hpp"
 #include "ds/program.hpp"
 #include "flux/dataflow.hpp"
@@ -51,6 +52,26 @@ void BM_FluxSpawn(benchmark::State& state) {
   state.SetLabel(state.range(0) != 0 ? "telemetry on" : "telemetry off");
 }
 BENCHMARK(BM_FluxSpawn)->Arg(0)->Arg(1);
+
+// Worker-local spawn: tasks submitted from inside a running task hit the
+// lock-free ring + inline-Task fast path (no mutex, no allocation), the
+// dominant submission pattern in the solvers' fork phases.
+void BM_FluxSpawnLocal(benchmark::State& state) {
+  const ScopedTelemetry telemetry(state.range(0) != 0);
+  flux::Scheduler sched({.threads = 2});
+  for (auto _ : state) {
+    std::atomic<int> c{0};
+    const int n = 1024;
+    sched.submit([&sched, &c, n] {
+      for (int i = 0; i < n; ++i) sched.submit([&c] { c.fetch_add(1); });
+    });
+    sched.wait_for_quiescence();
+    benchmark::DoNotOptimize(c.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(state.range(0) != 0 ? "telemetry on" : "telemetry off");
+}
+BENCHMARK(BM_FluxSpawnLocal)->Arg(0)->Arg(1);
 
 void BM_FluxDataflowChain(benchmark::State& state) {
   flux::Scheduler sched({.threads = 2});
@@ -121,4 +142,6 @@ BENCHMARK(BM_DsExecuteOverhead)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sts::benchjson::run(argc, argv, "BENCH_runtime.json");
+}

@@ -14,12 +14,11 @@ Program::Program(const sparse::Csb* a, Config config)
     : a_(a), config_(config),
       np_((a->rows() + a->block_size() - 1) / a->block_size()) {
   STS_EXPECTS(a != nullptr && a->rows() == a->cols());
-  a_id_ = builder_.register_data(
-      "A", 1,
-      static_cast<std::uint64_t>(a->nnz()) * sizeof(sparse::Csb::Entry));
-  records_.push_back({DataRecord::Kind::kMatrix, nullptr, nullptr,
-                      static_cast<std::uint64_t>(a->nnz()) *
-                          sizeof(sparse::Csb::Entry)});
+  const std::uint64_t matrix_bytes =
+      static_cast<std::uint64_t>(a->nnz()) * a->entry_bytes();
+  a_id_ = builder_.register_data("A", 1, matrix_bytes);
+  records_.push_back(
+      {DataRecord::Kind::kMatrix, nullptr, nullptr, matrix_bytes});
 }
 
 const Program::DataRecord& Program::record(DataId id) const {
@@ -92,36 +91,53 @@ Access Program::small_access(DataId id, Access::Mode mode) const {
 
 namespace {
 
-/// Distinct 64-byte lines of an n-column row-major vector block touched by
-/// the given block-local indices (columns for the input vector, rows for
-/// the output vector). Sparse CSB blocks gather only a few lines of their
-/// piece; charging the whole piece would overstate memory traffic by the
-/// piece/nnz ratio.
-template <typename Proj>
-std::uint64_t touched_lines(std::span<const sparse::Csb::Entry> entries,
-                            index_t ncols, Proj proj) {
+/// Distinct 64-byte lines of an n-column row-major *input* vector block
+/// gathered by a CSB block's column indices. Sparse CSB blocks gather only
+/// a few lines of their piece; charging the whole piece would overstate
+/// memory traffic by the piece/nnz ratio.
+std::uint64_t touched_input_lines(const sparse::Csb::BlockView& v,
+                                  index_t ncols) {
   const std::uint64_t row_bytes =
       static_cast<std::uint64_t>(ncols) * sizeof(double);
-  std::uint64_t count = 0;
-  std::uint64_t last = ~0ULL;
-  // Entries are sorted by (row, col); projected line ids are not globally
-  // sorted, so collect-and-dedup via a small stack vector.
+  // Column indices are not globally sorted across row segments, so
+  // collect-and-dedup via a small scratch vector.
   std::vector<std::uint64_t> lines;
-  lines.reserve(entries.size());
-  for (const sparse::Csb::Entry& e : entries) {
+  lines.reserve(static_cast<std::size_t>(v.nnz));
+  std::uint64_t last = ~0ULL;
+  for (std::int64_t t = v.first; t < v.first + v.nnz; ++t) {
     const std::uint64_t line =
-        static_cast<std::uint64_t>(proj(e)) * row_bytes / 64;
+        static_cast<std::uint64_t>(v.col(t)) * row_bytes / 64;
     if (line != last) {
       lines.push_back(line);
       last = line;
     }
   }
   std::sort(lines.begin(), lines.end());
+  std::uint64_t count = 0;
   last = ~0ULL;
   for (std::uint64_t l : lines) {
     if (l != last) {
       ++count;
       last = l;
+    }
+  }
+  return count;
+}
+
+/// Distinct 64-byte lines of the *output* vector block written by a CSB
+/// block. Row segments are sorted by row, so a single pass suffices.
+std::uint64_t touched_output_lines(const sparse::Csb::BlockView& v,
+                                   index_t ncols) {
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(ncols) * sizeof(double);
+  std::uint64_t count = 0;
+  std::uint64_t last = ~0ULL;
+  for (const sparse::Csb::RowSegment& seg : v.segments) {
+    const std::uint64_t line =
+        static_cast<std::uint64_t>(seg.row) * row_bytes / 64;
+    if (line != last) {
+      ++count;
+      last = line;
     }
   }
   return count;
@@ -177,24 +193,17 @@ void Program::spmm_dependency_based(DataId x, DataId y) {
       t.bj = static_cast<std::int32_t>(bj);
       t.phase = phase_;
       t.flops = 2.0 * static_cast<double>(bnnz) * static_cast<double>(n);
+      const sparse::Csb::BlockView bv = a.block_view(bi, bj);
       Access xa = vec_access(x, bj, Access::Mode::kRead);
-      xa.stride_lines = stride_for(
-          xa.bytes, touched_lines(a.block(bi, bj), n,
-                                  [](const sparse::Csb::Entry& e) {
-                                    return e.col;
-                                  }));
+      xa.stride_lines = stride_for(xa.bytes, touched_input_lines(bv, n));
       Access ya = vec_access(y, bi, Access::Mode::kReadWrite);
-      ya.stride_lines = stride_for(
-          ya.bytes, touched_lines(a.block(bi, bj), n,
-                                  [](const sparse::Csb::Entry& e) {
-                                    return e.row;
-                                  }));
+      ya.stride_lines = stride_for(ya.bytes, touched_output_lines(bv, n));
       t.accesses = {
           {static_cast<std::uint32_t>(a_id_),
            static_cast<std::uint64_t>(blkptr[static_cast<std::size_t>(
                bi * np_ + bj)]) *
-               sizeof(sparse::Csb::Entry),
-           static_cast<std::uint64_t>(bnnz) * sizeof(sparse::Csb::Entry),
+               a.entry_bytes(),
+           static_cast<std::uint64_t>(bnnz) * a.entry_bytes(),
            Access::Mode::kRead},
           xa, ya};
       t.body = [xm, ym, &a, bi, bj] {
@@ -255,24 +264,17 @@ void Program::spmm_reduction_based(DataId x, DataId y) {
       t.bj = static_cast<std::int32_t>(bj);
       t.phase = phase_;
       t.flops = 2.0 * static_cast<double>(bnnz) * static_cast<double>(n);
+      const sparse::Csb::BlockView bv = a.block_view(bi, bj);
       Access xa = vec_access(x, bj, Access::Mode::kRead);
-      xa.stride_lines = stride_for(
-          xa.bytes, touched_lines(a.block(bi, bj), n,
-                                  [](const sparse::Csb::Entry& e) {
-                                    return e.col;
-                                  }));
+      xa.stride_lines = stride_for(xa.bytes, touched_input_lines(bv, n));
       Access ba = vec_access(bufs[r], bi, Access::Mode::kReadWrite);
-      ba.stride_lines = stride_for(
-          ba.bytes, touched_lines(a.block(bi, bj), n,
-                                  [](const sparse::Csb::Entry& e) {
-                                    return e.row;
-                                  }));
+      ba.stride_lines = stride_for(ba.bytes, touched_output_lines(bv, n));
       t.accesses = {
           {static_cast<std::uint32_t>(a_id_),
            static_cast<std::uint64_t>(blkptr[static_cast<std::size_t>(
                bi * np_ + bj)]) *
-               sizeof(sparse::Csb::Entry),
-           static_cast<std::uint64_t>(bnnz) * sizeof(sparse::Csb::Entry),
+               a.entry_bytes(),
+           static_cast<std::uint64_t>(bnnz) * a.entry_bytes(),
            Access::Mode::kRead},
           xa, ba};
       la::DenseMatrix* bm = buf_ptrs[r];

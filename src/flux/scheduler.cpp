@@ -67,32 +67,61 @@ Scheduler::~Scheduler() {
   // A throwing wait here during exception unwinding would std::terminate;
   // drain() swallows any still-latched error instead.
   drain();
-  stopping_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_seq_cst);
+  // The empty critical section orders the store against any worker between
+  // its predicate check and its wait, so the broadcast cannot be lost.
+  { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
   work_available_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-void Scheduler::submit(std::function<void()> fn, int domain_hint) {
+void Scheduler::submit(Task fn, int domain_hint) {
   enqueue({std::move(fn), /*always_run=*/false}, domain_hint);
 }
 
-void Scheduler::submit_always(std::function<void()> fn, int domain_hint) {
+void Scheduler::submit_always(Task fn, int domain_hint) {
   enqueue({std::move(fn), /*always_run=*/true}, domain_hint);
 }
 
 void Scheduler::enqueue(QueuedTask task, int domain_hint) {
-  STS_EXPECTS(task.fn != nullptr);
+  STS_EXPECTS(static_cast<bool>(task.fn));
   const bool metered = obs::metrics_enabled();
   if (metered) task.enqueue_ns = support::now_ns();
-  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  // seq_cst: this increment is half of the Dekker handshake with a worker
+  // registering as a sleeper (see worker_loop / wake_one).
+  outstanding_.fetch_add(1, std::memory_order_seq_cst);
 
-  unsigned target;
+  std::size_t depth = 0;
   if (tls_scheduler == this && domain_hint < 0) {
     // A worker spawning a child keeps it local: work-first scheduling, the
-    // property that gives task runtimes their cache locality.
-    target = static_cast<unsigned>(tls_worker_index);
+    // property that gives task runtimes their cache locality. Fast path:
+    // pool cell + lock-free ring push, no mutex, no allocation beyond the
+    // closure itself.
+    Worker& w = *workers_[static_cast<unsigned>(tls_worker_index)];
+    std::uint32_t idx = 0;
+    bool queued = false;
+    if (w.pool.acquire(idx)) {
+      w.pool[idx] = std::move(task);
+      if (w.ring.push(idx)) {
+        queued = true;
+      } else {
+        // Stale-top spurious full; take the slow path instead.
+        task = std::move(w.pool[idx]);
+        w.pool.release(idx);
+      }
+    }
+    if (!queued) {
+      // Ring full: overflow into the owner's inbox. Thieves drain it too,
+      // so nothing is stranded.
+      const std::lock_guard<std::mutex> lock(w.inbox_mutex);
+      w.inbox.push_back(std::move(task));
+    }
+    if (metered) depth = w.ring.size();
   } else {
+    // External thread, or a worker targeting a specific domain: round-robin
+    // to a per-worker inbox (only ring owners may push their ring).
     const unsigned n = next_worker_.fetch_add(1, std::memory_order_relaxed);
+    unsigned target;
     if (domain_hint >= 0) {
       // Round-robin within the requested domain: workers d, d+D, d+2D, ...
       const unsigned domain =
@@ -104,30 +133,59 @@ void Scheduler::enqueue(QueuedTask task, int domain_hint) {
     } else {
       target = n % config_.threads;
     }
-  }
-
-  std::size_t depth = 0;
-  {
     Worker& w = *workers_[target];
-    const std::lock_guard<std::mutex> lock(w.mutex);
-    w.deque.push_front(std::move(task));
-    depth = w.deque.size();
+    {
+      const std::lock_guard<std::mutex> lock(w.inbox_mutex);
+      w.inbox.push_back(std::move(task));
+      depth = w.inbox.size() + w.ring.size();
+    }
   }
   if (metered) {
     queue_depth_histogram().observe(static_cast<std::int64_t>(depth));
   }
-  // Taking sleep_mutex_ (even empty) orders this submission against any
-  // worker between its idle check and its sleep, preventing a lost wakeup.
+  wake_one();
+}
+
+void Scheduler::wake_one() {
+  // The old scheduler took sleep_mutex_ and notified on *every* submission;
+  // with W workers spawning W-ways that is a wakeup storm of W^2 futile
+  // notifies per batch. Only wake when someone is actually asleep. seq_cst
+  // pairs with the sleeper's registration: either we observe the sleeper
+  // (and notify), or the sleeper's subsequent outstanding_ check observes
+  // our increment (and it does not sleep).
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty critical section: orders this wakeup against a worker that is
+  // between registering and blocking, preventing a lost notify.
   { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
   work_available_.notify_one();
 }
 
+bool Scheduler::take_from(Worker& w, QueuedTask& out) {
+  std::uint32_t idx = 0;
+  if (w.ring.steal(idx)) {
+    out = std::move(w.pool[idx]);
+    w.pool.release(idx);
+    return true;
+  }
+  const std::lock_guard<std::mutex> lock(w.inbox_mutex);
+  if (w.inbox.empty()) return false;
+  out = std::move(w.inbox.front()); // oldest first, like a ring steal
+  w.inbox.pop_front();
+  return true;
+}
+
 bool Scheduler::pop_own(unsigned index, QueuedTask& out) {
   Worker& w = *workers_[index];
-  const std::lock_guard<std::mutex> lock(w.mutex);
-  if (w.deque.empty()) return false;
-  out = std::move(w.deque.front());
-  w.deque.pop_front();
+  std::uint32_t idx = 0;
+  if (w.ring.pop(idx)) {
+    out = std::move(w.pool[idx]);
+    w.pool.release(idx);
+    return true;
+  }
+  const std::lock_guard<std::mutex> lock(w.inbox_mutex);
+  if (w.inbox.empty()) return false;
+  out = std::move(w.inbox.back()); // newest first: LIFO, matches ring pops
+  w.inbox.pop_back();
   return true;
 }
 
@@ -137,11 +195,7 @@ bool Scheduler::steal(unsigned thief, QueuedTask& out) {
   const unsigned n = config_.threads;
   auto try_victim = [&](unsigned v) {
     if (v == thief) return false;
-    Worker& w = *workers_[v];
-    const std::lock_guard<std::mutex> lock(w.mutex);
-    if (w.deque.empty()) return false;
-    out = std::move(w.deque.back());
-    w.deque.pop_back();
+    if (!take_from(*workers_[v], out)) return false;
     Worker& me = *workers_[thief];
     ++me.steals;
     steal_counter().add(1);
@@ -193,7 +247,7 @@ void Scheduler::run_task(QueuedTask& task) {
       report_task_error(std::current_exception());
     }
   }
-  task.fn = nullptr;
+  task.fn = Task{};
   if (timed) {
     const std::int64_t t1 = support::now_ns();
     task_run_histogram().observe(t1 - t0);
@@ -217,16 +271,23 @@ void Scheduler::worker_loop(unsigned index) {
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (stopping_.load(std::memory_order_acquire)) return;
-    if (outstanding_.load(std::memory_order_acquire) == 0) {
+    // Register as a sleeper *before* re-checking for work: the seq_cst
+    // pair with enqueue()'s outstanding_ increment guarantees that either
+    // the submitter sees us (and notifies) or we see its task (and rescan).
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (outstanding_.load(std::memory_order_seq_cst) == 0) {
       // Nothing pending anywhere: sleep until new work or shutdown.
       work_available_.wait(lock, [&] {
         return stopping_.load(std::memory_order_acquire) ||
                outstanding_.load(std::memory_order_acquire) > 0;
       });
     } else {
-      // Work exists but our steal scan raced; back off briefly.
+      // Work exists but our steal scan raced (or everything is running);
+      // back off briefly, a fresh submission wakes us sooner.
       work_available_.wait_for(lock, std::chrono::microseconds(50));
     }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stopping_.load(std::memory_order_acquire)) return;
   }
 }
 
@@ -321,8 +382,12 @@ Scheduler::QueueDiagnostics Scheduler::diagnostics() const {
   d.outstanding = outstanding_.load(std::memory_order_acquire);
   d.queue_depths.reserve(workers_.size());
   for (const auto& w : workers_) {
-    const std::lock_guard<std::mutex> lock(w->mutex);
-    d.queue_depths.push_back(w->deque.size());
+    std::size_t inbox_depth = 0;
+    {
+      const std::lock_guard<std::mutex> lock(w->inbox_mutex);
+      inbox_depth = w->inbox.size();
+    }
+    d.queue_depths.push_back(w->ring.size() + inbox_depth);
   }
   return d;
 }
@@ -345,15 +410,9 @@ bool Scheduler::try_run_one() {
     got = pop_own(static_cast<unsigned>(tls_worker_index), task) ||
           steal(static_cast<unsigned>(tls_worker_index), task);
   } else {
-    // External helper: scan all deques oldest-first.
+    // External helper: steal from each worker in turn, oldest-first.
     for (unsigned v = 0; v < config_.threads && !got; ++v) {
-      Worker& w = *workers_[v];
-      const std::lock_guard<std::mutex> lock(w.mutex);
-      if (!w.deque.empty()) {
-        task = std::move(w.deque.back());
-        w.deque.pop_back();
-        got = true;
-      }
+      got = take_from(*workers_[v], task);
     }
   }
   if (!got) return false;

@@ -14,22 +14,27 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "flux/task.hpp"
+#include "flux/ws_deque.hpp"
+
 namespace sts::flux {
 
 /// Work-stealing thread pool.
 ///
-// Each worker owns a LIFO deque (own pushes/pops at the front, thieves take
-// from the back — Cilk-style, oldest-first stealing). External submissions
-// round-robin across workers, optionally pinned to a NUMA domain. Workers
-// that find no work sleep on a condition variable and are woken by
-// submissions.
+// Each worker owns a lock-free Chase-Lev ring (own pushes/pops at the
+// bottom, thieves take from the top -- Cilk-style, oldest-first stealing)
+// backed by a slot pool, so the worker-local spawn/pop/steal fast path
+// takes no lock and allocates nothing for closures that fit Task's inline
+// buffer. External submissions (and ring overflow) go through a small
+// mutex-protected per-worker inbox. Workers that find no work sleep on a
+// condition variable; submissions wake at most one sleeper, and only when
+// a sleeper actually exists.
 class Scheduler {
 public:
   struct Config {
@@ -55,15 +60,16 @@ public:
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Enqueues `fn`. `domain_hint` < 0 means "anywhere"; otherwise the task
-  /// is pushed to a worker inside that domain. Safe from any thread,
-  /// including workers (where it pushes to the caller's own deque).
-  void submit(std::function<void()> fn, int domain_hint = -1);
+  /// is pushed to a worker inside that domain. Safe from any thread; a
+  /// worker submitting hint-less work pushes to its own lock-free ring
+  /// (work-first scheduling).
+  void submit(Task fn, int domain_hint = -1);
 
   /// Like submit(), but the task still runs after cancellation. For closures
   /// that complete a promise (async/dataflow internals): dropping them would
   /// strand their future, so they run regardless and are expected to observe
   /// cancelled() themselves and complete the promise exceptionally.
-  void submit_always(std::function<void()> fn, int domain_hint = -1);
+  void submit_always(Task fn, int domain_hint = -1);
 
   /// Blocks until every submitted task (including tasks submitted by
   /// running tasks) has finished. Must be called from a non-worker thread.
@@ -121,16 +127,22 @@ public:
   /// quiescence or for coarse reporting).
   [[nodiscard]] Stats stats() const;
 
+  /// Per-worker ring capacity; a worker with this many queued spawns
+  /// overflows into its (locked) inbox rather than failing.
+  static constexpr std::uint32_t kRingCapacity = 4096;
+
 private:
   struct QueuedTask {
-    std::function<void()> fn;
+    Task fn;
     bool always_run = false; // exempt from drop-on-cancel (see submit_always)
     std::int64_t enqueue_ns = 0; // stamped only while metrics are enabled
   };
 
   struct Worker {
-    std::mutex mutex;
-    std::deque<QueuedTask> deque;
+    TaskRing ring{kRingCapacity};        // lock-free; owner-push, any-steal
+    SlotPool<QueuedTask> pool{kRingCapacity}; // payload cells for the ring
+    std::mutex inbox_mutex;
+    std::deque<QueuedTask> inbox; // external submissions + ring overflow
     std::uint64_t executed = 0;
     std::uint64_t steals = 0;
     std::uint64_t cross_domain_steals = 0;
@@ -138,8 +150,10 @@ private:
 
   void worker_loop(unsigned index);
   void enqueue(QueuedTask task, int domain_hint);
+  void wake_one();
   bool pop_own(unsigned index, QueuedTask& out);
   bool steal(unsigned thief, QueuedTask& out);
+  bool take_from(Worker& w, QueuedTask& out);
   void run_task(QueuedTask& task);
   void on_task_done();
   void rethrow_and_reset();
@@ -152,6 +166,7 @@ private:
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<unsigned> next_worker_{0};
+  std::atomic<int> sleepers_{0};
 
   std::atomic<bool> cancelled_{false};
   mutable std::mutex error_mutex_;

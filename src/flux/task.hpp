@@ -1,0 +1,127 @@
+// Small-buffer-optimized move-only callable for the flux scheduler.
+//
+// std::function costs a heap allocation for any capture larger than the
+// implementation's tiny inline buffer (typically 16 bytes) and drags in
+// copyability it never needs on the task path. The scheduler's hot closures
+// -- dataflow continuations capturing one shared_ptr, SpMM block bodies
+// capturing a few pointers and indices -- fit comfortably in 48 bytes, so
+// Task stores them inline and falls back to the heap only above that.
+//
+// Move-only by design: a queued task is executed exactly once, and the
+// move lets promise-completing closures own their promise state without a
+// shared_ptr indirection.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sts::flux {
+
+class Task {
+public:
+  /// Closures up to this size (and max_align_t alignment, nothrow-movable)
+  /// are stored inline; larger ones are heap-allocated.
+  static constexpr std::size_t kInlineSize = 48;
+
+  Task() noexcept = default;
+
+  template <typename F,
+            typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Task> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Task(F&& f) { // NOLINT(google-explicit-constructor): function-like sink
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invokes the stored callable (callable must be non-empty). The closure
+  /// stays alive across the call; destruction is the owner's job.
+  void operator()() { ops_->invoke(buf_); }
+
+  /// True when the stored closure lives in the inline buffer (diagnostic;
+  /// the scheduler's allocation-free claim rests on this).
+  [[nodiscard]] bool inline_stored() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept; // move + destroy src
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      true};
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(D*)); // relocate the owning pointer
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      false};
+
+  void move_from(Task& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+} // namespace sts::flux

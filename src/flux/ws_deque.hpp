@@ -1,0 +1,179 @@
+// Lock-free work-stealing deque for the flux scheduler.
+//
+// Chase-Lev deque [Chase & Lev, SPAA'05; Le et al., PPoPP'13 for the
+// weak-memory version]: the owner pushes and pops at the bottom (LIFO,
+// work-first), thieves CAS the top (FIFO, oldest task first, the Cilk
+// steal order that takes the largest subtree).
+//
+// Two twists versus the textbook version:
+//
+// 1. The ring holds 32-bit *slot indices*, not tasks. Tasks are move-only
+//    and non-trivial; storing them in the ring directly would race a
+//    thief's post-CAS move against the owner overwriting the same ring
+//    cell. Instead each queued task lives in a SlotPool cell owned by the
+//    victim, the ring publishes the cell index, and whoever dequeues the
+//    index gains exclusive ownership of the cell until releasing it back
+//    to the pool's freelist.
+//
+// 2. Memory order is chosen so every happens-before edge flows through an
+//    atomic load/store pair (bottom release-stores, seq_cst on the
+//    owner-pop/steal race) rather than standalone fences, which keeps the
+//    algorithm fully visible to ThreadSanitizer.
+//
+// The ring is bounded (no growth): the scheduler falls back to a locked
+// inbox when a ring fills, which keeps push() allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace sts::flux {
+
+/// Bounded Chase-Lev deque of 32-bit payload indices. push/pop are
+/// owner-only; steal is safe from any thread.
+class TaskRing {
+public:
+  explicit TaskRing(std::uint32_t capacity) : cap_(capacity), mask_(capacity - 1), slots_(capacity) {
+    STS_EXPECTS(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  /// Owner: publish `idx` at the bottom. False when the ring is full (the
+  /// top load may be stale, so "full" can be spuriously conservative --
+  /// callers treat it as overflow, never as an error).
+  bool push(std::uint32_t idx) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= cap_) return false;
+    slots_[static_cast<std::size_t>(b & mask_)].store(
+        idx, std::memory_order_relaxed);
+    // Release: a thief that acquire-loads the new bottom sees both the slot
+    // index and the task data the owner wrote into the pool cell before
+    // this push.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner: take the newest entry. The seq_cst bottom-store / top-load pair
+  /// is the Dekker handshake against concurrent thieves for the last entry.
+  bool pop(std::uint32_t& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) { // empty: restore bottom
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = slots_[static_cast<std::size_t>(b & mask_)].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last entry: race thieves for it by advancing top ourselves.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Thief: take the oldest entry. Reads the slot *before* the CAS (after
+  /// the CAS the owner may already be reusing the cell position); only a
+  /// CAS win grants ownership of the payload cell.
+  bool steal(std::uint32_t& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    const std::uint32_t idx = slots_[static_cast<std::size_t>(t & mask_)].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false; // lost the race; caller rescans or moves on
+    }
+    out = idx;
+    return true;
+  }
+
+  /// Approximate occupancy (racy; diagnostics only).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+private:
+  std::int64_t cap_;
+  std::int64_t mask_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<std::uint32_t>> slots_;
+};
+
+/// Fixed pool of payload cells fronted by a Treiber-stack freelist.
+/// acquire() is owner-only (single consumer); release() is safe from any
+/// thread (a thief returns the cell after moving the task out). The tagged
+/// 64-bit head {tag:32, index:32} guards the CAS against ABA.
+template <typename T>
+class SlotPool {
+public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  explicit SlotPool(std::uint32_t capacity)
+      : cells_(capacity), next_(capacity) {
+    STS_EXPECTS(capacity > 0 && capacity < kNil);
+    for (std::uint32_t i = 0; i + 1 < capacity; ++i) {
+      next_[i].store(i + 1, std::memory_order_relaxed);
+    }
+    next_[capacity - 1].store(kNil, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner: pop a free cell. False when the pool is exhausted (== the ring
+  /// is full up to in-flight thieves).
+  bool acquire(std::uint32_t& out) {
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(h);
+      if (idx == kNil) return false;
+      // Single consumer: `idx` stays on the stack (producers only push on
+      // top of it), so next_[idx] is stable until our CAS claims it.
+      const std::uint32_t nxt = next_[idx].load(std::memory_order_relaxed);
+      const std::uint64_t h2 = bump_tag(h) | nxt;
+      if (head_.compare_exchange_weak(h, h2, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        out = idx;
+        return true;
+      }
+    }
+  }
+
+  /// Any thread: return a cell whose payload has been moved out. The
+  /// release CAS publishes the consumer's destruction of the payload to the
+  /// owner's next acquire() of this cell.
+  void release(std::uint32_t idx) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      next_[idx].store(static_cast<std::uint32_t>(h),
+                       std::memory_order_relaxed);
+      const std::uint64_t h2 = bump_tag(h) | idx;
+      if (head_.compare_exchange_weak(h, h2, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t idx) { return cells_[idx]; }
+
+private:
+  static constexpr std::uint64_t bump_tag(std::uint64_t h) noexcept {
+    return ((h >> 32) + 1) << 32;
+  }
+
+  std::vector<T> cells_;
+  std::vector<std::atomic<std::uint32_t>> next_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace sts::flux

@@ -1,0 +1,32 @@
+// Fixed-width row micro-kernels.
+//
+// The SpMM task bodies spend their inner loop on "acc[0..N) += a * x[0..N)"
+// over the columns of a block vector, with N one of the small LOBPCG widths
+// (4/8/16). Writing the loop with a compile-time N lets the compiler fully
+// unroll and auto-vectorize it; the runtime-N fallback covers odd widths.
+// These are deliberately header-only free functions so they inline into the
+// sparse kernels without a call per nonzero.
+#pragma once
+
+#include "la/dense.hpp"
+
+namespace sts::la {
+
+/// acc[j] += a * x[j] for j in [0, N). Fully unrolled at compile time.
+template <int N>
+inline void row_axpy(double a, const double* x, double* acc) {
+  for (int j = 0; j < N; ++j) acc[j] += a * x[j];
+}
+
+/// y[j] += acc[j] for j in [0, N).
+template <int N>
+inline void row_add(const double* acc, double* y) {
+  for (int j = 0; j < N; ++j) y[j] += acc[j];
+}
+
+/// acc[j] += a * x[j] for j in [0, n), runtime width.
+inline void row_axpy_n(double a, const double* x, double* acc, index_t n) {
+  for (index_t j = 0; j < n; ++j) acc[j] += a * x[j];
+}
+
+} // namespace sts::la

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "la/microkernel.hpp"
 #include "support/fault.hpp"
 
 namespace sts::sparse {
+
+namespace {
+
+/// Construction scratch: one nonzero with block-local coordinates. Only
+/// from_coo uses this; the stored format is SoA (see csb.hpp).
+struct LocalEntry {
+  std::int32_t row;
+  std::int32_t col;
+  double value;
+};
+
+} // namespace
 
 Csb Csb::from_coo(const Coo& coo, index_t block_size) {
   STS_EXPECTS(block_size > 0);
@@ -15,38 +28,83 @@ Csb Csb::from_coo(const Coo& coo, index_t block_size) {
   out.block_ = block_size;
   out.nb_rows_ = (coo.rows() + block_size - 1) / block_size;
   out.nb_cols_ = (coo.cols() + block_size - 1) / block_size;
+  out.packed_ = block_size <= 65536; // local coords fit 16 bits
+  const std::size_t nb_cols = static_cast<std::size_t>(out.nb_cols_);
   const std::size_t nblocks =
-      static_cast<std::size_t>(out.nb_rows_) *
-      static_cast<std::size_t>(out.nb_cols_);
+      static_cast<std::size_t>(out.nb_rows_) * nb_cols;
 
-  // Counting sort by block id keeps construction O(nnz + #blocks).
+  // Counting sort by block id keeps construction O(nnz + #blocks). Block
+  // ids are formed in std::size_t throughout: with index_t factors an
+  // nb_rows*nb_cols product could overflow a narrower intermediate.
   out.blkptr_.assign(nblocks + 1, 0);
   for (const Triplet& t : coo.entries()) {
-    const index_t bi = t.row / block_size;
-    const index_t bj = t.col / block_size;
-    ++out.blkptr_[static_cast<std::size_t>(bi * out.nb_cols_ + bj) + 1];
+    const std::size_t bi = static_cast<std::size_t>(t.row) /
+                           static_cast<std::size_t>(block_size);
+    const std::size_t bj = static_cast<std::size_t>(t.col) /
+                           static_cast<std::size_t>(block_size);
+    ++out.blkptr_[bi * nb_cols + bj + 1];
   }
   for (std::size_t k = 0; k < nblocks; ++k) {
     out.blkptr_[k + 1] += out.blkptr_[k];
   }
-  out.entries_.resize(coo.entries().size());
+  std::vector<LocalEntry> scratch(coo.entries().size());
   std::vector<std::int64_t> cursor(out.blkptr_.begin(), out.blkptr_.end() - 1);
   for (const Triplet& t : coo.entries()) {
-    const index_t bi = t.row / block_size;
-    const index_t bj = t.col / block_size;
-    const std::size_t blk = static_cast<std::size_t>(bi * out.nb_cols_ + bj);
-    out.entries_[static_cast<std::size_t>(cursor[blk]++)] = {
-        static_cast<std::int32_t>(t.row - bi * block_size),
-        static_cast<std::int32_t>(t.col - bj * block_size), t.value};
+    const std::size_t bi = static_cast<std::size_t>(t.row) /
+                           static_cast<std::size_t>(block_size);
+    const std::size_t bj = static_cast<std::size_t>(t.col) /
+                           static_cast<std::size_t>(block_size);
+    const std::size_t blk = bi * nb_cols + bj;
+    scratch[static_cast<std::size_t>(cursor[blk]++)] = {
+        static_cast<std::int32_t>(t.row -
+                                  static_cast<std::int64_t>(bi) * block_size),
+        static_cast<std::int32_t>(t.col -
+                                  static_cast<std::int64_t>(bj) * block_size),
+        t.value};
   }
-  // Sort each block by local (row, col): keeps the SpMV inner loop walking
-  // y and x with monotone strides inside the block.
+  // Sort each block by local (row, col): rows become contiguous segments
+  // and the per-segment column stream is monotone over x.
   for (std::size_t k = 0; k < nblocks; ++k) {
-    std::sort(out.entries_.begin() + out.blkptr_[k],
-              out.entries_.begin() + out.blkptr_[k + 1],
-              [](const Entry& a, const Entry& b) {
+    std::sort(scratch.begin() + out.blkptr_[k],
+              scratch.begin() + out.blkptr_[k + 1],
+              [](const LocalEntry& a, const LocalEntry& b) {
                 return a.row != b.row ? a.row < b.row : a.col < b.col;
               });
+  }
+
+  // Emit the SoA streams and the per-block row-segment index.
+  const std::size_t nnz = scratch.size();
+  out.values_.resize(nnz);
+  if (out.packed_) {
+    out.cols16_.resize(nnz);
+  } else {
+    out.cols32_.resize(nnz);
+  }
+  out.segptr_.assign(nblocks + 1, 0);
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::int64_t lo = out.blkptr_[k];
+    const std::int64_t hi = out.blkptr_[k + 1];
+    if (hi > lo) ++out.nonempty_;
+    std::int64_t t = lo;
+    while (t < hi) {
+      const std::int32_t row = scratch[static_cast<std::size_t>(t)].row;
+      const std::int64_t seg_begin = t;
+      while (t < hi && scratch[static_cast<std::size_t>(t)].row == row) {
+        const LocalEntry& e = scratch[static_cast<std::size_t>(t)];
+        out.values_[static_cast<std::size_t>(t)] = e.value;
+        if (out.packed_) {
+          out.cols16_[static_cast<std::size_t>(t)] =
+              static_cast<std::uint16_t>(e.col);
+        } else {
+          out.cols32_[static_cast<std::size_t>(t)] =
+              static_cast<std::uint32_t>(e.col);
+        }
+        ++t;
+      }
+      out.segs_.push_back(
+          {seg_begin, row, static_cast<std::int32_t>(t - seg_begin)});
+    }
+    out.segptr_[k + 1] = static_cast<std::int64_t>(out.segs_.size());
   }
   return out;
 }
@@ -55,21 +113,17 @@ Csb Csb::from_csr(const Csr& csr, index_t block_size) {
   return from_coo(csr.to_coo(), block_size);
 }
 
-index_t Csb::nonempty_blocks() const {
-  index_t count = 0;
-  for (std::size_t k = 0; k + 1 < blkptr_.size(); ++k) {
-    count += (blkptr_[k + 1] > blkptr_[k]) ? 1 : 0;
-  }
-  return count;
-}
-
 Coo Csb::to_coo() const {
   Coo coo(rows_, cols_);
-  coo.reserve(entries_.size());
+  coo.reserve(values_.size());
   for (index_t bi = 0; bi < nb_rows_; ++bi) {
     for (index_t bj = 0; bj < nb_cols_; ++bj) {
-      for (const Entry& e : block(bi, bj)) {
-        coo.add(bi * block_ + e.row, bj * block_ + e.col, e.value);
+      const BlockView v = block_view(bi, bj);
+      for (const RowSegment& seg : v.segments) {
+        for (std::int64_t t = seg.begin; t < seg.begin + seg.count; ++t) {
+          coo.add(bi * block_ + seg.row, bj * block_ + v.col(t),
+                  values_[static_cast<std::size_t>(t)]);
+        }
       }
     }
   }
@@ -81,6 +135,93 @@ Coo Csb::to_coo() const {
 // styles. kind=throw aborts the enclosing task; kind=nan poisons the first
 // output row of the block, exercising the solvers' non-finite guards.
 
+namespace {
+
+template <typename ColT>
+void spmv_segments(std::span<const Csb::RowSegment> segs, const double* vals,
+                   const ColT* cols, const double* xb, double* yb) {
+  for (const Csb::RowSegment& seg : segs) {
+    const double* v = vals + seg.begin;
+    const ColT* c = cols + seg.begin;
+    double acc = 0.0;
+    for (std::int32_t t = 0; t < seg.count; ++t) {
+      acc += v[t] * xb[c[t]];
+    }
+    yb[seg.row] += acc;
+  }
+}
+
+/// Fixed-width SpMM over row segments: the accumulator lives in registers
+/// for the whole segment and spills to y once per output row.
+template <int N, typename ColT>
+void spmm_segments_fixed(std::span<const Csb::RowSegment> segs,
+                         const double* vals, const ColT* cols,
+                         const double* xb, la::index_t ldx, double* yb,
+                         la::index_t ldy) {
+  for (const Csb::RowSegment& seg : segs) {
+    const double* v = vals + seg.begin;
+    const ColT* c = cols + seg.begin;
+    double acc[N] = {};
+    for (std::int32_t t = 0; t < seg.count; ++t) {
+      la::row_axpy<N>(v[t], xb + static_cast<la::index_t>(c[t]) * ldx, acc);
+    }
+    la::row_add<N>(acc, yb + seg.row * ldy);
+  }
+}
+
+template <typename ColT>
+void spmm_segments_generic(std::span<const Csb::RowSegment> segs,
+                           const double* vals, const ColT* cols,
+                           const double* xb, la::index_t ldx, double* yb,
+                           la::index_t ldy, la::index_t n) {
+  for (const Csb::RowSegment& seg : segs) {
+    const double* v = vals + seg.begin;
+    const ColT* c = cols + seg.begin;
+    double* yr = yb + seg.row * ldy;
+    for (std::int32_t t = 0; t < seg.count; ++t) {
+      la::row_axpy_n(v[t], xb + static_cast<la::index_t>(c[t]) * ldx, yr, n);
+    }
+  }
+}
+
+template <typename ColT>
+void spmm_dispatch(std::span<const Csb::RowSegment> segs, const double* vals,
+                   const ColT* cols, const double* xb, la::index_t ldx,
+                   double* yb, la::index_t ldy, la::index_t n) {
+  // Fixed-width bodies for the LOBPCG block-vector widths the paper uses
+  // (and the small even widths the tests exercise); generic tail otherwise.
+  switch (n) {
+  case 1:
+    for (const Csb::RowSegment& seg : segs) {
+      const double* v = vals + seg.begin;
+      const ColT* c = cols + seg.begin;
+      double acc = 0.0;
+      for (std::int32_t t = 0; t < seg.count; ++t) {
+        acc += v[t] * xb[static_cast<la::index_t>(c[t]) * ldx];
+      }
+      yb[seg.row * ldy] += acc;
+    }
+    return;
+  case 2:
+    spmm_segments_fixed<2>(segs, vals, cols, xb, ldx, yb, ldy);
+    return;
+  case 4:
+    spmm_segments_fixed<4>(segs, vals, cols, xb, ldx, yb, ldy);
+    return;
+  case 8:
+    spmm_segments_fixed<8>(segs, vals, cols, xb, ldx, yb, ldy);
+    return;
+  case 16:
+    spmm_segments_fixed<16>(segs, vals, cols, xb, ldx, yb, ldy);
+    return;
+  default:
+    spmm_segments_generic(segs, vals, cols, xb, ldx, yb, ldy, n);
+    return;
+  }
+}
+
+} // namespace
+
 void csb_block_spmv(const Csb& a, index_t bi, index_t bj,
                     std::span<const double> x, std::span<double> y) {
   STS_EXPECTS(static_cast<index_t>(x.size()) == a.cols());
@@ -90,8 +231,11 @@ void csb_block_spmv(const Csb& a, index_t bi, index_t bj,
   if (support::fault::check("spmv_block") && a.rows_in_block(bi) > 0) {
     yb[0] = std::numeric_limits<double>::quiet_NaN();
   }
-  for (const Csb::Entry& e : a.block(bi, bj)) {
-    yb[e.row] += e.value * xb[e.col];
+  const Csb::BlockView v = a.block_view(bi, bj);
+  if (v.cols16 != nullptr) {
+    spmv_segments(v.segments, v.values, v.cols16, xb, yb);
+  } else {
+    spmv_segments(v.segments, v.values, v.cols32, xb, yb);
   }
 }
 
@@ -107,10 +251,13 @@ void csb_block_spmm(const Csb& a, index_t bi, index_t bj,
       yr[j] = std::numeric_limits<double>::quiet_NaN();
     }
   }
-  for (const Csb::Entry& e : a.block(bi, bj)) {
-    double* yr = y.row(r0 + e.row);
-    const double* xc = x.row(c0 + e.col);
-    for (index_t j = 0; j < n; ++j) yr[j] += e.value * xc[j];
+  const double* xb = x.data + c0 * x.ld;
+  double* yb = y.data + r0 * y.ld;
+  const Csb::BlockView v = a.block_view(bi, bj);
+  if (v.cols16 != nullptr) {
+    spmm_dispatch(v.segments, v.values, v.cols16, xb, x.ld, yb, y.ld, n);
+  } else {
+    spmm_dispatch(v.segments, v.values, v.cols32, xb, x.ld, yb, y.ld, n);
   }
 }
 

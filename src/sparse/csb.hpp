@@ -2,12 +2,22 @@
 //
 // CSB is the partitioning that defines tasks in all three task-parallel
 // frameworks evaluated by the paper: the matrix is tiled into b x b blocks;
-// entries of one block are stored contiguously with block-local 32-bit
-// coordinates; blkptr indexes the (block-row-major) grid of blocks. A task
-// operates on exactly one non-empty block, reading input-vector block j and
-// updating output-vector block i.
+// blkptr indexes the (block-row-major) grid of blocks. A task operates on
+// exactly one non-empty block, reading input-vector block j and updating
+// output-vector block i.
+//
+// Block-internal layout (the hot-loop format): each block is stored in
+// struct-of-arrays form -- one contiguous run of values and one of packed
+// block-local column coordinates (16-bit when block_size <= 65536, 32-bit
+// above) -- plus a row-segment index, a mini-CSR inside the block listing
+// (local row, entry range) pairs for the rows that have nonzeros. SpMV/SpMM
+// inner loops walk "for each row segment: contiguous dot over x" with one
+// output write per segment instead of one per nonzero, and move 10 bytes
+// per nonzero (8 value + 2 coordinate) instead of the 16 a padded
+// {int32 row, int32 col, double} AoS entry costs.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -19,10 +29,33 @@ namespace sts::sparse {
 /// Immutable CSB matrix.
 class Csb {
 public:
-  struct Entry {
-    std::int32_t row; // block-local row
-    std::int32_t col; // block-local col
-    double value;
+  /// One row of one block: entries [begin, begin + count) of the global
+  /// value/coordinate arrays all lie on block-local row `row`. Segments of a
+  /// block are contiguous in `segments()` and sorted by `row` (strictly
+  /// increasing), entries within a segment are sorted by column.
+  struct RowSegment {
+    std::int64_t begin; // absolute offset into values()/cols16()/cols32()
+    std::int32_t row;   // block-local row
+    std::int32_t count; // nonzeros on this row of the block
+  };
+
+  /// Borrowed view of one block's storage. `cols16` is non-null iff the
+  /// matrix uses packed 16-bit coordinates (block_size() <= 65536),
+  /// otherwise `cols32` is. Segment `begin` offsets index the same global
+  /// arrays these pointers are bases of.
+  struct BlockView {
+    const double* values = nullptr;
+    const std::uint16_t* cols16 = nullptr;
+    const std::uint32_t* cols32 = nullptr;
+    std::span<const RowSegment> segments;
+    std::int64_t first = 0; // offset of the block's first entry
+    std::int64_t nnz = 0;
+
+    /// Block-local column of the entry at absolute offset `t`.
+    [[nodiscard]] index_t col(std::int64_t t) const {
+      return cols16 != nullptr ? static_cast<index_t>(cols16[t])
+                               : static_cast<index_t>(cols32[t]);
+    }
   };
 
   Csb() = default;
@@ -35,7 +68,7 @@ public:
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] index_t nnz() const noexcept {
-    return static_cast<index_t>(entries_.size());
+    return static_cast<index_t>(values_.size());
   }
   [[nodiscard]] index_t block_size() const noexcept { return block_; }
   /// Blocks per dimension (row direction / column direction).
@@ -52,38 +85,87 @@ public:
     return std::min(block_, cols_ - bj * block_);
   }
 
-  /// Nonzeros of block (bi, bj); empty span if the block has none.
-  [[nodiscard]] std::span<const Entry> block(index_t bi, index_t bj) const {
-    STS_EXPECTS(bi >= 0 && bi < nb_rows_ && bj >= 0 && bj < nb_cols_);
-    const std::size_t k = static_cast<std::size_t>(bi * nb_cols_ + bj);
-    return {entries_.data() + blkptr_[k],
-            static_cast<std::size_t>(blkptr_[k + 1] - blkptr_[k])};
+  /// Storage of block (bi, bj); zero-nnz view if the block is empty.
+  [[nodiscard]] BlockView block_view(index_t bi, index_t bj) const {
+    const std::size_t k = block_id(bi, bj);
+    BlockView v;
+    v.values = values_.data();
+    if (packed_) {
+      v.cols16 = cols16_.data();
+    } else {
+      v.cols32 = cols32_.data();
+    }
+    v.segments = {segs_.data() + segptr_[k],
+                  static_cast<std::size_t>(segptr_[k + 1] - segptr_[k])};
+    v.first = blkptr_[k];
+    v.nnz = blkptr_[k + 1] - blkptr_[k];
+    return v;
   }
 
   [[nodiscard]] index_t block_nnz(index_t bi, index_t bj) const {
-    return static_cast<index_t>(block(bi, bj).size());
+    const std::size_t k = block_id(bi, bj);
+    return static_cast<index_t>(blkptr_[k + 1] - blkptr_[k]);
   }
   [[nodiscard]] bool block_empty(index_t bi, index_t bj) const {
     return block_nnz(bi, bj) == 0;
   }
 
   /// Count of non-empty blocks (== SpMV/SpMM task count per iteration).
-  [[nodiscard]] index_t nonempty_blocks() const;
+  /// Cached at construction; O(1).
+  [[nodiscard]] index_t nonempty_blocks() const noexcept { return nonempty_; }
+
+  /// True when coordinates are stored as 16-bit (block_size() <= 65536).
+  [[nodiscard]] bool packed_coords() const noexcept { return packed_; }
+  /// Bytes per nonzero for the value + coordinate streams (excludes the
+  /// per-row-segment index; see bytes_per_nnz for the all-in figure).
+  [[nodiscard]] std::size_t entry_bytes() const noexcept {
+    return sizeof(double) + (packed_ ? sizeof(std::uint16_t)
+                                     : sizeof(std::uint32_t));
+  }
+  /// Total matrix bytes (values + coordinates + row segments) per nonzero.
+  [[nodiscard]] double bytes_per_nnz() const noexcept {
+    if (values_.empty()) return 0.0;
+    const double bytes =
+        static_cast<double>(values_.size() * entry_bytes() +
+                            segs_.size() * sizeof(RowSegment));
+    return bytes / static_cast<double>(values_.size());
+  }
 
   [[nodiscard]] std::span<const std::int64_t> blkptr() const noexcept {
     return blkptr_;
+  }
+  [[nodiscard]] std::span<const RowSegment> segments() const noexcept {
+    return segs_;
+  }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
   }
 
   [[nodiscard]] Coo to_coo() const;
 
 private:
+  /// Block ids index an nb_rows_ x nb_cols_ grid; the product is formed in
+  /// std::size_t *before* any arithmetic so wide grids cannot overflow an
+  /// intermediate narrower multiply.
+  [[nodiscard]] std::size_t block_id(index_t bi, index_t bj) const {
+    STS_EXPECTS(bi >= 0 && bi < nb_rows_ && bj >= 0 && bj < nb_cols_);
+    return static_cast<std::size_t>(bi) * static_cast<std::size_t>(nb_cols_) +
+           static_cast<std::size_t>(bj);
+  }
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t block_ = 0;
   index_t nb_rows_ = 0;
   index_t nb_cols_ = 0;
-  std::vector<std::int64_t> blkptr_; // nb_rows_*nb_cols_ + 1 prefix offsets
-  std::vector<Entry> entries_;
+  index_t nonempty_ = 0;
+  bool packed_ = true;
+  std::vector<std::int64_t> blkptr_; // nb_rows_*nb_cols_ + 1 entry offsets
+  std::vector<std::int64_t> segptr_; // nb_rows_*nb_cols_ + 1 segment offsets
+  std::vector<RowSegment> segs_;     // row segments, block-major
+  std::vector<double> values_;       // SoA: values, block-major
+  std::vector<std::uint16_t> cols16_; // SoA: packed local columns
+  std::vector<std::uint32_t> cols32_; // SoA: wide local columns (block > 64Ki)
 };
 
 /// y_block[bi] += A(bi,bj) * x_block[bj] for a single block (SpMV body).

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "flux/dataflow.hpp"
 #include "support/error.hpp"
@@ -328,6 +332,88 @@ TEST(Scheduler, StealStatsAccumulate) {
   EXPECT_EQ(count.load(), 400);
   // steals is machine-dependent; just verify the counter is readable.
   EXPECT_GE(s.stats().steals, 0u);
+}
+
+TEST(Task, SmallClosureIsStoredInline) {
+  int x = 0;
+  Task small([&x] { ++x; });
+  EXPECT_TRUE(static_cast<bool>(small));
+  EXPECT_TRUE(small.inline_stored());
+  small();
+  EXPECT_EQ(x, 1);
+
+  // Move transfers the closure and empties the source.
+  Task moved(std::move(small));
+  EXPECT_FALSE(static_cast<bool>(small)); // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(Task, LargeClosureFallsBackToHeapAndDestroysOnce) {
+  auto tracked = std::make_shared<int>(7);
+  std::array<char, 2 * Task::kInlineSize> pad{};
+  int sum = 0;
+  {
+    Task big([tracked, pad, &sum] { sum += *tracked + pad[0]; });
+    EXPECT_FALSE(big.inline_stored());
+    EXPECT_EQ(tracked.use_count(), 2);
+    Task moved = std::move(big);
+    EXPECT_EQ(tracked.use_count(), 2); // heap move relocates, no copy
+    moved();
+  }
+  EXPECT_EQ(sum, 7);
+  EXPECT_EQ(tracked.use_count(), 1); // closure destroyed exactly once
+}
+
+TEST(Scheduler, StressConcurrentSubmittersAndRecursiveSpawns) {
+  // Hammers every queue path at once: external submissions (inboxes) from
+  // several threads, domain-hinted submissions, and worker-local recursive
+  // spawns (the lock-free ring), with 4 workers stealing from each other.
+  Scheduler s(cfg(4, 2, true));
+  std::atomic<int> count{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 250;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int sub = 0; sub < kSubmitters; ++sub) {
+    submitters.emplace_back([&s, &count, sub] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const int hint = (i % 3 == 0) ? sub % 2 : -1;
+        s.submit(
+            [&s, &count] {
+              count.fetch_add(1);
+              // Worker-local child + grandchild: ring push/pop under
+              // concurrent steals.
+              s.submit([&s, &count] {
+                count.fetch_add(1);
+                s.submit([&count] { count.fetch_add(1); });
+              });
+            },
+            hint);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), kSubmitters * kPerSubmitter * 3);
+  EXPECT_EQ(s.stats().executed,
+            static_cast<std::uint64_t>(kSubmitters * kPerSubmitter * 3));
+}
+
+TEST(Scheduler, RingOverflowFallsBackToInbox) {
+  // A single worker spawning more children than the ring holds must spill
+  // into its inbox and still run everything (no drops, no deadlock).
+  Scheduler s(cfg(1));
+  std::atomic<int> count{0};
+  const int n = static_cast<int>(Scheduler::kRingCapacity) + 500;
+  s.submit([&s, &count, n] {
+    for (int i = 0; i < n; ++i) {
+      s.submit([&count] { count.fetch_add(1); });
+    }
+  });
+  s.wait_for_quiescence();
+  EXPECT_EQ(count.load(), n);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "rgt/runtime.hpp"
 #include "support/error.hpp"
@@ -394,8 +395,19 @@ TEST(Runtime, StatsTrackAnalysis) {
   Runtime rt(cfg(2));
   const RegionId r = rt.register_region(d, "d");
   rt.partition_equal(r, 4);
-  rt.execute({[](TaskContext&) {}, {{r, 0, Privilege::kWrite}}, "a"});
+  // An edge is only recorded when the predecessor is still pending at
+  // analysis time, so hold "a" open until "b" has been analyzed (analysis
+  // runs inline in execute() on this thread).
+  std::atomic<bool> release{false};
+  rt.execute({[&release](TaskContext&) {
+                while (!release.load(std::memory_order_acquire)) {
+                  std::this_thread::yield();
+                }
+              },
+              {{r, 0, Privilege::kWrite}},
+              "a"});
   rt.execute({[](TaskContext&) {}, {{r, 0, Privilege::kRead}}, "b"});
+  release.store(true, std::memory_order_release);
   rt.wait_all();
   const auto st = rt.stats();
   EXPECT_EQ(st.tasks_launched, 2u);

@@ -175,6 +175,130 @@ TEST(Csb, BlockSpmmMatchesCsr) {
   }
 }
 
+/// Structural invariants of the packed SoA layout plus agreement of the
+/// row-segmented kernels with the CSR reference, for one matrix + block
+/// size. Exercised across divisible and non-divisible shapes below.
+void expect_csb_matches_csr(const Coo& coo, index_t block) {
+  SCOPED_TRACE("block=" + std::to_string(block) +
+               " rows=" + std::to_string(coo.rows()));
+  Csb csb = Csb::from_coo(coo, block);
+  Csr csr = Csr::from_coo(coo);
+  ASSERT_EQ(csb.nnz(), coo.nnz());
+
+  // BlockView invariants: segments cover each block exactly, rows strictly
+  // increase, columns strictly increase within a segment, and everything
+  // stays inside the (possibly short) block.
+  index_t seg_nnz_total = 0;
+  index_t nonempty = 0;
+  for (index_t bi = 0; bi < csb.block_rows(); ++bi) {
+    for (index_t bj = 0; bj < csb.block_cols(); ++bj) {
+      const Csb::BlockView v = csb.block_view(bi, bj);
+      ASSERT_EQ(v.nnz, csb.block_nnz(bi, bj));
+      if (v.nnz > 0) ++nonempty;
+      std::int64_t next_begin = v.first;
+      std::int32_t prev_row = -1;
+      std::int64_t seg_sum = 0;
+      for (const Csb::RowSegment& seg : v.segments) {
+        ASSERT_GT(seg.count, 0);
+        ASSERT_GT(seg.row, prev_row);
+        prev_row = seg.row;
+        ASSERT_LT(static_cast<index_t>(seg.row), csb.rows_in_block(bi));
+        ASSERT_EQ(seg.begin, next_begin);
+        next_begin += seg.count;
+        index_t prev_col = -1;
+        for (std::int64_t t = seg.begin; t < seg.begin + seg.count; ++t) {
+          const index_t c = v.col(t);
+          ASSERT_GT(c, prev_col);
+          prev_col = c;
+          ASSERT_LT(c, csb.cols_in_block(bj));
+        }
+        seg_sum += seg.count;
+      }
+      ASSERT_EQ(seg_sum, v.nnz);
+      seg_nnz_total += static_cast<index_t>(seg_sum);
+    }
+  }
+  ASSERT_EQ(seg_nnz_total, csb.nnz());
+  ASSERT_EQ(nonempty, csb.nonempty_blocks());
+
+  support::Xoshiro256 rng(static_cast<std::uint64_t>(block) * 7919 + 1);
+
+  // SpMV against the CSR reference.
+  std::vector<double> x(static_cast<std::size_t>(csb.cols()));
+  for (double& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(static_cast<std::size_t>(csb.rows()), 0.0);
+  for (index_t bi = 0; bi < csb.block_rows(); ++bi) {
+    for (index_t bj = 0; bj < csb.block_cols(); ++bj) {
+      if (!csb.block_empty(bi, bj)) csb_block_spmv(csb, bi, bj, x, y);
+    }
+  }
+  std::vector<double> ref(static_cast<std::size_t>(csb.rows()));
+  csr_spmv_range(csr, x, ref, 0, csr.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], ref[i], 1e-10) << "spmv row " << i;
+  }
+
+  // SpMM for every specialized width and the generic tail.
+  for (const index_t n : {1, 3, 4, 5, 8, 16}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    la::DenseMatrix xm(csb.cols(), n);
+    xm.fill_random(rng);
+    la::DenseMatrix ym(csb.rows(), n);
+    for (index_t bi = 0; bi < csb.block_rows(); ++bi) {
+      csb_block_zero(csb, bi, ym.view());
+      for (index_t bj = 0; bj < csb.block_cols(); ++bj) {
+        if (!csb.block_empty(bi, bj)) {
+          csb_block_spmm(csb, bi, bj, xm.view(), ym.view());
+        }
+      }
+    }
+    la::DenseMatrix refm(csb.rows(), n);
+    csr_spmm_range(csr, xm.view(), refm.view(), 0, csr.rows());
+    for (index_t i = 0; i < csb.rows(); ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_NEAR(ym.at(i, j), refm.at(i, j), 1e-10)
+            << "spmm (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Csb, RandomizedKernelsMatchCsrAcrossBlockSizes) {
+  // Banded: many empty off-band blocks. 97 rows: non-divisible for every
+  // block size here, and block=16 leaves a 1-row last block (97 = 6*16+1).
+  Coo banded = gen_banded_random(97, 9, 0.5, 101);
+  for (const index_t block : {1, 7, 16, 17, 50, 128}) {
+    expect_csb_matches_csr(banded, block);
+  }
+  // Skewed (R-MAT): dense hub rows, long row segments, irregular blocks.
+  Coo rmat = gen_rmat(6, 7, 0.57, 0.19, 0.19, 103);
+  for (const index_t block : {3, 13, 64}) {
+    expect_csb_matches_csr(rmat, block);
+  }
+}
+
+TEST(Csb, WideBlockFallsBackTo32BitCoords) {
+  // block_size > 65536 cannot pack local columns into 16 bits; the layout
+  // must switch to the 32-bit coordinate stream and still agree with CSR.
+  Coo coo = gen_banded_random(120, 11, 0.6, 107);
+  Csb narrow = Csb::from_coo(coo, 64);
+  EXPECT_TRUE(narrow.packed_coords());
+  EXPECT_EQ(narrow.entry_bytes(), sizeof(double) + sizeof(std::uint16_t));
+  Csb wide = Csb::from_coo(coo, 70000);
+  EXPECT_FALSE(wide.packed_coords());
+  EXPECT_EQ(wide.entry_bytes(), sizeof(double) + sizeof(std::uint32_t));
+  expect_csb_matches_csr(coo, 70000);
+}
+
+TEST(Csb, BytesPerNnzReflectsPackedLayout) {
+  Coo coo = gen_fem3d(6, 6, 6, 1, 109);
+  Csb csb = Csb::from_coo(coo, 64);
+  // 10 bytes value+coord; the row-segment index adds a few more, but the
+  // total must stay well under the 16-byte AoS entry it replaced.
+  EXPECT_GE(csb.bytes_per_nnz(), 10.0);
+  EXPECT_LT(csb.bytes_per_nnz(), 16.0);
+}
+
 TEST(Csb, NonemptyBlockCountsAndStats) {
   Coo coo(8, 8);
   coo.add(0, 0, 1.0);
