@@ -1,0 +1,120 @@
+// Service-layer latency: full submit -> result round trips through the
+// real wire protocol (Unix socket, framed JSON, Client/Server) against an
+// in-process stsd service, exported to BENCH_svc.json (see bench_json.hpp).
+//
+// Two cases bracket what the plan cache buys:
+//   - Cold: every submission uses a fresh cache key, so the daemon parses
+//     the matrix and builds the CSB partition inside the request.
+//   - Warm: repeat submissions of one spec; after the first, the plan is
+//     served from the cache and the request pays only queue + solve.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+
+#include "bench_json.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace sts;
+
+svc::RunSpec bench_spec() {
+  svc::RunSpec spec;
+  spec.suite_name = "inline_1";
+  spec.scale = 0.2; // big enough that plan construction dominates cold
+  spec.solver = svc::SolverKind::kLanczos;
+  spec.version = solver::Version::kLibCsb;
+  spec.iterations = 1; // minimal solve: latency is dominated by plan setup
+  spec.block = 65;     // odd: never collides with the cold key space
+  spec.threads = 2;
+  return spec;
+}
+
+/// One daemon shared by every benchmark in the process.
+struct Daemon {
+  svc::Service service;
+  svc::Server server;
+
+  Daemon()
+      : service(daemon_config()),
+        server(service,
+               "/tmp/sts-bench-svc-" + std::to_string(::getpid()) + ".sock") {
+    server.start();
+  }
+
+  static svc::Service::Config daemon_config() {
+    svc::Service::Config config;
+    config.threads = 2;
+    return config;
+  }
+
+  static Daemon& instance() {
+    static Daemon daemon;
+    return daemon;
+  }
+};
+
+enum class Expect { kMiss, kHit, kAny };
+
+void submit_and_wait(svc::Client& client, const svc::RunSpec& spec,
+                     Expect expect) {
+  const svc::SubmitOutcome out = client.submit(spec);
+  if (!out.accepted) throw support::Error("rejected: " + out.error);
+  const svc::wire::Json job = client.result(out.id);
+  if (job.string_or("state", "") != "DONE") {
+    throw support::Error("job not DONE: " + job.dump());
+  }
+  const bool hit = job.bool_or("cache_hit", false);
+  if (expect == Expect::kMiss && hit) {
+    throw support::Error("expected a cache miss");
+  }
+  if (expect == Expect::kHit && !hit) {
+    throw support::Error("expected a cache hit");
+  }
+}
+
+void BM_SubmitResultCold(benchmark::State& state) {
+  Daemon& daemon = Daemon::instance();
+  svc::Client client(daemon.server.socket_path());
+  static std::atomic<int> unique{0};
+  for (auto _ : state) {
+    // A never-repeated even block size gives each submission a fresh cache
+    // key over the same matrix source: every request rebuilds its plan
+    // (the warm benchmark keys on an odd block, so the spaces are disjoint).
+    svc::RunSpec spec = bench_spec();
+    spec.block = 100 + 2 * unique.fetch_add(1);
+    submit_and_wait(client, spec, Expect::kMiss);
+  }
+}
+BENCHMARK(BM_SubmitResultCold)->Unit(benchmark::kMillisecond);
+
+void BM_SubmitResultWarm(benchmark::State& state) {
+  Daemon& daemon = Daemon::instance();
+  svc::Client client(daemon.server.socket_path());
+  const svc::RunSpec spec = bench_spec();
+  // Prime the cache (a miss only on the first of gbench's several runs).
+  submit_and_wait(client, spec, Expect::kAny);
+  for (auto _ : state) {
+    submit_and_wait(client, spec, Expect::kHit);
+  }
+}
+BENCHMARK(BM_SubmitResultWarm)->Unit(benchmark::kMillisecond);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  // Protocol floor: one framed request/reply with no job behind it.
+  Daemon& daemon = Daemon::instance();
+  svc::Client client(daemon.server.socket_path());
+  for (auto _ : state) {
+    if (!client.ping()) throw support::Error("ping failed");
+  }
+}
+BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return sts::benchjson::run(argc, argv, "BENCH_svc.json");
+}

@@ -177,4 +177,30 @@ private:
   std::condition_variable quiescent_;
 };
 
+/// Scope guard for drivers running on a scheduler that outlives them (a
+/// shared service pool): if the driver unwinds mid-solve, the destructor
+/// waits for quiescence — so no in-flight task can touch the driver's dying
+/// state — and swallows the scheduler's latched error (the unwinding
+/// exception is the one the caller should see), leaving the pool reusable.
+/// On the normal path, call dismiss() and wait_for_quiescence() yourself so
+/// task failures still propagate.
+class QuiesceOnExit {
+public:
+  explicit QuiesceOnExit(Scheduler& sched) noexcept : sched_(sched) {}
+  ~QuiesceOnExit() {
+    if (dismissed_) return;
+    try {
+      sched_.wait_for_quiescence();
+    } catch (...) { // latched error consumed; the in-flight exception wins
+    }
+  }
+  QuiesceOnExit(const QuiesceOnExit&) = delete;
+  QuiesceOnExit& operator=(const QuiesceOnExit&) = delete;
+  void dismiss() noexcept { dismissed_ = true; }
+
+private:
+  Scheduler& sched_;
+  bool dismissed_ = false;
+};
+
 } // namespace sts::flux

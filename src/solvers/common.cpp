@@ -1,8 +1,28 @@
 #include "solvers/common.hpp"
 
+#include "flux/scheduler.hpp"
 #include "support/error.hpp"
 
 namespace sts::solver {
+
+flux::Scheduler& acquire_flux_pool(const SolverOptions& options,
+                                   std::unique_ptr<flux::Scheduler>& owned) {
+  if (options.flux_pool != nullptr) {
+    if (options.flux_pool->domain_count() != options.numa_domains) {
+      throw support::Error(
+          "solver options: flux_pool has " +
+          std::to_string(options.flux_pool->domain_count()) +
+          " NUMA domains but options.numa_domains is " +
+          std::to_string(options.numa_domains));
+    }
+    return *options.flux_pool;
+  }
+  owned = std::make_unique<flux::Scheduler>(
+      flux::Scheduler::Config{.threads = options.threads,
+                              .numa_domains = options.numa_domains,
+                              .numa_aware = options.numa_domains > 1});
+  return *owned;
+}
 
 const char* to_string(Version v) {
   switch (v) {

@@ -9,12 +9,18 @@
 //   kRgt     - Regent-style regions/privileges             ("regent")
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "la/dense.hpp"
 #include "perf/trace.hpp"
 #include "sparse/csb.hpp"
 #include "sparse/csr.hpp"
+#include "support/cancel.hpp"
+
+namespace sts::flux {
+class Scheduler;
+}
 
 namespace sts::solver {
 
@@ -60,7 +66,33 @@ struct SolverOptions {
   /// Optional execution trace for flow graphs.
   perf::TraceRecorder* trace = nullptr;
   std::uint64_t seed = 42;
+  /// Cooperative cancellation: polled at every iteration boundary (all
+  /// runtimes are quiescent there); a request surfaces as support::Cancelled
+  /// from the solver call. Null = not cancellable.
+  const support::CancelToken* cancel = nullptr;
+  /// External work-stealing pool for the kFlux version. When set, the solver
+  /// submits to this long-lived pool instead of spinning up a private one
+  /// (the pool's thread/domain configuration wins over `threads`, and
+  /// `numa_domains` must match the pool's domain count); on any exit —
+  /// normal, breakdown, fault, or cancellation — the solver quiesces the
+  /// pool and consumes its latched error, leaving it reusable for the next
+  /// solve. Null = per-call private scheduler (the historical behaviour).
+  flux::Scheduler* flux_pool = nullptr;
 };
+
+/// Iteration-boundary cancellation poll: throws support::Cancelled when
+/// options.cancel has been requested. Every version of every solver calls
+/// this at the top of its iteration loop.
+inline void poll_cancel(const SolverOptions& options) {
+  if (options.cancel != nullptr) options.cancel->throw_if_requested();
+}
+
+/// Returns the scheduler a kFlux solve should run on: options.flux_pool
+/// when set (after validating its domain count against
+/// options.numa_domains), otherwise a private scheduler constructed into
+/// `owned` from the options' thread/NUMA configuration.
+[[nodiscard]] flux::Scheduler& acquire_flux_pool(
+    const SolverOptions& options, std::unique_ptr<flux::Scheduler>& owned);
 
 /// Throws support::Error if the options are unusable (non-positive block
 /// size or thread count, zero NUMA domains). Called by every solver driver

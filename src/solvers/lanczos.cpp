@@ -105,6 +105,7 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
   IterationTiming timing;
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    poll_cancel(options);
     obs::IterScope iter(csr != nullptr ? "lanczos.libcsr" : "lanczos.libcsb",
                         i);
     if (csr != nullptr) {
@@ -187,6 +188,7 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    poll_cancel(options);
     obs::IterScope iter("lanczos.ds", i);
     ds::execute(graph, exec);
     iter.metric("alpha", s.proj.at(i, 0));
@@ -214,9 +216,12 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   const index_t np = csb.block_rows();
   const index_t m = s.m;
 
-  flux::Scheduler sched({.threads = options.threads,
-                         .numa_domains = options.numa_domains,
-                         .numa_aware = options.numa_domains > 1});
+  std::unique_ptr<flux::Scheduler> owned_sched;
+  flux::Scheduler& sched = acquire_flux_pool(options, owned_sched);
+  // If anything below unwinds (cancellation, a task fault), quiesce before
+  // the iteration state dies — mandatory when `sched` is a shared pool
+  // whose workers outlive this call.
+  flux::QuiesceOnExit quiesce(sched);
   perf::TraceRecorder* trace = options.trace;
 
   using Fut = flux::shared_future<void>;
@@ -275,6 +280,7 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    poll_cancel(options);
     // The iteration span covers submission through the convergence-check
     // gets — the driver's view of the iteration; kernel tasks may overlap
     // the next iteration's submissions on the worker tracks.
@@ -453,6 +459,7 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
       break;
     }
   }
+  quiesce.dismiss();
   sched.wait_for_quiescence();
   timing.total_seconds = timer.seconds();
   return finalize(std::move(alphas), std::move(betas), status, timing);
@@ -532,6 +539,7 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
 
   const support::Timer timer;
   for (int i = 0; i < k; ++i) {
+    poll_cancel(options);
     obs::IterScope iter("lanczos.rgt", i);
     // z = A q.
     if (options.dependency_based_spmm) {

@@ -248,6 +248,7 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    poll_cancel(options);
     obs::IterScope iter(csr != nullptr ? "lobpcg.libcsr" : "lobpcg.libcsb",
                         it);
     bsp::xty(s.X.view(), s.AX.view(), sm.M.view(), chunk);
@@ -414,6 +415,7 @@ LobpcgResult run_ds(const sparse::Csb& csb, int max_iterations,
                              .trace = options.trace};
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    poll_cancel(options);
     obs::IterScope iter("lobpcg.ds", it);
     ds::execute(graph, exec);
     note_iteration_metrics(iter, sm, s.n);
@@ -483,11 +485,9 @@ public:
   FluxLobpcg(State* s, const sparse::Csb* a, const LobpcgOptions& options)
       : s_(s), a_(a), opts_(options),
         np_(a->block_rows()), b_(a->block_size()),
-        sched_({.threads = options.threads,
-                .numa_domains = options.numa_domains,
-                .numa_aware = options.numa_domains > 1}) {}
+        sched_(&acquire_flux_pool(options, owned_sched_)) {}
 
-  flux::Scheduler& scheduler() { return sched_; }
+  flux::Scheduler& scheduler() { return *sched_; }
 
   FluxVec& vec(DenseMatrix* d) {
     vecs_.emplace_back(d, np_);
@@ -511,7 +511,7 @@ public:
   template <typename Fn>
   auto traced(graph::KernelKind kind, std::int32_t id, Fn fn) {
     perf::TraceRecorder* trace = opts_.trace;
-    flux::Scheduler* sched = &sched_;
+    flux::Scheduler* sched = sched_;
     return [trace, sched, kind, id, fn]() {
       if (trace == nullptr && !obs::task_timing_enabled()) {
         fn();
@@ -531,7 +531,7 @@ public:
   template <typename Fn>
   Fut launch(graph::KernelKind kind, std::int32_t id, int domain,
              std::vector<Fut> deps, Fn fn) {
-    return flux::dataflow_hint(sched_, domain,
+    return flux::dataflow_hint(*sched_, domain,
                                flux::unwrapping(traced(kind, id, fn)),
                                std::move(deps))
         .share();
@@ -709,7 +709,8 @@ private:
   LobpcgOptions opts_;
   index_t np_;
   index_t b_;
-  flux::Scheduler sched_;
+  std::unique_ptr<flux::Scheduler> owned_sched_; // empty when pool is shared
+  flux::Scheduler* sched_;
   // deques: vec()/small() hand out references that must stay valid as more
   // structures are registered.
   std::deque<FluxVec> vecs_;
@@ -758,10 +759,15 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
   FluxSmall& CP = fx.small(&sm.CP);
   FluxSmall& NRM = fx.small(&sm.norms);
 
+  // Unwind (cancellation, task fault) must not outrun in-flight tasks that
+  // reference the local State — quiesce first, especially on shared pools.
+  flux::QuiesceOnExit quiesce(fx.scheduler());
+
   const double tol = options.tolerance;
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    poll_cancel(options);
     // Driver-side span: submission through the convergence-check get; the
     // tail kernels of the iteration may still be in flight on the workers.
     obs::IterScope iter("lobpcg.flux", it);
@@ -812,6 +818,7 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
   }
+  quiesce.dismiss();
   fx.scheduler().wait_for_quiescence();
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -1128,6 +1135,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
   IterationTiming timing;
   const support::Timer timer;
   for (int it = 0; it < max_iterations; ++it) {
+    poll_cancel(options);
     obs::IterScope iter("lobpcg.rgt", it);
     rg.begin_iteration();
     rg.xty(X, AX, M);

@@ -143,6 +143,18 @@ public:
 
   [[nodiscard]] Coo to_coo() const;
 
+  /// Heap bytes held by the partition (block/segment indices + value and
+  /// coordinate streams); the service-layer plan cache budgets against
+  /// csr.memory_bytes() + csb.memory_bytes() per cached plan.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return blkptr_.size() * sizeof(std::int64_t) +
+           segptr_.size() * sizeof(std::int64_t) +
+           segs_.size() * sizeof(RowSegment) +
+           values_.size() * sizeof(double) +
+           cols16_.size() * sizeof(std::uint16_t) +
+           cols32_.size() * sizeof(std::uint32_t);
+  }
+
 private:
   /// Block ids index an nb_rows_ x nb_cols_ grid; the product is formed in
   /// std::size_t *before* any arithmetic so wide grids cannot overflow an

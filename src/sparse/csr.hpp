@@ -47,6 +47,14 @@ public:
 
   [[nodiscard]] Coo to_coo() const;
 
+  /// Heap bytes held by the matrix arrays (rowptr + colidx + values); the
+  /// figure the service-layer plan cache budgets against.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return rowptr_.size() * sizeof(std::int64_t) +
+           colidx_.size() * sizeof(std::int32_t) +
+           values_.size() * sizeof(double);
+  }
+
 private:
   index_t rows_ = 0;
   index_t cols_ = 0;

@@ -1,0 +1,114 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken is a level-triggered flag shared between the party that
+// wants a solve stopped (a service cancel request, a --timeout watchdog)
+// and the solver driver, which polls it at iteration boundaries — the
+// points where every runtime is quiescent, so unwinding is safe. A request
+// carries a reason string ("cancelled", "timeout", "drained") that rides
+// the Cancelled exception to the caller, letting it distinguish a user
+// cancel from a deadline without extra side channels.
+//
+// Deadline is the watchdog half: a small RAII thread that requests the
+// token when a wall-clock budget expires, with an optional callback for
+// runtimes (flux) that can be unblocked more promptly than the next poll.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace sts::support {
+
+/// Thrown by CancelToken::throw_if_requested() at a solver poll point.
+class Cancelled : public Error {
+public:
+  explicit Cancelled(const std::string& reason)
+      : Error("cancelled: " + reason), reason_(reason) {}
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+private:
+  std::string reason_;
+};
+
+/// Sticky cancellation flag. request() is one-shot: the first caller's
+/// reason wins, later requests are ignored. requested() is a relaxed
+/// atomic load, cheap enough for per-iteration polling.
+class CancelToken {
+public:
+  void request(std::string reason = "cancelled") {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (requested_.load(std::memory_order_relaxed)) return;
+      reason_ = std::move(reason);
+    }
+    requested_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::string reason() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+  }
+
+  void throw_if_requested() const {
+    if (requested()) throw Cancelled(reason());
+  }
+
+private:
+  std::atomic<bool> requested_{false};
+  mutable std::mutex mutex_;
+  std::string reason_;
+};
+
+/// Wall-clock guard: requests `token` with reason `reason` after `budget`
+/// unless disarmed (destroyed) first. `on_expire` runs after the request
+/// on the watchdog thread — used to nudge a blocked runtime (e.g.
+/// flux::Scheduler::report_task_error) so the driver unblocks before its
+/// next poll point.
+class Deadline {
+public:
+  Deadline(CancelToken& token, std::chrono::milliseconds budget,
+           std::string reason = "timeout",
+           std::function<void()> on_expire = {})
+      : token_(token) {
+    thread_ = std::thread([this, budget, reason = std::move(reason),
+                           on_expire = std::move(on_expire)] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, budget, [this] { return disarmed_; })) return;
+      lock.unlock();
+      token_.request(reason);
+      if (on_expire) on_expire();
+    });
+  }
+
+  ~Deadline() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Deadline(const Deadline&) = delete;
+  Deadline& operator=(const Deadline&) = delete;
+
+private:
+  CancelToken& token_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+} // namespace sts::support

@@ -1,0 +1,68 @@
+#include "svc/cache.hpp"
+
+#include "obs/obs.hpp"
+#include "support/env.hpp"
+
+namespace sts::svc {
+
+PlanCache::PlanCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+std::size_t PlanCache::budget_from_env() {
+  const std::int64_t v = support::env_int(
+      "STS_CACHE_BYTES", static_cast<std::int64_t>(kDefaultBudget));
+  return v < 0 ? 0 : static_cast<std::size_t>(v);
+}
+
+std::shared_ptr<const Plan> PlanCache::get_or_build(
+    const std::string& source, const std::string& directive,
+    const std::function<Plan()>& build, bool* was_hit) {
+  const Key key{source, directive};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos); // mark hottest
+    ++hits_;
+    obs::counter("svc.cache.hits").add();
+    if (was_hit != nullptr) *was_hit = true;
+    return it->second.plan;
+  }
+  ++misses_;
+  obs::counter("svc.cache.misses").add();
+  if (was_hit != nullptr) *was_hit = false;
+
+  auto plan = std::make_shared<const Plan>(build());
+  lru_.push_front(key);
+  entries_[key] = Entry{plan, lru_.begin()};
+  bytes_ += plan->bytes;
+  evict_over_budget_locked(key);
+  obs::gauge("svc.cache.bytes").observe(static_cast<std::int64_t>(bytes_));
+  return plan;
+}
+
+void PlanCache::evict_over_budget_locked(const Key& keep) {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Key& victim = lru_.back();
+    if (victim.source == keep.source && victim.directive == keep.directive) {
+      break; // never evict the plan the caller is about to use
+    }
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.plan->bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+    obs::counter("svc.cache.evictions").add();
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  s.budget_bytes = budget_;
+  return s;
+}
+
+} // namespace sts::svc

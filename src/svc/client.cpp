@@ -1,0 +1,117 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace sts::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw support::Error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw support::Error("connect " + socket_path + ": " +
+                         std::strerror(err) + " (is stsd running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+wire::Json Client::request(const wire::Json& req) {
+  wire::write_frame(fd_, req.dump());
+  std::string payload;
+  if (!wire::read_frame(fd_, payload)) {
+    throw support::Error("daemon closed the connection");
+  }
+  return wire::Json::parse(payload);
+}
+
+wire::Json Client::rpc(const wire::Json& req) {
+  wire::Json reply = request(req);
+  if (!reply.bool_or("ok", false)) {
+    throw support::Error(reply.string_or("kind", "error") + ": " +
+                         reply.string_or("error", "unknown failure"));
+  }
+  return reply;
+}
+
+bool Client::ping() {
+  wire::Json req = wire::Json::object();
+  req.set("op", "ping");
+  const wire::Json reply = request(req);
+  return reply.bool_or("ok", false);
+}
+
+SubmitOutcome Client::submit(const RunSpec& spec) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "submit");
+  req.set("spec", spec.to_json());
+  const wire::Json reply = request(req);
+  SubmitOutcome out;
+  if (reply.bool_or("ok", false)) {
+    out.accepted = true;
+    out.id = static_cast<std::uint64_t>(reply.get("id").as_int());
+    return out;
+  }
+  if (reply.string_or("kind", "") == "backpressure") {
+    out.error = reply.string_or("error", "rejected");
+    return out;
+  }
+  throw support::Error(reply.string_or("kind", "error") + ": " +
+                       reply.string_or("error", "submit failed"));
+}
+
+wire::Json Client::status(std::uint64_t id) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "status");
+  req.set("id", id);
+  return rpc(req).get("job");
+}
+
+wire::Json Client::result(std::uint64_t id, std::int64_t timeout_ms) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "result");
+  req.set("id", id);
+  req.set("timeout_ms", timeout_ms);
+  return rpc(req).get("job");
+}
+
+bool Client::cancel(std::uint64_t id, const std::string& reason) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "cancel");
+  req.set("id", id);
+  req.set("reason", reason);
+  return rpc(req).get("cancelled").as_bool();
+}
+
+wire::Json Client::stats() {
+  wire::Json req = wire::Json::object();
+  req.set("op", "stats");
+  return rpc(req).get("stats");
+}
+
+void Client::shutdown() {
+  wire::Json req = wire::Json::object();
+  req.set("op", "shutdown");
+  rpc(req);
+}
+
+} // namespace sts::svc

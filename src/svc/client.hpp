@@ -1,0 +1,60 @@
+// Blocking client for the stsd wire protocol: one connected Unix socket,
+// one frame out / one frame in per call. Used by stsctl, the svc tests and
+// the service benchmark; keeping it in the library means every front end
+// speaks the protocol through the same code path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/run_spec.hpp"
+#include "svc/service.hpp"
+#include "svc/wire.hpp"
+
+namespace sts::svc {
+
+class Client {
+public:
+  /// Connects to `socket_path` (default: Server::default_socket_path()).
+  /// Throws support::Error when the daemon is not reachable.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Raw round trip: send `request`, return the parsed reply (including
+  /// ok=false replies — callers that want typed errors use the helpers).
+  wire::Json request(const wire::Json& request);
+
+  [[nodiscard]] bool ping();
+
+  /// Accepted -> {accepted, id}; backpressure rejection -> {false, error};
+  /// any other failure (bad spec, protocol error) throws.
+  SubmitOutcome submit(const RunSpec& spec);
+
+  /// Job snapshot; throws support::Error for unknown ids.
+  wire::Json status(std::uint64_t id);
+
+  /// Waits server-side until the job is terminal (or timeout_ms elapses)
+  /// and returns the snapshot. The "terminal" field of the reply says
+  /// whether the wait actually completed.
+  wire::Json result(std::uint64_t id,
+                    std::int64_t timeout_ms = 24LL * 3600 * 1000);
+
+  /// True when the job was cancellable (pending or running).
+  bool cancel(std::uint64_t id, const std::string& reason = "cancelled");
+
+  wire::Json stats();
+
+  /// Asks the daemon to shut down gracefully (drain + exit 0).
+  void shutdown();
+
+private:
+  /// request() + throw support::Error on ok=false.
+  wire::Json rpc(const wire::Json& request);
+
+  int fd_ = -1;
+};
+
+} // namespace sts::svc

@@ -1,0 +1,227 @@
+#include "svc/run_spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/machine.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/suite.hpp"
+#include "support/error.hpp"
+#include "tuning/block_select.hpp"
+#include "tuning/sweep.hpp"
+
+namespace sts::svc {
+
+const char* to_string(SolverKind s) {
+  switch (s) {
+    case SolverKind::kLanczos: return "lanczos";
+    case SolverKind::kLobpcg: return "lobpcg";
+  }
+  return "?";
+}
+
+SolverKind parse_solver(const std::string& name) {
+  if (name == "lanczos") return SolverKind::kLanczos;
+  if (name == "lobpcg") return SolverKind::kLobpcg;
+  throw support::Error("unknown solver: " + name +
+                       " (expected lanczos|lobpcg)");
+}
+
+solver::Version parse_version(const std::string& name) {
+  if (name == "libcsr") return solver::Version::kLibCsr;
+  if (name == "libcsb") return solver::Version::kLibCsb;
+  if (name == "ds" || name == "deepsparse") return solver::Version::kDs;
+  if (name == "flux" || name == "hpx") return solver::Version::kFlux;
+  if (name == "rgt" || name == "regent") return solver::Version::kRgt;
+  throw support::Error("unknown version: " + name);
+}
+
+namespace {
+
+/// Short stable spelling for keys and wire payloads (to_string() yields
+/// display names like "hpx-flux" that parse_version does not accept).
+const char* version_token(solver::Version v) {
+  switch (v) {
+    case solver::Version::kLibCsr: return "libcsr";
+    case solver::Version::kLibCsb: return "libcsb";
+    case solver::Version::kDs: return "ds";
+    case solver::Version::kFlux: return "flux";
+    case solver::Version::kRgt: return "rgt";
+  }
+  return "?";
+}
+
+} // namespace
+
+bool RunSpec::consume_arg(const std::string& arg,
+                          const std::function<std::string()>& next) {
+  if (arg == "--matrix") {
+    matrix_path = next();
+  } else if (arg == "--suite") {
+    suite_name = next();
+  } else if (arg == "--scale") {
+    scale = std::atof(next().c_str());
+  } else if (arg == "--solver") {
+    solver = parse_solver(next());
+  } else if (arg == "--version") {
+    version = parse_version(next());
+  } else if (arg == "--iterations") {
+    iterations = std::atoi(next().c_str());
+  } else if (arg == "--nev") {
+    nev = std::atoll(next().c_str());
+  } else if (arg == "--tolerance") {
+    tolerance = std::atof(next().c_str());
+  } else if (arg == "--block") {
+    block = std::atoll(next().c_str());
+  } else if (arg == "--autotune") {
+    autotune = true;
+  } else if (arg == "--threads") {
+    threads = static_cast<unsigned>(std::atoi(next().c_str()));
+  } else if (arg == "--timeout") {
+    timeout_sec = std::atof(next().c_str());
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void RunSpec::validate() const {
+  if (matrix_path.empty() && suite_name.empty()) {
+    throw support::Error("run spec: no matrix source (--matrix or --suite)");
+  }
+  if (!(scale > 0.0)) {
+    throw support::Error("run spec: scale must be positive");
+  }
+  if (iterations < 1) {
+    throw support::Error("run spec: iterations must be >= 1, got " +
+                         std::to_string(iterations));
+  }
+  if (nev < 1) {
+    throw support::Error("run spec: nev must be >= 1");
+  }
+  if (!(tolerance > 0.0)) {
+    throw support::Error("run spec: tolerance must be positive");
+  }
+  if (block < 0) {
+    throw support::Error("run spec: block must be >= 0");
+  }
+  if (block != 0 && autotune) {
+    throw support::Error("run spec: --block and --autotune are exclusive");
+  }
+  if (timeout_sec < 0.0) {
+    throw support::Error("run spec: timeout must be >= 0");
+  }
+}
+
+wire::Json RunSpec::to_json() const {
+  wire::Json j = wire::Json::object();
+  if (!matrix_path.empty()) j.set("matrix", matrix_path);
+  if (!suite_name.empty()) j.set("suite", suite_name);
+  j.set("scale", scale);
+  j.set("solver", to_string(solver));
+  j.set("version", version_token(version));
+  j.set("iterations", iterations);
+  j.set("nev", static_cast<std::int64_t>(nev));
+  j.set("tolerance", tolerance);
+  if (block != 0) j.set("block", static_cast<std::int64_t>(block));
+  if (autotune) j.set("autotune", true);
+  if (threads != 0) j.set("threads", static_cast<std::int64_t>(threads));
+  if (timeout_sec > 0.0) j.set("timeout_sec", timeout_sec);
+  return j;
+}
+
+RunSpec RunSpec::from_json(const wire::Json& j) {
+  RunSpec s;
+  s.matrix_path = j.string_or("matrix", "");
+  s.suite_name = j.string_or("suite", "");
+  s.scale = j.number_or("scale", s.scale);
+  s.solver = parse_solver(j.string_or("solver", "lobpcg"));
+  s.version = parse_version(j.string_or("version", "flux"));
+  s.iterations = static_cast<int>(j.int_or("iterations", s.iterations));
+  s.nev = j.int_or("nev", s.nev);
+  s.tolerance = j.number_or("tolerance", s.tolerance);
+  s.block = j.int_or("block", 0);
+  s.autotune = j.bool_or("autotune", false);
+  s.threads = static_cast<unsigned>(j.int_or("threads", 0));
+  s.timeout_sec = j.number_or("timeout_sec", 0.0);
+  return s;
+}
+
+std::string RunSpec::source_key() const {
+  if (!matrix_path.empty()) return "file:" + matrix_path;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "@%g", scale);
+  return "suite:" + suite_name + buf;
+}
+
+std::string RunSpec::block_directive() const {
+  if (block != 0) return "b" + std::to_string(block);
+  if (autotune) {
+    return std::string("tune:") + to_string(solver) + ":" +
+           version_token(version) + ":nev" + std::to_string(nev);
+  }
+  return std::string("heur:") + version_token(version) + ":t" +
+         std::to_string(resolved_threads());
+}
+
+unsigned RunSpec::resolved_threads() const {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+sparse::Coo RunSpec::load() const {
+  if (!matrix_path.empty()) {
+    sparse::Coo coo = sparse::read_matrix_market_file(matrix_path);
+    if (!coo.is_symmetric(1e-12)) coo.symmetrize_lower();
+    return coo;
+  }
+  return sparse::suite_entry(suite_name).make(scale);
+}
+
+RunSpec::BlockChoice RunSpec::resolve_block(const sparse::Csr& csr) const {
+  BlockChoice choice;
+  if (block != 0) {
+    choice.block = block;
+    return choice;
+  }
+  if (autotune) {
+    const auto sweep = tune::sweep_block_sizes_simulated(
+        csr,
+        solver == SolverKind::kLanczos ? tune::SweepSolver::kLanczos
+                                       : tune::SweepSolver::kLobpcg,
+        version, sim::MachineModel::broadwell(), /*full_sweep=*/false, nev);
+    choice.block = sweep.best_block_size();
+    for (const auto& p : sweep.points) {
+      choice.sweep.emplace_back(p.block_count, p.simulated_seconds);
+    }
+    return choice;
+  }
+  choice.block =
+      tune::recommended_block_size(version, resolved_threads(), csr.rows());
+  choice.heuristic = true;
+  return choice;
+}
+
+solver::SolverOptions RunSpec::solver_options(la::index_t blk) const {
+  solver::SolverOptions o;
+  o.block_size = blk;
+  o.threads = resolved_threads();
+  return o;
+}
+
+solver::LobpcgOptions RunSpec::lobpcg_options(la::index_t blk) const {
+  solver::LobpcgOptions o;
+  o.block_size = blk;
+  o.threads = resolved_threads();
+  o.nev = nev;
+  o.tolerance = tolerance;
+  return o;
+}
+
+std::string RunSpec::describe() const {
+  return std::string(to_string(solver)) + "/" + solver::to_string(version) +
+         " " + source_key();
+}
+
+} // namespace sts::svc

@@ -1,0 +1,435 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/lobpcg.hpp"
+#include "support/env.hpp"
+#include "support/fault.hpp"
+#include "support/timer.hpp"
+
+namespace sts::svc {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+namespace {
+
+Plan build_plan(const RunSpec& spec) {
+  sparse::Coo coo = spec.load();
+  auto csr = std::make_shared<const sparse::Csr>(
+      sparse::Csr::from_coo(std::move(coo)));
+  const RunSpec::BlockChoice choice = spec.resolve_block(*csr);
+  auto csb = std::make_shared<const sparse::Csb>(
+      sparse::Csb::from_csr(*csr, choice.block));
+  Plan plan;
+  plan.bytes = csr->memory_bytes() + csb->memory_bytes();
+  plan.block_size = choice.block;
+  plan.csr = std::move(csr);
+  plan.csb = std::move(csb);
+  return plan;
+}
+
+unsigned pool_threads(unsigned configured) {
+  if (configured != 0) return configured;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+wire::Json to_json(const JobInfo& info) {
+  wire::Json j = wire::Json::object();
+  j.set("id", static_cast<std::uint64_t>(info.id));
+  j.set("state", to_string(info.state));
+  j.set("spec", info.spec_describe);
+  if (!info.error.empty()) j.set("error", info.error);
+  j.set("cache_hit", info.cache_hit);
+  if (info.block_size != 0) {
+    j.set("block", static_cast<std::int64_t>(info.block_size));
+  }
+  j.set("queue_seconds", info.queue_seconds);
+  j.set("run_seconds", info.run_seconds);
+  if (info.summary.is_object()) j.set("summary", info.summary);
+  return j;
+}
+
+wire::Json to_json(const ServiceStats& s) {
+  wire::Json j = wire::Json::object();
+  j.set("queue_depth", static_cast<std::uint64_t>(s.queue_depth));
+  j.set("queue_capacity", static_cast<std::uint64_t>(s.queue_capacity));
+  j.set("submitted", s.submitted);
+  j.set("rejected", s.rejected);
+  j.set("done", s.done);
+  j.set("failed", s.failed);
+  j.set("cancelled", s.cancelled);
+  j.set("running_job", s.running_job);
+  wire::Json cache = wire::Json::object();
+  cache.set("hits", s.cache.hits);
+  cache.set("misses", s.cache.misses);
+  cache.set("evictions", s.cache.evictions);
+  cache.set("bytes", static_cast<std::uint64_t>(s.cache.bytes));
+  cache.set("entries", static_cast<std::uint64_t>(s.cache.entries));
+  cache.set("budget_bytes", static_cast<std::uint64_t>(s.cache.budget_bytes));
+  j.set("cache", std::move(cache));
+  j.set("job_p50_ms", s.job_p50_ms);
+  j.set("job_p95_ms", s.job_p95_ms);
+  j.set("job_p99_ms", s.job_p99_ms);
+  return j;
+}
+
+Service::Config Service::Config::from_env() {
+  Config c;
+  const std::int64_t cap = support::env_int("STS_QUEUE_CAP", 64);
+  c.queue_capacity = cap < 1 ? 1 : static_cast<std::size_t>(cap);
+  c.cache_bytes = PlanCache::budget_from_env();
+  c.threads = static_cast<unsigned>(support::env_int("STS_THREADS", 0));
+  return c;
+}
+
+Service::Service(Config config)
+    : config_(config), cache_(config.cache_bytes),
+      pool_({.threads = pool_threads(config.threads),
+             .numa_domains = 1,
+             .numa_aware = false}) {
+  executor_ = std::thread([this] { executor_loop(); });
+}
+
+Service::~Service() { drain(); }
+
+SubmitOutcome Service::submit(RunSpec spec) {
+  spec.validate(); // throws on malformed specs before any accounting
+  SubmitOutcome out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_ || stop_executor_) {
+    ++rejected_;
+    obs::counter("svc.jobs_rejected").add();
+    out.error = "draining";
+    return out;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    // Admission control: reject now with a typed error instead of blocking
+    // the client behind an unbounded backlog.
+    ++rejected_;
+    obs::counter("svc.jobs_rejected").add();
+    out.error = "queue_full";
+    return out;
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->spec = std::move(spec);
+  job->submit_ns = support::now_ns();
+  Job* raw = job.get();
+  jobs_.emplace(raw->id, std::move(job));
+  queue_.push_back(raw);
+  ++submitted_;
+  obs::counter("svc.jobs_submitted").add();
+  obs::gauge("svc.queue_depth")
+      .observe(static_cast<std::int64_t>(queue_.size()));
+  queue_cv_.notify_one();
+  out.accepted = true;
+  out.id = raw->id;
+  return out;
+}
+
+JobInfo Service::snapshot_locked(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.state = job.state;
+  info.spec_describe = job.spec.describe();
+  info.error = job.error;
+  info.cache_hit = job.cache_hit;
+  info.block_size = job.block_size;
+  if (job.start_ns > 0) {
+    info.queue_seconds =
+        static_cast<double>(job.start_ns - job.submit_ns) * 1e-9;
+    const std::int64_t end = job.end_ns > 0 ? job.end_ns : support::now_ns();
+    info.run_seconds = static_cast<double>(end - job.start_ns) * 1e-9;
+  }
+  info.summary = job.summary;
+  return info;
+}
+
+JobInfo Service::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw support::Error("unknown job id " + std::to_string(id));
+  }
+  return snapshot_locked(*it->second);
+}
+
+JobInfo Service::wait(std::uint64_t id, std::chrono::milliseconds deadline,
+                      const std::atomic<bool>* abort) const {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw support::Error("unknown job id " + std::to_string(id));
+  }
+  while (!snapshot_locked(*it->second).terminal()) {
+    if (abort != nullptr && abort->load(std::memory_order_acquire)) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) break;
+    // 100 ms slices so an abort flag (server drain) is observed promptly.
+    job_done_cv_.wait_until(
+        lock, std::min(until, now + std::chrono::milliseconds(100)));
+  }
+  return snapshot_locked(*it->second);
+}
+
+bool Service::cancel(std::uint64_t id, const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw support::Error("unknown job id " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kPending: {
+      job.token.request(reason);
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), &job),
+                   queue_.end());
+      obs::gauge("svc.queue_depth")
+          .observe(static_cast<std::int64_t>(queue_.size()));
+      finish_job(job, JobState::kCancelled, reason);
+      return true;
+    }
+    case JobState::kRunning: {
+      job.token.request(reason);
+      if (job.spec.version == solver::Version::kFlux) {
+        // PR 1's cancellation path: latch an error in the shared pool so
+        // queued task bodies are skipped and the blocked driver unwinds
+        // now instead of at its next iteration boundary. The executor
+        // flushes the pool after every job, so the latched error can never
+        // leak into the next solve.
+        pool_.report_task_error(
+            std::make_exception_ptr(support::Cancelled(reason)));
+      }
+      return true;
+    }
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled: return false;
+  }
+  return false;
+}
+
+void Service::finish_job(Job& job, JobState state, const std::string& error) {
+  // Caller holds mutex_.
+  job.state = state;
+  job.error = error;
+  job.end_ns = support::now_ns();
+  switch (state) {
+    case JobState::kDone: ++done_; break;
+    case JobState::kFailed: ++failed_; break;
+    case JobState::kCancelled: ++cancelled_; break;
+    default: break;
+  }
+  obs::histogram("svc.job_ns").observe(job.end_ns - job.submit_ns);
+  obs::instant("svc.job[" + std::to_string(job.id) + "] " + to_string(state),
+               "svc");
+  job_done_cv_.notify_all();
+}
+
+void Service::executor_loop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_executor_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_executor_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      obs::gauge("svc.queue_depth")
+          .observe(static_cast<std::int64_t>(queue_.size()));
+      if (job->token.requested()) { // cancelled while queued
+        finish_job(*job, JobState::kCancelled, job->token.reason());
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->start_ns = support::now_ns();
+      running_ = job;
+    }
+    run_job(*job);
+    // Consume any error latched in the shared pool after the job's own
+    // waits (e.g. a cancel() that raced with solve completion), keeping the
+    // pool clean for the next job. The job is still RUNNING as far as
+    // cancel() is concerned only until finish_job() ran inside run_job(),
+    // so no new report can land after this flush.
+    try {
+      pool_.wait_for_quiescence();
+    } catch (...) {
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      running_ = nullptr;
+    }
+  }
+}
+
+void Service::run_job(Job& job) {
+  try {
+    // Deterministic fault site: one armed throw here fails exactly this
+    // job; the daemon and every later job keep going.
+    support::fault::check("svc:job");
+    job.token.throw_if_requested();
+
+    bool hit = false;
+    const std::shared_ptr<const Plan> plan = cache_.get_or_build(
+        job.spec.source_key(), job.spec.block_directive(),
+        [&job] { return build_plan(job.spec); }, &hit);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job.cache_hit = hit;
+      job.block_size = plan->block_size;
+    }
+
+    // Per-job wall-clock guard, sharing the cancel token with the client's
+    // cancel op. Flux gets the prompt unblock; other runtimes observe the
+    // token at their next iteration boundary.
+    std::optional<support::Deadline> deadline;
+    if (job.spec.timeout_sec > 0.0) {
+      std::function<void()> nudge;
+      if (job.spec.version == solver::Version::kFlux) {
+        nudge = [this] {
+          pool_.report_task_error(
+              std::make_exception_ptr(support::Cancelled("timeout")));
+        };
+      }
+      deadline.emplace(job.token,
+                       std::chrono::milliseconds(static_cast<std::int64_t>(
+                           job.spec.timeout_sec * 1e3)),
+                       "timeout", std::move(nudge));
+    }
+
+    wire::Json summary = wire::Json::object();
+    solver::SolverStatus status = solver::SolverStatus::kOk;
+    if (job.spec.solver == SolverKind::kLanczos) {
+      solver::SolverOptions options =
+          job.spec.solver_options(plan->block_size);
+      options.cancel = &job.token;
+      if (job.spec.version == solver::Version::kFlux) {
+        options.flux_pool = &pool_;
+      }
+      const auto r = solver::lanczos(*plan->csr, *plan->csb,
+                                     job.spec.iterations, job.spec.version,
+                                     options);
+      status = r.status;
+      summary.set("iterations", r.timing.iterations);
+      summary.set("seconds", r.timing.total_seconds);
+      wire::Json ritz = wire::Json::array();
+      if (!r.ritz_values.empty()) {
+        ritz.push(r.ritz_values.front());
+        ritz.push(r.ritz_values.back());
+      }
+      summary.set("ritz_extremes", std::move(ritz));
+    } else {
+      solver::LobpcgOptions options =
+          job.spec.lobpcg_options(plan->block_size);
+      options.cancel = &job.token;
+      if (job.spec.version == solver::Version::kFlux) {
+        options.flux_pool = &pool_;
+      }
+      const auto r = solver::lobpcg(*plan->csr, *plan->csb,
+                                    job.spec.iterations, job.spec.version,
+                                    options);
+      status = r.status;
+      summary.set("iterations", r.timing.iterations);
+      summary.set("seconds", r.timing.total_seconds);
+      summary.set("converged", r.converged);
+      wire::Json eigs = wire::Json::array();
+      for (const double ev : r.eigenvalues) eigs.push(ev);
+      summary.set("eigenvalues", std::move(eigs));
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job.summary = std::move(summary);
+    if (status == solver::SolverStatus::kOk) {
+      finish_job(job, JobState::kDone, "");
+    } else {
+      // Breakdown guards: numerically unsound runs are FAILED jobs with the
+      // solver's own status naming the cause; the truncated summary stays
+      // attached for post-mortems.
+      finish_job(job, JobState::kFailed,
+                 std::string("solver: ") + solver::to_string(status));
+    }
+  } catch (const support::Cancelled& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finish_job(job, JobState::kCancelled, e.reason());
+  } catch (const std::exception& e) {
+    // TaskError, fault::Injected, bad input, OOM — the job is FAILED, the
+    // daemon lives on.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finish_job(job, JobState::kFailed, e.what());
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.queue_depth = queue_.size();
+    s.queue_capacity = config_.queue_capacity;
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.done = done_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.running_job = running_ != nullptr;
+  }
+  s.cache = cache_.stats();
+  const obs::Histogram& h = obs::histogram("svc.job_ns");
+  s.job_p50_ms = h.quantile(0.50) * 1e-6;
+  s.job_p95_ms = h.quantile(0.95) * 1e-6;
+  s.job_p99_ms = h.quantile(0.99) * 1e-6;
+  return s;
+}
+
+void Service::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_executor_) return; // already drained
+    draining_ = true;
+    // Pending jobs are cancelled, not silently dropped: each gets a
+    // terminal state a waiting client can observe.
+    for (Job* job : queue_) {
+      job->token.request("drained");
+      finish_job(*job, JobState::kCancelled, "drained");
+    }
+    queue_.clear();
+    obs::gauge("svc.queue_depth").observe(0);
+    stop_executor_ = true;
+    queue_cv_.notify_all();
+  }
+  if (executor_.joinable()) executor_.join();
+}
+
+void Service::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+}
+
+bool Service::shutdown_requested() const noexcept {
+  return shutdown_requested_.load(std::memory_order_acquire);
+}
+
+void Service::wait_shutdown() const {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested(); });
+}
+
+} // namespace sts::svc

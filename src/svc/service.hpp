@@ -1,0 +1,194 @@
+// The resident solver service: bounded job queue with admission control, a
+// plan cache, one long-lived flux worker pool, and the job lifecycle
+//
+//   PENDING -> RUNNING -> DONE | FAILED | CANCELLED
+//
+// Admission control is immediate-reject: when the queue is full, submit()
+// returns a typed `queue_full` outcome instead of blocking the caller —
+// backpressure the client can see and act on. A draining service rejects
+// with `draining`.
+//
+// Jobs are executed by a single executor thread, in FIFO order, over one
+// shared flux::Scheduler whose workers stay warm across jobs (kFlux solves
+// run directly on it; other versions use their own runtimes but still skip
+// matrix ingestion via the cache). Cancellation reuses the solver layer's
+// cooperative tokens: a PENDING job flips straight to CANCELLED; a RUNNING
+// job gets its token requested, and — for flux — the pool's
+// report_task_error path unblocks the driver promptly. Solver breakdown
+// (SolverStatus != kOk) and injected faults mark the job FAILED without
+// touching the daemon.
+//
+// Fault site "svc:job" fires inside the executor's per-job try block, so
+// `STS_FAULT=svc:job:hit=1:kind=throw` poisons exactly one job and proves
+// containment.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flux/scheduler.hpp"
+#include "svc/cache.hpp"
+#include "svc/run_spec.hpp"
+#include "svc/wire.hpp"
+
+namespace sts::svc {
+
+enum class JobState : std::uint8_t {
+  kPending, kRunning, kDone, kFailed, kCancelled
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+
+/// Snapshot of one job, safe to serialize outside service locks.
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobState state = JobState::kPending;
+  std::string spec_describe;
+  std::string error;          // FAILED/CANCELLED detail
+  bool cache_hit = false;     // plan served from the cache
+  la::index_t block_size = 0; // resolved CSB block size (0 until RUNNING)
+  double queue_seconds = 0.0; // submit -> start
+  double run_seconds = 0.0;   // start -> terminal
+  wire::Json summary;         // solver output (null until terminal)
+  [[nodiscard]] bool terminal() const noexcept {
+    return state == JobState::kDone || state == JobState::kFailed ||
+           state == JobState::kCancelled;
+  }
+};
+
+/// Wire form shared by the daemon's replies and stsctl's output.
+[[nodiscard]] wire::Json to_json(const JobInfo& info);
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;     // valid when accepted
+  std::string error;        // "queue_full" | "draining" when rejected
+};
+
+struct ServiceStats {
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  bool running_job = false;
+  CacheStats cache;
+  double job_p50_ms = 0.0;
+  double job_p95_ms = 0.0;
+  double job_p99_ms = 0.0;
+};
+
+[[nodiscard]] wire::Json to_json(const ServiceStats& stats);
+
+class Service {
+public:
+  struct Config {
+    std::size_t queue_capacity = 64;  // STS_QUEUE_CAP
+    std::size_t cache_bytes = PlanCache::kDefaultBudget; // STS_CACHE_BYTES
+    unsigned threads = 0;             // flux pool workers; 0 = hardware
+    /// Capacity/budget from STS_QUEUE_CAP / STS_CACHE_BYTES.
+    [[nodiscard]] static Config from_env();
+  };
+
+  explicit Service(Config config);
+  ~Service(); // drains (cancelling pending jobs) and joins the executor
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission-controlled enqueue. Validates the spec (throws
+  /// support::Error on a bad one — the caller maps that to a bad_request
+  /// reply); a full queue or draining service rejects with a typed outcome.
+  SubmitOutcome submit(RunSpec spec);
+
+  /// Snapshot by id; throws support::Error for unknown ids.
+  [[nodiscard]] JobInfo status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal (or `deadline` elapses or `abort`
+  /// flips, whichever first) and returns its snapshot.
+  JobInfo wait(std::uint64_t id,
+               std::chrono::milliseconds deadline = std::chrono::hours(24),
+               const std::atomic<bool>* abort = nullptr) const;
+
+  /// Requests cancellation. PENDING jobs flip to CANCELLED immediately;
+  /// RUNNING jobs are interrupted at their next poll point (flux: promptly,
+  /// via the pool's error path). Returns false for already-terminal jobs.
+  bool cancel(std::uint64_t id, const std::string& reason = "cancelled");
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Graceful drain: stop admitting, cancel PENDING jobs, let the RUNNING
+  /// job finish (or honour a concurrent cancel), then stop the executor.
+  /// Idempotent; called by SIGTERM handling and `stsctl shutdown`.
+  void drain();
+
+  /// Signals whoever runs the daemon loop that a shutdown was requested
+  /// (the `shutdown` op); drain() is then the caller's job so it can
+  /// sequence socket teardown first.
+  void request_shutdown();
+  [[nodiscard]] bool shutdown_requested() const noexcept;
+  /// Blocks until request_shutdown() is called.
+  void wait_shutdown() const;
+
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+  [[nodiscard]] flux::Scheduler& pool() noexcept { return pool_; }
+
+private:
+  struct Job {
+    std::uint64_t id = 0;
+    RunSpec spec;
+    JobState state = JobState::kPending;
+    std::string error;
+    bool cache_hit = false;
+    la::index_t block_size = 0;
+    std::int64_t submit_ns = 0;
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+    wire::Json summary;
+    support::CancelToken token;
+  };
+
+  void executor_loop();
+  void run_job(Job& job);
+  void finish_job(Job& job, JobState state, const std::string& error);
+  [[nodiscard]] JobInfo snapshot_locked(const Job& job) const;
+
+  Config config_;
+  PlanCache cache_;
+  flux::Scheduler pool_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable job_done_cv_;
+  std::condition_variable queue_cv_;
+  std::deque<Job*> queue_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  Job* running_ = nullptr;
+  bool draining_ = false;
+  bool stop_executor_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+
+  mutable std::mutex shutdown_mutex_;
+  mutable std::condition_variable shutdown_cv_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::thread executor_;
+};
+
+} // namespace sts::svc

@@ -1,0 +1,135 @@
+// Wire format of the solver service: a minimal JSON value type and the
+// length-prefixed framing both sides of the Unix-domain socket speak.
+//
+// Frame grammar (all integers big-endian):
+//
+//   frame   := length payload
+//   length  := uint32           # byte count of payload, <= kMaxFrameBytes
+//   payload := JSON text (UTF-8), one request or one response object
+//
+// JSON support is deliberately small — null/bool/number/string/array/object,
+// \uXXXX escapes decoded to UTF-8 — because the protocol's vocabulary is a
+// handful of flat objects; pulling in a dependency for that would violate
+// the repo's no-new-deps constraint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace sts::svc::wire {
+
+/// Raised on malformed JSON, oversized/truncated frames, or socket errors.
+class WireError : public support::Error {
+public:
+  explicit WireError(const std::string& what) : support::Error(what) {}
+};
+
+/// Tagged JSON value. Object keys keep insertion order so dumps are stable
+/// and human-diffable.
+class Json {
+public:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Json() = default; // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Json(double n) : type_(Type::kNumber), num_(n) {}              // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}                  // NOLINT
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}         // NOLINT
+  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}        // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {} // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Checked accessors: throw WireError on type mismatch (protocol errors
+  /// surface as one catchable type at the request handler).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// Object field lookup; `get` returns null for missing keys, the typed
+  /// variants return `fallback`.
+  [[nodiscard]] const Json& get(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::string_view key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      const std::string& fallback) const;
+
+  /// Object/array builders.
+  Json& set(std::string key, Json value);
+  Json& push(Json value);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>&
+  members() const;
+
+  /// Serializes to compact JSON text.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON document (rejects trailing garbage).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+private:
+  void append_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Upper bound on one frame's payload; a peer announcing more is treated as
+/// a protocol violation and the connection is dropped.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary or when
+/// `*stop` becomes true while idle (the read polls in 100 ms slices so a
+/// draining server can unblock its connection threads). Throws WireError on
+/// I/O errors, truncated frames, or oversized lengths.
+bool read_frame(int fd, std::string& payload,
+                const std::atomic<bool>* stop = nullptr);
+
+/// Writes one frame (retrying short writes; EPIPE surfaces as WireError,
+/// never SIGPIPE).
+void write_frame(int fd, std::string_view payload);
+
+} // namespace sts::svc::wire

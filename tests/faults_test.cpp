@@ -11,9 +11,11 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "proc_util.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "sparse/generators.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 
@@ -214,6 +216,40 @@ TEST(OptionValidation, BadOptionsThrowInsteadOfAborting) {
   lo.tolerance = -1.0;
   EXPECT_THROW((void)solver::lobpcg(f.csr, f.csb, 4, Version::kLibCsb, lo),
                support::Error);
+}
+
+TEST(Timeout, DeadlineCancelsSolveAtIterationBoundary) {
+  SolverFixture f;
+  support::CancelToken cancel;
+  f.options.cancel = &cancel;
+  // Stall one spmv block long enough for the 50 ms deadline to expire; the
+  // solver observes the requested token at its next iteration boundary and
+  // unwinds with Cancelled instead of finishing all 8 iterations.
+  support::fault::ScopedFault stall(
+      "spmv_block:hit=2:kind=delay:delay_ms=400");
+  support::Deadline deadline(cancel, std::chrono::milliseconds(50),
+                             "unit-timeout");
+  try {
+    (void)solver::lanczos(f.csr, f.csb, 8, Version::kLibCsb, f.options);
+    FAIL() << "expected support::Cancelled";
+  } catch (const support::Cancelled& e) {
+    EXPECT_EQ(e.reason(), "unit-timeout");
+  }
+}
+
+TEST(Timeout, StsolveTimeoutFlagExitsFive) {
+  // Same shape end to end: a delay fault stalls iteration one past the
+  // 100 ms --timeout budget, and the stsolve binary reports the documented
+  // timeout exit code 5 (not breakdown's 4, not bad-input's 3).
+  const int code =
+      testutil::spawn({STSOLVE_BIN, "--suite", "inline_1", "--scale", "0.02",
+                       "--solver", "lanczos", "--version", "libcsb",
+                       "--iterations", "50", "--threads", "2", "--block",
+                       "64", "--timeout", "0.1"},
+                      {"STS_FAULT=spmv_block:hit=2:kind=delay:delay_ms=600"},
+                      "/tmp/sts-faults-test-stsolve.log")
+          .wait();
+  EXPECT_EQ(code, 5);
 }
 
 } // namespace

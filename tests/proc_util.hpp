@@ -1,0 +1,67 @@
+// fork/exec helpers for tests that drive the real binaries (stsd, stsctl,
+// stsolve) end to end: spawn with extra environment entries, send signals,
+// reap the exit code.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace sts::testutil {
+
+struct ChildProcess {
+  pid_t pid = -1;
+
+  /// Blocks until the child exits; returns its exit code, or -<signal>
+  /// when it was killed.
+  int wait() const {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) return -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return -WTERMSIG(status);
+    return -1;
+  }
+
+  void signal(int sig) const { ::kill(pid, sig); }
+};
+
+/// Spawns argv[0] with the given arguments, extra "KEY=VALUE" environment
+/// entries layered over the parent's, and stdout/stderr redirected to
+/// `output_path` (append).
+inline ChildProcess spawn(const std::vector<std::string>& argv,
+                          const std::vector<std::string>& env = {},
+                          const std::string& output_path = "/dev/null") {
+  ChildProcess child;
+  child.pid = ::fork();
+  if (child.pid != 0) return child; // parent (or fork failure: pid == -1)
+
+  for (const std::string& kv : env) {
+    const std::size_t eq = kv.find('=');
+    if (eq != std::string::npos) {
+      ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+    }
+  }
+  const int fd = ::open(output_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                        0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+  ::execv(cargv[0], cargv.data());
+  ::_exit(127); // exec failed
+}
+
+} // namespace sts::testutil

@@ -1,0 +1,548 @@
+// Tests for the service layer: wire protocol, plan cache, job lifecycle,
+// admission control, cancellation, fault containment, and the stsd /
+// stsctl binaries end to end.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proc_util.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/wire.hpp"
+
+namespace sts {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- wire --
+
+TEST(WireJson, DumpParseRoundTrip) {
+  svc::wire::Json obj = svc::wire::Json::object();
+  obj.set("str", "hello \"quoted\" \\ \n\t");
+  obj.set("int", std::int64_t{42});
+  obj.set("neg", -3.5);
+  obj.set("yes", true);
+  obj.set("nothing", svc::wire::Json());
+  svc::wire::Json arr = svc::wire::Json::array();
+  arr.push(1);
+  arr.push("two");
+  arr.push(false);
+  obj.set("arr", std::move(arr));
+
+  const svc::wire::Json back = svc::wire::Json::parse(obj.dump());
+  EXPECT_EQ(back.get("str").as_string(), "hello \"quoted\" \\ \n\t");
+  EXPECT_EQ(back.get("int").as_int(), 42);
+  EXPECT_DOUBLE_EQ(back.get("neg").as_number(), -3.5);
+  EXPECT_TRUE(back.get("yes").as_bool());
+  EXPECT_TRUE(back.get("nothing").is_null());
+  EXPECT_EQ(back.get("arr").items().size(), 3u);
+  EXPECT_EQ(back.get("arr").items()[1].as_string(), "two");
+}
+
+TEST(WireJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(svc::wire::Json::parse("{"), svc::wire::WireError);
+  EXPECT_THROW(svc::wire::Json::parse("{}extra"), svc::wire::WireError);
+  EXPECT_THROW(svc::wire::Json::parse("{'single':1}"), svc::wire::WireError);
+  EXPECT_THROW(svc::wire::Json::parse(""), svc::wire::WireError);
+  EXPECT_THROW(svc::wire::Json::parse("nul"), svc::wire::WireError);
+}
+
+TEST(WireJson, ParseHandlesUnicodeEscapes) {
+  const svc::wire::Json j = svc::wire::Json::parse(R"({"s":"aé\n"})");
+  EXPECT_EQ(j.get("s").as_string(), "a\xc3\xa9\n");
+}
+
+TEST(WireFrame, RoundTripOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  svc::wire::write_frame(fds[0], R"({"op":"ping"})");
+  std::string payload;
+  ASSERT_TRUE(svc::wire::read_frame(fds[1], payload));
+  EXPECT_EQ(payload, R"({"op":"ping"})");
+  ::close(fds[0]); // EOF for the reader: clean false, not a throw
+  EXPECT_FALSE(svc::wire::read_frame(fds[1], payload));
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------------ run spec --
+
+TEST(RunSpec, JsonRoundTripPreservesFields) {
+  svc::RunSpec spec;
+  spec.suite_name = "inline_1";
+  spec.scale = 0.05;
+  spec.solver = svc::SolverKind::kLanczos;
+  spec.version = solver::Version::kDs;
+  spec.iterations = 12;
+  spec.nev = 6;
+  spec.block = 48;
+  spec.threads = 3;
+  spec.timeout_sec = 2.5;
+
+  const svc::RunSpec back = svc::RunSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.suite_name, "inline_1");
+  EXPECT_DOUBLE_EQ(back.scale, 0.05);
+  EXPECT_EQ(back.solver, svc::SolverKind::kLanczos);
+  EXPECT_EQ(back.version, solver::Version::kDs);
+  EXPECT_EQ(back.iterations, 12);
+  EXPECT_EQ(back.nev, 6);
+  EXPECT_EQ(back.block, 48);
+  EXPECT_EQ(back.threads, 3u);
+  EXPECT_DOUBLE_EQ(back.timeout_sec, 2.5);
+  EXPECT_EQ(back.source_key(), spec.source_key());
+  EXPECT_EQ(back.block_directive(), spec.block_directive());
+}
+
+TEST(RunSpec, CacheKeysDistinguishSourceAndBlockPolicy) {
+  svc::RunSpec a;
+  a.suite_name = "inline_1";
+  a.block = 64;
+  svc::RunSpec b = a;
+  EXPECT_EQ(a.source_key(), b.source_key());
+  EXPECT_EQ(a.block_directive(), "b64");
+  b.block = 0;
+  b.autotune = true;
+  EXPECT_NE(a.block_directive(), b.block_directive());
+  b.scale = 0.5;
+  EXPECT_NE(a.source_key(), b.source_key());
+}
+
+TEST(RunSpec, ValidateRejectsNonsense) {
+  svc::RunSpec spec; // no source
+  EXPECT_THROW(spec.validate(), support::Error);
+  spec.suite_name = "inline_1";
+  EXPECT_NO_THROW(spec.validate());
+  spec.iterations = 0;
+  EXPECT_THROW(spec.validate(), support::Error);
+  spec.iterations = 5;
+  spec.block = 32;
+  spec.autotune = true;
+  EXPECT_THROW(spec.validate(), support::Error);
+}
+
+// --------------------------------------------------------------- cache --
+
+svc::Plan fake_plan(std::size_t bytes) {
+  svc::Plan p;
+  p.bytes = bytes;
+  p.block_size = 32;
+  return p;
+}
+
+TEST(PlanCache, HitsMissesAndByteBudgetEviction) {
+  svc::PlanCache cache(/*budget_bytes=*/1000);
+  bool hit = true;
+  auto a = cache.get_or_build("A", "b32", [] { return fake_plan(600); }, &hit);
+  EXPECT_FALSE(hit);
+  auto a2 = cache.get_or_build("A", "b32", [] { return fake_plan(600); }, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a.get(), a2.get()); // same shared plan, no rebuild
+
+  // B pushes the footprint to 1200 > 1000: the LRU victim is A. B itself is
+  // never evicted even though it alone would still be over a tiny budget.
+  auto b = cache.get_or_build("B", "b32", [] { return fake_plan(600); }, &hit);
+  EXPECT_FALSE(hit);
+  const svc::CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, 600u);
+
+  // A was evicted -> rebuilding it is a miss; the old shared_ptr is still
+  // alive for whoever held it (a running job).
+  cache.get_or_build("A", "b32", [] { return fake_plan(600); }, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(a->bytes, 600u);
+}
+
+TEST(PlanCache, LruOrderEvictsColdestFirst) {
+  svc::PlanCache cache(/*budget_bytes=*/2000);
+  bool hit = false;
+  cache.get_or_build("A", "k", [] { return fake_plan(800); }, &hit);
+  cache.get_or_build("B", "k", [] { return fake_plan(800); }, &hit);
+  cache.get_or_build("A", "k", [] { return fake_plan(800); }, &hit); // warm A
+  EXPECT_TRUE(hit);
+  cache.get_or_build("C", "k", [] { return fake_plan(800); }, &hit);
+  // C (2400 bytes total) evicts B, the coldest; A stays.
+  cache.get_or_build("A", "k", [] { return fake_plan(800); }, &hit);
+  EXPECT_TRUE(hit);
+  cache.get_or_build("B", "k", [] { return fake_plan(800); }, &hit);
+  EXPECT_FALSE(hit);
+}
+
+// ------------------------------------------------------------- service --
+
+svc::RunSpec quick_spec(svc::SolverKind solver, solver::Version version) {
+  svc::RunSpec spec;
+  spec.suite_name = "inline_1";
+  spec.scale = 0.02;
+  spec.solver = solver;
+  spec.version = version;
+  spec.iterations = 5;
+  spec.nev = 4;
+  spec.block = 64;
+  spec.threads = 2;
+  return spec;
+}
+
+/// LOBPCG with an unreachable tolerance never converges, so the job runs
+/// until cancelled (timeout_sec is a watchdog backstop against test hangs).
+svc::RunSpec long_spec() {
+  svc::RunSpec spec = quick_spec(svc::SolverKind::kLobpcg,
+                                 solver::Version::kFlux);
+  spec.iterations = 2000000;
+  spec.tolerance = 1e-300;
+  spec.timeout_sec = 60.0;
+  return spec;
+}
+
+svc::Service::Config test_config(std::size_t queue_capacity = 16) {
+  svc::Service::Config config;
+  config.queue_capacity = queue_capacity;
+  config.threads = 2;
+  return config;
+}
+
+void wait_for_running(svc::Service& service, std::uint64_t id) {
+  for (int i = 0; i < 600; ++i) {
+    const svc::JobInfo info = service.status(id);
+    if (info.state == svc::JobState::kRunning) return;
+    ASSERT_FALSE(info.terminal()) << "job finished before it could be seen "
+                                     "running: "
+                                  << info.error;
+    std::this_thread::sleep_for(10ms);
+  }
+  FAIL() << "job never entered RUNNING";
+}
+
+TEST(Service, RunsJobsAndServesRepeatsFromCache) {
+  svc::Service service(test_config());
+  const auto first = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kFlux));
+  ASSERT_TRUE(first.accepted);
+  const svc::JobInfo cold = service.wait(first.id, 30s);
+  ASSERT_EQ(cold.state, svc::JobState::kDone) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.block_size, 0);
+  ASSERT_TRUE(cold.summary.is_object());
+  EXPECT_EQ(cold.summary.get("iterations").as_int(), 5);
+
+  const auto second = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kFlux));
+  ASSERT_TRUE(second.accepted);
+  const svc::JobInfo warm = service.wait(second.id, 30s);
+  ASSERT_EQ(warm.state, svc::JobState::kDone) << warm.error;
+  EXPECT_TRUE(warm.cache_hit);
+
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.done, 2u);
+  EXPECT_GE(stats.cache.hits, 1u); // the recorded-hit counter, asserted
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.entries, 1u);
+}
+
+TEST(Service, EvictsPlansOverCacheBudget) {
+  svc::Service::Config config = test_config();
+  config.cache_bytes = 1024; // smaller than any real plan
+  svc::Service service(config);
+  svc::RunSpec a = quick_spec(svc::SolverKind::kLanczos,
+                              solver::Version::kLibCsb);
+  svc::RunSpec b = a;
+  b.scale = 0.03; // different source key -> second cache entry
+  ASSERT_EQ(service.wait(service.submit(a).id, 30s).state,
+            svc::JobState::kDone);
+  ASSERT_EQ(service.wait(service.submit(b).id, 30s).state,
+            svc::JobState::kDone);
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.cache.evictions, 1u);
+  EXPECT_EQ(stats.cache.entries, 1u); // only the newest plan kept
+}
+
+TEST(Service, QueueFullSubmissionsRejectedImmediately) {
+  svc::Service service(test_config(/*queue_capacity=*/1));
+  const auto running = service.submit(long_spec());
+  ASSERT_TRUE(running.accepted);
+  wait_for_running(service, running.id);
+
+  const auto queued = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  ASSERT_TRUE(queued.accepted); // fills the single queue slot
+
+  const auto rejected = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.error, "queue_full");
+  EXPECT_GE(service.stats().rejected, 1u);
+
+  EXPECT_TRUE(service.cancel(running.id));
+  EXPECT_EQ(service.wait(running.id, 30s).state, svc::JobState::kCancelled);
+  EXPECT_EQ(service.wait(queued.id, 30s).state, svc::JobState::kDone);
+}
+
+TEST(Service, CancelMovesRunningFluxJobToCancelled) {
+  svc::Service service(test_config());
+  const auto out = service.submit(long_spec());
+  ASSERT_TRUE(out.accepted);
+  wait_for_running(service, out.id);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(service.cancel(out.id, "user asked"));
+  const svc::JobInfo info = service.wait(out.id, 30s);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(info.state, svc::JobState::kCancelled);
+  EXPECT_EQ(info.error, "user asked");
+  EXPECT_LT(elapsed, 10s); // prompt, not the 60 s watchdog backstop
+
+  // The shared pool survived the unwound job: the next job runs clean.
+  const auto next = service.submit(
+      quick_spec(svc::SolverKind::kLobpcg, solver::Version::kFlux));
+  ASSERT_TRUE(next.accepted);
+  EXPECT_EQ(service.wait(next.id, 30s).state, svc::JobState::kDone);
+  EXPECT_FALSE(service.cancel(out.id)); // already terminal
+}
+
+TEST(Service, DrainCancelsPendingAndRejectsNewWork) {
+  svc::Service service(test_config());
+  const auto running = service.submit(long_spec());
+  ASSERT_TRUE(running.accepted);
+  wait_for_running(service, running.id);
+  const auto pending = service.submit(long_spec());
+  ASSERT_TRUE(pending.accepted);
+
+  std::thread drainer([&] { service.drain(); });
+  // The executor is pinned by the running job, so drain's pending sweep is
+  // observable before the drain itself completes.
+  EXPECT_EQ(service.wait(pending.id, 10s).state, svc::JobState::kCancelled);
+  EXPECT_EQ(service.status(pending.id).error, "drained");
+  EXPECT_TRUE(service.cancel(running.id, "test over"));
+  drainer.join();
+  EXPECT_EQ(service.status(running.id).state, svc::JobState::kCancelled);
+
+  const auto late = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  EXPECT_FALSE(late.accepted);
+  EXPECT_EQ(late.error, "draining");
+}
+
+TEST(Service, SvcJobFaultFailsExactlyOneJob) {
+  svc::Service service(test_config());
+  support::fault::ScopedFault inject("svc:job:hit=1:kind=throw");
+  const auto poisoned = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  ASSERT_TRUE(poisoned.accepted);
+  const svc::JobInfo failed = service.wait(poisoned.id, 30s);
+  EXPECT_EQ(failed.state, svc::JobState::kFailed);
+  EXPECT_NE(failed.error.find("injected fault at 'svc:job'"),
+            std::string::npos)
+      << failed.error;
+
+  // The daemon survives a poisoned job: the next one is untouched.
+  const auto healthy = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  ASSERT_TRUE(healthy.accepted);
+  EXPECT_EQ(service.wait(healthy.id, 30s).state, svc::JobState::kDone);
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(Service, SolverBreakdownMarksJobFailed) {
+  svc::Service service(test_config());
+  // A NaN fault poisons the spmv output; the breakdown guard truncates the
+  // run with kNotFinite, which the service reports as a FAILED job.
+  support::fault::ScopedFault inject("spmv_block:hit=4:kind=nan");
+  const auto out = service.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  ASSERT_TRUE(out.accepted);
+  const svc::JobInfo info = service.wait(out.id, 30s);
+  EXPECT_EQ(info.state, svc::JobState::kFailed);
+  EXPECT_NE(info.error.find("solver:"), std::string::npos) << info.error;
+}
+
+// ------------------------------------------------------- server/client --
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/sts-svc-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Server, ServesFourConcurrentClientsMixedSolvers) {
+  svc::Service service(test_config());
+  svc::Server server(service, test_socket_path("conc"));
+  server.start();
+
+  constexpr int kClients = 4;
+  const solver::Version versions[kClients] = {
+      solver::Version::kLibCsb, solver::Version::kDs, solver::Version::kFlux,
+      solver::Version::kRgt};
+  std::atomic<int> done{0};
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        svc::Client client(server.socket_path());
+        const svc::SolverKind kind = (i % 2 == 0) ? svc::SolverKind::kLanczos
+                                                  : svc::SolverKind::kLobpcg;
+        const auto out = client.submit(quick_spec(kind, versions[i]));
+        if (!out.accepted) {
+          errors[i] = "rejected: " + out.error;
+          return;
+        }
+        const svc::wire::Json job = client.result(out.id);
+        if (job.string_or("state", "") != "DONE") {
+          errors[i] = "state=" + job.string_or("state", "?") + " error=" +
+                      job.string_or("error", "");
+          return;
+        }
+        done.fetch_add(1);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "client " << i << ": " << errors[i];
+  }
+  EXPECT_EQ(done.load(), kClients);
+
+  svc::Client checker(server.socket_path());
+  const svc::wire::Json stats = checker.stats();
+  EXPECT_GE(stats.get("done").as_int(), kClients);
+  server.stop();
+}
+
+TEST(Server, AcceptFaultDropsOneConnectionNotTheListener) {
+  svc::Service service(test_config());
+  svc::Server server(service, test_socket_path("accept"));
+  server.start();
+  support::fault::ScopedFault inject("svc:accept:hit=1:kind=throw");
+
+  // First connection: accepted then dropped by the armed fault — the
+  // client's request sees a closed channel.
+  svc::Client doomed(server.socket_path());
+  EXPECT_THROW((void)doomed.ping(), support::Error);
+
+  // Second connection: the listener is alive and serves normally.
+  svc::Client healthy(server.socket_path());
+  EXPECT_TRUE(healthy.ping());
+  server.stop();
+}
+
+TEST(Server, BadRequestsGetTypedErrorsNotDisconnects) {
+  svc::Service service(test_config());
+  svc::Server server(service, test_socket_path("bad"));
+  server.start();
+  svc::Client client(server.socket_path());
+
+  svc::wire::Json bogus = svc::wire::Json::object();
+  bogus.set("op", "frobnicate");
+  svc::wire::Json reply = client.request(bogus);
+  EXPECT_FALSE(reply.get("ok").as_bool());
+  EXPECT_EQ(reply.string_or("kind", ""), "bad_request");
+
+  svc::wire::Json submit = svc::wire::Json::object();
+  submit.set("op", "submit");
+  submit.set("spec", svc::wire::Json::object()); // no matrix source
+  reply = client.request(submit);
+  EXPECT_FALSE(reply.get("ok").as_bool());
+  EXPECT_EQ(reply.string_or("kind", ""), "bad_request");
+
+  EXPECT_TRUE(client.ping()); // connection still usable afterwards
+  server.stop();
+}
+
+// ------------------------------------------------------- stsd e2e ------
+
+class StsdDaemon {
+public:
+  explicit StsdDaemon(const std::string& socket_path)
+      : socket_path_(socket_path),
+        child_(testutil::spawn({STSD_BIN, "--socket", socket_path,
+                                "--threads", "2"},
+                               {}, "/tmp/sts-svc-test-stsd.log")) {}
+
+  ~StsdDaemon() {
+    if (!reaped_) {
+      child_.signal(SIGKILL);
+      child_.wait();
+    }
+  }
+
+  [[nodiscard]] bool wait_ready() const {
+    for (int i = 0; i < 100; ++i) {
+      try {
+        svc::Client probe(socket_path_);
+        if (probe.ping()) return true;
+      } catch (const support::Error&) {
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return false;
+  }
+
+  int terminate_and_wait() {
+    child_.signal(SIGTERM);
+    const int code = child_.wait();
+    reaped_ = true;
+    return code;
+  }
+
+  const std::string socket_path_;
+
+private:
+  testutil::ChildProcess child_;
+  bool reaped_ = false;
+};
+
+TEST(StsdEndToEnd, SigtermDrainsAndExitsZero) {
+  StsdDaemon daemon(test_socket_path("sigterm"));
+  ASSERT_TRUE(daemon.wait_ready());
+  {
+    svc::Client client(daemon.socket_path_);
+    const auto out = client.submit(
+        quick_spec(svc::SolverKind::kLanczos, solver::Version::kFlux));
+    ASSERT_TRUE(out.accepted);
+    const svc::wire::Json job = client.result(out.id);
+    EXPECT_EQ(job.string_or("state", ""), "DONE");
+  }
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+}
+
+TEST(StsdEndToEnd, StsctlCancelMovesRunningJobToCancelled) {
+  StsdDaemon daemon(test_socket_path("ctl"));
+  ASSERT_TRUE(daemon.wait_ready());
+  svc::Client client(daemon.socket_path_);
+  const auto out = client.submit(long_spec());
+  ASSERT_TRUE(out.accepted);
+  for (int i = 0; i < 600; ++i) {
+    if (client.status(out.id).string_or("state", "") == "RUNNING") break;
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(client.status(out.id).string_or("state", ""), "RUNNING");
+
+  const int ctl_exit =
+      testutil::spawn({STSCTL_BIN, "--socket", daemon.socket_path_, "cancel",
+                       std::to_string(out.id)},
+                      {}, "/tmp/sts-svc-test-stsctl.log")
+          .wait();
+  EXPECT_EQ(ctl_exit, 0);
+  const svc::wire::Json job = client.result(out.id, 30000);
+  EXPECT_EQ(job.string_or("state", ""), "CANCELLED");
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+}
+
+} // namespace
+} // namespace sts

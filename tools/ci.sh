@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: the tier-1 verify (full build + complete ctest suite) plus
+# an AddressSanitizer build that re-runs the concurrency-heavy labels (svc,
+# faults) where lifetime bugs would hide.
+#
+#   tools/ci.sh [build-dir] [asan-build-dir]
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build}"
+asan_build="${2:-$repo/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + full ctest =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== asan: build + svc/faults labels =="
+cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF
+cmake --build "$asan_build" -j "$jobs"
+ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" -L "svc|faults"
+
+echo "== ci.sh: all green =="

@@ -1,0 +1,157 @@
+// stsctl: command-line client for the stsd daemon.
+//
+// Usage:
+//   stsctl [--socket <path>] <command> [args]
+//     ping                       liveness check
+//     submit [run-spec flags]    enqueue a solve, print its job id
+//       (same flags as stsolve: --matrix/--suite/--scale/--solver/
+//        --version/--iterations/--nev/--tolerance/--block/--autotune/
+//        --threads/--timeout; add --wait to block until terminal)
+//     status <id>                one-line job snapshot
+//     result <id> [--timeout-ms n]  wait for terminal state, print JSON
+//     cancel <id> [reason]       request cancellation
+//     stats                      queue/cache/latency counters as JSON
+//     shutdown                   ask the daemon to drain and exit
+//
+// Exit codes: 0 success, 1 unexpected/connection error, 2 usage,
+// 3 submission rejected (queue_full/draining backpressure), 4 the awaited
+// job finished FAILED or CANCELLED.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace sts;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--socket path] "
+              "ping|submit|status|result|cancel|stats|shutdown ...\n"
+              "  submit [--matrix f.mtx | --suite name] [--solver "
+              "lanczos|lobpcg]\n"
+              "    [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
+              "[--nev n]\n"
+              "    [--tolerance t] [--block rows | --autotune] [--threads "
+              "n]\n"
+              "    [--scale f] [--timeout sec] [--wait]\n"
+              "  status <id> | result <id> [--timeout-ms n] | cancel <id> "
+              "[reason]\n",
+              argv0);
+  std::exit(2);
+}
+
+void print_job(const svc::wire::Json& job) {
+  std::printf("%s\n", job.dump().c_str());
+}
+
+/// 0 when DONE, 4 otherwise — so scripts can gate on job outcome.
+int job_exit_code(const svc::wire::Json& job) {
+  return job.string_or("state", "") == "DONE" ? 0 : 4;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = svc::Server::default_socket_path();
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::size_t pos = 0;
+  if (pos + 1 < args.size() && args[pos] == "--socket") {
+    socket_path = args[pos + 1];
+    pos += 2;
+  }
+  if (pos >= args.size()) usage(argv[0]);
+  const std::string command = args[pos++];
+
+  try {
+    svc::Client client(socket_path);
+
+    if (command == "ping") {
+      if (!client.ping()) {
+        std::fprintf(stderr, "stsctl: daemon did not answer pong\n");
+        return 1;
+      }
+      std::printf("pong\n");
+      return 0;
+    }
+
+    if (command == "submit") {
+      svc::RunSpec spec;
+      bool wait = false;
+      for (; pos < args.size(); ++pos) {
+        const std::string& arg = args[pos];
+        auto next = [&]() -> std::string {
+          if (pos + 1 >= args.size()) usage(argv[0]);
+          return args[++pos];
+        };
+        if (spec.consume_arg(arg, next)) continue;
+        if (arg == "--wait") {
+          wait = true;
+        } else {
+          usage(argv[0]);
+        }
+      }
+      spec.validate();
+      const svc::SubmitOutcome out = client.submit(spec);
+      if (!out.accepted) {
+        std::fprintf(stderr, "stsctl: rejected (%s)\n", out.error.c_str());
+        return 3;
+      }
+      if (!wait) {
+        std::printf("%llu\n", static_cast<unsigned long long>(out.id));
+        return 0;
+      }
+      const svc::wire::Json job = client.result(out.id);
+      print_job(job);
+      return job_exit_code(job);
+    }
+
+    if (command == "status" || command == "result" || command == "cancel") {
+      if (pos >= args.size()) usage(argv[0]);
+      const std::uint64_t id = std::strtoull(args[pos++].c_str(), nullptr, 10);
+      if (command == "status") {
+        print_job(client.status(id));
+        return 0;
+      }
+      if (command == "result") {
+        std::int64_t timeout_ms = 24LL * 3600 * 1000;
+        if (pos + 1 < args.size() && args[pos] == "--timeout-ms") {
+          timeout_ms = std::strtoll(args[pos + 1].c_str(), nullptr, 10);
+          pos += 2;
+        }
+        const svc::wire::Json job = client.result(id, timeout_ms);
+        print_job(job);
+        return job_exit_code(job);
+      }
+      const std::string reason =
+          pos < args.size() ? args[pos] : std::string("cancelled");
+      std::printf("%s\n", client.cancel(id, reason) ? "cancelled"
+                                                    : "already terminal");
+      return 0;
+    }
+
+    if (command == "stats") {
+      std::printf("%s\n", client.stats().dump().c_str());
+      return 0;
+    }
+
+    if (command == "shutdown") {
+      client.shutdown();
+      std::printf("shutdown requested\n");
+      return 0;
+    }
+
+    usage(argv[0]);
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "stsctl: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stsctl: %s\n", e.what());
+    return 1;
+  }
+}

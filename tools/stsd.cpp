@@ -1,0 +1,120 @@
+// stsd: the resident solver daemon.
+//
+// Owns one svc::Service (bounded job queue + plan cache + warm flux pool)
+// and serves the wire protocol on a Unix-domain socket until asked to
+// stop. Two shutdown paths, both graceful (drain: reject new work, cancel
+// pending jobs, let the running one finish) and both exiting 0:
+//   - SIGTERM / SIGINT, recorded by an async-signal-safe flag the main
+//     thread polls, and
+//   - the `shutdown` op (`stsctl shutdown`).
+//
+// Usage:
+//   stsd [--socket <path>] [--queue-cap <n>] [--cache-bytes <n>]
+//        [--threads <n>] [--trace <f.json>] [--metrics <f.csv|stderr>]
+//
+// Environment: STS_SOCK, STS_QUEUE_CAP, STS_CACHE_BYTES, STS_THREADS
+// (flags win). STS_FAULT arms fault sites, including svc:accept and
+// svc:job. Exit codes: 0 clean shutdown, 1 unexpected error, 2 usage,
+// 3 cannot bind the socket.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf("usage: %s [--socket path] [--queue-cap n] [--cache-bytes n]"
+              " [--threads n]\n"
+              "  [--trace f.json] [--metrics f.csv|stderr]\n",
+              argv0);
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace sts;
+
+  std::string socket_path = svc::Server::default_socket_path();
+  svc::Service::Config config = svc::Service::Config::from_env();
+  std::string trace_path;
+  std::string metrics_dest;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--queue-cap") {
+      config.queue_capacity =
+          static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--cache-bytes") {
+      config.cache_bytes =
+          static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--threads") {
+      config.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_dest = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!trace_path.empty()) obs::enable_tracing(trace_path);
+  if (!metrics_dest.empty()) obs::enable_metrics(metrics_dest);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    svc::Service service(config);
+    svc::Server server(service, socket_path);
+    try {
+      server.start();
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "stsd: %s\n", e.what());
+      return 3;
+    }
+    std::printf("stsd: serving %s (queue cap %zu, cache budget %zu bytes)\n",
+                socket_path.c_str(), config.queue_capacity,
+                config.cache_bytes);
+    std::fflush(stdout);
+
+    // The signal handler can only set a flag, so the main thread polls it
+    // alongside the shutdown op's cv-backed request.
+    while (g_signalled == 0 && !service.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("stsd: %s, draining\n",
+                g_signalled != 0 ? "signal" : "shutdown requested");
+    std::fflush(stdout);
+
+    // Stop the protocol edge first so no submit can race the drain, then
+    // run the queue down.
+    server.stop();
+    service.drain();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stsd: %s\n", e.what());
+    return 1;
+  }
+  obs::flush();
+  std::printf("stsd: bye\n");
+  return 0;
+}

@@ -2,7 +2,10 @@
 //
 // Loads a matrix (Matrix Market file or a named synthetic suite matrix),
 // optionally auto-tunes the CSB block size via the simulated sweep, and
-// runs Lanczos or LOBPCG under any of the five execution versions.
+// runs Lanczos or LOBPCG under any of the five execution versions. The
+// request itself (matrix source, solver/version, block directive, timeout)
+// is an svc::RunSpec — the same struct the stsd daemon executes — so the
+// one-shot CLI and the service cannot drift.
 //
 // Usage:
 //   stsolve [options]
@@ -13,9 +16,11 @@
 //     --version libcsr|libcsb|ds|flux|rgt   (default flux)
 //     --iterations <n>        (default 30)
 //     --nev <n>               LOBPCG block width (default 8)
+//     --tolerance <t>         LOBPCG residual tolerance (default 1e-6)
 //     --block <rows>          CSB block size; 0 = heuristic (default)
 //     --autotune              pick the block size by simulated sweep
 //     --threads <n>           worker threads (default: hardware)
+//     --timeout <sec>         wall-clock budget; exceeded -> exit 5
 //     --trace <f.json>        write a Chrome trace-event file (Perfetto)
 //     --metrics <f.csv|stderr> dump the metrics registry at exit
 //     --list                  print suite matrix names and exit
@@ -25,22 +30,23 @@
 //
 // Exit codes: 0 success, 1 unexpected error, 2 usage, 3 bad input
 // (unreadable or malformed matrix, invalid options), 4 solver breakdown
-// or task failure inside a runtime.
+// or task failure inside a runtime, 5 timeout (--timeout elapsed before
+// the solve finished; partial work is discarded).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
-#include <thread>
 
 #include "obs/obs.hpp"
-#include "sim/machine.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
-#include "sparse/mm_io.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/suite.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
-#include "tuning/sweep.hpp"
+#include "svc/run_spec.hpp"
 
 namespace {
 
@@ -51,35 +57,18 @@ using namespace sts;
               "lanczos|lobpcg]\n"
               "  [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
               "[--nev n]\n"
-              "  [--block rows | --autotune] [--threads n] [--scale f] "
-              "[--list]\n"
-              "  [--trace f.json] [--metrics f.csv|stderr]\n",
+              "  [--tolerance t] [--block rows | --autotune] [--threads n] "
+              "[--scale f]\n"
+              "  [--timeout sec] [--list] [--trace f.json] "
+              "[--metrics f.csv|stderr]\n",
               argv0);
   std::exit(2);
-}
-
-solver::Version parse_version(const std::string& v) {
-  if (v == "libcsr") return solver::Version::kLibCsr;
-  if (v == "libcsb") return solver::Version::kLibCsb;
-  if (v == "ds" || v == "deepsparse") return solver::Version::kDs;
-  if (v == "flux" || v == "hpx") return solver::Version::kFlux;
-  if (v == "rgt" || v == "regent") return solver::Version::kRgt;
-  throw support::Error("unknown version: " + v);
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  std::string matrix_path;
-  std::string suite_name;
-  std::string solver_name = "lobpcg";
-  std::string version_name = "flux";
-  double scale = 0.2;
-  int iterations = 30;
-  la::index_t nev = 8;
-  la::index_t block = 0;
-  bool autotune = false;
-  unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  svc::RunSpec spec;
   std::string trace_path;
   std::string metrics_dest;
 
@@ -98,27 +87,13 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--matrix") {
-      matrix_path = next();
-    } else if (arg == "--suite") {
-      suite_name = next();
-    } else if (arg == "--scale") {
-      scale = std::atof(next().c_str());
-    } else if (arg == "--solver") {
-      solver_name = next();
-    } else if (arg == "--version") {
-      version_name = next();
-    } else if (arg == "--iterations") {
-      iterations = std::atoi(next().c_str());
-    } else if (arg == "--nev") {
-      nev = std::atoll(next().c_str());
-    } else if (arg == "--block") {
-      block = std::atoll(next().c_str());
-    } else if (arg == "--autotune") {
-      autotune = true;
-    } else if (arg == "--threads") {
-      threads = static_cast<unsigned>(std::atoi(next().c_str()));
-    } else if (arg == "--trace") {
+    try {
+      if (spec.consume_arg(arg, next)) continue;
+    } catch (const support::Error& e) {
+      std::fprintf(stderr, "stsolve: %s\n", e.what());
+      return 2;
+    }
+    if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--metrics") {
       metrics_dest = next();
@@ -142,60 +117,54 @@ int main(int argc, char** argv) {
   if (!metrics_dest.empty()) obs::enable_metrics(metrics_dest);
 
   try {
-    sparse::Coo coo(0, 0);
-    if (!matrix_path.empty()) {
-      coo = sparse::read_matrix_market_file(matrix_path);
-      if (!coo.is_symmetric(1e-12)) {
-        std::printf("input not symmetric; applying A = L + L^T - D\n");
-        coo.symmetrize_lower();
-      }
-    } else if (!suite_name.empty()) {
-      coo = sparse::suite_entry(suite_name).make(scale);
-    } else {
-      usage(argv[0]);
-    }
+    if (spec.matrix_path.empty() && spec.suite_name.empty()) usage(argv[0]);
+    spec.validate();
 
-    sparse::Csr csr = sparse::Csr::from_coo(coo);
+    const sparse::Csr csr = sparse::Csr::from_coo(spec.load());
     const sparse::MatrixStats st = sparse::compute_stats(csr);
     std::printf("matrix: %lld rows, %lld nnz (avg %.1f/row, max %lld)\n",
                 static_cast<long long>(st.rows),
                 static_cast<long long>(st.nnz), st.avg_row_nnz,
                 static_cast<long long>(st.max_row_nnz));
 
-    const solver::Version version = parse_version(version_name);
-    if (autotune) {
-      const auto sweep = tune::sweep_block_sizes_simulated(
-          csr,
-          solver_name == "lanczos" ? tune::SweepSolver::kLanczos
-                                   : tune::SweepSolver::kLobpcg,
-          version, sim::MachineModel::broadwell(), /*full_sweep=*/false,
-          nev);
-      block = sweep.best_block_size();
+    const svc::RunSpec::BlockChoice choice = spec.resolve_block(csr);
+    const la::index_t block = choice.block;
+    if (!choice.sweep.empty()) {
       std::printf("autotune: ");
-      for (const auto& p : sweep.points) {
+      for (const auto& [blocks, seconds] : choice.sweep) {
         std::printf("[%lld blocks: %.2f ms] ",
-                    static_cast<long long>(p.block_count),
-                    p.simulated_seconds * 1e3);
+                    static_cast<long long>(blocks), seconds * 1e3);
       }
       std::printf("\n-> block size %lld\n", static_cast<long long>(block));
-    } else if (block == 0) {
-      block = tune::recommended_block_size(version, threads, csr.rows());
+    } else if (choice.heuristic) {
       std::printf("heuristic block size: %lld (%lld blocks)\n",
                   static_cast<long long>(block),
                   static_cast<long long>((csr.rows() + block - 1) / block));
     }
 
-    sparse::Csb csb = sparse::Csb::from_csr(csr, block);
+    const sparse::Csb csb = sparse::Csb::from_csr(csr, block);
+
+    // Wall-clock guard: the watchdog requests the cancel token after
+    // --timeout seconds; every runtime polls it at iteration boundaries
+    // and unwinds with support::Cancelled -> exit 5.
+    support::CancelToken cancel;
+    std::optional<support::Deadline> deadline;
+    if (spec.timeout_sec > 0.0) {
+      deadline.emplace(cancel,
+                       std::chrono::milliseconds(static_cast<std::int64_t>(
+                           spec.timeout_sec * 1e3)),
+                       "timeout");
+    }
 
     solver::SolverStatus status = solver::SolverStatus::kOk;
-    if (solver_name == "lanczos") {
-      solver::SolverOptions options;
-      options.block_size = block;
-      options.threads = threads;
-      const auto r = solver::lanczos(csr, csb, iterations, version, options);
+    if (spec.solver == svc::SolverKind::kLanczos) {
+      solver::SolverOptions options = spec.solver_options(block);
+      options.cancel = &cancel;
+      const auto r =
+          solver::lanczos(csr, csb, spec.iterations, spec.version, options);
       status = r.status;
       std::printf("\nLanczos (%s), %d iterations, %.3f s",
-                  solver::to_string(version), r.timing.iterations,
+                  solver::to_string(spec.version), r.timing.iterations,
                   r.timing.total_seconds);
       if (r.timing.graph_build_seconds > 0) {
         std::printf(" (+%.4f s graph build)", r.timing.graph_build_seconds);
@@ -205,29 +174,30 @@ int main(int argc, char** argv) {
         std::printf("extremal Ritz values: %.10g (low)  %.10g (high)\n",
                     r.ritz_values.front(), r.ritz_values.back());
       }
-    } else if (solver_name == "lobpcg") {
-      solver::LobpcgOptions options;
-      options.block_size = block;
-      options.threads = threads;
-      options.nev = nev;
-      const auto r = solver::lobpcg(csr, csb, iterations, version, options);
+    } else {
+      solver::LobpcgOptions options = spec.lobpcg_options(block);
+      options.cancel = &cancel;
+      const auto r =
+          solver::lobpcg(csr, csb, spec.iterations, spec.version, options);
       status = r.status;
       std::printf("\nLOBPCG (%s), %d iterations, %d/%lld converged, %.3f s\n",
-                  solver::to_string(version), r.timing.iterations,
-                  r.converged, static_cast<long long>(nev),
+                  solver::to_string(spec.version), r.timing.iterations,
+                  r.converged, static_cast<long long>(spec.nev),
                   r.timing.total_seconds);
       for (std::size_t j = 0; j < r.eigenvalues.size(); ++j) {
         std::printf("  lambda_%zu = %+.10g  (residual %.2e)\n", j,
                     r.eigenvalues[j], r.residual_norms[j]);
       }
-    } else {
-      usage(argv[0]);
     }
     if (status != solver::SolverStatus::kOk) {
       std::fprintf(stderr, "stsolve: solver stopped early (%s)\n",
                    solver::to_string(status));
       return 4;
     }
+  } catch (const support::Cancelled& e) {
+    // The --timeout watchdog fired before the solve finished.
+    std::fprintf(stderr, "stsolve: cancelled (%s)\n", e.reason().c_str());
+    return 5;
   } catch (const support::TaskError& e) {
     // A task body failed inside one of the runtimes (exit 4, like solver
     // breakdown: the run produced no trustworthy result).
