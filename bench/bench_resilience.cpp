@@ -1,0 +1,188 @@
+// Resilience-path costs, exported to BENCH_resilience.json (see
+// bench_json.hpp): what a periodic checkpoint write adds to a solve, what a
+// durable journal append costs per job transition, and what recovering from
+// a checkpoint saves over restarting a solve cold.
+//
+//   - BM_CkptWrite/n: atomic save (temp + fsync + rename) of a LOBPCG
+//     block state at block width n — the per-period overhead a running
+//     solve pays.
+//   - BM_CkptLoad: read + CRC + shape validation of the same state.
+//   - BM_JournalAppend: one framed, fsynced record (the per-transition
+//     floor every submit/finish pays when STS_JOURNAL is set).
+//   - BM_JournalReplay: startup scan of a journal holding 256 jobs.
+//   - BM_ColdRestart vs BM_CheckpointRecovery: identical 32-iteration
+//     Lanczos budget, solved from iteration 0 vs resumed from a
+//     checkpoint at iteration 24 — the latency gap is what the checkpoint
+//     subsystem buys a recovered stsd job.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench_json.hpp"
+#include "solvers/checkpoint.hpp"
+#include "solvers/lanczos.hpp"
+#include "sparse/generators.hpp"
+#include "support/error.hpp"
+#include "svc/journal.hpp"
+
+namespace {
+
+using namespace sts;
+
+std::string tmp_path(const char* tag) {
+  return "/tmp/sts-bench-resilience-" + std::string(tag) + "-" +
+         std::to_string(::getpid());
+}
+
+solver::ckpt::Checkpoint lobpcg_state(std::int64_t nev) {
+  constexpr std::int64_t kRows = 4096;
+  solver::ckpt::Checkpoint c;
+  c.kind = solver::ckpt::Kind::kLobpcg;
+  c.lobpcg.seed = 42;
+  c.lobpcg.m = kRows;
+  c.lobpcg.n = nev;
+  c.lobpcg.iterations = 10;
+  c.lobpcg.theta.assign(static_cast<std::size_t>(nev), 1.0);
+  c.lobpcg.norms.assign(static_cast<std::size_t>(nev), 1e-3);
+  const std::size_t block = static_cast<std::size_t>(kRows * nev);
+  c.lobpcg.x.assign(block, 0.5);
+  c.lobpcg.ax.assign(block, 1.5);
+  c.lobpcg.p.assign(block, -0.5);
+  c.lobpcg.ap.assign(block, -1.5);
+  return c;
+}
+
+void BM_CkptWrite(benchmark::State& state) {
+  const solver::ckpt::Checkpoint c = lobpcg_state(state.range(0));
+  const std::string path = tmp_path("write");
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    solver::ckpt::save(c, path);
+    bytes += c.lobpcg.x.size() * 4 * sizeof(double);
+  }
+  state.counters["bytes_per_write"] =
+      benchmark::Counter(static_cast<double>(c.lobpcg.x.size()) * 4 *
+                         sizeof(double));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_CkptWrite)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CkptLoad(benchmark::State& state) {
+  const std::string path = tmp_path("load");
+  solver::ckpt::save(lobpcg_state(state.range(0)), path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::ckpt::load(path));
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_CkptLoad)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string path = tmp_path("append");
+  ::unlink(path.c_str());
+  svc::Journal journal;
+  journal.open(path, 0);
+  svc::wire::Json extra = svc::wire::Json::object();
+  extra.set("spec", std::string(200, 's')); // a typical serialized RunSpec
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    journal.append("SUBMITTED", ++id, extra);
+  }
+  journal.close();
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_JournalAppend)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalReplay(benchmark::State& state) {
+  const std::string path = tmp_path("replay");
+  ::unlink(path.c_str());
+  {
+    svc::Journal journal;
+    journal.open(path, 0);
+    svc::wire::Json extra = svc::wire::Json::object();
+    extra.set("spec", std::string(200, 's'));
+    for (std::uint64_t id = 1; id <= 256; ++id) {
+      journal.append("SUBMITTED", id, extra);
+      journal.append("RUNNING", id);
+      journal.append("DONE", id);
+    }
+  }
+  for (auto _ : state) {
+    const auto replay = svc::Journal::replay(path);
+    if (replay.records.size() != 768 || replay.torn_tail) {
+      throw support::Error("replay lost records");
+    }
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_JournalReplay)->Unit(benchmark::kMillisecond);
+
+struct SolveFixture {
+  sparse::Coo coo;
+  sparse::Csr csr;
+  sparse::Csb csb;
+  solver::SolverOptions options;
+
+  SolveFixture()
+      : coo(sparse::gen_fem3d(10, 10, 10, 1, 101)),
+        csr(sparse::Csr::from_coo(coo)),
+        csb(sparse::Csb::from_coo(coo, 64)) {
+    options.block_size = 64;
+    options.threads = 2;
+  }
+
+  static SolveFixture& instance() {
+    static SolveFixture f;
+    return f;
+  }
+};
+
+constexpr int kBudget = 32;     // total iteration budget of the job
+constexpr int kCkptIter = 24;   // where the interrupted run checkpointed
+
+void BM_ColdRestart(benchmark::State& state) {
+  SolveFixture& f = SolveFixture::instance();
+  for (auto _ : state) {
+    const auto r =
+        solver::lanczos(f.csr, f.csb, kBudget, solver::Version::kLibCsb,
+                        f.options);
+    if (r.timing.iterations != kBudget) {
+      throw support::Error("cold restart did not finish");
+    }
+  }
+}
+BENCHMARK(BM_ColdRestart)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointRecovery(benchmark::State& state) {
+  SolveFixture& f = SolveFixture::instance();
+  const std::string path = tmp_path("recovery");
+  // The interrupted run: same budget, checkpointed at kCkptIter.
+  solver::SolverOptions interrupted = f.options;
+  interrupted.ckpt_path = path;
+  interrupted.ckpt_every = kCkptIter;
+  (void)solver::lanczos(f.csr, f.csb, kBudget, solver::Version::kLibCsb,
+                        interrupted);
+  for (auto _ : state) {
+    // Recovery pays the load + the remaining iterations only.
+    const solver::ckpt::Checkpoint c = solver::ckpt::load(path);
+    solver::SolverOptions resume = f.options;
+    resume.restore = &c;
+    const auto r = solver::lanczos(f.csr, f.csb, kBudget,
+                                   solver::Version::kLibCsb, resume);
+    if (r.timing.iterations != kBudget - kCkptIter) {
+      throw support::Error("recovery resumed from the wrong iteration");
+    }
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_CheckpointRecovery)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return sts::benchjson::run(argc, argv, "BENCH_resilience.json");
+}

@@ -55,6 +55,10 @@ void validate(const SolverOptions& options) {
   if (options.numa_domains == 0) {
     throw support::Error("solver options: numa_domains must be >= 1");
   }
+  if (options.ckpt_every < 0) {
+    throw support::Error("solver options: ckpt_every must be >= 0, got " +
+                         std::to_string(options.ckpt_every));
+  }
 }
 
 } // namespace sts::solver

@@ -22,6 +22,10 @@ namespace sts::flux {
 class Scheduler;
 }
 
+namespace sts::solver::ckpt {
+struct Checkpoint;
+}
+
 namespace sts::solver {
 
 using la::index_t;
@@ -78,6 +82,20 @@ struct SolverOptions {
   /// pool and consumes its latched error, leaving it reusable for the next
   /// solve. Null = per-call private scheduler (the historical behaviour).
   flux::Scheduler* flux_pool = nullptr;
+  /// Crash resilience (DESIGN.md §12). When non-empty, the solver writes a
+  /// versioned, CRC-guarded checkpoint of its iteration state here —
+  /// atomically (temp file + fsync + rename) — every effective_every()
+  /// accepted iterations, at the same iteration boundaries where the
+  /// cancel token is polled. A failed write is contained: counted in
+  /// solver.ckpt_errors, previous checkpoint intact, solve continues.
+  std::string ckpt_path;
+  /// Checkpoint period; 0 defers to STS_CKPT_EVERY (default 10).
+  int ckpt_every = 0;
+  /// When set, the solver validates the checkpoint against this solve
+  /// (kind, shape, seed) and resumes from its iteration counter instead of
+  /// iteration 0 — bit-identical to an uninterrupted run under the same
+  /// options whenever the kernel schedule is deterministic. Not owned.
+  const ckpt::Checkpoint* restore = nullptr;
 };
 
 /// Iteration-boundary cancellation poll: throws support::Cancelled when

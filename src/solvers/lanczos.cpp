@@ -9,6 +9,7 @@
 #include "la/eig.hpp"
 #include "obs/obs.hpp"
 #include "rgt/runtime.hpp"
+#include "solvers/checkpoint.hpp"
 #include "support/timer.hpp"
 
 #ifdef _OPENMP
@@ -75,6 +76,81 @@ State make_state(const sparse::Csb& a, int k, const SolverOptions& options) {
   return s;
 }
 
+/// Applies options.restore (when set) to freshly-initialized state and
+/// returns the iteration to resume from. The checkpoint must describe this
+/// exact solve — kind, shape and seed are all validated — so a stale file
+/// surfaces as a catchable error, never as silently wrong mathematics.
+int apply_restore(const SolverOptions& options, State& s,
+                  std::vector<double>& alphas, std::vector<double>& betas) {
+  if (options.restore == nullptr) return 0;
+  const ckpt::Checkpoint& c = *options.restore;
+  if (c.kind != ckpt::Kind::kLanczos) {
+    throw support::Error(std::string("lanczos restore: checkpoint holds ") +
+                         ckpt::to_string(c.kind) + " state");
+  }
+  const ckpt::LanczosState& st = c.lanczos;
+  // A narrower checkpoint basis is fine as long as every completed column
+  // fits: resuming with a larger iteration budget than the interrupted run
+  // is legal (the extra columns start zero, exactly as a fresh solve's
+  // would). Wider-than-this-solve checkpoints cannot fit and are rejected.
+  if (st.m != s.m || st.cols > s.cols || st.iterations >= st.cols) {
+    throw support::Error("lanczos restore: checkpoint basis is " +
+                         std::to_string(st.m) + "x" + std::to_string(st.cols) +
+                         " at iteration " + std::to_string(st.iterations) +
+                         ", this solve needs " + std::to_string(s.m) + "x" +
+                         std::to_string(s.cols));
+  }
+  if (st.seed != options.seed) {
+    throw support::Error("lanczos restore: checkpoint seed " +
+                         std::to_string(st.seed) + " != options.seed " +
+                         std::to_string(options.seed));
+  }
+  alphas = st.alphas;
+  betas = st.betas;
+  // Row-major m x cols: when the widths differ, remap row by row into the
+  // column prefix of this solve's basis.
+  if (st.cols == s.cols) {
+    std::copy(st.basis.begin(), st.basis.end(), s.Q.flat().begin());
+  } else {
+    for (index_t r = 0; r < s.m; ++r) {
+      std::copy(st.basis.begin() + r * st.cols,
+                st.basis.begin() + (r + 1) * st.cols,
+                s.Q.flat().begin() + r * s.cols);
+    }
+  }
+  std::copy(st.q.begin(), st.q.end(), s.q.flat().begin());
+  obs::counter("solver.ckpt_restores").add();
+  return static_cast<int>(st.iterations);
+}
+
+/// Writes a checkpoint after `completed` accepted iterations when the
+/// options ask for one. Only called where the iteration state is quiescent.
+/// A write failure is contained: the atomic rename left any previous
+/// checkpoint intact, so the solve logs, counts and carries on.
+void maybe_checkpoint(const SolverOptions& options, const State& s,
+                      const std::vector<double>& alphas,
+                      const std::vector<double>& betas, int completed,
+                      int every) {
+  if (options.ckpt_path.empty() || completed % every != 0) return;
+  ckpt::Checkpoint c;
+  c.kind = ckpt::Kind::kLanczos;
+  ckpt::LanczosState& st = c.lanczos;
+  st.seed = options.seed;
+  st.m = s.m;
+  st.cols = s.cols;
+  st.iterations = completed;
+  st.alphas = alphas;
+  st.betas = betas;
+  st.basis.assign(s.Q.flat().begin(), s.Q.flat().end());
+  st.q.assign(s.q.flat().begin(), s.q.flat().end());
+  try {
+    ckpt::save(c, options.ckpt_path);
+  } catch (const std::exception& e) {
+    obs::counter("solver.ckpt_errors").add();
+    obs::instant(std::string("ckpt: ") + e.what(), "solver");
+  }
+}
+
 LanczosResult finalize(std::vector<double> alphas, std::vector<double> betas,
                        SolverStatus status, IterationTiming timing) {
   LanczosResult result;
@@ -101,10 +177,12 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
   std::vector<double> alphas;
   std::vector<double> betas;
   SolverStatus status = SolverStatus::kOk;
+  const int start = apply_restore(options, s, alphas, betas);
+  const int every = ckpt::effective_every(options.ckpt_every);
 
   IterationTiming timing;
   const support::Timer timer;
-  for (int i = 0; i < k; ++i) {
+  for (int i = start; i < k; ++i) {
     poll_cancel(options);
     obs::IterScope iter(csr != nullptr ? "lanczos.libcsr" : "lanczos.libcsb",
                         i);
@@ -133,6 +211,7 @@ LanczosResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb, int k,
       q->at(r, 0) = v;
       Q->at(r, col) = v;
     }
+    maybe_checkpoint(options, s, alphas, betas, i + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(std::move(alphas), std::move(betas), status, timing);
@@ -149,7 +228,13 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
   omp_set_num_threads(static_cast<int>(options.threads));
 #endif
   State s = make_state(csb, k, options);
-  index_t cur_col = 1; // column of Q written by the running iteration
+  std::vector<double> alphas;
+  std::vector<double> betas;
+  SolverStatus status = SolverStatus::kOk;
+  const int start = apply_restore(options, s, alphas, betas);
+  const int every = ckpt::effective_every(options.ckpt_every);
+  // Column of Q written by the running iteration.
+  index_t cur_col = static_cast<index_t>(start) + 1;
 
   ds::Program prog(&csb, {.skip_empty_blocks = options.skip_empty_blocks,
                           .dependency_based_spmm =
@@ -180,14 +265,11 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
   const graph::Tdg graph = prog.build();
   timing.graph_build_seconds = build_timer.seconds();
 
-  std::vector<double> alphas;
-  std::vector<double> betas;
-  SolverStatus status = SolverStatus::kOk;
   const ds::ExecOptions exec{.mode = ds::ExecMode::kOmpTasks,
                              .trace = options.trace};
 
   const support::Timer timer;
-  for (int i = 0; i < k; ++i) {
+  for (int i = start; i < k; ++i) {
     poll_cancel(options);
     obs::IterScope iter("lanczos.ds", i);
     ds::execute(graph, exec);
@@ -198,6 +280,7 @@ LanczosResult run_ds(const sparse::Csb& csb, int k,
       break;
     }
     cur_col = i + 2;
+    maybe_checkpoint(options, s, alphas, betas, i + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(std::move(alphas), std::move(betas), status, timing);
@@ -265,6 +348,8 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   std::vector<double> alphas;
   std::vector<double> betas;
   SolverStatus status = SolverStatus::kOk;
+  const int start = apply_restore(options, s, alphas, betas);
+  const int every = ckpt::effective_every(options.ckpt_every);
   IterationTiming timing;
 
   la::DenseMatrix* Q = &s.Q;
@@ -279,7 +364,7 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   la::DenseMatrix dot_part(np, 1);
 
   const support::Timer timer;
-  for (int i = 0; i < k; ++i) {
+  for (int i = start; i < k; ++i) {
     poll_cancel(options);
     // The iteration span covers submission through the convergence-check
     // gets — the driver's view of the iteration; kernel tasks may overlap
@@ -458,6 +543,12 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
     if (!accept_iteration(s.proj.at(i, 0), s.beta, alphas, betas, status)) {
       break;
     }
+    // Checkpointing needs the tail tasks (scale/setcol) drained, not just
+    // the convergence gets — quiesce first, and only when a write is due.
+    if (!options.ckpt_path.empty() && (i + 1) % every == 0) {
+      sched.wait_for_quiescence();
+      maybe_checkpoint(options, s, alphas, betas, i + 1, every);
+    }
   }
   quiesce.dismiss();
   sched.wait_for_quiescence();
@@ -535,10 +626,12 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
   std::vector<double> alphas;
   std::vector<double> betas;
   SolverStatus status = SolverStatus::kOk;
+  const int start = apply_restore(options, s, alphas, betas);
+  const int every = ckpt::effective_every(options.ckpt_every);
   IterationTiming timing;
 
   const support::Timer timer;
-  for (int i = 0; i < k; ++i) {
+  for (int i = start; i < k; ++i) {
     poll_cancel(options);
     obs::IterScope iter("lanczos.rgt", i);
     // z = A q.
@@ -709,6 +802,7 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
     if (!accept_iteration(s.proj.at(i, 0), *beta, alphas, betas, status)) {
       break;
     }
+    maybe_checkpoint(options, s, alphas, betas, i + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(std::move(alphas), std::move(betas), status, timing);

@@ -12,6 +12,7 @@
 #include "la/eig.hpp"
 #include "obs/obs.hpp"
 #include "rgt/runtime.hpp"
+#include "solvers/checkpoint.hpp"
 #include "support/timer.hpp"
 
 #ifdef _OPENMP
@@ -218,6 +219,75 @@ void note_iteration_metrics(obs::IterScope& iter, const Smalls& sm,
   iter.metric("max_residual", max_residual);
 }
 
+/// Applies options.restore (when set) and returns the iteration to resume
+/// from. Only X/AX/P/AP and the convergence bookkeeping are restored —
+/// every iteration recomputes W/AW/R and the Gram blocks from those, so
+/// resuming is bit-identical whenever the kernel schedule is deterministic.
+/// The checkpoint must describe this exact solve (kind, shape, seed).
+int apply_restore(const LobpcgOptions& options, State& s) {
+  if (options.restore == nullptr) return 0;
+  const ckpt::Checkpoint& c = *options.restore;
+  if (c.kind != ckpt::Kind::kLobpcg) {
+    throw support::Error(std::string("lobpcg restore: checkpoint holds ") +
+                         ckpt::to_string(c.kind) + " state");
+  }
+  const ckpt::LobpcgState& st = c.lobpcg;
+  if (st.m != s.m || st.n != s.n) {
+    throw support::Error("lobpcg restore: checkpoint block is " +
+                         std::to_string(st.m) + "x" + std::to_string(st.n) +
+                         ", this solve needs " + std::to_string(s.m) + "x" +
+                         std::to_string(s.n));
+  }
+  if (st.seed != options.seed) {
+    throw support::Error("lobpcg restore: checkpoint seed " +
+                         std::to_string(st.seed) + " != options.seed " +
+                         std::to_string(options.seed));
+  }
+  std::copy(st.x.begin(), st.x.end(), s.X.flat().begin());
+  std::copy(st.ax.begin(), st.ax.end(), s.AX.flat().begin());
+  std::copy(st.p.begin(), st.p.end(), s.P.flat().begin());
+  std::copy(st.ap.begin(), st.ap.end(), s.AP.flat().begin());
+  s.sm.theta = st.theta;
+  for (index_t j = 0; j < s.n; ++j) {
+    s.sm.norms.at(j, 0) = st.norms[static_cast<std::size_t>(j)];
+  }
+  s.sm.converged = static_cast<int>(st.converged);
+  obs::counter("solver.ckpt_restores").add();
+  return static_cast<int>(st.iterations);
+}
+
+/// Writes a checkpoint after `completed` iterations when the options ask
+/// for one. Only called where the block vectors are quiescent (after the
+/// iteration barrier, before the next submission round). A write failure is
+/// contained: counted, logged, and the solve carries on.
+void maybe_checkpoint(const LobpcgOptions& options, const State& s,
+                      int completed, int every) {
+  if (options.ckpt_path.empty() || completed % every != 0) return;
+  ckpt::Checkpoint c;
+  c.kind = ckpt::Kind::kLobpcg;
+  ckpt::LobpcgState& st = c.lobpcg;
+  st.seed = options.seed;
+  st.m = s.m;
+  st.n = s.n;
+  st.iterations = completed;
+  st.converged = s.sm.converged;
+  st.theta = s.sm.theta;
+  st.norms.resize(static_cast<std::size_t>(s.n));
+  for (index_t j = 0; j < s.n; ++j) {
+    st.norms[static_cast<std::size_t>(j)] = s.sm.norms.at(j, 0);
+  }
+  st.x.assign(s.X.flat().begin(), s.X.flat().end());
+  st.ax.assign(s.AX.flat().begin(), s.AX.flat().end());
+  st.p.assign(s.P.flat().begin(), s.P.flat().end());
+  st.ap.assign(s.AP.flat().begin(), s.AP.flat().end());
+  try {
+    ckpt::save(c, options.ckpt_path);
+  } catch (const std::exception& e) {
+    obs::counter("solver.ckpt_errors").add();
+    obs::instant(std::string("ckpt: ") + e.what(), "solver");
+  }
+}
+
 LobpcgResult finalize(const State& s, IterationTiming timing) {
   LobpcgResult result;
   result.eigenvalues = s.sm.theta;
@@ -244,10 +314,12 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
   State s = make_state(csb, options);
   const index_t chunk = options.block_size;
   Smalls& sm = s.sm;
+  const int start = apply_restore(options, s);
+  const int every = ckpt::effective_every(options.ckpt_every);
 
   IterationTiming timing;
   const support::Timer timer;
-  for (int it = 0; it < max_iterations; ++it) {
+  for (int it = start; it < max_iterations; ++it) {
     poll_cancel(options);
     obs::IterScope iter(csr != nullptr ? "lobpcg.libcsr" : "lobpcg.libcsb",
                         it);
@@ -309,6 +381,7 @@ LobpcgResult run_bsp(const sparse::Csr* csr, const sparse::Csb& csb,
     note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
+    maybe_checkpoint(options, s, it + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -325,6 +398,8 @@ LobpcgResult run_ds(const sparse::Csb& csb, int max_iterations,
   State s = make_state(csb, options);
   Smalls& sm = s.sm;
   Smalls* smp = &sm;
+  const int start = apply_restore(options, s);
+  const int every = ckpt::effective_every(options.ckpt_every);
 
   ds::Program prog(&csb, {.skip_empty_blocks = options.skip_empty_blocks,
                           .dependency_based_spmm =
@@ -414,13 +489,14 @@ LobpcgResult run_ds(const sparse::Csb& csb, int max_iterations,
   const ds::ExecOptions exec{.mode = ds::ExecMode::kOmpTasks,
                              .trace = options.trace};
   const support::Timer timer;
-  for (int it = 0; it < max_iterations; ++it) {
+  for (int it = start; it < max_iterations; ++it) {
     poll_cancel(options);
     obs::IterScope iter("lobpcg.ds", it);
     ds::execute(graph, exec);
     note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
+    maybe_checkpoint(options, s, it + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);
@@ -725,6 +801,8 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
   State s = make_state(csb, options);
   Smalls& sm = s.sm;
   Smalls* smp = &sm;
+  const int start = apply_restore(options, s);
+  const int every = ckpt::effective_every(options.ckpt_every);
   FluxLobpcg fx(&s, &csb, options);
 
   FluxVec& X = fx.vec(&s.X);
@@ -766,7 +844,7 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
   const double tol = options.tolerance;
   IterationTiming timing;
   const support::Timer timer;
-  for (int it = 0; it < max_iterations; ++it) {
+  for (int it = start; it < max_iterations; ++it) {
     poll_cancel(options);
     // Driver-side span: submission through the convergence-check get; the
     // tail kernels of the iteration may still be in flight on the workers.
@@ -817,6 +895,12 @@ LobpcgResult run_flux(const sparse::Csb& csb, int max_iterations,
     note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
+    // Checkpointing needs the tail copy kernels drained, not just the
+    // convergence get — quiesce first, and only when a write is due.
+    if (!options.ckpt_path.empty() && (it + 1) % every == 0) {
+      fx.scheduler().wait_for_quiescence();
+      maybe_checkpoint(options, s, it + 1, every);
+    }
   }
   quiesce.dismiss();
   fx.scheduler().wait_for_quiescence();
@@ -1097,6 +1181,8 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
   State s = make_state(csb, options);
   Smalls& sm = s.sm;
   Smalls* smp = &sm;
+  const int start = apply_restore(options, s);
+  const int every = ckpt::effective_every(options.ckpt_every);
   RgtLobpcg rg(&s, &csb, options);
 
   auto X = rg.vec("X", &s.X);
@@ -1134,7 +1220,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
   const double tol = options.tolerance;
   IterationTiming timing;
   const support::Timer timer;
-  for (int it = 0; it < max_iterations; ++it) {
+  for (int it = start; it < max_iterations; ++it) {
     poll_cancel(options);
     obs::IterScope iter("lobpcg.rgt", it);
     rg.begin_iteration();
@@ -1183,6 +1269,7 @@ LobpcgResult run_rgt(const sparse::Csb& csb, int max_iterations,
     note_iteration_metrics(iter, sm, s.n);
     ++timing.iterations;
     if (sm.converged >= s.n || sm.rr_failed || sm.nonfinite) break;
+    maybe_checkpoint(options, s, it + 1, every);
   }
   timing.total_seconds = timer.seconds();
   return finalize(s, timing);

@@ -14,7 +14,26 @@ struct Armed {
   Spec spec;
   std::uint64_t visits = 0;
   bool fired = false;
+  std::uint64_t rng = 0; // SplitMix64 state for prob > 0 specs
 };
+
+// SplitMix64 step, local so the fault registry stays dependency-free.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a, so an unseeded prob spec is still deterministic per site name.
+std::uint64_t hash_site(const std::string& site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;
+}
 
 struct Registry {
   std::mutex mutex;
@@ -32,7 +51,9 @@ std::once_flag g_env_once;
 std::atomic<Observer> g_observer{nullptr};
 
 void arm_locked(Registry& r, const Spec& spec) {
-  auto [it, inserted] = r.sites.insert_or_assign(spec.site, Armed{spec});
+  Armed armed{spec};
+  armed.rng = spec.seed != 0 ? spec.seed : hash_site(spec.site);
+  auto [it, inserted] = r.sites.insert_or_assign(spec.site, armed);
   (void)it;
   if (inserted) g_armed_count.fetch_add(1, std::memory_order_release);
 }
@@ -60,6 +81,7 @@ const char* to_string(Kind k) {
   case Kind::kThrow: return "throw";
   case Kind::kNan: return "nan";
   case Kind::kDelay: return "delay";
+  case Kind::kCrash: return "crash";
   }
   return "?";
 }
@@ -73,6 +95,14 @@ Spec parse_spec(const std::string& text) {
   Spec spec;
   std::size_t begin = 0;
   bool in_options = false;
+  bool saw_hit = false, saw_kind = false, saw_delay = false;
+  bool saw_prob = false, saw_seed = false;
+  auto once = [&](bool& seen, const std::string& part) {
+    if (seen)
+      throw Error("fault spec '" + text + "': duplicate key in '" + part +
+                  "'");
+    seen = true;
+  };
   while (begin <= text.size()) {
     std::size_t end = text.find(':', begin);
     if (end == std::string::npos) end = text.size();
@@ -92,6 +122,7 @@ Spec parse_spec(const std::string& text) {
       std::string key = part.substr(0, eq);
       std::string value = part.substr(eq + 1);
       if (key == "hit") {
+        once(saw_hit, part);
         char* tail = nullptr;
         unsigned long long v = std::strtoull(value.c_str(), &tail, 10);
         if (value.empty() || *tail != '\0' || v == 0)
@@ -99,19 +130,38 @@ Spec parse_spec(const std::string& text) {
                       "integer, got '" + value + "'");
         spec.hit = v;
       } else if (key == "kind") {
+        once(saw_kind, part);
         if (value == "throw") spec.kind = Kind::kThrow;
         else if (value == "nan") spec.kind = Kind::kNan;
         else if (value == "delay") spec.kind = Kind::kDelay;
+        else if (value == "crash") spec.kind = Kind::kCrash;
         else
           throw Error("fault spec '" + text + "': unknown kind '" + value +
-                      "' (expected throw|nan|delay)");
+                      "' (expected throw|nan|delay|crash)");
       } else if (key == "delay_ms") {
+        once(saw_delay, part);
         char* tail = nullptr;
         unsigned long long v = std::strtoull(value.c_str(), &tail, 10);
         if (value.empty() || *tail != '\0')
           throw Error("fault spec '" + text + "': bad delay_ms '" + value +
                       "'");
         spec.delay_ms = static_cast<std::uint32_t>(v);
+      } else if (key == "prob") {
+        once(saw_prob, part);
+        char* tail = nullptr;
+        const double v = std::strtod(value.c_str(), &tail);
+        if (value.empty() || *tail != '\0' || !(v > 0.0) || v > 1.0)
+          throw Error("fault spec '" + text + "': prob must be in (0, 1], " +
+                      "got '" + value + "'");
+        spec.prob = v;
+      } else if (key == "seed") {
+        once(saw_seed, part);
+        char* tail = nullptr;
+        unsigned long long v = std::strtoull(value.c_str(), &tail, 10);
+        if (value.empty() || *tail != '\0' || v == 0)
+          throw Error("fault spec '" + text + "': seed must be a positive " +
+                      "integer, got '" + value + "'");
+        spec.seed = v;
       } else {
         throw Error("fault spec '" + text + "': unknown key '" + key + "'");
       }
@@ -119,6 +169,9 @@ Spec parse_spec(const std::string& text) {
     begin = end + 1;
   }
   if (spec.site.empty()) throw Error("fault spec '" + text + "': empty site");
+  if (saw_hit && saw_prob)
+    throw Error("fault spec '" + text +
+                "': hit and prob are mutually exclusive");
   return spec;
 }
 
@@ -162,8 +215,16 @@ bool check(const char* site) {
     if (it == r.sites.end()) return false;
     Armed& armed = it->second;
     visit = ++armed.visits;
-    if (armed.fired || visit != armed.spec.hit) return false;
-    armed.fired = true;
+    if (armed.spec.prob > 0.0) {
+      // Probabilistic arming: a seeded coin flip per visit, no once-only
+      // latch — chaos runs want the site to stay dangerous after it fires.
+      const double draw =
+          static_cast<double>(mix64(armed.rng) >> 11) * 0x1.0p-53;
+      if (draw >= armed.spec.prob) return false;
+    } else {
+      if (armed.fired || visit != armed.spec.hit) return false;
+      armed.fired = true;
+    }
     fire = armed.spec;
   }
 
@@ -179,6 +240,10 @@ bool check(const char* site) {
   case Kind::kDelay:
     std::this_thread::sleep_for(std::chrono::milliseconds(fire.delay_ms));
     return false;
+  case Kind::kCrash:
+    // No unwinding, no flushes: die the way a kill -9 or power loss would,
+    // so recovery tests exercise the torn state a real crash leaves behind.
+    std::abort();
   }
   return false;
 }

@@ -5,16 +5,23 @@
 // armed either programmatically (arm()) or from the STS_FAULT environment
 // variable, with specs of the form
 //
-//   <site>[:hit=<n>][:kind=throw|nan|delay][:delay_ms=<ms>]
+//   <site>[:hit=<n>][:kind=throw|nan|delay|crash][:delay_ms=<ms>]
+//         [:prob=<p>][:seed=<s>]
 //
 // separated by ';'. `hit` counts visits from 1 (default 1: the first visit
 // fires); a fault fires exactly once per arming, so a given task site fails
-// at a reproducible point in the task graph. Kinds:
+// at a reproducible point in the task graph. `prob` replaces the hit latch
+// with a seeded coin flip per visit (fires any number of times) — the chaos
+// harness arms e.g. "journal:append:kind=crash:prob=0.05:seed=7" to kill
+// the daemon at an unpredictable-but-reproducible record. `hit` and `prob`
+// are mutually exclusive; each key may appear at most once. Kinds:
 //
 //   throw  - throw fault::Injected from the fault point (default)
 //   nan    - check() returns true; the caller poisons its output with NaN
 //   delay  - sleep delay_ms at the fault point (stall injection for
 //            quiescence-watchdog tests)
+//   crash  - std::abort() at the fault point: the process dies without
+//            unwinding, as a real crash would (crash-recovery tests)
 //
 // When nothing is armed, check() is one atomic load — the points are cheap
 // enough to keep in release kernels.
@@ -27,7 +34,7 @@
 
 namespace sts::support::fault {
 
-enum class Kind : std::uint8_t { kThrow, kNan, kDelay };
+enum class Kind : std::uint8_t { kThrow, kNan, kDelay, kCrash };
 
 [[nodiscard]] const char* to_string(Kind k);
 
@@ -36,6 +43,8 @@ struct Spec {
   std::uint64_t hit = 1;      // 1-based visit index that fires
   Kind kind = Kind::kThrow;
   std::uint32_t delay_ms = 50; // only meaningful for kDelay
+  double prob = 0.0;          // > 0: fire with this probability per visit
+  std::uint64_t seed = 0;     // prob RNG seed; 0 = derive from the site name
 };
 
 /// Thrown from a fault point armed with kind=throw.

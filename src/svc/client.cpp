@@ -4,44 +4,112 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace sts::svc {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    throw support::Error("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw support::Error(std::string("socket: ") + std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw support::Error("connect " + socket_path + ": " +
-                         std::strerror(err) + " (is stsd running?)");
+Client::Client(const std::string& socket_path, RetryPolicy retry)
+    : socket_path_(socket_path), retry_(retry) {
+  if (retry_.attempts < 1) retry_.attempts = 1;
+  if (retry_.base_ms < 1) retry_.base_ms = 1;
+  if (retry_.cap_ms < retry_.base_ms) retry_.cap_ms = retry_.base_ms;
+  rng_state_ = retry_.seed != 0
+                   ? retry_.seed
+                   : static_cast<std::uint64_t>(::getpid()) * 0x9E3779B97F4A7C15ULL + 1;
+  prev_backoff_ms_ = retry_.base_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      connect_once();
+      return;
+    } catch (const support::Error&) {
+      if (attempt >= retry_.attempts) throw;
+      obs::counter("svc.client_retries").add();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(next_backoff_ms()));
+    }
   }
 }
 
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect_once() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw support::Error("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw support::Error(std::string("socket: ") + std::strerror(errno));
+  }
+  // EINTR here leaves the connect in an indeterminate state on some
+  // kernels; a Unix-socket connect is cheap, so close and start over
+  // rather than poll for completion.
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    throw support::Error("connect " + socket_path_ + ": " +
+                         std::strerror(err) + " (is stsd running?)");
+  }
+  fd_ = fd;
+}
+
+int Client::next_backoff_ms() {
+  // Decorrelated jitter: sleep ~ U[base, 3 * previous], capped. Chaining
+  // SplitMix64 outputs keeps the sequence deterministic per seed while
+  // consecutive sleeps grow without synchronizing across clients.
+  support::SplitMix64 mixer(rng_state_);
+  rng_state_ = mixer.next();
+  const double unit =
+      static_cast<double>(rng_state_ >> 11) * 0x1.0p-53; // [0, 1)
+  const double lo = static_cast<double>(retry_.base_ms);
+  const double hi = static_cast<double>(prev_backoff_ms_) * 3.0;
+  const double pick = lo + unit * std::max(0.0, hi - lo);
+  prev_backoff_ms_ = static_cast<int>(
+      std::min(pick, static_cast<double>(retry_.cap_ms)));
+  return prev_backoff_ms_;
 }
 
 wire::Json Client::request(const wire::Json& req) {
-  wire::write_frame(fd_, req.dump());
-  std::string payload;
-  if (!wire::read_frame(fd_, payload)) {
-    throw support::Error("daemon closed the connection");
+  const std::string payload = req.dump();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fd_ < 0) connect_once();
+      wire::write_frame(fd_, payload);
+      std::string reply;
+      if (!wire::read_frame(fd_, reply)) {
+        throw support::Error("daemon closed the connection");
+      }
+      return wire::Json::parse(reply);
+    } catch (const support::Error&) {
+      // WireError and connect failures both land here. Drop the (possibly
+      // half-written) connection so the next attempt starts clean; the
+      // daemon treats each connection independently, and resubmission is
+      // made idempotent by the spec's client_key.
+      disconnect();
+      if (attempt >= retry_.attempts) throw;
+      obs::counter("svc.client_retries").add();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(next_backoff_ms()));
+    }
   }
-  return wire::Json::parse(payload);
 }
 
 wire::Json Client::rpc(const wire::Json& req) {

@@ -13,11 +13,24 @@
 
 namespace sts::svc {
 
+/// Bounded reconnect policy for Client (DESIGN.md §12). `attempts` counts
+/// total tries per operation (1 = the historical fail-fast behaviour);
+/// sleeps between tries follow decorrelated jitter — uniform in
+/// [base_ms, 3 * previous], capped at cap_ms — so a fleet of retrying
+/// clients does not stampede a restarting daemon in lockstep.
+struct RetryPolicy {
+  int attempts = 1;
+  int base_ms = 50;
+  int cap_ms = 2000;
+  std::uint64_t seed = 0; // jitter RNG seed; 0 = derive from the pid
+};
+
 class Client {
 public:
-  /// Connects to `socket_path` (default: Server::default_socket_path()).
-  /// Throws support::Error when the daemon is not reachable.
-  explicit Client(const std::string& socket_path);
+  /// Connects to `socket_path` (default: Server::default_socket_path()),
+  /// honouring `retry` for the initial connect. Throws support::Error when
+  /// the daemon stays unreachable through every attempt.
+  explicit Client(const std::string& socket_path, RetryPolicy retry = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -25,6 +38,10 @@ public:
 
   /// Raw round trip: send `request`, return the parsed reply (including
   /// ok=false replies — callers that want typed errors use the helpers).
+  /// On a connection failure mid-call the client reconnects (up to the
+  /// retry policy's budget) and resends the request — safe for the
+  /// protocol's read-only ops, and safe for submit when the spec carries a
+  /// client_key (the daemon deduplicates resubmissions on it).
   wire::Json request(const wire::Json& request);
 
   [[nodiscard]] bool ping();
@@ -53,8 +70,17 @@ public:
 private:
   /// request() + throw support::Error on ok=false.
   wire::Json rpc(const wire::Json& request);
+  /// One EINTR-safe socket+connect attempt; throws on failure.
+  void connect_once();
+  void disconnect() noexcept;
+  /// Next decorrelated-jitter sleep, advancing the internal state.
+  [[nodiscard]] int next_backoff_ms();
 
   int fd_ = -1;
+  std::string socket_path_;
+  RetryPolicy retry_;
+  std::uint64_t rng_state_ = 0;
+  int prev_backoff_ms_ = 0;
 };
 
 } // namespace sts::svc

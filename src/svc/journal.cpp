@@ -1,0 +1,161 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "solvers/checkpoint.hpp" // ckpt::crc32
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace sts::svc {
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw support::Error(std::string("journal write: ") +
+                           std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_whole_file(const std::string& path, bool& exists) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    exists = false;
+    return {};
+  }
+  exists = true;
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break; // unreadable tail: treat what we have as the file
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+} // namespace
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Journal::Replay Journal::replay(const std::string& path) {
+  Replay out;
+  bool exists = false;
+  const std::string bytes = read_whole_file(path, exists);
+  if (!exists) return out;
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break; // torn header
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    // An absurd length means the header itself is garbage, not a record
+    // that happens to be long: stop here rather than chase it off the end.
+    if (len == 0 || len > wire::kMaxFrameBytes) break;
+    if (bytes.size() - pos - 8 < len) break; // torn payload
+    const std::string_view payload(bytes.data() + pos + 8, len);
+    if (solver::ckpt::crc32(payload.data(), payload.size()) != crc) break;
+    wire::Json j;
+    try {
+      j = wire::Json::parse(payload);
+    } catch (const std::exception&) {
+      break; // CRC-valid but unparseable: written by something else; stop
+    }
+    pos += 8 + len;
+    if (!j.is_object() || !j.has("event") || !j.has("id")) continue;
+    JournalRecord rec;
+    rec.event = j.string_or("event", "");
+    rec.id = static_cast<std::uint64_t>(j.int_or("id", 0));
+    rec.fields = std::move(j);
+    out.records.push_back(std::move(rec));
+  }
+  out.valid_bytes = pos;
+  out.torn_tail = pos < bytes.size();
+  return out;
+}
+
+void Journal::open(const std::string& path, std::uint64_t valid_bytes) {
+  close();
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw support::Error("journal open " + path + ": " +
+                         std::strerror(errno));
+  }
+  // Drop any torn tail so the log stays valid end-to-end, then position at
+  // the new end. O_APPEND would bypass the truncation point on some
+  // filesystems' view of racing writers; stsd is the journal's only writer,
+  // so an explicit seek is both sufficient and exact.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw support::Error("journal truncate " + path + ": " +
+                         std::strerror(err));
+  }
+  fd_ = fd;
+  path_ = path;
+}
+
+void Journal::append(const std::string& event, std::uint64_t id,
+                     const wire::Json& extra) {
+  if (fd_ < 0) throw support::Error("journal append: not open");
+  support::fault::check("journal:append");
+
+  wire::Json j = wire::Json::object();
+  j.set("event", event);
+  j.set("id", id);
+  if (extra.is_object()) {
+    for (const auto& [key, value] : extra.members()) j.set(key, value);
+  }
+  const std::string payload = j.dump();
+  if (payload.size() > wire::kMaxFrameBytes) {
+    throw support::Error("journal append: record too large");
+  }
+
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc =
+      solver::ckpt::crc32(payload.data(), payload.size());
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(payload);
+  // One write per record: either the whole frame lands or replay sees a
+  // torn tail; fsync makes the acknowledged transition crash-durable.
+  write_all(fd_, frame.data(), frame.size());
+  if (::fsync(fd_) != 0) {
+    throw support::Error(std::string("journal fsync: ") +
+                         std::strerror(errno));
+  }
+  obs::counter("svc.journal_appends").add();
+}
+
+} // namespace sts::svc

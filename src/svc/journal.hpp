@@ -1,0 +1,81 @@
+// Durable job journal: the append-only record log behind stsd's crash
+// recovery (DESIGN.md §12).
+//
+// Every job-state transition the service commits — SUBMITTED (with the full
+// RunSpec), RUNNING, DONE, FAILED, CANCELLED — is appended as one framed
+// record before the daemon acts on it further. On startup the service
+// replays the log, folds the records per job id, and re-admits every job
+// whose last state was not terminal.
+//
+// On-disk record framing (host-endian; the journal is a single-machine
+// crash-recovery artifact, like the solver checkpoints):
+//
+//   u32      payload length in bytes
+//   u32      CRC-32 of the payload
+//   payload  JSON object {"event": "...", "id": N, ...extra fields}
+//
+// Replay is torn-tail tolerant by construction: a crash mid-append leaves a
+// short or CRC-corrupt final record, replay stops at the last intact record
+// boundary and reports the tail, and open() truncates the file back to that
+// boundary so subsequent appends produce a log that is valid end-to-end.
+// Replay never throws on corruption — a damaged journal degrades to
+// whatever prefix is intact, it does not take the daemon down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+namespace sts::svc {
+
+/// One replayed record: the transition event, the job it applies to, and
+/// the full JSON object (for extra fields like "spec" or "error").
+struct JournalRecord {
+  std::string event;
+  std::uint64_t id = 0;
+  wire::Json fields;
+};
+
+class Journal {
+public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  struct Replay {
+    std::vector<JournalRecord> records;
+    bool torn_tail = false;        // trailing bytes past the intact prefix
+    std::uint64_t valid_bytes = 0; // length of the intact prefix
+  };
+
+  /// Reads every intact record from `path`. A missing file is an empty
+  /// replay; corruption stops the scan at the last intact record (never
+  /// throws). Records whose payload parses but lacks "event"/"id" are
+  /// skipped, not fatal.
+  [[nodiscard]] static Replay replay(const std::string& path);
+
+  /// Opens `path` for appending, truncating it to `valid_bytes` first so a
+  /// torn tail found by replay() is dropped before new records land after
+  /// it. Throws support::Error on I/O failure.
+  void open(const std::string& path, std::uint64_t valid_bytes);
+
+  /// Appends one record ({"event", "id"} merged with `extra`'s fields) and
+  /// fsyncs, so an acknowledged transition survives a crash. The fault site
+  /// "journal:append" fires before any I/O. Throws support::Error on I/O
+  /// failure; callers contain it (availability beats durability here).
+  void append(const std::string& event, std::uint64_t id,
+              const wire::Json& extra = wire::Json());
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  void close();
+
+private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+} // namespace sts::svc

@@ -80,6 +80,8 @@ bool RunSpec::consume_arg(const std::string& arg,
     threads = static_cast<unsigned>(std::atoi(next().c_str()));
   } else if (arg == "--timeout") {
     timeout_sec = std::atof(next().c_str());
+  } else if (arg == "--key") {
+    client_key = next();
   } else {
     return false;
   }
@@ -128,6 +130,7 @@ wire::Json RunSpec::to_json() const {
   if (autotune) j.set("autotune", true);
   if (threads != 0) j.set("threads", static_cast<std::int64_t>(threads));
   if (timeout_sec > 0.0) j.set("timeout_sec", timeout_sec);
+  if (!client_key.empty()) j.set("key", client_key);
   return j;
 }
 
@@ -145,6 +148,7 @@ RunSpec RunSpec::from_json(const wire::Json& j) {
   s.autotune = j.bool_or("autotune", false);
   s.threads = static_cast<unsigned>(j.int_or("threads", 0));
   s.timeout_sec = j.number_or("timeout_sec", 0.0);
+  s.client_key = j.string_or("key", "");
   return s;
 }
 

@@ -44,10 +44,15 @@ struct RunSpec {
   bool autotune = false;         // pick block by simulated sweep
   unsigned threads = 0;          // 0 = hardware concurrency
   double timeout_sec = 0.0;      // 0 = no wall-clock guard
+  /// Client-supplied idempotency key ("--key"). A resubmission carrying the
+  /// same key returns the existing job id instead of enqueueing a second
+  /// run — what makes client retry-after-reconnect safe (DESIGN.md §12).
+  std::string client_key;
 
   /// Consumes one CLI flag if it belongs to the spec ("--matrix", "--suite",
   /// "--scale", "--solver", "--version", "--iterations", "--nev",
-  /// "--tolerance", "--block", "--autotune", "--threads", "--timeout").
+  /// "--tolerance", "--block", "--autotune", "--threads", "--timeout",
+  /// "--key").
   /// `next` yields the flag's value (and may exit with usage). Returns
   /// false for flags the spec does not own.
   bool consume_arg(const std::string& arg,

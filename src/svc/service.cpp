@@ -1,9 +1,15 @@
 #include "svc/service.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "solvers/checkpoint.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "support/env.hpp"
@@ -72,6 +78,7 @@ wire::Json to_json(const ServiceStats& s) {
   j.set("done", s.done);
   j.set("failed", s.failed);
   j.set("cancelled", s.cancelled);
+  j.set("recovered", s.recovered);
   j.set("running_job", s.running_job);
   wire::Json cache = wire::Json::object();
   cache.set("hits", s.cache.hits);
@@ -93,23 +100,168 @@ Service::Config Service::Config::from_env() {
   c.queue_capacity = cap < 1 ? 1 : static_cast<std::size_t>(cap);
   c.cache_bytes = PlanCache::budget_from_env();
   c.threads = static_cast<unsigned>(support::env_int("STS_THREADS", 0));
+  c.journal_path = support::env_string("STS_JOURNAL", "");
+  c.ckpt_dir = support::env_string("STS_CKPT_DIR", "");
   return c;
 }
 
 Service::Service(Config config)
-    : config_(config), cache_(config.cache_bytes),
-      pool_({.threads = pool_threads(config.threads),
+    : config_(std::move(config)), cache_(config_.cache_bytes),
+      pool_({.threads = pool_threads(config_.threads),
              .numa_domains = 1,
              .numa_aware = false}) {
+  if (!config_.ckpt_dir.empty()) {
+    if (::mkdir(config_.ckpt_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw support::Error("ckpt dir " + config_.ckpt_dir + ": " +
+                           std::strerror(errno));
+    }
+  }
+  // Recovery runs before the executor thread exists: re-admitted jobs are
+  // queued, the journal is open for append, and only then does execution
+  // start — no replayed record can race a fresh one.
+  if (!config_.journal_path.empty()) recover_from_journal();
   executor_ = std::thread([this] { executor_loop(); });
 }
 
 Service::~Service() { drain(); }
 
+std::string Service::ckpt_path_for(std::uint64_t id) const {
+  return config_.ckpt_dir + "/job-" + std::to_string(id) + ".ckpt";
+}
+
+void Service::journal_append_locked(const char* event, const Job& job,
+                                    wire::Json extra) {
+  if (!journal_.is_open()) return;
+  try {
+    journal_.append(event, job.id, extra);
+  } catch (const std::exception& e) {
+    // Availability over durability: a dead disk degrades recovery, it does
+    // not take running jobs down. The gap is visible in the metrics.
+    obs::counter("svc.journal_errors").add();
+    obs::instant(std::string("journal: ") + e.what(), "svc");
+  }
+}
+
+void Service::recover_from_journal() {
+  const Journal::Replay replay = Journal::replay(config_.journal_path);
+  if (replay.torn_tail) {
+    obs::counter("svc.journal_torn_tail").add();
+    obs::instant("journal: torn tail truncated at byte " +
+                     std::to_string(replay.valid_bytes),
+                 "svc");
+  }
+  journal_.open(config_.journal_path, replay.valid_bytes);
+
+  // Fold the records per job id: the SUBMITTED record carries the spec,
+  // the last transition wins as the state.
+  struct Folded {
+    wire::Json spec;
+    JobState state = JobState::kPending;
+    std::string error;
+    bool have_spec = false;
+  };
+  std::map<std::uint64_t, Folded> folded; // ordered: re-admit in id order
+  for (const JournalRecord& rec : replay.records) {
+    Folded& f = folded[rec.id];
+    if (rec.event == "SUBMITTED") {
+      if (rec.fields.has("spec")) {
+        f.spec = rec.fields.get("spec");
+        f.have_spec = true;
+      }
+    } else if (rec.event == "RUNNING") {
+      f.state = JobState::kRunning;
+    } else if (rec.event == "DONE") {
+      f.state = JobState::kDone;
+    } else if (rec.event == "FAILED") {
+      f.state = JobState::kFailed;
+      f.error = rec.fields.string_or("error", "");
+    } else if (rec.event == "CANCELLED") {
+      f.state = JobState::kCancelled;
+      f.error = rec.fields.string_or("error", "");
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, f] : folded) {
+    next_id_ = std::max(next_id_, id + 1);
+    if (!f.have_spec) {
+      // A terminal/RUNNING record whose SUBMITTED prefix was lost (torn
+      // head would need truncation from the front; we only truncate tails).
+      obs::counter("svc.journal_errors").add();
+      continue;
+    }
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    try {
+      job->spec = RunSpec::from_json(f.spec);
+      job->spec.validate();
+    } catch (const std::exception&) {
+      obs::counter("svc.journal_errors").add();
+      continue;
+    }
+    job->submit_ns = support::now_ns();
+    if (!job->spec.client_key.empty()) {
+      key_to_id_.emplace(job->spec.client_key, id);
+    }
+    ++submitted_;
+    Job* raw = job.get();
+    jobs_.emplace(id, std::move(job));
+    if (f.state == JobState::kDone || f.state == JobState::kFailed ||
+        f.state == JobState::kCancelled) {
+      // Resurrect terminal jobs as queryable history (summary excluded —
+      // the journal records transitions, not payloads), without re-writing
+      // their terminal records.
+      raw->state = f.state;
+      raw->error = f.error;
+      raw->start_ns = raw->submit_ns;
+      raw->end_ns = raw->submit_ns;
+      switch (f.state) {
+        case JobState::kDone: ++done_; break;
+        case JobState::kFailed: ++failed_; break;
+        default: ++cancelled_; break;
+      }
+      continue;
+    }
+    // Interrupted PENDING/RUNNING job: re-admit. run_job() points it at its
+    // last solver checkpoint (if one exists) via job->recovered.
+    raw->recovered = true;
+    try {
+      // Deterministic chaos hook: an armed throw here fails exactly this
+      // job's recovery; the daemon and every other replayed job keep going.
+      support::fault::check("svc:recover");
+    } catch (const std::exception& e) {
+      finish_job(*raw, JobState::kFailed,
+                 std::string("recovery: ") + e.what());
+      continue;
+    }
+    queue_.push_back(raw);
+    ++recovered_;
+    obs::counter("svc.recovered_jobs").add();
+  }
+  if (recovered_ > 0) {
+    obs::instant("journal: re-admitted " + std::to_string(recovered_) +
+                     " interrupted job(s)",
+                 "svc");
+  }
+  obs::gauge("svc.queue_depth")
+      .observe(static_cast<std::int64_t>(queue_.size()));
+}
+
 SubmitOutcome Service::submit(RunSpec spec) {
   spec.validate(); // throws on malformed specs before any accounting
   SubmitOutcome out;
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (!spec.client_key.empty()) {
+    // Idempotent resubmission: a retry after a lost reply (or a daemon
+    // restart, via the journal-refilled map) finds the original job.
+    const auto it = key_to_id_.find(spec.client_key);
+    if (it != key_to_id_.end()) {
+      obs::counter("svc.jobs_deduped").add();
+      out.accepted = true;
+      out.id = it->second;
+      return out;
+    }
+  }
   if (draining_ || stop_executor_) {
     ++rejected_;
     obs::counter("svc.jobs_rejected").add();
@@ -130,6 +282,14 @@ SubmitOutcome Service::submit(RunSpec spec) {
   job->submit_ns = support::now_ns();
   Job* raw = job.get();
   jobs_.emplace(raw->id, std::move(job));
+  if (!raw->spec.client_key.empty()) {
+    key_to_id_.emplace(raw->spec.client_key, raw->id);
+  }
+  // The admission record goes to disk before the id is acknowledged: a
+  // crash after this point re-admits the job on restart.
+  wire::Json extra = wire::Json::object();
+  extra.set("spec", raw->spec.to_json());
+  journal_append_locked("SUBMITTED", *raw, std::move(extra));
   queue_.push_back(raw);
   ++submitted_;
   obs::counter("svc.jobs_submitted").add();
@@ -235,6 +395,14 @@ void Service::finish_job(Job& job, JobState state, const std::string& error) {
     case JobState::kCancelled: ++cancelled_; break;
     default: break;
   }
+  wire::Json extra = wire::Json::object();
+  if (!error.empty()) extra.set("error", error);
+  journal_append_locked(to_string(state), job, std::move(extra));
+  if (!config_.ckpt_dir.empty()) {
+    // A terminal job's checkpoint is dead weight (and would poison a future
+    // job that reuses the id after a journal wipe): drop it.
+    ::unlink(ckpt_path_for(job.id).c_str());
+  }
   obs::histogram("svc.job_ns").observe(job.end_ns - job.submit_ns);
   obs::instant("svc.job[" + std::to_string(job.id) + "] " + to_string(state),
                "svc");
@@ -263,6 +431,7 @@ void Service::executor_loop() {
       job->state = JobState::kRunning;
       job->start_ns = support::now_ns();
       running_ = job;
+      journal_append_locked("RUNNING", *job);
     }
     run_job(*job);
     // Consume any error latched in the shared pool after the job's own
@@ -316,12 +485,37 @@ void Service::run_job(Job& job) {
                        "timeout", std::move(nudge));
     }
 
+    // Crash resilience: with a checkpoint dir configured, the solver
+    // checkpoints to a per-job file; a journal-recovered job resumes from
+    // that file when it is intact and matches the spec, and falls back to a
+    // cold restart (counted) when it is missing or stale.
+    std::string ckpt_path;
+    std::optional<solver::ckpt::Checkpoint> restored;
+    if (!config_.ckpt_dir.empty()) {
+      ckpt_path = ckpt_path_for(job.id);
+      if (job.recovered) {
+        try {
+          solver::ckpt::Checkpoint c = solver::ckpt::load(ckpt_path);
+          const bool lanczos_ckpt = c.kind == solver::ckpt::Kind::kLanczos;
+          if (lanczos_ckpt == (job.spec.solver == SolverKind::kLanczos)) {
+            restored = std::move(c);
+          }
+        } catch (const std::exception&) {
+          // No checkpoint (job never reached one) or a corrupt/stale file:
+          // solve from iteration 0. load() already counted CRC failures.
+        }
+        if (!restored) obs::counter("svc.recover_cold_restarts").add();
+      }
+    }
+
     wire::Json summary = wire::Json::object();
     solver::SolverStatus status = solver::SolverStatus::kOk;
     if (job.spec.solver == SolverKind::kLanczos) {
       solver::SolverOptions options =
           job.spec.solver_options(plan->block_size);
       options.cancel = &job.token;
+      options.ckpt_path = ckpt_path;
+      if (restored) options.restore = &*restored;
       if (job.spec.version == solver::Version::kFlux) {
         options.flux_pool = &pool_;
       }
@@ -341,6 +535,8 @@ void Service::run_job(Job& job) {
       solver::LobpcgOptions options =
           job.spec.lobpcg_options(plan->block_size);
       options.cancel = &job.token;
+      options.ckpt_path = ckpt_path;
+      if (restored) options.restore = &*restored;
       if (job.spec.version == solver::Version::kFlux) {
         options.flux_pool = &pool_;
       }
@@ -389,6 +585,7 @@ ServiceStats Service::stats() const {
     s.done = done_;
     s.failed = failed_;
     s.cancelled = cancelled_;
+    s.recovered = recovered_;
     s.running_job = running_ != nullptr;
   }
   s.cache = cache_.stats();

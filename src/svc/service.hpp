@@ -38,6 +38,7 @@
 
 #include "flux/scheduler.hpp"
 #include "svc/cache.hpp"
+#include "svc/journal.hpp"
 #include "svc/run_spec.hpp"
 #include "svc/wire.hpp"
 
@@ -83,6 +84,7 @@ struct ServiceStats {
   std::uint64_t done = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t recovered = 0; // jobs re-admitted from the journal
   bool running_job = false;
   CacheStats cache;
   double job_p50_ms = 0.0;
@@ -98,7 +100,13 @@ public:
     std::size_t queue_capacity = 64;  // STS_QUEUE_CAP
     std::size_t cache_bytes = PlanCache::kDefaultBudget; // STS_CACHE_BYTES
     unsigned threads = 0;             // flux pool workers; 0 = hardware
-    /// Capacity/budget from STS_QUEUE_CAP / STS_CACHE_BYTES.
+    /// Durable job journal (STS_JOURNAL); empty disables crash recovery.
+    std::string journal_path;
+    /// Directory for per-job solver checkpoints (STS_CKPT_DIR); empty
+    /// disables checkpointing. Created on startup if missing.
+    std::string ckpt_dir;
+    /// Capacity/budget/resilience paths from STS_QUEUE_CAP /
+    /// STS_CACHE_BYTES / STS_THREADS / STS_JOURNAL / STS_CKPT_DIR.
     [[nodiscard]] static Config from_env();
   };
 
@@ -111,6 +119,10 @@ public:
   /// Admission-controlled enqueue. Validates the spec (throws
   /// support::Error on a bad one — the caller maps that to a bad_request
   /// reply); a full queue or draining service rejects with a typed outcome.
+  /// A spec carrying a client_key already seen (this life or a previous
+  /// one, via the journal) is deduplicated: the existing job's id is
+  /// returned and nothing new is enqueued — what makes client
+  /// retry-after-reconnect idempotent.
   SubmitOutcome submit(RunSpec spec);
 
   /// Snapshot by id; throws support::Error for unknown ids.
@@ -158,12 +170,22 @@ private:
     std::int64_t end_ns = 0;
     wire::Json summary;
     support::CancelToken token;
+    bool recovered = false; // re-admitted from the journal after a crash
   };
 
   void executor_loop();
   void run_job(Job& job);
   void finish_job(Job& job, JobState state, const std::string& error);
   [[nodiscard]] JobInfo snapshot_locked(const Job& job) const;
+  /// Replays config_.journal_path, resurrects terminal jobs as queryable
+  /// history, re-admits interrupted ones, and opens the journal for append.
+  /// Runs in the constructor before the executor thread exists.
+  void recover_from_journal();
+  /// Best-effort journal append; failures are counted (svc.journal_errors),
+  /// never thrown — availability beats durability. Caller holds mutex_.
+  void journal_append_locked(const char* event, const Job& job,
+                             wire::Json extra = wire::Json());
+  [[nodiscard]] std::string ckpt_path_for(std::uint64_t id) const;
 
   Config config_;
   PlanCache cache_;
@@ -174,6 +196,8 @@ private:
   std::condition_variable queue_cv_;
   std::deque<Job*> queue_;
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::map<std::string, std::uint64_t> key_to_id_; // client_key dedup
+  Journal journal_;
   std::uint64_t next_id_ = 1;
   Job* running_ = nullptr;
   bool draining_ = false;
@@ -183,6 +207,7 @@ private:
   std::uint64_t done_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t recovered_ = 0;
 
   mutable std::mutex shutdown_mutex_;
   mutable std::condition_variable shutdown_cv_;

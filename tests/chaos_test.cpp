@@ -1,0 +1,273 @@
+// Chaos harness (DESIGN.md §12): kill the real stsd daemon mid-job — by
+// SIGKILL and by an armed kind=crash fault — then restart it on the same
+// journal and checkpoint directory and assert the interrupted job is
+// re-admitted, resumed from its checkpoint, and finishes with the same
+// eigenvalue estimates as an uninterrupted run. These tests carry the ctest
+// label "chaos" (run with `ctest -L chaos`).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proc_util.hpp"
+#include "support/error.hpp"
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "svc/run_spec.hpp"
+#include "svc/wire.hpp"
+
+namespace sts {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string tmp_path(const char* tag, const char* suffix) {
+  return "/tmp/sts-chaos-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + suffix;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// A deterministic, long-enough job: the ds version reduces per-piece
+/// partials in a fixed order, so at a fixed thread count an uninterrupted
+/// run and a checkpoint-resumed run produce bit-identical Ritz values.
+svc::RunSpec chaos_spec() {
+  svc::RunSpec spec;
+  spec.suite_name = "inline_1";
+  spec.scale = 0.05;
+  spec.solver = svc::SolverKind::kLanczos;
+  spec.version = solver::Version::kDs;
+  spec.iterations = 250;
+  spec.block = 64;
+  spec.threads = 2;
+  return spec;
+}
+
+class ChaosDaemon {
+public:
+  ChaosDaemon(const std::string& socket_path, const std::string& journal,
+              const std::string& ckpt_dir,
+              const std::vector<std::string>& extra_env = {})
+      : socket_path_(socket_path) {
+    std::vector<std::string> argv = {STSD_BIN, "--socket", socket_path,
+                                     "--threads", "2"};
+    if (!journal.empty()) {
+      argv.insert(argv.end(), {"--journal", journal});
+    }
+    if (!ckpt_dir.empty()) {
+      argv.insert(argv.end(), {"--ckpt-dir", ckpt_dir});
+    }
+    std::vector<std::string> env = {"STS_CKPT_EVERY=3"};
+    env.insert(env.end(), extra_env.begin(), extra_env.end());
+    child_ = testutil::spawn(argv, env, "/tmp/sts-chaos-test-stsd.log");
+  }
+
+  ~ChaosDaemon() {
+    if (!reaped_) {
+      child_.signal(SIGKILL);
+      child_.wait();
+    }
+  }
+
+  [[nodiscard]] bool wait_ready() const {
+    for (int i = 0; i < 200; ++i) {
+      try {
+        svc::Client probe(socket_path_);
+        if (probe.ping()) return true;
+      } catch (const support::Error&) {
+      }
+      std::this_thread::sleep_for(50ms);
+    }
+    return false;
+  }
+
+  void kill_hard() {
+    child_.signal(SIGKILL);
+    last_exit_ = child_.wait();
+    reaped_ = true;
+  }
+
+  /// Blocks until the child dies on its own (an armed crash fault).
+  int reap() {
+    last_exit_ = child_.wait();
+    reaped_ = true;
+    return last_exit_;
+  }
+
+  int terminate_and_wait() {
+    child_.signal(SIGTERM);
+    last_exit_ = child_.wait();
+    reaped_ = true;
+    return last_exit_;
+  }
+
+  const std::string socket_path_;
+
+private:
+  testutil::ChildProcess child_;
+  bool reaped_ = false;
+  int last_exit_ = 0;
+};
+
+std::vector<double> ritz_extremes(const svc::wire::Json& job) {
+  std::vector<double> out;
+  const svc::wire::Json& summary = job.get("summary");
+  for (const auto& v : summary.get("ritz_extremes").items()) {
+    out.push_back(v.as_number());
+  }
+  return out;
+}
+
+/// Reference eigenvalues from an uninterrupted run on a clean daemon.
+std::vector<double> reference_extremes(const char* tag) {
+  ChaosDaemon daemon(tmp_path(tag, "-ref.sock"), "", "");
+  EXPECT_TRUE(daemon.wait_ready());
+  svc::Client client(daemon.socket_path_);
+  const auto out = client.submit(chaos_spec());
+  EXPECT_TRUE(out.accepted);
+  const svc::wire::Json job = client.result(out.id);
+  EXPECT_EQ(job.string_or("state", ""), "DONE")
+      << job.string_or("error", "");
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+  return ritz_extremes(job);
+}
+
+TEST(Chaos, SigkillMidJobThenRestartResumesAndMatches) {
+  const std::vector<double> reference = reference_extremes("sigkill");
+  ASSERT_EQ(reference.size(), 2u);
+
+  const std::string socket = tmp_path("sigkill", ".sock");
+  const std::string journal = tmp_path("sigkill", ".journal");
+  const std::string ckpt_dir = tmp_path("sigkill", "-ckpt");
+  ::unlink(journal.c_str());
+
+  std::uint64_t id = 0;
+  {
+    // Probabilistic delay faults stretch the solve so the kill lands midway;
+    // delays change timing, never arithmetic.
+    ChaosDaemon daemon(socket, journal, ckpt_dir,
+                       {"STS_FAULT=spmv_block:kind=delay:delay_ms=2"
+                        ":prob=0.3:seed=11"});
+    ASSERT_TRUE(daemon.wait_ready());
+    svc::Client client(daemon.socket_path_);
+    const auto out = client.submit(chaos_spec());
+    ASSERT_TRUE(out.accepted);
+    id = out.id;
+
+    // Wait until the job is RUNNING and has committed a checkpoint, then
+    // kill the daemon without any chance to clean up.
+    const std::string ckpt = ckpt_dir + "/job-" + std::to_string(id) +
+                             ".ckpt";
+    bool armed = false;
+    for (int i = 0; i < 3000; ++i) {
+      const svc::wire::Json job = client.status(id);
+      ASSERT_NE(job.string_or("state", ""), "FAILED")
+          << job.string_or("error", "");
+      if (job.string_or("state", "") == "RUNNING" && file_exists(ckpt)) {
+        armed = true;
+        break;
+      }
+      ASSERT_NE(job.string_or("state", ""), "DONE")
+          << "job finished before the kill could land";
+      std::this_thread::sleep_for(10ms);
+    }
+    ASSERT_TRUE(armed) << "job never reached RUNNING with a checkpoint";
+    daemon.kill_hard();
+  }
+
+  // Same journal, same checkpoint directory, no chaos: the daemon must
+  // re-admit the interrupted job under its original id and resume it.
+  ChaosDaemon revived(socket, journal, ckpt_dir);
+  ASSERT_TRUE(revived.wait_ready());
+  svc::Client client(revived.socket_path_);
+  EXPECT_GE(client.stats().int_or("recovered", 0), 1);
+
+  const svc::wire::Json job = client.result(id, 120000);
+  ASSERT_EQ(job.string_or("state", ""), "DONE")
+      << job.string_or("error", "");
+  const std::vector<double> resumed = ritz_extremes(job);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(resumed[i], reference[i], 1e-12) << "extreme " << i;
+  }
+  EXPECT_EQ(revived.terminate_and_wait(), 0);
+  ::unlink(journal.c_str());
+}
+
+TEST(Chaos, CrashFaultAtJournalAppendRecoversOnRestart) {
+  const std::string socket = tmp_path("crash", ".sock");
+  const std::string journal = tmp_path("crash", ".journal");
+  const std::string ckpt_dir = tmp_path("crash", "-ckpt");
+  ::unlink(journal.c_str());
+
+  std::uint64_t id = 0;
+  {
+    // The second append is the job's RUNNING record: the daemon aborts the
+    // instant the job starts, after SUBMITTED (with the spec) is durable.
+    ChaosDaemon daemon(socket, journal, ckpt_dir,
+                       {"STS_FAULT=journal:append:hit=2:kind=crash"});
+    ASSERT_TRUE(daemon.wait_ready());
+    svc::Client client(daemon.socket_path_);
+    try {
+      const auto out = client.submit(chaos_spec());
+      if (out.accepted) id = out.id;
+    } catch (const support::Error&) {
+      // The executor can trip the crash before the submit ack leaves the
+      // daemon: the client sees a severed connection instead of an id.
+    }
+    EXPECT_EQ(daemon.reap(), -SIGABRT);
+  }
+
+  // Whatever the client saw, the SUBMITTED record hit the disk first — the
+  // journal is the source of truth for what must be recovered.
+  const auto replay = svc::Journal::replay(journal);
+  ASSERT_FALSE(replay.records.empty());
+  EXPECT_EQ(replay.records[0].event, "SUBMITTED");
+  if (id == 0) id = replay.records[0].id;
+
+  ChaosDaemon revived(socket, journal, ckpt_dir);
+  ASSERT_TRUE(revived.wait_ready());
+  svc::Client client(revived.socket_path_);
+  EXPECT_GE(client.stats().int_or("recovered", 0), 1);
+  const svc::wire::Json job = client.result(id, 120000);
+  EXPECT_EQ(job.string_or("state", ""), "DONE")
+      << job.string_or("error", "");
+  EXPECT_EQ(revived.terminate_and_wait(), 0);
+  ::unlink(journal.c_str());
+}
+
+TEST(Chaos, RetryingClientRidesOutADaemonRestart) {
+  const std::string socket = tmp_path("retry", ".sock");
+  const std::string journal = tmp_path("retry", ".journal");
+  ::unlink(journal.c_str());
+
+  ChaosDaemon first(socket, journal, "");
+  ASSERT_TRUE(first.wait_ready());
+
+  svc::RetryPolicy retry;
+  retry.attempts = 40;
+  retry.base_ms = 25;
+  retry.seed = 7;
+  svc::Client client(socket, retry);
+  ASSERT_TRUE(client.ping());
+
+  first.kill_hard();
+  ChaosDaemon second(socket, journal, "");
+
+  // The daemon is down or restarting for a while; the retrying client's
+  // next call reconnects under the hood instead of surfacing the outage.
+  EXPECT_TRUE(client.ping());
+  EXPECT_EQ(second.terminate_and_wait(), 0);
+  ::unlink(journal.c_str());
+}
+
+} // namespace
+} // namespace sts

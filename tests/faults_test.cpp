@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include <sstream>
 
@@ -56,6 +57,101 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
                support::Error);
   EXPECT_THROW((void)support::fault::parse_spec("site:kind=explode"),
                support::Error);
+  EXPECT_THROW((void)support::fault::parse_spec("site:prob=0"),
+               support::Error);
+  EXPECT_THROW((void)support::fault::parse_spec("site:prob=1.5"),
+               support::Error);
+  EXPECT_THROW((void)support::fault::parse_spec("site:seed=0"),
+               support::Error);
+  // hit and prob select contradictory firing models.
+  EXPECT_THROW((void)support::fault::parse_spec("site:hit=2:prob=0.5"),
+               support::Error);
+}
+
+TEST(FaultSpec, RejectsDuplicateKeysNamingTheOffendingToken) {
+  try {
+    (void)support::fault::parse_spec("site:hit=2:kind=nan:hit=3");
+    FAIL() << "expected support::Error";
+  } catch (const support::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key in 'hit=3'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)support::fault::parse_spec("site:kind=nan:kind=throw"),
+               support::Error);
+  EXPECT_THROW(
+      (void)support::fault::parse_spec("site:prob=0.1:prob=0.2"),
+      support::Error);
+}
+
+TEST(FaultSpec, ParsesProbSeedAndCrash) {
+  const auto s =
+      support::fault::parse_spec("journal:append:kind=crash:prob=0.25:seed=9");
+  EXPECT_EQ(s.site, "journal:append");
+  EXPECT_EQ(s.kind, support::fault::Kind::kCrash);
+  EXPECT_DOUBLE_EQ(s.prob, 0.25);
+  EXPECT_EQ(s.seed, 9u);
+}
+
+TEST(FaultRegistry, ProbabilisticFiringIsSeededAndRepeatable) {
+  // Same seed -> the same visits fire, and (unlike hit=) firing does not
+  // latch: the site keeps flipping its coin forever.
+  constexpr int kVisits = 200;
+  std::vector<int> first_run;
+  for (int run = 0; run < 2; ++run) {
+    support::fault::ScopedFault f("prob_site:prob=0.3:seed=42");
+    std::vector<int> fired;
+    for (int i = 0; i < kVisits; ++i) {
+      try {
+        (void)support::fault::check("prob_site");
+      } catch (const support::fault::Injected&) {
+        fired.push_back(i);
+      }
+    }
+    EXPECT_GT(fired.size(), 20u); // ~60 expected at p=0.3
+    EXPECT_LT(fired.size(), 120u);
+    if (run == 0) {
+      first_run = fired;
+    } else {
+      EXPECT_EQ(fired, first_run);
+    }
+  }
+}
+
+TEST(FaultRegistry, UnseededProbDerivesFromTheSiteName) {
+  // No seed: arming the same site twice replays the same schedule; a
+  // different site name gets a different one.
+  auto schedule = [](const char* site, const std::string& spec) {
+    support::fault::ScopedFault f(spec);
+    std::vector<int> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        (void)support::fault::check(site);
+      } catch (const support::fault::Injected&) {
+        fired.push_back(i);
+      }
+    }
+    return fired;
+  };
+  const auto a1 = schedule("prob_a", "prob_a:prob=0.4");
+  const auto a2 = schedule("prob_a", "prob_a:prob=0.4");
+  const auto b = schedule("prob_b", "prob_b:prob=0.4");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(FaultCrash, CrashKindAbortsTheProcess) {
+  // End to end in a scratch process: a crash fault at the second spmv block
+  // takes stsolve down with SIGABRT — no unwinding, no exit code.
+  const int code =
+      testutil::spawn({STSOLVE_BIN, "--suite", "inline_1", "--scale", "0.02",
+                       "--solver", "lanczos", "--version", "libcsb",
+                       "--iterations", "8", "--threads", "2", "--block",
+                       "64"},
+                      {"STS_FAULT=spmv_block:hit=2:kind=crash"},
+                      "/tmp/sts-faults-test-crash.log")
+          .wait();
+  EXPECT_EQ(code, -SIGABRT);
 }
 
 TEST(FaultRegistry, FiresExactlyOnceAtTheArmedVisit) {

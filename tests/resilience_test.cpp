@@ -1,0 +1,400 @@
+// Crash resilience building blocks (DESIGN.md §12): checkpoint save/load
+// integrity, bit-identical solver restore across runtime versions, journal
+// append/replay with torn-tail recovery, and a seeded corruption fuzz over
+// the replay path. These tests carry the ctest label "faults".
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "solvers/checkpoint.hpp"
+#include "solvers/lanczos.hpp"
+#include "solvers/lobpcg.hpp"
+#include "sparse/generators.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+#include "svc/journal.hpp"
+#include "svc/wire.hpp"
+
+namespace sts {
+namespace {
+
+using solver::SolverStatus;
+using solver::Version;
+
+std::string tmp_path(const char* tag) {
+  return "/tmp/sts-resilience-" + std::string(tag) + "-" +
+         std::to_string(::getpid());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// gtest parameter names must be alphanumeric; version names carry dashes.
+std::string version_name(const ::testing::TestParamInfo<Version>& info) {
+  std::string name = solver::to_string(info.param);
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return name;
+}
+
+// ---------------------------------------------------------- checkpoints --
+
+solver::ckpt::Checkpoint sample_checkpoint() {
+  solver::ckpt::Checkpoint c;
+  c.kind = solver::ckpt::Kind::kLanczos;
+  c.lanczos.seed = 7;
+  c.lanczos.m = 3;
+  c.lanczos.cols = 2;
+  c.lanczos.iterations = 1;
+  c.lanczos.alphas = {1.5};
+  c.lanczos.betas = {0.25};
+  c.lanczos.basis = {1, 2, 3, 4, 5, 6};
+  c.lanczos.q = {0.5, -0.5, 0.125};
+  return c;
+}
+
+TEST(Checkpoint, SaveLoadRoundTripPreservesEveryField) {
+  const std::string path = tmp_path("roundtrip");
+  solver::ckpt::save(sample_checkpoint(), path);
+  const solver::ckpt::Checkpoint back = solver::ckpt::load(path);
+  EXPECT_EQ(back.kind, solver::ckpt::Kind::kLanczos);
+  EXPECT_EQ(back.lanczos.seed, 7u);
+  EXPECT_EQ(back.lanczos.m, 3);
+  EXPECT_EQ(back.lanczos.cols, 2);
+  EXPECT_EQ(back.lanczos.iterations, 1);
+  EXPECT_EQ(back.lanczos.alphas, sample_checkpoint().lanczos.alphas);
+  EXPECT_EQ(back.lanczos.betas, sample_checkpoint().lanczos.betas);
+  EXPECT_EQ(back.lanczos.basis, sample_checkpoint().lanczos.basis);
+  EXPECT_EQ(back.lanczos.q, sample_checkpoint().lanczos.q);
+  ::unlink(path.c_str());
+}
+
+TEST(Checkpoint, LoadRejectsCorruptionAndTruncation) {
+  const std::string path = tmp_path("corrupt");
+  solver::ckpt::save(sample_checkpoint(), path);
+  const std::string good = read_file(path);
+  ASSERT_GT(good.size(), 40u);
+
+  // Missing file.
+  EXPECT_THROW((void)solver::ckpt::load(path + ".nope"), support::Error);
+
+  // One flipped payload byte: the CRC catches it.
+  std::string flipped = good;
+  flipped[flipped.size() - 3] ^= 0x40;
+  write_file(path, flipped);
+  EXPECT_THROW((void)solver::ckpt::load(path), support::Error);
+
+  // Truncated mid-payload.
+  write_file(path, good.substr(0, good.size() / 2));
+  EXPECT_THROW((void)solver::ckpt::load(path), support::Error);
+
+  // Wrong magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  write_file(path, bad_magic);
+  EXPECT_THROW((void)solver::ckpt::load(path), support::Error);
+  ::unlink(path.c_str());
+}
+
+TEST(Checkpoint, WriteFaultSiteFiresAndLeavesNoFile) {
+  const std::string path = tmp_path("faulted");
+  ::unlink(path.c_str());
+  support::fault::ScopedFault inject("ckpt:write:hit=1:kind=throw");
+  EXPECT_THROW(solver::ckpt::save(sample_checkpoint(), path),
+               support::fault::Injected);
+  EXPECT_THROW((void)solver::ckpt::load(path), support::Error); // no file
+}
+
+TEST(Checkpoint, EffectiveEveryPrefersRequestThenEnvThenDefault) {
+  EXPECT_EQ(solver::ckpt::effective_every(3), 3);
+  ::unsetenv("STS_CKPT_EVERY");
+  EXPECT_EQ(solver::ckpt::effective_every(0), 10);
+  ::setenv("STS_CKPT_EVERY", "4", 1);
+  EXPECT_EQ(solver::ckpt::effective_every(0), 4);
+  ::unsetenv("STS_CKPT_EVERY");
+}
+
+// ------------------------------------------------------ solver restore --
+
+struct SolverFixture {
+  sparse::Coo coo;
+  sparse::Csr csr;
+  sparse::Csb csb;
+
+  SolverFixture()
+      : coo(sparse::gen_fem3d(5, 5, 5, 1, 31)),
+        csr(sparse::Csr::from_coo(coo)),
+        csb(sparse::Csb::from_coo(coo, 32)) {}
+};
+
+/// Threads where each runtime's reductions are bit-reproducible: the BSP
+/// kernels reduce in thread order (deterministic only at 1 thread); the
+/// ds/flux/rgt versions reduce per-piece partials in a fixed order.
+unsigned deterministic_threads(Version v) {
+  return (v == Version::kLibCsr || v == Version::kLibCsb) ? 1u : 2u;
+}
+
+class RestoreVersions : public ::testing::TestWithParam<Version> {};
+
+TEST_P(RestoreVersions, LanczosResumesBitIdentically) {
+  SolverFixture f;
+  solver::SolverOptions options;
+  options.block_size = 32;
+  options.threads = deterministic_threads(GetParam());
+
+  const auto straight = solver::lanczos(f.csr, f.csb, 10, GetParam(),
+                                        options);
+  ASSERT_EQ(straight.status, SolverStatus::kOk);
+
+  const std::string path = tmp_path("lanczos-restore");
+  solver::SolverOptions ckpt_opts = options;
+  ckpt_opts.ckpt_path = path;
+  ckpt_opts.ckpt_every = 5;
+  (void)solver::lanczos(f.csr, f.csb, 5, GetParam(), ckpt_opts);
+
+  const solver::ckpt::Checkpoint c = solver::ckpt::load(path);
+  ASSERT_EQ(c.lanczos.iterations, 5);
+  solver::SolverOptions resume_opts = options;
+  resume_opts.restore = &c;
+  const auto resumed = solver::lanczos(f.csr, f.csb, 10, GetParam(),
+                                       resume_opts);
+  ASSERT_EQ(resumed.status, SolverStatus::kOk);
+
+  // Bit-identical, not merely close: the resumed run must replay the exact
+  // arithmetic of the uninterrupted one.
+  ASSERT_EQ(resumed.alphas.size(), straight.alphas.size());
+  for (std::size_t i = 0; i < straight.alphas.size(); ++i) {
+    EXPECT_EQ(resumed.alphas[i], straight.alphas[i]) << "alpha " << i;
+  }
+  ASSERT_EQ(resumed.betas.size(), straight.betas.size());
+  for (std::size_t i = 0; i < straight.betas.size(); ++i) {
+    EXPECT_EQ(resumed.betas[i], straight.betas[i]) << "beta " << i;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST_P(RestoreVersions, LobpcgResumesBitIdentically) {
+  SolverFixture f;
+  solver::LobpcgOptions options;
+  options.block_size = 32;
+  options.threads = deterministic_threads(GetParam());
+  options.nev = 4;
+  options.tolerance = 1e-300; // never converges: all iterations run
+
+  const auto straight = solver::lobpcg(f.csr, f.csb, 8, GetParam(), options);
+  ASSERT_EQ(straight.status, SolverStatus::kOk);
+
+  const std::string path = tmp_path("lobpcg-restore");
+  solver::LobpcgOptions ckpt_opts = options;
+  ckpt_opts.ckpt_path = path;
+  ckpt_opts.ckpt_every = 4;
+  (void)solver::lobpcg(f.csr, f.csb, 4, GetParam(), ckpt_opts);
+
+  const solver::ckpt::Checkpoint c = solver::ckpt::load(path);
+  ASSERT_EQ(c.kind, solver::ckpt::Kind::kLobpcg);
+  ASSERT_EQ(c.lobpcg.iterations, 4);
+  solver::LobpcgOptions resume_opts = options;
+  resume_opts.restore = &c;
+  const auto resumed = solver::lobpcg(f.csr, f.csb, 8, GetParam(),
+                                      resume_opts);
+  ASSERT_EQ(resumed.status, SolverStatus::kOk);
+
+  ASSERT_EQ(resumed.eigenvalues.size(), straight.eigenvalues.size());
+  for (std::size_t i = 0; i < straight.eigenvalues.size(); ++i) {
+    EXPECT_EQ(resumed.eigenvalues[i], straight.eigenvalues[i]) << "ev " << i;
+  }
+  ASSERT_EQ(resumed.residual_norms.size(), straight.residual_norms.size());
+  for (std::size_t i = 0; i < straight.residual_norms.size(); ++i) {
+    EXPECT_EQ(resumed.residual_norms[i], straight.residual_norms[i])
+        << "norm " << i;
+  }
+  ::unlink(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCsbVersions, RestoreVersions,
+                         ::testing::Values(Version::kLibCsb, Version::kDs,
+                                           Version::kFlux, Version::kRgt),
+                         version_name);
+
+TEST(Restore, MismatchedCheckpointIsRejectedUpFront) {
+  SolverFixture f;
+  solver::SolverOptions options;
+  options.block_size = 32;
+  options.threads = 1;
+
+  const std::string path = tmp_path("mismatch");
+  solver::SolverOptions ckpt_opts = options;
+  ckpt_opts.ckpt_path = path;
+  ckpt_opts.ckpt_every = 5;
+  (void)solver::lanczos(f.csr, f.csb, 5, Version::kLibCsb, ckpt_opts);
+  const solver::ckpt::Checkpoint c = solver::ckpt::load(path);
+
+  // Different seed: the checkpointed basis does not belong to this solve.
+  solver::SolverOptions wrong_seed = options;
+  wrong_seed.seed = 1234;
+  wrong_seed.restore = &c;
+  EXPECT_THROW(
+      (void)solver::lanczos(f.csr, f.csb, 10, Version::kLibCsb, wrong_seed),
+      support::Error);
+
+  // A Lanczos checkpoint cannot seed a LOBPCG solve.
+  solver::LobpcgOptions lo;
+  lo.block_size = 32;
+  lo.threads = 1;
+  lo.nev = 4;
+  lo.restore = &c;
+  EXPECT_THROW((void)solver::lobpcg(f.csr, f.csb, 8, Version::kLibCsb, lo),
+               support::Error);
+  ::unlink(path.c_str());
+}
+
+// -------------------------------------------------------------- journal --
+
+TEST(Journal, AppendReplayRoundTrip) {
+  const std::string path = tmp_path("journal-roundtrip");
+  ::unlink(path.c_str());
+  {
+    svc::Journal j;
+    j.open(path, 0);
+    svc::wire::Json extra = svc::wire::Json::object();
+    extra.set("spec", "payload");
+    j.append("SUBMITTED", 1, extra);
+    j.append("RUNNING", 1);
+    j.append("DONE", 1);
+  }
+  const auto replay = svc::Journal::replay(path);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0].event, "SUBMITTED");
+  EXPECT_EQ(replay.records[0].id, 1u);
+  EXPECT_EQ(replay.records[0].fields.string_or("spec", ""), "payload");
+  EXPECT_EQ(replay.records[2].event, "DONE");
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, MissingFileIsAnEmptyReplay) {
+  const auto replay = svc::Journal::replay(tmp_path("journal-missing"));
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, 0u);
+}
+
+TEST(Journal, TornTailIsDetectedTruncatedAndHealed) {
+  const std::string path = tmp_path("journal-torn");
+  ::unlink(path.c_str());
+  {
+    svc::Journal j;
+    j.open(path, 0);
+    j.append("SUBMITTED", 1);
+    j.append("RUNNING", 1);
+    j.append("DONE", 1);
+  }
+  const std::string full = read_file(path);
+  write_file(path, full.substr(0, full.size() - 3)); // crash mid-append
+
+  const auto torn = svc::Journal::replay(path);
+  EXPECT_TRUE(torn.torn_tail);
+  ASSERT_EQ(torn.records.size(), 2u);
+  EXPECT_EQ(torn.records[1].event, "RUNNING");
+
+  // Reopening at the intact prefix drops the tail; the next append lands on
+  // a record boundary and replay comes back clean.
+  {
+    svc::Journal j;
+    j.open(path, torn.valid_bytes);
+    j.append("FAILED", 1);
+  }
+  const auto healed = svc::Journal::replay(path);
+  EXPECT_FALSE(healed.torn_tail);
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_EQ(healed.records[2].event, "FAILED");
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, CorruptMiddleRecordStopsReplayAtLastIntactBoundary) {
+  const std::string path = tmp_path("journal-corrupt");
+  ::unlink(path.c_str());
+  {
+    svc::Journal j;
+    j.open(path, 0);
+    j.append("SUBMITTED", 1);
+    j.append("RUNNING", 1);
+  }
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 2] ^= 0x01; // flip a byte inside the second payload
+  write_file(path, bytes);
+  const auto replay = svc::Journal::replay(path);
+  EXPECT_TRUE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].event, "SUBMITTED");
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, AppendFaultSiteSurfacesAsInjected) {
+  const std::string path = tmp_path("journal-fault");
+  ::unlink(path.c_str());
+  svc::Journal j;
+  j.open(path, 0);
+  support::fault::ScopedFault inject("journal:append:hit=1:kind=throw");
+  EXPECT_THROW(j.append("SUBMITTED", 1), support::fault::Injected);
+  j.append("SUBMITTED", 1); // fault fired once; the journal still works
+  EXPECT_EQ(svc::Journal::replay(path).records.size(), 1u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, FuzzedCorruptionNeverCrashesReplay) {
+  const std::string path = tmp_path("journal-fuzz");
+  ::unlink(path.c_str());
+  {
+    svc::Journal j;
+    j.open(path, 0);
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      svc::wire::Json extra = svc::wire::Json::object();
+      extra.set("spec", std::string(static_cast<std::size_t>(id) * 11, 'x'));
+      j.append("SUBMITTED", id, extra);
+      j.append("DONE", id);
+    }
+  }
+  const std::string pristine = read_file(path);
+  ASSERT_FALSE(pristine.empty());
+
+  const int iters =
+      static_cast<int>(support::env_int("STS_JOURNAL_FUZZ_ITERS", 50));
+  support::Xoshiro256 rng(2026);
+  for (int i = 0; i < iters; ++i) {
+    std::string bytes = pristine;
+    // Random truncation, then a handful of byte flips anywhere.
+    bytes.resize(rng.below(bytes.size() + 1));
+    const std::uint64_t flips = rng.below(6);
+    for (std::uint64_t f = 0; f < flips && !bytes.empty(); ++f) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<char>(1u << rng.below(8));
+    }
+    write_file(path, bytes);
+    const auto replay = svc::Journal::replay(path); // must not throw
+    EXPECT_LE(replay.records.size(), 16u);
+    EXPECT_LE(replay.valid_bytes, bytes.size());
+    EXPECT_EQ(replay.torn_tail, replay.valid_bytes < bytes.size());
+  }
+  ::unlink(path.c_str());
+}
+
+} // namespace
+} // namespace sts

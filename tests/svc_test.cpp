@@ -64,6 +64,42 @@ TEST(WireJson, ParseHandlesUnicodeEscapes) {
   EXPECT_EQ(j.get("s").as_string(), "a\xc3\xa9\n");
 }
 
+TEST(WireFrame, TruncatedFrameThrowsNotHangs) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Header promises 100 payload bytes; only 5 arrive before the writer
+  // dies. The reader must fail loudly, not wait forever or return garbage.
+  const std::uint32_t len = 100;
+  ASSERT_EQ(::send(fds[0], &len, sizeof len, 0),
+            static_cast<ssize_t>(sizeof len));
+  ASSERT_EQ(::send(fds[0], "hello", 5, 0), 5);
+  ::close(fds[0]);
+  std::string payload;
+  EXPECT_THROW((void)svc::wire::read_frame(fds[1], payload),
+               svc::wire::WireError);
+  ::close(fds[1]);
+}
+
+TEST(WireFrame, OversizedFrameRejectedBothDirections) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Inbound: a header past kMaxFrameBytes is rejected before any payload
+  // allocation (a hostile or corrupt peer cannot OOM the daemon).
+  const std::uint32_t huge = svc::wire::kMaxFrameBytes + 1;
+  ASSERT_EQ(::send(fds[0], &huge, sizeof huge, 0),
+            static_cast<ssize_t>(sizeof huge));
+  std::string payload;
+  EXPECT_THROW((void)svc::wire::read_frame(fds[1], payload),
+               svc::wire::WireError);
+  // Outbound: the writer refuses to produce such a frame in the first
+  // place.
+  const std::string too_big(svc::wire::kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(svc::wire::write_frame(fds[0], too_big),
+               svc::wire::WireError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(WireFrame, RoundTripOverSocketPair) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -130,6 +166,50 @@ TEST(RunSpec, ValidateRejectsNonsense) {
   spec.autotune = true;
   EXPECT_THROW(spec.validate(), support::Error);
 }
+
+TEST(RunSpec, ConsumeArgEdgeCases) {
+  svc::RunSpec spec;
+  std::vector<std::string> values;
+  std::size_t vi = 0;
+  auto next = [&]() -> std::string { return values.at(vi++); };
+
+  // Unknown flags are left for the caller (stsolve/stsctl own --wait etc.).
+  EXPECT_FALSE(spec.consume_arg("--wait", next));
+  EXPECT_FALSE(spec.consume_arg("--definitely-not-a-flag", next));
+
+  values = {"inline_1", "lobpcg", "ds", "client-42"};
+  EXPECT_TRUE(spec.consume_arg("--suite", next));
+  EXPECT_TRUE(spec.consume_arg("--solver", next));
+  EXPECT_TRUE(spec.consume_arg("--version", next));
+  EXPECT_TRUE(spec.consume_arg("--key", next));
+  EXPECT_EQ(spec.suite_name, "inline_1");
+  EXPECT_EQ(spec.solver, svc::SolverKind::kLobpcg);
+  EXPECT_EQ(spec.version, solver::Version::kDs);
+  EXPECT_EQ(spec.client_key, "client-42");
+
+  // Unknown enum values throw instead of silently defaulting.
+  values = {"gauss-seidel"};
+  vi = 0;
+  EXPECT_THROW((void)spec.consume_arg("--solver", next), support::Error);
+  values = {"opencl"};
+  vi = 0;
+  EXPECT_THROW((void)spec.consume_arg("--version", next), support::Error);
+}
+
+TEST(RunSpec, ClientKeySurvivesTheJsonRoundTrip) {
+  svc::RunSpec spec;
+  spec.suite_name = "inline_1";
+  spec.client_key = "retry-key-1";
+  const svc::RunSpec back = svc::RunSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.client_key, "retry-key-1");
+
+  // Absent key stays absent (no accidental dedup of unkeyed submissions).
+  svc::RunSpec unkeyed;
+  unkeyed.suite_name = "inline_1";
+  EXPECT_FALSE(unkeyed.to_json().has("key"));
+  EXPECT_TRUE(svc::RunSpec::from_json(unkeyed.to_json()).client_key.empty());
+}
+
 
 // --------------------------------------------------------------- cache --
 
@@ -354,6 +434,27 @@ TEST(Service, SvcJobFaultFailsExactlyOneJob) {
   ASSERT_TRUE(healthy.accepted);
   EXPECT_EQ(service.wait(healthy.id, 30s).state, svc::JobState::kDone);
   EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(Service, ClientKeyDeduplicatesResubmission) {
+  svc::Service service(test_config());
+  svc::RunSpec spec = quick_spec(svc::SolverKind::kLanczos,
+                                 solver::Version::kLibCsb);
+  spec.client_key = "idem-1";
+  const auto first = service.submit(spec);
+  ASSERT_TRUE(first.accepted);
+  // The retrying client resends after a lost ack: same key, same job.
+  const auto second = service.submit(spec);
+  ASSERT_TRUE(second.accepted);
+  EXPECT_EQ(second.id, first.id);
+  EXPECT_EQ(service.wait(first.id, 30s).state, svc::JobState::kDone);
+
+  svc::RunSpec other = spec;
+  other.client_key = "idem-2";
+  const auto third = service.submit(other);
+  ASSERT_TRUE(third.accepted);
+  EXPECT_NE(third.id, first.id);
+  EXPECT_EQ(service.wait(third.id, 30s).state, svc::JobState::kDone);
 }
 
 TEST(Service, SolverBreakdownMarksJobFailed) {

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Local CI gate: the tier-1 verify (full build + complete ctest suite) plus
-# an AddressSanitizer build that re-runs the concurrency-heavy labels (svc,
-# faults) where lifetime bugs would hide.
+# Local CI gate: the tier-1 verify (full build + complete ctest suite), a
+# chaos stage (kill/restart recovery e2e plus a deeper journal-replay
+# corruption fuzz), and an AddressSanitizer build that re-runs the
+# concurrency-heavy labels (svc, faults, chaos) where lifetime bugs would
+# hide.
 #
 #   tools/ci.sh [build-dir] [asan-build-dir]
 #
@@ -18,9 +20,15 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
 
-echo "== asan: build + svc/faults labels =="
+echo "== chaos: crash/recovery e2e + journal-replay fuzz =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L chaos
+STS_JOURNAL_FUZZ_ITERS=200 "$build/tests/resilience_test" \
+  --gtest_filter='Journal.FuzzedCorruptionNeverCrashesReplay'
+
+echo "== asan: build + svc/faults/chaos labels =="
 cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF
 cmake --build "$asan_build" -j "$jobs"
-ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" -L "svc|faults"
+ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" \
+  -L "svc|faults|chaos"
 
 echo "== ci.sh: all green =="

@@ -1,7 +1,8 @@
 // stsctl: command-line client for the stsd daemon.
 //
 // Usage:
-//   stsctl [--socket <path>] <command> [args]
+//   stsctl [--socket <path>] [--retries <n>] [--retry-base-ms <ms>]
+//          <command> [args]
 //     ping                       liveness check
 //     submit [run-spec flags]    enqueue a solve, print its job id
 //       (same flags as stsolve: --matrix/--suite/--scale/--solver/
@@ -13,10 +14,16 @@
 //     stats                      queue/cache/latency counters as JSON
 //     shutdown                   ask the daemon to drain and exit
 //
+// --retries > 1 arms the client's bounded reconnect with decorrelated
+// jitter (DESIGN.md §12); pair submit with --key so a retried submit that
+// raced a daemon crash is deduplicated instead of run twice.
+//
 // Exit codes: 0 success, 1 unexpected/connection error, 2 usage,
 // 3 submission rejected (queue_full/draining backpressure), 4 the awaited
 // job finished FAILED or CANCELLED.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -30,7 +37,7 @@ namespace {
 using namespace sts;
 
 [[noreturn]] void usage(const char* argv0) {
-  std::printf("usage: %s [--socket path] "
+  std::printf("usage: %s [--socket path] [--retries n] [--retry-base-ms ms] "
               "ping|submit|status|result|cancel|stats|shutdown ...\n"
               "  submit [--matrix f.mtx | --suite name] [--solver "
               "lanczos|lobpcg]\n"
@@ -38,7 +45,7 @@ using namespace sts;
               "[--nev n]\n"
               "    [--tolerance t] [--block rows | --autotune] [--threads "
               "n]\n"
-              "    [--scale f] [--timeout sec] [--wait]\n"
+              "    [--scale f] [--timeout sec] [--key k] [--wait]\n"
               "  status <id> | result <id> [--timeout-ms n] | cancel <id> "
               "[reason]\n",
               argv0);
@@ -57,19 +64,35 @@ int job_exit_code(const svc::wire::Json& job) {
 } // namespace
 
 int main(int argc, char** argv) {
+  // A daemon restarting mid-conversation closes our socket; without this
+  // the resend inside Client::request would die on SIGPIPE instead of
+  // surfacing EPIPE to the retry loop.
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::string socket_path = svc::Server::default_socket_path();
+  svc::RetryPolicy retry;
   std::vector<std::string> args(argv + 1, argv + argc);
 
   std::size_t pos = 0;
-  if (pos + 1 < args.size() && args[pos] == "--socket") {
-    socket_path = args[pos + 1];
+  while (pos + 1 < args.size()) {
+    if (args[pos] == "--socket") {
+      socket_path = args[pos + 1];
+    } else if (args[pos] == "--retries") {
+      retry.attempts = std::atoi(args[pos + 1].c_str());
+      if (retry.attempts < 1) usage(argv[0]);
+    } else if (args[pos] == "--retry-base-ms") {
+      retry.base_ms = std::atoi(args[pos + 1].c_str());
+      if (retry.base_ms < 1) usage(argv[0]);
+    } else {
+      break;
+    }
     pos += 2;
   }
   if (pos >= args.size()) usage(argv[0]);
   const std::string command = args[pos++];
 
   try {
-    svc::Client client(socket_path);
+    svc::Client client(socket_path, retry);
 
     if (command == "ping") {
       if (!client.ping()) {

@@ -10,11 +10,14 @@
 //
 // Usage:
 //   stsd [--socket <path>] [--queue-cap <n>] [--cache-bytes <n>]
-//        [--threads <n>] [--trace <f.json>] [--metrics <f.csv|stderr>]
+//        [--threads <n>] [--journal <path>] [--ckpt-dir <dir>]
+//        [--trace <f.json>] [--metrics <f.csv|stderr>]
 //
-// Environment: STS_SOCK, STS_QUEUE_CAP, STS_CACHE_BYTES, STS_THREADS
-// (flags win). STS_FAULT arms fault sites, including svc:accept and
-// svc:job. Exit codes: 0 clean shutdown, 1 unexpected error, 2 usage,
+// Environment: STS_SOCK, STS_QUEUE_CAP, STS_CACHE_BYTES, STS_THREADS,
+// STS_JOURNAL, STS_CKPT_DIR (flags win). With a journal configured the
+// daemon replays it on startup and re-admits interrupted jobs (DESIGN.md
+// §12). STS_FAULT arms fault sites, including svc:accept, svc:job and
+// svc:recover. Exit codes: 0 clean shutdown, 1 unexpected error, 2 usage,
 // 3 cannot bind the socket.
 #include <csignal>
 #include <cstdio>
@@ -37,7 +40,8 @@ void on_signal(int) { g_signalled = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--socket path] [--queue-cap n] [--cache-bytes n]"
               " [--threads n]\n"
-              "  [--trace f.json] [--metrics f.csv|stderr]\n",
+              "  [--journal path] [--ckpt-dir dir] [--trace f.json]"
+              " [--metrics f.csv|stderr]\n",
               argv0);
   std::exit(2);
 }
@@ -68,6 +72,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--threads") {
       config.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (arg == "--journal") {
+      config.journal_path = next();
+    } else if (arg == "--ckpt-dir") {
+      config.ckpt_dir = next();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--metrics") {
@@ -95,6 +103,12 @@ int main(int argc, char** argv) {
     std::printf("stsd: serving %s (queue cap %zu, cache budget %zu bytes)\n",
                 socket_path.c_str(), config.queue_capacity,
                 config.cache_bytes);
+    if (!config.journal_path.empty()) {
+      std::printf("stsd: journal %s, %llu job(s) recovered\n",
+                  config.journal_path.c_str(),
+                  static_cast<unsigned long long>(
+                      service.stats().recovered));
+    }
     std::fflush(stdout);
 
     // The signal handler can only set a flag, so the main thread polls it

@@ -21,6 +21,9 @@
 //     --autotune              pick the block size by simulated sweep
 //     --threads <n>           worker threads (default: hardware)
 //     --timeout <sec>         wall-clock budget; exceeded -> exit 5
+//     --ckpt <path>           write iteration checkpoints here (atomic)
+//     --ckpt-every <n>        checkpoint period (default STS_CKPT_EVERY/10)
+//     --restore <path>        resume from a checkpoint written by --ckpt
 //     --trace <f.json>        write a Chrome trace-event file (Perfetto)
 //     --metrics <f.csv|stderr> dump the metrics registry at exit
 //     --list                  print suite matrix names and exit
@@ -39,6 +42,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "solvers/checkpoint.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "sparse/stats.hpp"
@@ -59,8 +63,9 @@ using namespace sts;
               "[--nev n]\n"
               "  [--tolerance t] [--block rows | --autotune] [--threads n] "
               "[--scale f]\n"
-              "  [--timeout sec] [--list] [--trace f.json] "
-              "[--metrics f.csv|stderr]\n",
+              "  [--timeout sec] [--ckpt f.ckpt] [--ckpt-every n] "
+              "[--restore f.ckpt]\n"
+              "  [--list] [--trace f.json] [--metrics f.csv|stderr]\n",
               argv0);
   std::exit(2);
 }
@@ -71,6 +76,9 @@ int main(int argc, char** argv) {
   svc::RunSpec spec;
   std::string trace_path;
   std::string metrics_dest;
+  std::string ckpt_path;
+  std::string restore_path;
+  int ckpt_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -95,6 +103,12 @@ int main(int argc, char** argv) {
     }
     if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--ckpt") {
+      ckpt_path = next();
+    } else if (arg == "--ckpt-every") {
+      ckpt_every = std::atoi(next().c_str());
+    } else if (arg == "--restore") {
+      restore_path = next();
     } else if (arg == "--metrics") {
       metrics_dest = next();
     } else if (arg == "--list") {
@@ -144,6 +158,27 @@ int main(int argc, char** argv) {
 
     const sparse::Csb csb = sparse::Csb::from_csr(csr, block);
 
+    // --restore: load + validate before building any runtime, so a bad or
+    // mismatched checkpoint is reported as bad input (exit 3), not deep
+    // inside a solver. Kind vs --solver is checked again by the driver.
+    std::optional<solver::ckpt::Checkpoint> restored;
+    if (!restore_path.empty()) {
+      restored = solver::ckpt::load(restore_path);
+      const bool wants_lanczos = spec.solver == svc::SolverKind::kLanczos;
+      if ((restored->kind == solver::ckpt::Kind::kLanczos) != wants_lanczos) {
+        throw support::Error(
+            std::string("--restore: checkpoint holds ") +
+            solver::ckpt::to_string(restored->kind) + " state but --solver is " +
+            svc::to_string(spec.solver));
+      }
+      std::printf("restored checkpoint: %s at iteration %lld\n",
+                  solver::ckpt::to_string(restored->kind),
+                  static_cast<long long>(
+                      restored->kind == solver::ckpt::Kind::kLanczos
+                          ? restored->lanczos.iterations
+                          : restored->lobpcg.iterations));
+    }
+
     // Wall-clock guard: the watchdog requests the cancel token after
     // --timeout seconds; every runtime polls it at iteration boundaries
     // and unwinds with support::Cancelled -> exit 5.
@@ -160,6 +195,9 @@ int main(int argc, char** argv) {
     if (spec.solver == svc::SolverKind::kLanczos) {
       solver::SolverOptions options = spec.solver_options(block);
       options.cancel = &cancel;
+      options.ckpt_path = ckpt_path;
+      options.ckpt_every = ckpt_every;
+      if (restored) options.restore = &*restored;
       const auto r =
           solver::lanczos(csr, csb, spec.iterations, spec.version, options);
       status = r.status;
@@ -177,6 +215,9 @@ int main(int argc, char** argv) {
     } else {
       solver::LobpcgOptions options = spec.lobpcg_options(block);
       options.cancel = &cancel;
+      options.ckpt_path = ckpt_path;
+      options.ckpt_every = ckpt_every;
+      if (restored) options.restore = &*restored;
       const auto r =
           solver::lobpcg(csr, csb, spec.iterations, spec.version, options);
       status = r.status;
