@@ -57,6 +57,7 @@ obs::Counter& poisoned_counter() {
 void run_task(const graph::Tdg& g, graph::TaskId id,
               perf::TraceRecorder* trace, unsigned worker) {
   const graph::Task& task = g.task(id);
+  const obs::prof::TaskMark mark("ds", task.kind);
   try {
     if (trace != nullptr || obs::task_timing_enabled()) {
       perf::TaskEvent ev;

@@ -1,0 +1,86 @@
+#include "obs/expo.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace sts::obs {
+
+namespace {
+
+bool prom_name_char(char c, bool first) noexcept {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+// HELP text allows any UTF-8 with '\\' and '\n' escaped; our names are ASCII
+// so only those two need care.
+std::string help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void header(std::ostream& os, const std::string& prom,
+            const std::string& original, const char* type) {
+  os << "# HELP " << prom << " sts metric '" << help_escape(original)
+     << "'\n# TYPE " << prom << " " << type << "\n";
+}
+
+} // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "sts_";
+  for (const char c : name) {
+    out += prom_name_char(c, /*first=*/false) ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus(const RegistrySnapshot& snap, std::ostream& os) {
+  for (const auto& c : snap.counters) {
+    const std::string prom = prometheus_name(c.name);
+    header(os, prom, c.name, "counter");
+    os << prom << "_total " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string prom = prometheus_name(g.name);
+    header(os, prom, g.name, "gauge");
+    os << prom << " " << g.value << "\n";
+    const std::string peak = prom + "_peak";
+    header(os, peak, g.name + " (high water)", "gauge");
+    os << peak << " " << g.peak << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string prom = prometheus_name(h.name);
+    header(os, prom, h.name, "summary");
+    os << prom << "{quantile=\"0.5\"} " << prom_double(h.data.quantile(0.50))
+       << "\n";
+    os << prom << "{quantile=\"0.95\"} " << prom_double(h.data.quantile(0.95))
+       << "\n";
+    os << prom << "{quantile=\"0.99\"} " << prom_double(h.data.quantile(0.99))
+       << "\n";
+    os << prom << "_sum " << h.data.sum << "\n";
+    os << prom << "_count " << h.data.count << "\n";
+  }
+}
+
+void write_prometheus(std::ostream& os) {
+  write_prometheus(Registry::instance().snapshot(), os);
+}
+
+} // namespace sts::obs

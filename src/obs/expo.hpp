@@ -1,0 +1,35 @@
+// Prometheus text exposition (format 0.0.4) over the metrics registry —
+// dependency-free, rendered from one coherent RegistrySnapshot.
+//
+// Mapping from the registry's dotted names to the Prometheus data model:
+//
+//   counter  a.b       ->  # TYPE sts_a_b counter
+//                          sts_a_b_total <v>
+//   gauge    a.b       ->  sts_a_b <v> and sts_a_b_peak <high water>
+//   histogram a.b      ->  # TYPE sts_a_b summary
+//                          sts_a_b{quantile="0.5|0.95|0.99"} <interpolated>
+//                          sts_a_b_sum <sum> / sts_a_b_count <count>
+//
+// Names are prefixed "sts_" and sanitized to the Prometheus charset
+// ([a-zA-Z_][a-zA-Z0-9_]*): every other character becomes '_'. The original
+// dotted name is kept in the # HELP line so a scrape stays greppable by the
+// names the rest of the codebase (and DESIGN.md) uses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sts::obs {
+
+/// "svc.queue_depth" -> "sts_svc_queue_depth" (sanitized, prefixed).
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Renders one snapshot as Prometheus text exposition.
+void write_prometheus(const RegistrySnapshot& snap, std::ostream& os);
+
+/// Snapshots Registry::instance() and renders it.
+void write_prometheus(std::ostream& os);
+
+} // namespace sts::obs

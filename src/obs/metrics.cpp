@@ -3,7 +3,7 @@
 #include <bit>
 #include <cstdio>
 #include <ostream>
-#include <vector>
+#include <thread>
 
 #include "support/escape.hpp"
 
@@ -34,10 +34,15 @@ std::string format_double(double v) {
 } // namespace
 
 void Histogram::observe(std::int64_t v) noexcept {
-  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+  // The fetch_add both claims a slot in the cumulative count and tells us
+  // which half is hot right now; everything after lands in that half, and
+  // the final `finished` increment (release) publishes it to snapshot().
+  const std::uint64_t n = started_hot_.fetch_add(1, std::memory_order_acq_rel);
+  Half& h = halves_[static_cast<std::size_t>(n >> 63)];
+  h.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
       1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  h.sum.fetch_add(v, std::memory_order_relaxed);
+  h.finished.fetch_add(1, std::memory_order_release);
   std::int64_t lo = min_.load(std::memory_order_relaxed);
   while (v < lo &&
          !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
@@ -48,33 +53,60 @@ void Histogram::observe(std::int64_t v) noexcept {
   }
 }
 
-std::int64_t Histogram::min() const noexcept {
-  const std::int64_t v = min_.load(std::memory_order_relaxed);
-  return v == std::numeric_limits<std::int64_t>::max() ? 0 : v;
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  // Flip the hot half. Observers that already claimed a slot keep writing
+  // into the now-cold half; wait for them — they are at most a handful of
+  // instructions from their `finished` increment.
+  const std::uint64_t n =
+      started_hot_.fetch_add(kHotHalfBit, std::memory_order_acq_rel);
+  const std::uint64_t started = n & ~kHotHalfBit;
+  Half& cold = halves_[static_cast<std::size_t>(n >> 63)];
+  Half& hot = halves_[static_cast<std::size_t>((n >> 63) ^ 1)];
+  while (cold.finished.load(std::memory_order_acquire) != started) {
+    std::this_thread::yield();
+  }
+
+  Snapshot s;
+  s.count = started;
+  s.sum = cold.sum.load(std::memory_order_relaxed);
+  for (int b = 0; b < kBuckets; ++b) {
+    s.buckets[static_cast<std::size_t>(b)] =
+        cold.buckets[static_cast<std::size_t>(b)].load(
+            std::memory_order_relaxed);
+  }
+  const std::int64_t lo = min_.load(std::memory_order_relaxed);
+  const std::int64_t hi = max_.load(std::memory_order_relaxed);
+  s.min = lo == std::numeric_limits<std::int64_t>::max() ? 0 : lo;
+  s.max = hi == std::numeric_limits<std::int64_t>::min() ? 0 : hi;
+
+  // Fold the cold half back into the hot one so the histogram stays
+  // cumulative across flips, and zero it for its next turn as hot.
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = cold.buckets[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (c != 0) {
+      hot.buckets[static_cast<std::size_t>(b)].fetch_add(
+          c, std::memory_order_relaxed);
+      cold.buckets[static_cast<std::size_t>(b)].store(
+          0, std::memory_order_relaxed);
+    }
+  }
+  hot.sum.fetch_add(s.sum, std::memory_order_relaxed);
+  cold.sum.store(0, std::memory_order_relaxed);
+  hot.finished.fetch_add(started, std::memory_order_release);
+  cold.finished.store(0, std::memory_order_relaxed);
+  return s;
 }
 
-std::int64_t Histogram::max() const noexcept {
-  const std::int64_t v = max_.load(std::memory_order_relaxed);
-  return v == std::numeric_limits<std::int64_t>::min() ? 0 : v;
-}
-
-double Histogram::quantile(double p) const noexcept {
+double Histogram::Snapshot::quantile(double p) const noexcept {
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
-  // Snapshot: concurrent observes may skew the snapshot by a few samples,
-  // which is fine for a monitoring estimate.
-  std::array<std::uint64_t, kBuckets> counts;
-  std::uint64_t total = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    counts[static_cast<std::size_t>(b)] =
-        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
-    total += counts[static_cast<std::size_t>(b)];
-  }
-  if (total == 0) return 0.0;
-  const double rank = p * static_cast<double>(total);
+  if (count == 0) return 0.0;
+  const double rank = p * static_cast<double>(count);
   double seen = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
-    const double n = static_cast<double>(counts[static_cast<std::size_t>(b)]);
+    const double n = static_cast<double>(buckets[static_cast<std::size_t>(b)]);
     if (n == 0.0) continue;
     if (seen + n >= rank) {
       // Spread the bucket's samples evenly across [low, high) and take the
@@ -114,41 +146,58 @@ Histogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
-void Registry::write_csv(std::ostream& os) const {
+RegistrySnapshot Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  os << "name,type,value,count,min,max,p50,p95,p99\n";
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    os << support::csv_field(name) << ",counter," << c->value() << ",,,,,,\n";
+    snap.counters.push_back({name, c->value()});
   }
+  snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
-    os << support::csv_field(name) << ",gauge," << g->value() << ",,,"
-       << g->peak() << ",,,\n";
+    snap.gauges.push_back({name, g->value(), g->peak()});
   }
+  snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    os << support::csv_field(name) << ",histogram," << h->sum() << ","
-       << h->count() << "," << h->min() << "," << h->max() << ","
-       << format_double(h->quantile(0.50)) << ","
-       << format_double(h->quantile(0.95)) << ","
-       << format_double(h->quantile(0.99)) << "\n";
+    snap.histograms.push_back({name, h->snapshot()});
+  }
+  return snap;
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  const RegistrySnapshot snap = snapshot();
+  os << "name,type,value,count,min,max,p50,p95,p99\n";
+  for (const auto& c : snap.counters) {
+    os << support::csv_field(c.name) << ",counter," << c.value << ",,,,,,\n";
+  }
+  for (const auto& g : snap.gauges) {
+    os << support::csv_field(g.name) << ",gauge," << g.value << ",,,"
+       << g.peak << ",,,\n";
+  }
+  for (const auto& h : snap.histograms) {
+    os << support::csv_field(h.name) << ",histogram," << h.data.sum << ","
+       << h.data.count << "," << h.data.min << "," << h.data.max << ","
+       << format_double(h.data.quantile(0.50)) << ","
+       << format_double(h.data.quantile(0.95)) << ","
+       << format_double(h.data.quantile(0.99)) << "\n";
   }
 }
 
 void Registry::write_text(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const RegistrySnapshot snap = snapshot();
   os << "== sts metrics ==\n";
-  for (const auto& [name, c] : counters_) {
-    os << "  " << name << " = " << c->value() << "\n";
+  for (const auto& c : snap.counters) {
+    os << "  " << c.name << " = " << c.value << "\n";
   }
-  for (const auto& [name, g] : gauges_) {
-    os << "  " << name << " = " << g->value() << " (peak " << g->peak()
-       << ")\n";
+  for (const auto& g : snap.gauges) {
+    os << "  " << g.name << " = " << g.value << " (peak " << g.peak << ")\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    os << "  " << name << ": n=" << h->count() << " sum=" << h->sum()
-       << " min=" << h->min() << " max=" << h->max()
-       << " p50=" << format_double(h->quantile(0.50))
-       << " p95=" << format_double(h->quantile(0.95))
-       << " p99=" << format_double(h->quantile(0.99)) << "\n";
+  for (const auto& h : snap.histograms) {
+    os << "  " << h.name << ": n=" << h.data.count << " sum=" << h.data.sum
+       << " min=" << h.data.min << " max=" << h.data.max
+       << " p50=" << format_double(h.data.quantile(0.50))
+       << " p95=" << format_double(h.data.quantile(0.95))
+       << " p99=" << format_double(h.data.quantile(0.99)) << "\n";
   }
 }
 

@@ -6,6 +6,14 @@
 // looked up by name and when the registry is dumped. References returned by
 // the registry stay valid for the life of the process — instrumentation
 // sites cache them in function-local statics.
+//
+// Dumps are coherent: Histogram keeps two accumulation halves and a cumulative
+// started-observe counter whose top bit selects the hot half (the scheme
+// Prometheus client libraries use). snapshot() flips the hot bit, waits the
+// few instructions it takes in-flight observe() calls to land in the now-cold
+// half, reads the cold half at rest, and folds it back into the hot half — so
+// an exported histogram always has count == sum of bucket counts and a sum
+// that matches exactly those observations, even while writers keep going.
 #pragma once
 
 #include <array>
@@ -17,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace sts::obs {
 
@@ -57,34 +66,85 @@ private:
 };
 
 /// Lock-free latency/size histogram with power-of-two buckets: bucket b
-/// covers [2^b, 2^(b+1)) (bucket 0 also absorbs values <= 1). Quantiles are
-/// linearly interpolated inside the winning bucket, so they are estimates
-/// with at most 2x relative error — plenty for p50/p95/p99 latency triage.
+/// covers [2^b, 2^(b+1)) (bucket 0 also absorbs values <= 1; the top bucket
+/// absorbs everything above 2^47). Quantiles are linearly interpolated inside
+/// the winning bucket, so they are estimates with at most 2x relative error —
+/// plenty for p50/p95/p99 latency triage.
 class Histogram {
 public:
   static constexpr int kBuckets = 48;
 
+  /// One coherent point-in-time view: `count` equals the sum of `buckets`
+  /// and `sum` is the sum of exactly those observations.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0; // 0 when empty
+    std::int64_t max = 0; // 0 when empty
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Interpolated quantile for p in [0, 1]; 0 when empty. Monotone in p.
+    [[nodiscard]] double quantile(double p) const noexcept;
+  };
+
   void observe(std::int64_t v) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::int64_t sum() const noexcept {
-    return sum_.load(std::memory_order_relaxed);
-  }
-  /// Smallest / largest observed value; 0 when empty.
-  [[nodiscard]] std::int64_t min() const noexcept;
-  [[nodiscard]] std::int64_t max() const noexcept;
+  /// Coherent export; serialized per histogram, briefly waits out in-flight
+  /// observe() calls. Writers are never blocked.
+  [[nodiscard]] Snapshot snapshot() const noexcept;
 
-  /// Interpolated quantile for p in [0, 1]; 0 when empty. Monotone in p.
-  [[nodiscard]] double quantile(double p) const noexcept;
+  // Convenience accessors; each takes a full snapshot, so batch readers
+  // (dumps, stats) should call snapshot() once instead.
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return snapshot().count;
+  }
+  [[nodiscard]] std::int64_t sum() const noexcept { return snapshot().sum; }
+  /// Smallest / largest observed value; 0 when empty.
+  [[nodiscard]] std::int64_t min() const noexcept { return snapshot().min; }
+  [[nodiscard]] std::int64_t max() const noexcept { return snapshot().max; }
+  [[nodiscard]] double quantile(double p) const noexcept {
+    return snapshot().quantile(p);
+  }
 
 private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> sum_{0};
+  // Cumulative started-observe count; bit 63 selects the hot half.
+  static constexpr std::uint64_t kHotHalfBit = std::uint64_t{1} << 63;
+
+  struct Half {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::int64_t> sum{0};
+    // Cumulative finished-observe count for this half; snapshot() spins
+    // until the cold half's value reaches the started count it captured.
+    std::atomic<std::uint64_t> finished{0};
+  };
+
+  mutable std::atomic<std::uint64_t> started_hot_{0};
+  mutable std::array<Half, 2> halves_{};
   std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
   std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+  mutable std::mutex snapshot_mutex_;
+};
+
+/// Point-in-time copy of every registered metric, in name order per kind.
+/// Produced under the registry mutex so dumps and renderers (CSV, text,
+/// Prometheus exposition) all read the same coherent state.
+struct RegistrySnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t peak = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    Histogram::Snapshot data;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
 };
 
 /// Name -> metric map. Metrics are created on first lookup and never
@@ -96,6 +156,9 @@ public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Coherent copy of every metric (see RegistrySnapshot).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
 
   /// One CSV row per metric:
   /// name,type,value,count,min,max,p50,p95,p99 (histogram `value` = sum).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,12 +25,21 @@ constexpr int kMetricsBit = 2;
 
 // -1 = not yet initialized from the environment; >= 0 = active bit set.
 std::atomic<int> g_flags{-1};
+// Fast gate for the per-job capture window (mirrors JobTraceRing's active
+// job) so span()/instant() stay one relaxed load when everything is off.
+std::atomic<bool> g_job_capture{false};
 std::mutex g_config_mutex;
 std::string g_trace_path;   // guarded by g_config_mutex
 std::string g_metrics_dest; // guarded by g_config_mutex
+std::string g_prof_path;    // guarded by g_config_mutex
 bool g_atexit_registered = false;
 
 std::string json_number(double v) {
+  // JSON has no nan/inf literals; a diverging solve's residual must not
+  // corrupt the whole trace document, so render non-finite values as
+  // strings.
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
@@ -65,6 +75,11 @@ int init_flags() {
     g_metrics_dest = metrics;
     f |= kMetricsBit;
   }
+  const std::string prof = support::env_string("STS_PROF", "");
+  if (!prof.empty()) {
+    g_prof_path = prof;
+    prof::start_sampling();
+  }
   support::fault::set_observer(&on_fault_fired);
   if (!g_atexit_registered) {
     std::atexit([] { flush(); });
@@ -88,7 +103,9 @@ int flags() noexcept {
 
 bool tracing_enabled() noexcept { return (flags() & kTraceBit) != 0; }
 bool metrics_enabled() noexcept { return (flags() & kMetricsBit) != 0; }
-bool task_timing_enabled() noexcept { return flags() != 0; }
+bool task_timing_enabled() noexcept {
+  return flags() != 0 || job_trace_active();
+}
 
 void enable_tracing(const std::string& path) {
   flags(); // force init so the atexit hook and fault observer are in place
@@ -109,22 +126,44 @@ void enable_metrics(const std::string& dest) {
   g_flags.fetch_or(kMetricsBit, std::memory_order_acq_rel);
 }
 
+void enable_profiling(const std::string& path) {
+  flags(); // force init so the atexit flush is in place
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_prof_path = path;
+  }
+  prof::start_sampling();
+}
+
 void disable() noexcept {
   if (g_flags.load(std::memory_order_acquire) > 0) {
     g_flags.fetch_and(0, std::memory_order_acq_rel);
   }
+  prof::stop_sampling();
 }
 
 void flush() noexcept {
   const int f = flags();
-  if (f == 0) return;
+  if (f == 0 && !prof::sampling_active()) return;
   try {
     std::string trace_path;
     std::string metrics_dest;
+    std::string prof_path;
     {
       std::lock_guard<std::mutex> lock(g_config_mutex);
       trace_path = g_trace_path;
       metrics_dest = g_metrics_dest;
+      prof_path = g_prof_path;
+    }
+    if (prof::sampling_active() && !prof_path.empty()) {
+      prof::stop_sampling();
+      std::ofstream os(prof_path);
+      if (os) {
+        prof::write_folded(os);
+      } else {
+        std::fprintf(stderr, "obs: cannot write profile to '%s'\n",
+                     prof_path.c_str());
+      }
     }
     if ((f & kTraceBit) != 0 && !trace_path.empty()) {
       std::ofstream os(trace_path);
@@ -172,6 +211,61 @@ Histogram& histogram(const std::string& name) {
   return Registry::instance().histogram(name);
 }
 
+void set_job_trace_capacity(std::size_t bytes) noexcept {
+  try {
+    JobTraceRing::instance().set_capacity(bytes);
+  } catch (...) {
+  }
+}
+
+void begin_job_trace(std::uint64_t job,
+                     const std::string& trace_id) noexcept {
+  if (job == 0) return;
+  try {
+    JobTraceRing& ring = JobTraceRing::instance();
+    if (ring.capacity() == 0) return;
+    ring.begin_job(job, trace_id);
+    g_job_capture.store(true, std::memory_order_release);
+  } catch (...) {
+  }
+}
+
+void end_job_trace() noexcept {
+  g_job_capture.store(false, std::memory_order_release);
+  try {
+    JobTraceRing::instance().end_job();
+  } catch (...) {
+  }
+}
+
+bool job_trace_active() noexcept {
+  return g_job_capture.load(std::memory_order_relaxed);
+}
+
+bool write_job_trace_json(std::uint64_t job, std::ostream& os) {
+  return JobTraceRing::instance().write_job_json(job, os);
+}
+
+void clear_job_traces() noexcept {
+  try {
+    JobTraceRing::instance().clear();
+  } catch (...) {
+  }
+}
+
+namespace {
+
+/// Routes one finished event to the enabled trace consumers: the process
+/// sink when STS_TRACE is on, the per-job ring while a capture window is
+/// open. Callers check at least one is active first.
+void emit_trace_event(const TraceEvent& event, bool to_sink,
+                      bool to_ring) {
+  if (to_sink) TraceSink::instance().push(event);
+  if (to_ring) JobTraceRing::instance().push(event);
+}
+
+} // namespace
+
 void publish_task(const char* runtime, const perf::TaskEvent& event,
                   perf::TraceRecorder* recorder) noexcept {
   try {
@@ -180,16 +274,18 @@ void publish_task(const char* runtime, const perf::TaskEvent& event,
           event.worker < 0 ? 0u : static_cast<unsigned>(event.worker), event);
     }
     const int f = flags();
-    if (f == 0) return;
+    const bool capture = job_trace_active();
+    if (f == 0 && !capture) return;
     const char* kernel = graph::to_string(event.kind);
-    if ((f & kTraceBit) != 0) {
-      TraceSink& sink = TraceSink::instance();
-      sink.name_current_lane(std::string(runtime) + "/w" +
-                             std::to_string(event.worker));
-      sink.push(TraceEvent{kernel, kernel, 'X', event.start_ns,
-                           event.end_ns - event.start_ns,
-                           "{\"task_id\":" + std::to_string(event.task_id) +
-                               "}"});
+    const bool to_sink = (f & kTraceBit) != 0;
+    if (to_sink || capture) {
+      TraceSink::instance().name_current_lane(
+          std::string(runtime) + "/w" + std::to_string(event.worker));
+      emit_trace_event(
+          TraceEvent{kernel, kernel, 'X', event.start_ns,
+                     event.end_ns - event.start_ns,
+                     "{\"task_id\":" + std::to_string(event.task_id) + "}"},
+          to_sink, capture);
     }
     if ((f & kMetricsBit) != 0) {
       histogram(std::string(runtime) + ".task_ns." + kernel)
@@ -202,20 +298,25 @@ void publish_task(const char* runtime, const perf::TaskEvent& event,
 void span(const std::string& name, const std::string& cat,
           std::int64_t start_ns, std::int64_t end_ns,
           const std::string& args) noexcept {
-  if (!tracing_enabled()) return;
+  const bool to_sink = tracing_enabled();
+  const bool capture = job_trace_active();
+  if (!to_sink && !capture) return;
   try {
-    TraceSink::instance().push(
-        TraceEvent{name, cat, 'X', start_ns, end_ns - start_ns, args});
+    emit_trace_event(
+        TraceEvent{name, cat, 'X', start_ns, end_ns - start_ns, args},
+        to_sink, capture);
   } catch (...) {
   }
 }
 
 void instant(const std::string& name, const std::string& cat,
              const std::string& args) noexcept {
-  if (!tracing_enabled()) return;
+  const bool to_sink = tracing_enabled();
+  const bool capture = job_trace_active();
+  if (!to_sink && !capture) return;
   try {
-    TraceSink::instance().push(
-        TraceEvent{name, cat, 'i', support::now_ns(), 0, args});
+    emit_trace_event(TraceEvent{name, cat, 'i', support::now_ns(), 0, args},
+                     to_sink, capture);
   } catch (...) {
   }
 }
@@ -230,6 +331,7 @@ RegionTimer::RegionTimer(const char* runtime, graph::KernelKind kind,
 }
 
 void RegionTimer::thread_begin(int tid) noexcept {
+  prof::region_begin(runtime_, kind_);
   if (!enabled_ || tid < 0 ||
       static_cast<std::size_t>(tid) >= begin_ns_.size()) {
     return;
@@ -238,6 +340,7 @@ void RegionTimer::thread_begin(int tid) noexcept {
 }
 
 void RegionTimer::thread_end(int tid) noexcept {
+  prof::region_end();
   if (!enabled_ || tid < 0 ||
       static_cast<std::size_t>(tid) >= end_ns_.size()) {
     return;
@@ -277,7 +380,10 @@ RegionTimer::~RegionTimer() {
 
 IterScope::IterScope(const char* label, int iteration) noexcept
     : label_(label), iteration_(iteration) {
-  if (task_timing_enabled()) start_ns_ = support::now_ns();
+  if (task_timing_enabled()) {
+    start_ns_ = support::now_ns();
+    hw_begin_ = prof::hw_read();
+  }
 }
 
 void IterScope::metric(const char* name, double value) noexcept {
@@ -291,14 +397,25 @@ IterScope::~IterScope() {
   if (!enabled()) return;
   try {
     const std::int64_t end = support::now_ns();
+    const prof::HwCounts hw = prof::hw_delta(prof::hw_read(), hw_begin_);
     const int f = flags();
-    if ((f & kTraceBit) != 0) {
+    if ((f & kTraceBit) != 0 || job_trace_active()) {
       std::string args;
-      for (int i = 0; i < values_; ++i) {
+      auto field = [&args](const char* name, const std::string& value) {
         args += args.empty() ? "{\"" : ",\"";
-        args += support::json_escape(names_[i]);
+        args += name;
         args += "\":";
-        args += json_number(data_[i]);
+        args += value;
+      };
+      for (int i = 0; i < values_; ++i) {
+        field(support::json_escape(names_[i]).c_str(), json_number(data_[i]));
+      }
+      if (hw.cycles >= 0) field("cycles", std::to_string(hw.cycles));
+      if (hw.instructions >= 0) {
+        field("instructions", std::to_string(hw.instructions));
+      }
+      if (hw.cache_misses >= 0) {
+        field("cache_misses", std::to_string(hw.cache_misses));
       }
       if (!args.empty()) args += "}";
       span("iter[" + std::to_string(iteration_) + "]", label_, start_ns_, end,
@@ -308,6 +425,13 @@ IterScope::~IterScope() {
       const std::string label(label_);
       histogram(label + ".iter_ns").observe(end - start_ns_);
       counter(label + ".iterations").add(1);
+      if (hw.cycles >= 0) histogram(label + ".iter_cycles").observe(hw.cycles);
+      if (hw.instructions >= 0) {
+        histogram(label + ".iter_instructions").observe(hw.instructions);
+      }
+      if (hw.cache_misses >= 0) {
+        histogram(label + ".iter_cache_misses").observe(hw.cache_misses);
+      }
     }
   } catch (...) {
   }

@@ -5,7 +5,8 @@
 //
 //   STS_TRACE=<file.json>        buffer a Chrome trace, write it at exit
 //   STS_METRICS=stderr|<f.csv>   dump the metrics registry at exit
-//   stsolve --trace=f --metrics=f   same, per invocation
+//   STS_PROF=<file.folded>       sample workers, write folded stacks at exit
+//   stsolve --trace=f --metrics=f --prof=f   same, per invocation
 //
 // and near-zero-cost when off: every instrumentation site gates on one
 // relaxed atomic load before touching a clock or allocating. Enabling
@@ -19,6 +20,7 @@
 // consumer of the same stream the always-on telemetry uses.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -26,6 +28,7 @@
 
 #include "graph/tdg.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "perf/trace.hpp"
 
 namespace sts::obs {
@@ -46,6 +49,11 @@ void enable_tracing(const std::string& path);
 /// "stderr" for the text form, anything else a CSV path (empty = collect
 /// only).
 void enable_metrics(const std::string& dest);
+
+/// Starts the sampling profiler (obs/profiler.hpp); `path` is where flush()
+/// writes the folded stacks (empty = sample only, export via
+/// prof::write_folded()).
+void enable_profiling(const std::string& path);
 
 /// Stops both collectors (buffers and registry contents are kept).
 void disable() noexcept;
@@ -69,6 +77,37 @@ void write_metrics_csv(std::ostream& os);
 Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name);
+
+// -- Per-job trace capture -------------------------------------------------
+// stsd's live-trace path: while a job trace is open, every span/instant/
+// publish_task event is also buffered in a byte-bounded ring tagged with
+// the job id (obs::JobTraceRing), independent of STS_TRACE. The service
+// opens the window around each job's execution on its single executor, so
+// worker-thread events inside the window belong to that job.
+
+/// Byte budget for the ring; 0 disables capture (then begin_job_trace is a
+/// no-op window).
+void set_job_trace_capacity(std::size_t bytes) noexcept;
+
+/// Opens the capture window for `job` (> 0). `trace_id` is the
+/// client-supplied correlation id recorded in the exported JSON.
+void begin_job_trace(std::uint64_t job, const std::string& trace_id) noexcept;
+
+/// Closes the capture window.
+void end_job_trace() noexcept;
+
+/// True while a capture window is open (gate for clock reads, like
+/// task_timing_enabled()).
+[[nodiscard]] bool job_trace_active() noexcept;
+
+/// Chrome trace JSON for one captured job; false when nothing is buffered
+/// for it (never captured, or evicted by the byte budget).
+bool write_job_trace_json(std::uint64_t job, std::ostream& os);
+
+/// Drops every buffered job trace. A fresh stsd service calls this so a
+/// previous instance's slices (whose job-id space it is about to reuse)
+/// cannot bleed into its own exports.
+void clear_job_traces() noexcept;
 
 // -- Event stream ----------------------------------------------------------
 
@@ -130,7 +169,11 @@ private:
 /// Scopes one solver iteration: emits a `iter[n]` span (category =
 /// `label`), feeds `<label>.iter_ns`, and bumps `<label>.iterations`.
 /// Up to four named values (beta, residual, ...) attach as span args, so
-/// the per-iteration convergence history is readable off the trace.
+/// the per-iteration convergence history is readable off the trace. When
+/// the kernel permits perf_event counters (see obs/profiler.hpp), the
+/// iteration's cycles / instructions / LLC misses attach as span args and
+/// feed `<label>.iter_{cycles,instructions,cache_misses}` histograms — the
+/// paper's cache-efficiency lens on live runs.
 class IterScope {
 public:
   IterScope(const char* label, int iteration) noexcept;
@@ -148,6 +191,7 @@ private:
   int values_ = 0;
   const char* names_[4] = {};
   double data_[4] = {};
+  prof::HwCounts hw_begin_;
 };
 
 } // namespace sts::obs

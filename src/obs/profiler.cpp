@@ -1,0 +1,331 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/env.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace sts::obs::prof {
+
+namespace {
+
+// -- Slot table ------------------------------------------------------------
+//
+// Fixed array of per-thread state words; a thread claims one slot for life
+// (threads are pooled and long-lived in every runtime here). State packing:
+//   0                          -> slot unused / thread exited
+//   ((rt + 1) << 8) | 0xFF     -> idle, last ran under runtime `rt`
+//   ((rt + 1) << 8) | (k + 1)  -> running a task of KernelKind `k`
+
+constexpr int kMaxSlots = 512;
+constexpr int kMaxRuntimes = 15;
+constexpr std::uint32_t kIdleKind = 0xFF;
+
+struct Slot {
+  std::atomic<std::uint32_t> state{0};
+};
+
+Slot g_slots[kMaxSlots];
+std::atomic<int> g_slot_count{0};
+std::atomic<bool> g_sampling{false};
+
+// Runtime-name intern table: TaskMark callers pass string literals; the
+// sampler resolves ids back to names without touching the heap.
+std::atomic<const char*> g_runtimes[kMaxRuntimes + 1];
+
+std::uint32_t runtime_id(const char* name) noexcept {
+  for (int i = 0; i < kMaxRuntimes; ++i) {
+    const char* cur = g_runtimes[i].load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (g_runtimes[i].compare_exchange_strong(expected, name,
+                                                std::memory_order_acq_rel)) {
+        return static_cast<std::uint32_t>(i);
+      }
+      cur = g_runtimes[i].load(std::memory_order_acquire);
+    }
+    if (cur == name || std::strcmp(cur, name) == 0) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  return kMaxRuntimes; // overflow bucket, rendered as "(other)"
+}
+
+const char* runtime_name(std::uint32_t id) noexcept {
+  if (id >= kMaxRuntimes) return "(other)";
+  const char* name = g_runtimes[id].load(std::memory_order_acquire);
+  return name != nullptr ? name : "(other)";
+}
+
+constexpr std::uint32_t pack(std::uint32_t rt, std::uint32_t kind_byte) {
+  return ((rt + 1) << 8) | kind_byte;
+}
+
+thread_local int t_slot = -1;
+
+// Zero the slot when the owning thread exits so the sampler stops counting
+// a dead thread as idle. Slot indices are not reused.
+struct SlotReleaser {
+  ~SlotReleaser() {
+    if (t_slot >= 0) g_slots[t_slot].state.store(0, std::memory_order_relaxed);
+  }
+};
+
+std::atomic<std::uint32_t>* claim_slot() noexcept {
+  if (t_slot < 0) {
+    const int n = g_slot_count.fetch_add(1, std::memory_order_relaxed);
+    if (n >= kMaxSlots) return nullptr; // over capacity: thread unsampled
+    t_slot = n;
+    static thread_local SlotReleaser releaser;
+    (void)releaser;
+  }
+  return &g_slots[t_slot].state;
+}
+
+// -- Sampler ---------------------------------------------------------------
+
+struct Sampler {
+  std::mutex mutex; // guards ticks/total against write_folded/reset
+  std::map<std::uint32_t, std::uint64_t> ticks;
+  std::uint64_t total = 0;
+  std::thread thread;
+};
+
+Sampler& sampler() {
+  static Sampler s;
+  return s;
+}
+
+void sampler_loop(std::chrono::nanoseconds period) {
+  Sampler& s = sampler();
+  while (g_sampling.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    const int slots = std::min(g_slot_count.load(std::memory_order_relaxed),
+                               kMaxSlots);
+    std::uint32_t seen[kMaxSlots];
+    int n = 0;
+    for (int i = 0; i < slots; ++i) {
+      const std::uint32_t v = g_slots[i].state.load(std::memory_order_relaxed);
+      if (v != 0) seen[n++] = v;
+    }
+    if (n == 0) continue;
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    for (int i = 0; i < n; ++i) ++s.ticks[seen[i]];
+    ++s.total;
+  }
+}
+
+std::string state_name(std::uint32_t state) {
+  const std::uint32_t rt = (state >> 8) - 1;
+  const std::uint32_t kind_byte = state & 0xFF;
+  std::string name = runtime_name(rt);
+  name += ';';
+  if (kind_byte == kIdleKind) {
+    name += "(idle)";
+  } else {
+    name += graph::to_string(static_cast<graph::KernelKind>(kind_byte - 1));
+  }
+  return name;
+}
+
+// -- perf_event ------------------------------------------------------------
+
+#if defined(__linux__)
+
+struct PerfThreadState {
+  int fds[3] = {-1, -1, -1};
+  bool attempted = false;
+
+  ~PerfThreadState() {
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  static int open_event(std::uint64_t config) noexcept {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // pid=0, cpu=-1: this thread, any CPU.
+    const long fd = ::syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0UL);
+    return fd < 0 ? -1 : static_cast<int>(fd);
+  }
+
+  void ensure_open() noexcept {
+    if (attempted) return;
+    attempted = true;
+    if (support::env_int("STS_HW_COUNTERS", 1) == 0) return;
+    // Open individually, not as a group: a PMU that lacks one event (common
+    // for LLC misses in VMs) should not take the others down with it.
+    fds[0] = open_event(PERF_COUNT_HW_CPU_CYCLES);
+    fds[1] = open_event(PERF_COUNT_HW_INSTRUCTIONS);
+    fds[2] = open_event(PERF_COUNT_HW_CACHE_MISSES);
+    static std::atomic<bool> reported{false};
+    if (!reported.exchange(true, std::memory_order_relaxed)) {
+      gauge("obs.hw_counters").observe(fds[0] >= 0 || fds[1] >= 0 ? 1 : 0);
+    }
+  }
+
+  std::int64_t read_fd(int i) const noexcept {
+    if (fds[i] < 0) return -1;
+    std::uint64_t v = 0;
+    if (::read(fds[i], &v, sizeof(v)) != sizeof(v)) return -1;
+    return static_cast<std::int64_t>(v);
+  }
+};
+
+PerfThreadState& perf_state() noexcept {
+  static thread_local PerfThreadState state;
+  state.ensure_open();
+  return state;
+}
+
+#endif // __linux__
+
+} // namespace
+
+// -- Marks -----------------------------------------------------------------
+
+bool sampling_active() noexcept {
+  return g_sampling.load(std::memory_order_relaxed);
+}
+
+TaskMark::TaskMark(const char* runtime, graph::KernelKind kind) noexcept {
+  if (!sampling_active()) return;
+  std::atomic<std::uint32_t>* slot = claim_slot();
+  if (slot == nullptr) return;
+  slot_ = slot;
+  prev_ = slot->load(std::memory_order_relaxed);
+  slot->store(pack(runtime_id(runtime),
+                   static_cast<std::uint32_t>(kind) + 1),
+              std::memory_order_relaxed);
+}
+
+TaskMark::~TaskMark() {
+  if (slot_ == nullptr) return;
+  auto* slot = static_cast<std::atomic<std::uint32_t>*>(slot_);
+  const std::uint32_t cur = slot->load(std::memory_order_relaxed);
+  // Outermost mark: fall back to idle under the same runtime rather than 0,
+  // so a pooled worker between tasks still attributes its idle time.
+  slot->store(prev_ != 0 ? prev_ : (cur & ~0xFFu) | kIdleKind,
+              std::memory_order_relaxed);
+}
+
+void region_begin(const char* runtime, graph::KernelKind kind) noexcept {
+  if (!sampling_active()) return;
+  std::atomic<std::uint32_t>* slot = claim_slot();
+  if (slot == nullptr) return;
+  slot->store(pack(runtime_id(runtime),
+                   static_cast<std::uint32_t>(kind) + 1),
+              std::memory_order_relaxed);
+}
+
+void region_end() noexcept {
+  if (t_slot < 0) return;
+  std::atomic<std::uint32_t>& slot = g_slots[t_slot].state;
+  const std::uint32_t cur = slot.load(std::memory_order_relaxed);
+  if (cur != 0) {
+    slot.store((cur & ~0xFFu) | kIdleKind, std::memory_order_relaxed);
+  }
+}
+
+// -- Sampler control -------------------------------------------------------
+
+void start_sampling(double hz) {
+  Sampler& s = sampler();
+  if (g_sampling.exchange(true, std::memory_order_acq_rel)) return;
+  if (hz <= 0.0) hz = support::env_double("STS_PROF_HZ", 497.0);
+  if (hz <= 0.0 || hz > 100000.0) hz = 497.0;
+  const auto period = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / hz));
+  s.thread = std::thread(sampler_loop, period);
+}
+
+void stop_sampling() noexcept {
+  Sampler& s = sampler();
+  if (!g_sampling.exchange(false, std::memory_order_acq_rel)) return;
+  try {
+    if (s.thread.joinable()) s.thread.join();
+  } catch (...) {
+  }
+}
+
+void reset_samples() {
+  Sampler& s = sampler();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.ticks.clear();
+  s.total = 0;
+}
+
+std::uint64_t sample_count() noexcept {
+  Sampler& s = sampler();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.total;
+}
+
+void write_folded(std::ostream& os) {
+  Sampler& s = sampler();
+  std::map<std::string, std::uint64_t> rows;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [state, n] : s.ticks) rows[state_name(state)] += n;
+  }
+  for (const auto& [name, n] : rows) os << name << " " << n << "\n";
+}
+
+// -- Hardware counters -----------------------------------------------------
+
+HwCounts hw_delta(const HwCounts& end, const HwCounts& begin) noexcept {
+  HwCounts d;
+  if (end.cycles >= 0 && begin.cycles >= 0) d.cycles = end.cycles - begin.cycles;
+  if (end.instructions >= 0 && begin.instructions >= 0) {
+    d.instructions = end.instructions - begin.instructions;
+  }
+  if (end.cache_misses >= 0 && begin.cache_misses >= 0) {
+    d.cache_misses = end.cache_misses - begin.cache_misses;
+  }
+  return d;
+}
+
+#if defined(__linux__)
+
+bool hw_counters_available() noexcept {
+  const PerfThreadState& s = perf_state();
+  return s.fds[0] >= 0 || s.fds[1] >= 0 || s.fds[2] >= 0;
+}
+
+HwCounts hw_read() noexcept {
+  const PerfThreadState& s = perf_state();
+  HwCounts c;
+  c.cycles = s.read_fd(0);
+  c.instructions = s.read_fd(1);
+  c.cache_misses = s.read_fd(2);
+  return c;
+}
+
+#else
+
+bool hw_counters_available() noexcept { return false; }
+HwCounts hw_read() noexcept { return {}; }
+
+#endif
+
+} // namespace sts::obs::prof

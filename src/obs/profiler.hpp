@@ -1,0 +1,105 @@
+// Sampling profiler and hardware counters for live solver runs.
+//
+// Two independent facilities:
+//
+// 1. A wall-clock sampling profiler over per-worker "what am I running"
+//    state. Worker threads publish a (runtime, kernel-kind) pair into a
+//    fixed slot via the RAII TaskMark (or the split region_begin/region_end
+//    pair for BSP parallel regions); a sampler thread sweeps all slots at
+//    STS_PROF_HZ (default 497 Hz) and accumulates `runtime;kind` tick
+//    counts. write_folded() emits the folded-stack format flamegraph.pl and
+//    speedscope consume directly:
+//
+//        flux;spmv 1817
+//        flux;(idle) 241
+//
+//    When sampling is off a TaskMark is a single relaxed load — the hook
+//    stays in the task hot paths permanently. Publishing is wait-free; the
+//    sampler never blocks workers.
+//
+// 2. perf_event_open hardware counters (cycles, instructions, LLC misses)
+//    for the calling thread, used by IterScope to attach cache-efficiency
+//    numbers (the paper's Figs. 8/11 lens) to solver-iteration spans and
+//    metrics. Counters that the kernel refuses (perf_event_paranoid,
+//    seccomp ENOSYS, missing PMU) degrade per-event to -1 — never an error.
+//    STS_HW_COUNTERS=0 disables the syscalls entirely.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/tdg.hpp"
+
+namespace sts::obs::prof {
+
+// -- Sampling profiler -----------------------------------------------------
+
+/// True while the sampler thread is running (gate for the mark hot path).
+[[nodiscard]] bool sampling_active() noexcept;
+
+/// Starts the sampler thread; `hz` <= 0 uses STS_PROF_HZ (default 497).
+/// Idempotent while running.
+void start_sampling(double hz = 0.0);
+
+/// Stops and joins the sampler thread. Accumulated ticks are kept.
+void stop_sampling() noexcept;
+
+/// Drops accumulated ticks (for tests / repeated profile windows).
+void reset_samples();
+
+/// Total sampler sweeps that observed at least one marked slot.
+[[nodiscard]] std::uint64_t sample_count() noexcept;
+
+/// Emits "runtime;kind count" lines, sorted by name. Safe while sampling.
+void write_folded(std::ostream& os);
+
+/// Marks the calling thread as running one task: publishes
+/// (runtime, kind) for the sampler, and restores the previous state —
+/// outermost mark wins back to "runtime;(idle)" — on destruction.
+/// `runtime` must be a literal or otherwise outlive the process.
+class TaskMark {
+public:
+  TaskMark(const char* runtime, graph::KernelKind kind) noexcept;
+  ~TaskMark();
+  TaskMark(const TaskMark&) = delete;
+  TaskMark& operator=(const TaskMark&) = delete;
+
+private:
+  std::uint32_t prev_ = 0;
+  void* slot_ = nullptr;
+};
+
+/// Split-scope variants for sites where begin and end are separate calls
+/// (BSP region threads). region_end() returns the thread to idle.
+void region_begin(const char* runtime, graph::KernelKind kind) noexcept;
+void region_end() noexcept;
+
+// -- Hardware counters (perf_event_open) -----------------------------------
+
+/// One reading per event; -1 = that counter is unavailable on this thread.
+struct HwCounts {
+  std::int64_t cycles = -1;
+  std::int64_t instructions = -1;
+  std::int64_t cache_misses = -1;
+
+  [[nodiscard]] bool any() const noexcept {
+    return cycles >= 0 || instructions >= 0 || cache_misses >= 0;
+  }
+};
+
+/// end - begin per event; -1 propagates (a counter missing on either side
+/// stays missing in the delta).
+[[nodiscard]] HwCounts hw_delta(const HwCounts& end,
+                                const HwCounts& begin) noexcept;
+
+/// True when at least one counter opened for the calling thread. The first
+/// call attempts the perf_event_open syscalls; ENOSYS/EACCES/EPERM (e.g.
+/// perf_event_paranoid) make this permanently false for the thread.
+[[nodiscard]] bool hw_counters_available() noexcept;
+
+/// Current counter values for the calling thread (cumulative since open);
+/// all -1 when unavailable. Never throws, never blocks.
+[[nodiscard]] HwCounts hw_read() noexcept;
+
+} // namespace sts::obs::prof

@@ -8,6 +8,40 @@
 
 namespace sts::obs {
 
+namespace {
+
+void emit_us(std::ostream& os, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  os << buf;
+}
+
+void emit_event(std::ostream& os, const TraceEvent& e, std::uint32_t tid,
+                std::int64_t base) {
+  os << "{\"name\":\"" << support::json_escape(e.name) << "\",\"cat\":\""
+     << support::json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+     << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  emit_us(os, e.ts_ns - base);
+  if (e.ph == 'X') {
+    os << ",\"dur\":";
+    emit_us(os, e.dur_ns);
+  } else if (e.ph == 'i') {
+    os << ",\"s\":\"t\"";
+  }
+  if (!e.args.empty()) os << ",\"args\":" << e.args;
+  os << "}";
+}
+
+void emit_thread_name(std::ostream& os, std::uint32_t tid,
+                      const std::string& name) {
+  os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+     << ",\"args\":{\"name\":\"" << support::json_escape(name) << "\"}}";
+}
+
+} // namespace
+
 TraceSink& TraceSink::instance() {
   static TraceSink s;
   return s;
@@ -20,6 +54,7 @@ TraceSink::Lane& TraceSink::lane_for_this_thread() {
   const std::lock_guard<std::mutex> lock(mutex_);
   lanes_.push_back(std::make_unique<Lane>());
   cached = lanes_.back().get();
+  cached->id = static_cast<std::uint32_t>(lanes_.size() - 1);
   return *cached;
 }
 
@@ -34,6 +69,20 @@ void TraceSink::name_current_lane(const std::string& name) {
   Lane& lane = lane_for_this_thread();
   const std::lock_guard<std::mutex> lock(lane.mutex);
   if (lane.name.empty()) lane.name = name;
+}
+
+std::uint32_t TraceSink::current_lane_id() {
+  return lane_for_this_thread().id;
+}
+
+std::string TraceSink::lane_name(std::uint32_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id < lanes_.size()) {
+    Lane& lane = *lanes_[id];
+    const std::lock_guard<std::mutex> lane_lock(lane.mutex);
+    if (!lane.name.empty()) return lane.name;
+  }
+  return "lane" + std::to_string(id);
 }
 
 void TraceSink::reset() {
@@ -67,14 +116,6 @@ void TraceSink::write_json(std::ostream& os) {
   }
   if (base == std::numeric_limits<std::int64_t>::max()) base = 0;
 
-  auto emit_us = [&os](std::int64_t ns) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
-                  static_cast<long long>(ns / 1000),
-                  static_cast<long long>(ns % 1000));
-    os << buf;
-  };
-
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -86,28 +127,147 @@ void TraceSink::write_json(std::ostream& os) {
     Lane& lane = *lanes_[tid];
     const std::lock_guard<std::mutex> lane_lock(lane.mutex);
     sep();
-    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
-       << ",\"args\":{\"name\":\""
-       << support::json_escape(lane.name.empty() ? "lane" + std::to_string(tid)
-                                                 : lane.name)
-       << "\"}}";
+    emit_thread_name(os, static_cast<std::uint32_t>(tid),
+                     lane.name.empty() ? "lane" + std::to_string(tid)
+                                       : lane.name);
     for (const TraceEvent& e : lane.events) {
       sep();
-      os << "{\"name\":\"" << support::json_escape(e.name) << "\",\"cat\":\""
-         << support::json_escape(e.cat) << "\",\"ph\":\"" << e.ph
-         << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
-      emit_us(e.ts_ns - base);
-      if (e.ph == 'X') {
-        os << ",\"dur\":";
-        emit_us(e.dur_ns);
-      } else if (e.ph == 'i') {
-        os << ",\"s\":\"t\"";
-      }
-      if (!e.args.empty()) os << ",\"args\":" << e.args;
-      os << "}";
+      emit_event(os, e, static_cast<std::uint32_t>(tid), base);
     }
   }
   os << "\n]}\n";
 }
 
+// -- JobTraceRing ----------------------------------------------------------
+
+JobTraceRing& JobTraceRing::instance() {
+  static JobTraceRing r;
+  return r;
+}
+
+void JobTraceRing::set_capacity(std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = bytes;
+  trim_locked();
+}
+
+std::size_t JobTraceRing::capacity() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void JobTraceRing::begin_job(std::uint64_t job, std::string trace_id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    jobs_[job].trace_id = std::move(trace_id);
+  }
+  current_.store(job, std::memory_order_release);
+}
+
+void JobTraceRing::end_job() noexcept {
+  current_.store(0, std::memory_order_release);
+}
+
+std::uint64_t JobTraceRing::active_job() const noexcept {
+  return current_.load(std::memory_order_acquire);
+}
+
+void JobTraceRing::push(TraceEvent event) {
+  const std::uint64_t job = active_job();
+  if (job == 0) return;
+  const std::uint32_t lane = TraceSink::instance().current_lane_id();
+  const std::size_t cost = sizeof(Entry) + event.name.size() +
+                           event.cat.size() + event.args.size();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  // A begin_job may have raced a trailing push from a previous job between
+  // the active_job() read and taking the lock; attribute by the id we read.
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return; // job record already evicted
+  events_.push_back(Entry{job, lane, std::move(event)});
+  ++it->second.events;
+  bytes_ += cost;
+  trim_locked();
+}
+
+void JobTraceRing::trim_locked() {
+  while (bytes_ > capacity_ && !events_.empty()) {
+    const Entry& e = events_.front();
+    bytes_ -= sizeof(Entry) + e.event.name.size() + e.event.cat.size() +
+              e.event.args.size();
+    ++dropped_;
+    auto it = jobs_.find(e.job);
+    if (it != jobs_.end() && --it->second.events == 0 &&
+        e.job != active_job()) {
+      jobs_.erase(it);
+    }
+    events_.pop_front();
+  }
+}
+
+bool JobTraceRing::write_job_json(std::uint64_t job, std::ostream& os) {
+  // Copy the job's slice out under the lock, render outside it.
+  std::vector<Entry> slice;
+  std::string trace_id;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry& e : events_) {
+      if (e.job == job) slice.push_back(e);
+    }
+    const auto it = jobs_.find(job);
+    if (it != jobs_.end()) trace_id = it->second.trace_id;
+  }
+  if (slice.empty()) return false;
+
+  std::int64_t base = std::numeric_limits<std::int64_t>::max();
+  std::map<std::uint32_t, std::string> lanes;
+  for (const Entry& e : slice) {
+    if (e.event.ts_ns < base) base = e.event.ts_ns;
+    lanes.emplace(e.lane, std::string());
+  }
+  TraceSink& sink = TraceSink::instance();
+  for (auto& [id, name] : lanes) name = sink.lane_name(id);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  sep();
+  os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"args\":"
+        "{\"name\":\"stsd job "
+     << job << " trace " << support::json_escape(trace_id) << "\"}}";
+  for (const auto& [id, name] : lanes) {
+    sep();
+    emit_thread_name(os, id, name);
+  }
+  for (const Entry& e : slice) {
+    sep();
+    emit_event(os, e.event, e.lane, base);
+  }
+  os << "\n]}\n";
+  return true;
+}
+
+std::size_t JobTraceRing::bytes() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t JobTraceRing::dropped() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void JobTraceRing::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  jobs_.clear();
+  bytes_ = 0;
+  dropped_ = 0;
+}
+
 } // namespace sts::obs
+

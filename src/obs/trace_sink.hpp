@@ -11,10 +11,20 @@
 // "X" complete events with microsecond timestamps rebased to the earliest
 // event, and "i" instant events for point occurrences (faults,
 // cancellations, watchdog firings).
+//
+// JobTraceRing is the daemon-side companion: a byte-bounded ring of the
+// same events tagged with the job they ran under, so a long-lived stsd can
+// serve `stsctl trace <job>` for recent jobs without buffering its whole
+// lifetime. Oldest events fall off the back when the byte budget fills;
+// lane identities come from TraceSink so both exports agree on thread
+// naming.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +51,12 @@ public:
   /// Names the calling thread's lane (first non-empty name wins).
   void name_current_lane(const std::string& name);
 
+  /// Stable id of the calling thread's lane (creates the lane on first use).
+  [[nodiscard]] std::uint32_t current_lane_id();
+
+  /// Display name for a lane id ("lane<N>" when unnamed or unknown).
+  [[nodiscard]] std::string lane_name(std::uint32_t id);
+
   /// Drops all buffered events (lanes and their names survive).
   void reset();
 
@@ -51,6 +67,7 @@ public:
 
 private:
   struct Lane {
+    std::uint32_t id = 0;
     std::mutex mutex;
     std::string name;
     std::vector<TraceEvent> events;
@@ -60,6 +77,60 @@ private:
 
   std::mutex mutex_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+/// Byte-bounded ring of trace events tagged by job id. One job is "current"
+/// at a time (stsd runs jobs through a single executor); every event pushed
+/// while a job is open is attributed to it, whichever worker thread emits
+/// it. Accounting charges the event struct plus its string payloads, so the
+/// configured budget tracks real memory within a small constant factor.
+class JobTraceRing {
+public:
+  static JobTraceRing& instance();
+
+  /// Byte budget; 0 disables capture entirely. Trimming applies on the next
+  /// push.
+  void set_capacity(std::size_t bytes);
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  void begin_job(std::uint64_t job, std::string trace_id);
+  void end_job() noexcept;
+  [[nodiscard]] std::uint64_t active_job() const noexcept;
+
+  /// Appends an event for the active job (drops it when none is active or
+  /// capacity is 0).
+  void push(TraceEvent event);
+
+  /// Chrome trace JSON for one job; false when no events remain for it
+  /// (never buffered, or already evicted by the byte budget).
+  bool write_job_json(std::uint64_t job, std::ostream& os);
+
+  [[nodiscard]] std::size_t bytes() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Drops all buffered events and job records (tests).
+  void clear();
+
+private:
+  struct Entry {
+    std::uint64_t job = 0;
+    std::uint32_t lane = 0;
+    TraceEvent event;
+  };
+  struct JobInfo {
+    std::string trace_id;
+    std::size_t events = 0;
+  };
+
+  void trim_locked();
+
+  std::atomic<std::uint64_t> current_{0};
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = std::size_t{4} << 20;
+  std::size_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::deque<Entry> events_;
+  std::map<std::uint64_t, JobInfo> jobs_;
 };
 
 } // namespace sts::obs

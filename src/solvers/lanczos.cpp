@@ -314,6 +314,7 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   // recorder, Chrome trace, latency histograms).
   auto traced = [&](graph::KernelKind kind, std::int32_t bi, auto fn) {
     return [&sched, trace, kind, bi, fn]() {
+      const obs::prof::TaskMark mark("flux", kind);
       if (trace == nullptr && !obs::task_timing_enabled()) {
         fn();
         return;
@@ -597,6 +598,7 @@ LanczosResult run_rgt(const sparse::Csb& csb, int k,
   perf::TraceRecorder* trace = options.trace;
   auto traced = [trace](graph::KernelKind kind, std::int32_t bi, auto fn) {
     return [trace, kind, bi, fn](rgt::TaskContext& ctx) {
+      const obs::prof::TaskMark mark("rgt", kind);
       if (trace == nullptr && !obs::task_timing_enabled()) {
         fn(ctx);
         return;

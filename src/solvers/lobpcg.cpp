@@ -589,6 +589,7 @@ public:
     perf::TraceRecorder* trace = opts_.trace;
     flux::Scheduler* sched = sched_;
     return [trace, sched, kind, id, fn]() {
+      const obs::prof::TaskMark mark("flux", kind);
       if (trace == nullptr && !obs::task_timing_enabled()) {
         fn();
         return;
@@ -949,6 +950,7 @@ public:
   rgt::TaskBody traced(graph::KernelKind kind, std::int32_t id, Fn fn) {
     perf::TraceRecorder* trace = opts_.trace;
     return [trace, kind, id, fn](rgt::TaskContext& ctx) {
+      const obs::prof::TaskMark mark("rgt", kind);
       if (trace == nullptr && !obs::task_timing_enabled()) {
         fn(ctx);
         return;

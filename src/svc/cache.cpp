@@ -5,7 +5,22 @@
 
 namespace sts::svc {
 
-PlanCache::PlanCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+namespace {
+
+// Single authority for the cache gauges: republish the absolute totals
+// after any mutation (and at construction, so a fresh cache resets what a
+// previous instance left behind) — absolute observes cannot drift or go
+// negative the way incremental +=/-= accounting could.
+void publish_cache_gauges(std::size_t bytes, std::size_t entries) {
+  obs::gauge("svc.cache.bytes").observe(static_cast<std::int64_t>(bytes));
+  obs::gauge("svc.cache.entries").observe(static_cast<std::int64_t>(entries));
+}
+
+} // namespace
+
+PlanCache::PlanCache(std::size_t budget_bytes) : budget_(budget_bytes) {
+  publish_cache_gauges(0, 0);
+}
 
 std::size_t PlanCache::budget_from_env() {
   const std::int64_t v = support::env_int(
@@ -34,7 +49,7 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(
   entries_[key] = Entry{plan, lru_.begin()};
   bytes_ += plan->bytes;
   evict_over_budget_locked(key);
-  obs::gauge("svc.cache.bytes").observe(static_cast<std::int64_t>(bytes_));
+  publish_cache_gauges(bytes_, entries_.size());
   return plan;
 }
 

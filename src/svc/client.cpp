@@ -176,6 +176,20 @@ wire::Json Client::stats() {
   return rpc(req).get("stats");
 }
 
+std::string Client::metrics(const std::string& format) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "metrics");
+  req.set("format", format);
+  return rpc(req).string_or("body", "");
+}
+
+std::string Client::trace_json(std::uint64_t id) {
+  wire::Json req = wire::Json::object();
+  req.set("op", "trace");
+  req.set("id", id);
+  return rpc(req).string_or("trace", "");
+}
+
 void Client::shutdown() {
   wire::Json req = wire::Json::object();
   req.set("op", "shutdown");

@@ -64,6 +64,14 @@ public:
 
   wire::Json stats();
 
+  /// Live metrics exposition from the daemon; `format` is "prom"
+  /// (Prometheus text, the default) or "csv". Returns the rendered body.
+  std::string metrics(const std::string& format = "prom");
+
+  /// Chrome trace JSON for one job captured in the daemon's trace ring.
+  /// Throws support::Error for unknown ids or evicted/disabled traces.
+  std::string trace_json(std::uint64_t id);
+
   /// Asks the daemon to shut down gracefully (drain + exit 0).
   void shutdown();
 

@@ -1,0 +1,165 @@
+#include "svc/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/expo.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+
+namespace sts::svc {
+
+namespace {
+
+// Blocking full-buffer send; false when the peer goes away.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(const char* status, const std::string& body,
+                          const char* content_type) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(int port) : configured_port_(port) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw support::Error(std::string("http socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // loopback only, always
+  addr.sin_port = htons(static_cast<std::uint16_t>(configured_port_));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw support::Error("http bind 127.0.0.1:" +
+                         std::to_string(configured_port_) + ": " +
+                         std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  } else {
+    bound_port_ = configured_port_;
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    // Serve inline: scrapes are rare, bodies are small, and a sequential
+    // loop cannot be wedged open by a slow client thanks to the recv
+    // timeout below.
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request head (we ignore everything past the
+  // request line) or an 8 KiB cap.
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return; // no request line at all
+
+  std::istringstream line(head.substr(0, line_end));
+  std::string method;
+  std::string path;
+  line >> method >> path;
+  obs::counter("svc.http_requests").add();
+
+  if (method != "GET") {
+    send_all(fd, http_response("405 Method Not Allowed",
+                               "only GET is supported\n", "text/plain"));
+    return;
+  }
+  if (path == "/metrics") {
+    std::ostringstream body;
+    obs::write_prometheus(body);
+    // version=0.0.4 is the Prometheus text exposition content type.
+    send_all(fd, http_response("200 OK", body.str(),
+                               "text/plain; version=0.0.4; charset=utf-8"));
+    return;
+  }
+  if (path == "/") {
+    send_all(fd, http_response(
+                     "200 OK", "stsd metrics listener; scrape /metrics\n",
+                     "text/plain"));
+    return;
+  }
+  send_all(fd, http_response("404 Not Found", "unknown path: " + path + "\n",
+                             "text/plain"));
+}
+
+} // namespace sts::svc

@@ -1,0 +1,48 @@
+// Minimal HTTP/1.0 scrape listener for the daemon: `GET /metrics` answers
+// with the Prometheus text exposition of the live registry, so a standard
+// Prometheus scraper (or plain curl) can watch a running stsd without
+// speaking the framed wire protocol.
+//
+// Deliberately tiny: loopback only, one accept thread serving connections
+// sequentially (scrapes are rare and the body renders in microseconds),
+// HTTP/1.0 close-per-request semantics, no keep-alive, no TLS, no request
+// body handling. Anything that is not `GET /metrics` (or `GET /`, a tiny
+// index) is a 404. Off by default — stsd enables it only when
+// --http-port/STS_HTTP_PORT is set.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace sts::svc {
+
+class MetricsHttpServer {
+public:
+  /// `port` 0 picks an ephemeral port (see port() after start()).
+  explicit MetricsHttpServer(int port);
+  ~MetricsHttpServer(); // stops
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:<port> and starts the accept thread. Throws
+  /// support::Error on bind/listen failure.
+  void start();
+  void stop();
+
+  /// Actual bound port (resolves port 0), valid after start().
+  [[nodiscard]] int port() const noexcept { return bound_port_; }
+
+private:
+  void serve_loop();
+  void handle(int fd);
+
+  int configured_port_;
+  int bound_port_ = -1;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{true};
+  std::thread thread_;
+};
+
+} // namespace sts::svc

@@ -82,6 +82,8 @@ bool RunSpec::consume_arg(const std::string& arg,
     timeout_sec = std::atof(next().c_str());
   } else if (arg == "--key") {
     client_key = next();
+  } else if (arg == "--trace-id") {
+    trace_id = next();
   } else {
     return false;
   }
@@ -131,6 +133,7 @@ wire::Json RunSpec::to_json() const {
   if (threads != 0) j.set("threads", static_cast<std::int64_t>(threads));
   if (timeout_sec > 0.0) j.set("timeout_sec", timeout_sec);
   if (!client_key.empty()) j.set("key", client_key);
+  if (!trace_id.empty()) j.set("trace_id", trace_id);
   return j;
 }
 
@@ -149,6 +152,7 @@ RunSpec RunSpec::from_json(const wire::Json& j) {
   s.threads = static_cast<unsigned>(j.int_or("threads", 0));
   s.timeout_sec = j.number_or("timeout_sec", 0.0);
   s.client_key = j.string_or("key", "");
+  s.trace_id = j.string_or("trace_id", "");
   return s;
 }
 

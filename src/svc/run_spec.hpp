@@ -48,11 +48,16 @@ struct RunSpec {
   /// same key returns the existing job id instead of enqueueing a second
   /// run — what makes client retry-after-reconnect safe (DESIGN.md §12).
   std::string client_key;
+  /// Client-supplied trace correlation id ("--trace-id"), recorded in the
+  /// job's captured Chrome trace so `stsctl trace <id>` output links back
+  /// to whatever external system submitted the job (DESIGN.md §13). Empty
+  /// defaults to "job-<id>" server-side.
+  std::string trace_id;
 
   /// Consumes one CLI flag if it belongs to the spec ("--matrix", "--suite",
   /// "--scale", "--solver", "--version", "--iterations", "--nev",
   /// "--tolerance", "--block", "--autotune", "--threads", "--timeout",
-  /// "--key").
+  /// "--key", "--trace-id").
   /// `next` yields the flag's value (and may exit with usage). Returns
   /// false for flags the spec does not own.
   bool consume_arg(const std::string& arg,

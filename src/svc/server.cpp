@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <sstream>
 
+#include "obs/expo.hpp"
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/fault.hpp"
@@ -206,6 +208,38 @@ wire::Json Server::dispatch(const wire::Json& request) {
   if (op == "stats") {
     wire::Json reply = ok_reply();
     reply.set("stats", to_json(service_.stats()));
+    return reply;
+  }
+  if (op == "metrics") {
+    // Live exposition of the daemon's whole registry, rendered from one
+    // coherent snapshot; `stsctl metrics [--prom|--csv]` and the optional
+    // HTTP listener are both thin shells over this.
+    const std::string format = request.string_or("format", "prom");
+    std::ostringstream body;
+    if (format == "prom") {
+      obs::write_prometheus(body);
+    } else if (format == "csv") {
+      obs::write_metrics_csv(body);
+    } else {
+      return error_reply("bad_request", "unknown metrics format: " + format);
+    }
+    wire::Json reply = ok_reply();
+    reply.set("format", format);
+    reply.set("body", body.str());
+    return reply;
+  }
+  if (op == "trace") {
+    const auto id = static_cast<std::uint64_t>(request.get("id").as_int());
+    (void)service_.status(id); // throws "unknown job id" -> bad_request
+    std::ostringstream trace;
+    if (!obs::write_job_trace_json(id, trace)) {
+      return error_reply("bad_request",
+                         "no trace buffered for job " + std::to_string(id) +
+                             " (evicted or capture disabled)");
+    }
+    wire::Json reply = ok_reply();
+    reply.set("id", id);
+    reply.set("trace", trace.str());
     return reply;
   }
   if (op == "shutdown") {

@@ -13,6 +13,7 @@
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "support/env.hpp"
+#include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
 
@@ -102,6 +103,10 @@ Service::Config Service::Config::from_env() {
   c.threads = static_cast<unsigned>(support::env_int("STS_THREADS", 0));
   c.journal_path = support::env_string("STS_JOURNAL", "");
   c.ckpt_dir = support::env_string("STS_CKPT_DIR", "");
+  const std::int64_t trace_bytes = support::env_int(
+      "STS_JOB_TRACE_BYTES", static_cast<std::int64_t>(c.job_trace_bytes));
+  c.job_trace_bytes =
+      trace_bytes < 0 ? 0 : static_cast<std::size_t>(trace_bytes);
   return c;
 }
 
@@ -116,6 +121,10 @@ Service::Service(Config config)
                            std::strerror(errno));
     }
   }
+  obs::set_job_trace_capacity(config_.job_trace_bytes);
+  // This service's job-id space starts fresh; slices a previous instance
+  // buffered under the same ids must not bleed into our trace exports.
+  obs::clear_job_traces();
   // Recovery runs before the executor thread exists: re-admitted jobs are
   // queued, the journal is open for append, and only then does execution
   // start — no replayed record can race a fresh one.
@@ -243,6 +252,10 @@ void Service::recover_from_journal() {
                      " interrupted job(s)",
                  "svc");
   }
+  publish_queue_depth_locked();
+}
+
+void Service::publish_queue_depth_locked() const {
   obs::gauge("svc.queue_depth")
       .observe(static_cast<std::int64_t>(queue_.size()));
 }
@@ -293,8 +306,7 @@ SubmitOutcome Service::submit(RunSpec spec) {
   queue_.push_back(raw);
   ++submitted_;
   obs::counter("svc.jobs_submitted").add();
-  obs::gauge("svc.queue_depth")
-      .observe(static_cast<std::int64_t>(queue_.size()));
+  publish_queue_depth_locked();
   queue_cv_.notify_one();
   out.accepted = true;
   out.id = raw->id;
@@ -359,8 +371,7 @@ bool Service::cancel(std::uint64_t id, const std::string& reason) {
       job.token.request(reason);
       queue_.erase(std::remove(queue_.begin(), queue_.end(), &job),
                    queue_.end());
-      obs::gauge("svc.queue_depth")
-          .observe(static_cast<std::int64_t>(queue_.size()));
+      publish_queue_depth_locked();
       finish_job(job, JobState::kCancelled, reason);
       return true;
     }
@@ -422,8 +433,7 @@ void Service::executor_loop() {
       }
       job = queue_.front();
       queue_.pop_front();
-      obs::gauge("svc.queue_depth")
-          .observe(static_cast<std::int64_t>(queue_.size()));
+      publish_queue_depth_locked();
       if (job->token.requested()) { // cancelled while queued
         finish_job(*job, JobState::kCancelled, job->token.reason());
         continue;
@@ -433,6 +443,14 @@ void Service::executor_loop() {
       running_ = job;
       journal_append_locked("RUNNING", *job);
     }
+    // Per-job trace window: every span/instant/task event emitted by any
+    // thread between here and end_job_trace() lands in the job's slice of
+    // the trace ring, keyed for `stsctl trace <id>`. Single-executor
+    // lifecycle makes the window unambiguous.
+    const std::string trace_id = job->spec.trace_id.empty()
+                                     ? "job-" + std::to_string(job->id)
+                                     : job->spec.trace_id;
+    obs::begin_job_trace(job->id, trace_id);
     run_job(*job);
     // Consume any error latched in the shared pool after the job's own
     // waits (e.g. a cancel() that raced with solve completion), keeping the
@@ -443,6 +461,14 @@ void Service::executor_loop() {
       pool_.wait_for_quiescence();
     } catch (...) {
     }
+    // Root span last so stray worker spans from the quiesce are inside the
+    // window; rendered under the executor's lane.
+    obs::span("job[" + std::to_string(job->id) + "]", "svc", job->start_ns,
+              support::now_ns(),
+              "{\"trace_id\":\"" + support::json_escape(trace_id) +
+                  "\",\"spec\":\"" + support::json_escape(job->spec.describe()) +
+                  "\"}");
+    obs::end_job_trace();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       running_ = nullptr;
@@ -589,7 +615,9 @@ ServiceStats Service::stats() const {
     s.running_job = running_ != nullptr;
   }
   s.cache = cache_.stats();
-  const obs::Histogram& h = obs::histogram("svc.job_ns");
+  // One coherent snapshot for all three quantiles (and it is one ring flip,
+  // not three).
+  const obs::Histogram::Snapshot h = obs::histogram("svc.job_ns").snapshot();
   s.job_p50_ms = h.quantile(0.50) * 1e-6;
   s.job_p95_ms = h.quantile(0.95) * 1e-6;
   s.job_p99_ms = h.quantile(0.99) * 1e-6;
@@ -608,7 +636,7 @@ void Service::drain() {
       finish_job(*job, JobState::kCancelled, "drained");
     }
     queue_.clear();
-    obs::gauge("svc.queue_depth").observe(0);
+    publish_queue_depth_locked();
     stop_executor_ = true;
     queue_cv_.notify_all();
   }

@@ -105,8 +105,12 @@ public:
     /// Directory for per-job solver checkpoints (STS_CKPT_DIR); empty
     /// disables checkpointing. Created on startup if missing.
     std::string ckpt_dir;
+    /// Byte budget for the per-job trace ring serving `stsctl trace <job>`
+    /// (STS_JOB_TRACE_BYTES); 0 disables per-job capture.
+    std::size_t job_trace_bytes = std::size_t{4} << 20;
     /// Capacity/budget/resilience paths from STS_QUEUE_CAP /
-    /// STS_CACHE_BYTES / STS_THREADS / STS_JOURNAL / STS_CKPT_DIR.
+    /// STS_CACHE_BYTES / STS_THREADS / STS_JOURNAL / STS_CKPT_DIR /
+    /// STS_JOB_TRACE_BYTES.
     [[nodiscard]] static Config from_env();
   };
 
@@ -176,6 +180,11 @@ private:
   void executor_loop();
   void run_job(Job& job);
   void finish_job(Job& job, JobState state, const std::string& error);
+  /// Single authority for the svc.queue_depth gauge: every queue mutation
+  /// republishes the absolute size under mutex_, so the gauge cannot drift
+  /// from the queue no matter which path (submit, cancel, pop, drain,
+  /// recovery) touched it. Caller holds mutex_.
+  void publish_queue_depth_locked() const;
   [[nodiscard]] JobInfo snapshot_locked(const Job& job) const;
   /// Replays config_.journal_path, resurrects terminal jobs as queryable
   /// history, re-admits interrupted ones, and opens the journal for append.

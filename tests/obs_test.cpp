@@ -6,13 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/expo.hpp"
 #include "obs/obs.hpp"
 #include "solvers/lanczos.hpp"
 #include "sparse/generators.hpp"
@@ -288,6 +293,124 @@ TEST(Histogram, TinyAndNegativeValuesFoldIntoBucketZero) {
   h.observe(1);
   EXPECT_EQ(h.count(), 3u);
   EXPECT_LE(h.quantile(1.0), 2.0);
+  // Negative observes still land in the sum and min as-is.
+  EXPECT_EQ(h.sum(), -4);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 1);
+}
+
+TEST(Histogram, HugeValuesSaturateTheTopBucketWithoutOverflow) {
+  obs::Histogram h;
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  h.observe(std::int64_t{1} << 62);
+  h.observe(1);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, std::numeric_limits<std::int64_t>::max());
+  // Bucket counts must cover every observation — the giants saturate into
+  // the top bucket rather than indexing out of range.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 3u);
+  EXPECT_GE(s.buckets.back(), 2u);
+  // Quantiles stay finite and monotone even with a saturated top bucket.
+  const double p50 = s.quantile(0.50);
+  const double p99 = s.quantile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(p99, 0.0);
+}
+
+TEST(Histogram, SnapshotIsSelfConsistent) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  // A snapshot must not consume the data: the next one sees the same counts.
+  const obs::Histogram::Snapshot again = h.snapshot();
+  EXPECT_EQ(again.count, s.count);
+  EXPECT_EQ(again.sum, s.sum);
+}
+
+TEST(Histogram, EmptySnapshotQuantilesAreZero) {
+  obs::Histogram h;
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.quantile(0.99), 0.0);
+}
+
+// The seed's metric dumps could race in-flight observe() calls and render a
+// torn count/sum pair. The hot/cold snapshot must always be coherent:
+// every snapshot taken mid-storm sees sum == value * count exactly.
+TEST(Histogram, ConcurrentObserveAndSnapshotStayCoherent) {
+  obs::Histogram& h = obs::histogram("obs_test.snapshot_storm");
+  constexpr std::int64_t kValue = 700;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerWriter; ++i) h.observe(kValue);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Snapshot continuously while the writers hammer. Coherence invariant:
+  // the sum is exactly value*count — a torn read would break it.
+  std::uint64_t last_count = 0;
+  for (int round = 0; round < 200; ++round) {
+    const obs::Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.sum, kValue * static_cast<std::int64_t>(s.count));
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : s.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, s.count);
+    EXPECT_GE(s.count, last_count); // monotone across snapshots
+    last_count = s.count;
+  }
+  for (std::thread& w : writers) w.join();
+  const obs::Histogram::Snapshot fin = h.snapshot();
+  EXPECT_EQ(fin.count, static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(fin.sum, kValue * static_cast<std::int64_t>(fin.count));
+}
+
+// Same storm against the full-registry dumps (CSV and Prometheus): both
+// render from one RegistrySnapshot, so rows must be internally coherent.
+TEST(Registry, ConcurrentDumpsDuringObserveStormAreCoherent) {
+  obs::Histogram& h = obs::histogram("obs_test.dump_storm");
+  constexpr std::int64_t kValue = 48;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) h.observe(kValue);
+  });
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream os;
+    obs::write_metrics_csv(os);
+    std::istringstream lines(os.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind("obs_test.dump_storm,", 0) != 0) continue;
+      std::vector<std::string> f;
+      std::istringstream fs(line);
+      std::string field;
+      while (std::getline(fs, field, ',')) f.push_back(field);
+      ASSERT_EQ(f.size(), 9u) << line;
+      // value column holds the sum, count column the count.
+      const std::int64_t sum = std::stoll(f[2]);
+      const std::int64_t count = std::stoll(f[3]);
+      EXPECT_EQ(sum, kValue * count) << line;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
 }
 
 // ---------------------------------------------------------------------------
@@ -546,6 +669,284 @@ TEST(Trace, SchedulerMetricsSurfaceStealAndLatencyData) {
   EXPECT_NE(csv.find("flux.task_run_ns,histogram"), std::string::npos);
   EXPECT_NE(csv.find("flux.task_ns.spmv,histogram"), std::string::npos);
   EXPECT_NE(csv.find("lanczos.flux.iterations,counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+bool valid_prom_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(name[0])) == 0 &&
+      name[0] != '_') {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  });
+}
+
+TEST(Prometheus, NamesArePrefixedAndSanitized) {
+  EXPECT_EQ(obs::prometheus_name("svc.queue_depth"), "sts_svc_queue_depth");
+  EXPECT_EQ(obs::prometheus_name("flux.task_ns.spmv"),
+            "sts_flux_task_ns_spmv");
+  EXPECT_EQ(obs::prometheus_name("weird,name with spaces"),
+            "sts_weird_name_with_spaces");
+  EXPECT_TRUE(valid_prom_name(obs::prometheus_name("1leading.digit")));
+}
+
+TEST(Prometheus, ExpositionIsWellFormedAndCoversAllMetricKinds) {
+  obs::counter("obs_test.prom_counter").add(7);
+  obs::gauge("obs_test.prom_gauge").observe(42);
+  obs::Histogram& h = obs::histogram("obs_test.prom_hist");
+  for (int i = 1; i <= 100; ++i) h.observe(i * 10);
+
+  std::ostringstream os;
+  obs::write_prometheus(os);
+  const std::string text = os.str();
+
+  // Every non-comment line must be `<name>[{labels}] <value>` with a valid
+  // metric name and a parseable number; every # TYPE must precede its
+  // samples.
+  std::istringstream lines(text);
+  std::string line;
+  std::map<std::string, std::string> typed; // prom name -> type
+  std::map<std::string, bool> sampled;      // prom name -> sample seen
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name, rest;
+      ls >> hash >> kind >> name;
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_TRUE(valid_prom_name(name)) << line;
+      if (kind == "TYPE") {
+        ls >> rest;
+        ASSERT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "summary")
+            << line;
+        EXPECT_FALSE(sampled[name]) << "# TYPE after samples: " << line;
+        typed[name] = rest;
+      }
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_NO_THROW((void)std::stod(value)) << line;
+    std::string labels;
+    if (const std::size_t brace = series.find('{');
+        brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series.resize(brace);
+    }
+    EXPECT_TRUE(valid_prom_name(series)) << line;
+    if (!labels.empty()) {
+      EXPECT_EQ(labels.rfind("quantile=\"", 0), 0u) << line;
+      EXPECT_EQ(labels.back(), '"') << line;
+    }
+    // Strip the data-model suffixes to find the family the TYPE names.
+    std::string family = series;
+    for (const char* suffix : {"_total", "_sum", "_count", "_peak"}) {
+      const std::size_t n = std::string(suffix).size();
+      if (family.size() > n && family.compare(family.size() - n, n, suffix) == 0) {
+        family.resize(family.size() - n);
+        break;
+      }
+    }
+    if (typed.count(family) != 0) sampled[family] = true;
+    if (typed.count(series) != 0) sampled[series] = true;
+  }
+
+  EXPECT_EQ(typed["sts_obs_test_prom_counter"], "counter");
+  EXPECT_EQ(typed["sts_obs_test_prom_gauge"], "gauge");
+  EXPECT_EQ(typed["sts_obs_test_prom_hist"], "summary");
+  EXPECT_NE(text.find("sts_obs_test_prom_counter_total 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("sts_obs_test_prom_gauge 42"), std::string::npos);
+  EXPECT_NE(text.find("sts_obs_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sts_obs_test_prom_hist{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("sts_obs_test_prom_hist_count 100"),
+            std::string::npos);
+  // The HELP line preserves the dotted registry name for greppability.
+  EXPECT_NE(text.find("obs_test.prom_hist"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler + hardware counters
+// ---------------------------------------------------------------------------
+
+TEST(Profiler, TaskMarksShowUpInFoldedOutput) {
+  obs::prof::reset_samples();
+  obs::prof::start_sampling(2000.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // Keep a spmv mark live until the sampler has demonstrably swept it.
+  while (obs::prof::sample_count() < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    const obs::prof::TaskMark mark("flux", graph::KernelKind::kSpMV);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  obs::prof::stop_sampling();
+  EXPECT_FALSE(obs::prof::sampling_active());
+  ASSERT_GE(obs::prof::sample_count(), 5u);
+
+  std::ostringstream os;
+  obs::prof::write_folded(os);
+  const std::string folded = os.str();
+  EXPECT_NE(folded.find("flux;spmv "), std::string::npos) << folded;
+  // Every line is `stack count` with a positive integer count.
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    EXPECT_NE(line.find(';'), std::string::npos) << line;
+  }
+  obs::prof::reset_samples();
+  EXPECT_EQ(obs::prof::sample_count(), 0u);
+}
+
+TEST(Profiler, NestedMarksRestoreTheOuterState) {
+  obs::prof::reset_samples();
+  obs::prof::start_sampling(2000.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (obs::prof::sample_count() < 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    const obs::prof::TaskMark outer("rgt", graph::KernelKind::kSpMM);
+    {
+      const obs::prof::TaskMark inner("rgt", graph::KernelKind::kReduce);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  obs::prof::stop_sampling();
+  std::ostringstream os;
+  obs::prof::write_folded(os);
+  const std::string folded = os.str();
+  // Both frames appear; the inner mark didn't wipe the outer runtime.
+  EXPECT_NE(folded.find("rgt;"), std::string::npos) << folded;
+  obs::prof::reset_samples();
+}
+
+TEST(Profiler, HwCountersDegradeGracefully) {
+  // Whatever the kernel allows (perf_event_paranoid, seccomp, no PMU),
+  // these calls must never throw and -1 must propagate through deltas.
+  const bool available = obs::prof::hw_counters_available();
+  const obs::prof::HwCounts a = obs::prof::hw_read();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const obs::prof::HwCounts b = obs::prof::hw_read();
+  const obs::prof::HwCounts d = obs::prof::hw_delta(b, a);
+  if (available) {
+    EXPECT_TRUE(b.any());
+    if (a.cycles >= 0 && b.cycles >= 0) {
+      EXPECT_GE(d.cycles, 0);
+    }
+    if (a.instructions >= 0 && b.instructions >= 0) {
+      EXPECT_GT(d.instructions, 0);
+    }
+  } else {
+    EXPECT_EQ(a.cycles, -1);
+    EXPECT_EQ(d.cycles, -1);
+    EXPECT_FALSE(d.any());
+  }
+  // Missing on either side stays missing in the delta.
+  obs::prof::HwCounts missing;
+  const obs::prof::HwCounts dm = obs::prof::hw_delta(b, missing);
+  EXPECT_EQ(dm.cycles, -1);
+  EXPECT_EQ(dm.instructions, -1);
+  EXPECT_EQ(dm.cache_misses, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-job trace ring
+// ---------------------------------------------------------------------------
+
+TEST(JobTrace, CapturesEventsForTheActiveJobOnly) {
+  obs::set_job_trace_capacity(std::size_t{1} << 20);
+  const std::int64_t t0 = support::now_ns();
+
+  obs::begin_job_trace(101, "trace-aaa");
+  EXPECT_TRUE(obs::job_trace_active());
+  obs::span("job101:work", "svc", t0, t0 + 5000);
+  obs::instant("job101:mark", "svc");
+  obs::end_job_trace();
+  EXPECT_FALSE(obs::job_trace_active());
+
+  // Events emitted outside any capture window belong to no job.
+  obs::span("orphan:work", "svc", t0, t0 + 1000);
+
+  obs::begin_job_trace(102, "trace-bbb");
+  obs::span("job102:work", "svc", t0, t0 + 3000);
+  obs::end_job_trace();
+
+  std::ostringstream os;
+  ASSERT_TRUE(obs::write_job_trace_json(101, os));
+  const Json doc = JsonParser(os.str()).parse();
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Kind::kArray);
+  bool saw_work = false;
+  bool saw_mark = false;
+  bool saw_trace_id = false;
+  for (const Json& ev : events->array) {
+    const std::string& name = ev.find("name")->string;
+    EXPECT_EQ(name.find("job102"), std::string::npos) << "cross-job leak";
+    EXPECT_EQ(name.find("orphan"), std::string::npos) << "orphan leak";
+    if (name == "job101:work") saw_work = true;
+    if (name == "job101:mark") saw_mark = true;
+    if (name == "process_name" &&
+        ev.find("args")->find("name")->string.find("trace-aaa") !=
+            std::string::npos) {
+      saw_trace_id = true;
+    }
+  }
+  EXPECT_TRUE(saw_work);
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_trace_id);
+
+  std::ostringstream os2;
+  EXPECT_TRUE(obs::write_job_trace_json(102, os2));
+  std::ostringstream os3;
+  EXPECT_FALSE(obs::write_job_trace_json(9999, os3)) << "unknown job";
+}
+
+TEST(JobTrace, ByteBudgetEvictsOldestJobsFirst) {
+  // A budget big enough for one job's events but not two: job 2 must push
+  // job 1 out entirely.
+  obs::set_job_trace_capacity(8 * 1024);
+  const std::int64_t t0 = support::now_ns();
+  for (std::uint64_t job = 201; job <= 202; ++job) {
+    obs::begin_job_trace(job, "t" + std::to_string(job));
+    for (int i = 0; i < 100; ++i) {
+      obs::span("ev" + std::to_string(i), "svc", t0 + i * 10, t0 + i * 10 + 5);
+    }
+    obs::end_job_trace();
+  }
+  std::ostringstream evicted;
+  EXPECT_FALSE(obs::write_job_trace_json(201, evicted));
+  std::ostringstream kept;
+  ASSERT_TRUE(obs::write_job_trace_json(202, kept));
+  EXPECT_NO_THROW((void)JsonParser(kept.str()).parse());
+  obs::set_job_trace_capacity(std::size_t{4} << 20); // restore default
+}
+
+TEST(JobTrace, ZeroCapacityDisablesCapture) {
+  obs::set_job_trace_capacity(0);
+  obs::begin_job_trace(301, "nope");
+  EXPECT_FALSE(obs::job_trace_active());
+  obs::span("q", "svc", 0, 100);
+  obs::end_job_trace();
+  std::ostringstream os;
+  EXPECT_FALSE(obs::write_job_trace_json(301, os));
+  obs::set_job_trace_capacity(std::size_t{4} << 20);
 }
 
 } // namespace

@@ -3,20 +3,28 @@
 // stsctl binaries end to end.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "proc_util.hpp"
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "svc/cache.hpp"
 #include "svc/client.hpp"
+#include "svc/http.hpp"
+#include "svc/journal.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "svc/wire.hpp"
@@ -470,6 +478,105 @@ TEST(Service, SolverBreakdownMarksJobFailed) {
   EXPECT_NE(info.error.find("solver:"), std::string::npos) << info.error;
 }
 
+// ---------------------------------------------------------- obs gauges --
+
+std::int64_t queue_depth_gauge() {
+  return obs::gauge("svc.queue_depth").value();
+}
+
+// Regression for gauge drift: svc.queue_depth is republished (absolute,
+// under the service mutex) at every queue mutation, so it must agree with
+// stats().queue_depth at every quiescent point and never go negative.
+TEST(Service, QueueDepthGaugeMatchesStatsThroughLifecycle) {
+  svc::Service service(test_config(/*queue_capacity=*/2));
+  EXPECT_EQ(queue_depth_gauge(), 0);
+
+  const auto running = service.submit(long_spec());
+  ASSERT_TRUE(running.accepted);
+  wait_for_running(service, running.id);
+  // The running job left the queue; the executor is now pinned, so the
+  // queue is quiescent and the gauge must match exactly.
+  EXPECT_EQ(queue_depth_gauge(),
+            static_cast<std::int64_t>(service.stats().queue_depth));
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+
+  const auto p1 = service.submit(long_spec());
+  const auto p2 = service.submit(long_spec());
+  ASSERT_TRUE(p1.accepted);
+  ASSERT_TRUE(p2.accepted);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+  EXPECT_EQ(queue_depth_gauge(), 2);
+
+  // Backpressure rejection must not touch the gauge.
+  const auto rejected = service.submit(long_spec());
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(queue_depth_gauge(), 2);
+
+  // Cancelling a PENDING job removes it from the queue (executor is still
+  // pinned by `running`, so this is deterministic).
+  EXPECT_TRUE(service.cancel(p2.id, "gauge test"));
+  EXPECT_EQ(service.wait(p2.id, 30s).state, svc::JobState::kCancelled);
+  EXPECT_EQ(service.stats().queue_depth, 1u);
+  EXPECT_EQ(queue_depth_gauge(), 1);
+  EXPECT_GE(queue_depth_gauge(), 0);
+
+  // Run everything down; a settled service must leave the gauge at zero.
+  EXPECT_TRUE(service.cancel(running.id));
+  EXPECT_EQ(service.wait(running.id, 30s).state, svc::JobState::kCancelled);
+  EXPECT_TRUE(service.cancel(p1.id));
+  EXPECT_EQ(service.wait(p1.id, 30s).state, svc::JobState::kCancelled);
+  service.drain();
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+  EXPECT_EQ(queue_depth_gauge(), 0);
+}
+
+TEST(Service, RecoveredJobsRepublishQueueDepthGauge) {
+  const std::string journal_path =
+      "/tmp/sts-svc-test-gauge-journal-" + std::to_string(::getpid()) +
+      ".log";
+  std::remove(journal_path.c_str());
+  {
+    svc::Journal journal;
+    journal.open(journal_path, 0);
+    svc::wire::Json extra = svc::wire::Json::object();
+    extra.set("spec", quick_spec(svc::SolverKind::kLanczos,
+                                 solver::Version::kLibCsb)
+                          .to_json());
+    journal.append("SUBMITTED", 7, extra);
+  }
+  svc::Service::Config config = test_config();
+  config.journal_path = journal_path;
+  svc::Service service(config);
+  EXPECT_EQ(service.stats().recovered, 1u);
+  // The re-admitted job flows through the same gauge republish as a live
+  // submit; once it completes the gauge settles back to the true depth.
+  EXPECT_EQ(service.wait(7, 30s).state, svc::JobState::kDone);
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+  EXPECT_EQ(queue_depth_gauge(), 0);
+  std::remove(journal_path.c_str());
+}
+
+TEST(PlanCache, GaugesTrackBytesAndEntriesAbsolutely) {
+  {
+    svc::PlanCache cache(/*budget_bytes=*/1000);
+    EXPECT_EQ(obs::gauge("svc.cache.bytes").value(), 0);
+    EXPECT_EQ(obs::gauge("svc.cache.entries").value(), 0);
+    bool hit = false;
+    cache.get_or_build("A", "k", [] { return fake_plan(600); }, &hit);
+    EXPECT_EQ(obs::gauge("svc.cache.bytes").value(), 600);
+    EXPECT_EQ(obs::gauge("svc.cache.entries").value(), 1);
+    // B evicts A (1200 > 1000): the gauges reflect the post-eviction state,
+    // not a stale sum.
+    cache.get_or_build("B", "k", [] { return fake_plan(600); }, &hit);
+    EXPECT_EQ(obs::gauge("svc.cache.bytes").value(), 600);
+    EXPECT_EQ(obs::gauge("svc.cache.entries").value(), 1);
+  }
+  // A fresh cache resets whatever the destroyed one left behind.
+  svc::PlanCache fresh(/*budget_bytes=*/1000);
+  EXPECT_EQ(obs::gauge("svc.cache.bytes").value(), 0);
+  EXPECT_EQ(obs::gauge("svc.cache.entries").value(), 0);
+}
+
 // ------------------------------------------------------- server/client --
 
 std::string test_socket_path(const char* tag) {
@@ -565,15 +672,139 @@ TEST(Server, BadRequestsGetTypedErrorsNotDisconnects) {
   server.stop();
 }
 
+TEST(Server, MetricsOpServesPrometheusAndCsv) {
+  svc::Service service(test_config());
+  svc::Server server(service, test_socket_path("metrics"));
+  server.start();
+  svc::Client client(server.socket_path());
+
+  // Run one job so the svc counters and the job-latency histogram exist.
+  const auto out = client.submit(
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kLibCsb));
+  ASSERT_TRUE(out.accepted);
+  ASSERT_EQ(client.result(out.id).string_or("state", ""), "DONE");
+
+  const std::string prom = client.metrics("prom");
+  EXPECT_NE(prom.find("sts_svc_jobs_submitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE sts_svc_job_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("sts_svc_job_ns{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sts_svc_queue_depth"), std::string::npos);
+
+  const std::string csv = client.metrics("csv");
+  EXPECT_EQ(csv.rfind("name,type,value,count,min,max,p50,p95,p99", 0), 0u);
+  EXPECT_NE(csv.find("svc.jobs_submitted,counter"), std::string::npos);
+
+  // Unknown formats are a typed bad_request, not a disconnect.
+  svc::wire::Json req = svc::wire::Json::object();
+  req.set("op", "metrics");
+  req.set("format", "xml");
+  const svc::wire::Json reply = client.request(req);
+  EXPECT_FALSE(reply.get("ok").as_bool());
+  EXPECT_EQ(reply.string_or("kind", ""), "bad_request");
+  EXPECT_TRUE(client.ping());
+  server.stop();
+}
+
+TEST(Server, TraceOpReturnsPerJobChromeTrace) {
+  svc::Service service(test_config());
+  svc::Server server(service, test_socket_path("trace"));
+  server.start();
+  svc::Client client(server.socket_path());
+
+  svc::RunSpec spec =
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kFlux);
+  spec.trace_id = "wire-trace-1";
+  const auto out = client.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  ASSERT_EQ(client.result(out.id).string_or("state", ""), "DONE");
+
+  const std::string trace = client.trace_json(out.id);
+  // Must be valid JSON with a non-empty traceEvents array carrying the
+  // job's root span and the propagated trace id.
+  const svc::wire::Json doc = svc::wire::Json::parse(trace);
+  const svc::wire::Json& events = doc.get("traceEvents");
+  EXPECT_FALSE(events.items().empty());
+  EXPECT_NE(trace.find("job[" + std::to_string(out.id) + "]"),
+            std::string::npos);
+  EXPECT_NE(trace.find("wire-trace-1"), std::string::npos);
+
+  // Unknown job ids surface as a typed error through the client.
+  EXPECT_THROW((void)client.trace_json(999999), support::Error);
+  server.stop();
+}
+
+// --------------------------------------------------------- http scrape --
+
+std::string http_fetch(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string out;
+  char buf[4096];
+  for (ssize_t n = 0; (n = ::recv(fd, buf, sizeof buf, 0)) > 0;) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(HttpMetrics, ServesPrometheusOverRawHttp) {
+  obs::counter("svc.http_test_marker").add(1);
+  svc::MetricsHttpServer http(/*port=*/0); // ephemeral
+  http.start();
+  ASSERT_GT(http.port(), 0);
+
+  const std::string ok = http_fetch(http.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200", 0), 0u) << ok.substr(0, 200);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+  EXPECT_NE(ok.find("sts_svc_http_test_marker_total"), std::string::npos);
+
+  const std::string index = http_fetch(http.port(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(index.rfind("HTTP/1.0 200", 0), 0u);
+
+  const std::string missing =
+      http_fetch(http.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u);
+
+  const std::string wrong_verb =
+      http_fetch(http.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(wrong_verb.rfind("HTTP/1.0 405", 0), 0u);
+
+  // The listener survives all of the above and still counts requests.
+  EXPECT_GE(obs::counter("svc.http_requests").value(), 4u);
+  http.stop();
+}
+
 // ------------------------------------------------------- stsd e2e ------
+
+std::vector<std::string> stsd_argv(const std::string& socket_path,
+                                   const std::vector<std::string>& extra) {
+  std::vector<std::string> argv = {STSD_BIN, "--socket", socket_path,
+                                   "--threads", "2"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  return argv;
+}
 
 class StsdDaemon {
 public:
-  explicit StsdDaemon(const std::string& socket_path)
+  explicit StsdDaemon(const std::string& socket_path,
+                      const std::vector<std::string>& extra_args = {},
+                      const std::string& log_path =
+                          "/tmp/sts-svc-test-stsd.log")
       : socket_path_(socket_path),
-        child_(testutil::spawn({STSD_BIN, "--socket", socket_path,
-                                "--threads", "2"},
-                               {}, "/tmp/sts-svc-test-stsd.log")) {}
+        child_(testutil::spawn(stsd_argv(socket_path, extra_args), {},
+                               log_path)) {}
 
   ~StsdDaemon() {
     if (!reaped_) {
@@ -643,6 +874,113 @@ TEST(StsdEndToEnd, StsctlCancelMovesRunningJobToCancelled) {
   const svc::wire::Json job = client.result(out.id, 30000);
   EXPECT_EQ(job.string_or("state", ""), "CANCELLED");
   EXPECT_EQ(daemon.terminate_and_wait(), 0);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Live observability end to end: a daemon serving real jobs answers
+// `stsctl metrics --prom` with parseable Prometheus text and
+// `stsctl trace <job>` with a well-formed per-job Chrome trace carrying
+// the client-chosen trace id.
+TEST(StsdEndToEnd, StsctlScrapesMetricsAndFetchesAJobTrace) {
+  StsdDaemon daemon(test_socket_path("obs"));
+  ASSERT_TRUE(daemon.wait_ready());
+  svc::Client client(daemon.socket_path_);
+
+  svc::RunSpec spec =
+      quick_spec(svc::SolverKind::kLanczos, solver::Version::kFlux);
+  spec.trace_id = "e2e-trace-1";
+  const auto out = client.submit(spec);
+  ASSERT_TRUE(out.accepted);
+  ASSERT_EQ(client.result(out.id).string_or("state", ""), "DONE");
+
+  // stsctl metrics --prom: stdout is the exposition, verbatim.
+  const std::string prom_path =
+      "/tmp/sts-svc-test-metrics-" + std::to_string(::getpid()) + ".prom";
+  std::remove(prom_path.c_str());
+  ASSERT_EQ(testutil::spawn({STSCTL_BIN, "--socket", daemon.socket_path_,
+                             "metrics", "--prom"},
+                            {}, prom_path)
+                .wait(),
+            0);
+  const std::string prom = slurp(prom_path);
+  EXPECT_NE(prom.find("sts_svc_jobs_submitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE sts_svc_job_ns summary"), std::string::npos);
+  // Light Prometheus parse: every sample line splits into `series value`
+  // with a numeric value.
+  std::istringstream lines(prom);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10);
+
+  // stsctl trace <id> -o: the file is one job's Chrome trace.
+  const std::string trace_path =
+      "/tmp/sts-svc-test-trace-" + std::to_string(::getpid()) + ".json";
+  std::remove(trace_path.c_str());
+  ASSERT_EQ(testutil::spawn({STSCTL_BIN, "--socket", daemon.socket_path_,
+                             "trace", std::to_string(out.id), "-o",
+                             trace_path},
+                            {}, "/tmp/sts-svc-test-stsctl.log")
+                .wait(),
+            0);
+  const std::string trace = slurp(trace_path);
+  const svc::wire::Json doc = svc::wire::Json::parse(trace);
+  EXPECT_FALSE(doc.get("traceEvents").items().empty());
+  EXPECT_NE(trace.find("job[" + std::to_string(out.id) + "]"),
+            std::string::npos);
+  EXPECT_NE(trace.find("e2e-trace-1"), std::string::npos);
+
+  // Asking for a job that buffered no trace exits non-zero with a message,
+  // not a crash.
+  EXPECT_NE(testutil::spawn({STSCTL_BIN, "--socket", daemon.socket_path_,
+                             "trace", "999999"},
+                            {}, "/tmp/sts-svc-test-stsctl.log")
+                .wait(),
+            0);
+
+  std::remove(prom_path.c_str());
+  std::remove(trace_path.c_str());
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+}
+
+TEST(StsdEndToEnd, HttpListenerServesScrapesOnTheAdvertisedPort) {
+  const std::string log_path =
+      "/tmp/sts-svc-test-stsd-http-" + std::to_string(::getpid()) + ".log";
+  std::remove(log_path.c_str());
+  StsdDaemon daemon(test_socket_path("http"), {"--http-port", "0"},
+                    log_path);
+  ASSERT_TRUE(daemon.wait_ready());
+
+  // The daemon prints the ephemeral port it bound; parse it from the log.
+  int port = 0;
+  for (int i = 0; i < 100 && port == 0; ++i) {
+    const std::string log = slurp(log_path);
+    const std::string needle = "metrics on http://127.0.0.1:";
+    if (const std::size_t at = log.find(needle); at != std::string::npos) {
+      port = std::atoi(log.c_str() + at + needle.size());
+    } else {
+      std::this_thread::sleep_for(50ms);
+    }
+  }
+  ASSERT_GT(port, 0) << slurp(log_path);
+
+  const std::string reply = http_fetch(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.0 200", 0), 0u) << reply.substr(0, 200);
+  EXPECT_NE(reply.find("sts_svc_connections_total"), std::string::npos);
+  EXPECT_EQ(daemon.terminate_and_wait(), 0);
+  std::remove(log_path.c_str());
 }
 
 } // namespace

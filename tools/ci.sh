@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate: the tier-1 verify (full build + complete ctest suite), a
 # chaos stage (kill/restart recovery e2e plus a deeper journal-replay
-# corruption fuzz), and an AddressSanitizer build that re-runs the
+# corruption fuzz), an AddressSanitizer build that re-runs the
 # concurrency-heavy labels (svc, faults, chaos) where lifetime bugs would
-# hide.
+# hide, a ThreadSanitizer pass over the lock-free telemetry plumbing, and
+# the observability micro-benchmarks (BENCH_obs.json).
 #
-#   tools/ci.sh [build-dir] [asan-build-dir]
+#   tools/ci.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -13,6 +14,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="${1:-$repo/build}"
 asan_build="${2:-$repo/build-asan}"
+tsan_build="${3:-$repo/build-tsan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1: configure + build + full ctest =="
@@ -30,5 +32,20 @@ cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF
 cmake --build "$asan_build" -j "$jobs"
 ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" \
   -L "svc|faults|chaos"
+
+echo "== tsan: build + metric/trace/profiler race checks =="
+# Scoped to the obs primitives: the hot/cold histogram snapshot, the job
+# trace ring, and the sampling profiler are the hand-rolled atomics where
+# TSan has teeth. The OpenMP runtimes are excluded — libgomp is not
+# TSan-instrumented and drowns real reports in false positives.
+cmake -B "$tsan_build" -S "$repo" -DSTS_SANITIZE=thread -DSTS_BUILD_BENCH=OFF
+cmake --build "$tsan_build" -j "$jobs" --target obs_test
+"$tsan_build/tests/obs_test" \
+  --gtest_filter='Registry.*:Histogram.*:Prometheus.*:Profiler.*:JobTrace.*'
+
+echo "== bench: observability hot-path costs -> BENCH_obs.json =="
+cmake --build "$build" -j "$jobs" --target bench_obs
+(cd "$build" && ./bench/bench_obs --benchmark_min_time=0.05)
+echo "wrote $build/BENCH_obs.json"
 
 echo "== ci.sh: all green =="

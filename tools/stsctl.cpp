@@ -12,6 +12,8 @@
 //     result <id> [--timeout-ms n]  wait for terminal state, print JSON
 //     cancel <id> [reason]       request cancellation
 //     stats                      queue/cache/latency counters as JSON
+//     metrics [--prom|--csv]     scrape the live metric registry
+//     trace <id> [-o f.json]     fetch one job's Chrome trace (DESIGN.md §13)
 //     shutdown                   ask the daemon to drain and exit
 //
 // --retries > 1 arms the client's bounded reconnect with decorrelated
@@ -38,16 +40,19 @@ using namespace sts;
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--socket path] [--retries n] [--retry-base-ms ms] "
-              "ping|submit|status|result|cancel|stats|shutdown ...\n"
+              "ping|submit|status|result|cancel|stats|metrics|trace|shutdown"
+              " ...\n"
               "  submit [--matrix f.mtx | --suite name] [--solver "
               "lanczos|lobpcg]\n"
               "    [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
               "[--nev n]\n"
               "    [--tolerance t] [--block rows | --autotune] [--threads "
               "n]\n"
-              "    [--scale f] [--timeout sec] [--key k] [--wait]\n"
+              "    [--scale f] [--timeout sec] [--key k] [--trace-id t] "
+              "[--wait]\n"
               "  status <id> | result <id> [--timeout-ms n] | cancel <id> "
-              "[reason]\n",
+              "[reason]\n"
+              "  metrics [--prom|--csv] | trace <id> [-o f.json]\n",
               argv0);
   std::exit(2);
 }
@@ -160,6 +165,49 @@ int main(int argc, char** argv) {
 
     if (command == "stats") {
       std::printf("%s\n", client.stats().dump().c_str());
+      return 0;
+    }
+
+    if (command == "metrics") {
+      std::string format = "prom";
+      for (; pos < args.size(); ++pos) {
+        if (args[pos] == "--prom") {
+          format = "prom";
+        } else if (args[pos] == "--csv") {
+          format = "csv";
+        } else {
+          usage(argv[0]);
+        }
+      }
+      std::fputs(client.metrics(format).c_str(), stdout);
+      return 0;
+    }
+
+    if (command == "trace") {
+      if (pos >= args.size()) usage(argv[0]);
+      const std::uint64_t id = std::strtoull(args[pos++].c_str(), nullptr, 10);
+      std::string out_path;
+      if (pos < args.size() && args[pos] == "-o") {
+        if (pos + 1 >= args.size()) usage(argv[0]);
+        out_path = args[pos + 1];
+        pos += 2;
+      }
+      if (pos < args.size()) usage(argv[0]);
+      const std::string trace = client.trace_json(id);
+      if (out_path.empty()) {
+        std::fputs(trace.c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::FILE* f = std::fopen(out_path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "stsctl: cannot write %s\n", out_path.c_str());
+          return 1;
+        }
+        std::fputs(trace.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), trace.size());
+      }
       return 0;
     }
 

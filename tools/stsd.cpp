@@ -11,23 +11,30 @@
 // Usage:
 //   stsd [--socket <path>] [--queue-cap <n>] [--cache-bytes <n>]
 //        [--threads <n>] [--journal <path>] [--ckpt-dir <dir>]
-//        [--trace <f.json>] [--metrics <f.csv|stderr>]
+//        [--http-port <n>] [--trace <f.json>] [--metrics <f.csv|stderr>]
+//        [--prof <f.folded>]
 //
 // Environment: STS_SOCK, STS_QUEUE_CAP, STS_CACHE_BYTES, STS_THREADS,
-// STS_JOURNAL, STS_CKPT_DIR (flags win). With a journal configured the
-// daemon replays it on startup and re-admits interrupted jobs (DESIGN.md
-// §12). STS_FAULT arms fault sites, including svc:accept, svc:job and
-// svc:recover. Exit codes: 0 clean shutdown, 1 unexpected error, 2 usage,
-// 3 cannot bind the socket.
+// STS_JOURNAL, STS_CKPT_DIR, STS_HTTP_PORT, STS_JOB_TRACE_BYTES (flags
+// win). With a journal configured the daemon replays it on startup and
+// re-admits interrupted jobs (DESIGN.md §12). --http-port starts the
+// loopback Prometheus scrape listener (0 = ephemeral port, printed on
+// startup; DESIGN.md §13); --prof runs the sampling profiler for the
+// daemon's lifetime and writes folded stacks at exit. STS_FAULT arms fault
+// sites, including svc:accept, svc:job and svc:recover. Exit codes: 0
+// clean shutdown, 1 unexpected error, 2 usage, 3 cannot bind the socket.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
+#include "svc/http.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 
@@ -40,8 +47,9 @@ void on_signal(int) { g_signalled = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--socket path] [--queue-cap n] [--cache-bytes n]"
               " [--threads n]\n"
-              "  [--journal path] [--ckpt-dir dir] [--trace f.json]"
-              " [--metrics f.csv|stderr]\n",
+              "  [--journal path] [--ckpt-dir dir] [--http-port n]"
+              " [--trace f.json]\n"
+              "  [--metrics f.csv|stderr] [--prof f.folded]\n",
               argv0);
   std::exit(2);
 }
@@ -55,6 +63,9 @@ int main(int argc, char** argv) {
   svc::Service::Config config = svc::Service::Config::from_env();
   std::string trace_path;
   std::string metrics_dest;
+  std::string prof_path;
+  // -1 = listener disabled (the default); 0 = ephemeral port.
+  int http_port = static_cast<int>(support::env_int("STS_HTTP_PORT", -1));
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,16 +87,21 @@ int main(int argc, char** argv) {
       config.journal_path = next();
     } else if (arg == "--ckpt-dir") {
       config.ckpt_dir = next();
+    } else if (arg == "--http-port") {
+      http_port = std::atoi(next().c_str());
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--metrics") {
       metrics_dest = next();
+    } else if (arg == "--prof") {
+      prof_path = next();
     } else {
       usage(argv[0]);
     }
   }
   if (!trace_path.empty()) obs::enable_tracing(trace_path);
   if (!metrics_dest.empty()) obs::enable_metrics(metrics_dest);
+  if (!prof_path.empty()) obs::enable_profiling(prof_path);
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -100,6 +116,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "stsd: %s\n", e.what());
       return 3;
     }
+    std::optional<svc::MetricsHttpServer> http;
+    if (http_port >= 0) {
+      http.emplace(http_port);
+      try {
+        http->start();
+      } catch (const support::Error& e) {
+        // The scrape listener is an optional extra; losing it must not take
+        // the protocol edge down.
+        std::fprintf(stderr, "stsd: %s (metrics listener disabled)\n",
+                     e.what());
+        http.reset();
+      }
+    }
     std::printf("stsd: serving %s (queue cap %zu, cache budget %zu bytes)\n",
                 socket_path.c_str(), config.queue_capacity,
                 config.cache_bytes);
@@ -108,6 +137,12 @@ int main(int argc, char** argv) {
                   config.journal_path.c_str(),
                   static_cast<unsigned long long>(
                       service.stats().recovered));
+    }
+    if (http) {
+      // The e2e tests (and humans pointing a scraper at an ephemeral port)
+      // parse this line.
+      std::printf("stsd: metrics on http://127.0.0.1:%d/metrics\n",
+                  http->port());
     }
     std::fflush(stdout);
 
@@ -120,8 +155,9 @@ int main(int argc, char** argv) {
                 g_signalled != 0 ? "signal" : "shutdown requested");
     std::fflush(stdout);
 
-    // Stop the protocol edge first so no submit can race the drain, then
+    // Stop the protocol edges first so no submit can race the drain, then
     // run the queue down.
+    if (http) http->stop();
     server.stop();
     service.drain();
   } catch (const std::exception& e) {

@@ -65,7 +65,8 @@ using namespace sts;
               "[--scale f]\n"
               "  [--timeout sec] [--ckpt f.ckpt] [--ckpt-every n] "
               "[--restore f.ckpt]\n"
-              "  [--list] [--trace f.json] [--metrics f.csv|stderr]\n",
+              "  [--list] [--trace f.json] [--metrics f.csv|stderr] "
+              "[--prof f.folded]\n",
               argv0);
   std::exit(2);
 }
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
   svc::RunSpec spec;
   std::string trace_path;
   std::string metrics_dest;
+  std::string prof_path;
   std::string ckpt_path;
   std::string restore_path;
   int ckpt_every = 0;
@@ -111,6 +113,8 @@ int main(int argc, char** argv) {
       restore_path = next();
     } else if (arg == "--metrics") {
       metrics_dest = next();
+    } else if (arg == "--prof") {
+      prof_path = next();
     } else if (arg == "--list") {
       for (const auto& e : sparse::paper_suite()) {
         std::printf("%-20s %s (paper: %lld rows, %lld nnz)\n",
@@ -129,6 +133,7 @@ int main(int argc, char** argv) {
   // files early, and the atexit hook covers the error paths.
   if (!trace_path.empty()) obs::enable_tracing(trace_path);
   if (!metrics_dest.empty()) obs::enable_metrics(metrics_dest);
+  if (!prof_path.empty()) obs::enable_profiling(prof_path);
 
   try {
     if (spec.matrix_path.empty() && spec.suite_name.empty()) usage(argv[0]);
