@@ -1,10 +1,16 @@
 #include "flux/scheduler.hpp"
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "support/env.hpp"
 #include "support/error.hpp"
 #include "support/escape.hpp"
 #include "support/fault.hpp"
@@ -27,6 +33,18 @@ obs::Counter& cross_domain_steal_counter() {
   static obs::Counter& c = obs::counter("flux.cross_domain_steals");
   return c;
 }
+// Per-tier steal counters for the hierarchical victim order: the victim
+// shared the thief's physical core, its NUMA domain, or neither.
+obs::Counter& tier_steal_counter(unsigned tier) {
+  static obs::Counter* tiers[3] = {&obs::counter("flux.steals_sibling"),
+                                   &obs::counter("flux.steals_local"),
+                                   &obs::counter("flux.steals_remote")};
+  return *tiers[tier];
+}
+obs::Counter& pin_failure_counter() {
+  static obs::Counter& c = obs::counter("flux.pin_failures");
+  return c;
+}
 obs::Counter& executed_counter() {
   static obs::Counter& c = obs::counter("flux.tasks_executed");
   return c;
@@ -45,6 +63,41 @@ obs::Histogram& task_run_histogram() {
 }
 } // namespace
 
+const char* to_string(Affinity a) {
+  switch (a) {
+    case Affinity::kCompact: return "compact";
+    case Affinity::kScatter: return "scatter";
+    case Affinity::kOff: break;
+  }
+  return "off";
+}
+
+Affinity Scheduler::Config::affinity_from_env() {
+  const std::string v = support::env_string("STS_AFFINITY", "");
+  if (v == "compact") return Affinity::kCompact;
+  if (v == "scatter") return Affinity::kScatter;
+  if (v == "off" || v == "0") return Affinity::kOff;
+  // Unset (or unrecognised): pin by default only where it matters — a
+  // multi-node machine, where floating workers defeat first-touch placement.
+  return support::topo::machine().node_count() > 1 ? Affinity::kCompact
+                                                   : Affinity::kOff;
+}
+
+Scheduler::Config Scheduler::Config::topology_aware(unsigned threads) {
+  Config c;
+  c.threads = threads != 0 ? threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+  if (support::topo::numa_disabled()) {
+    // STS_NUMA=off: one flat domain, no pinning — the historical behaviour.
+    return c;
+  }
+  c.numa_domains = support::topo::effective_domains(c.threads);
+  c.numa_aware = c.numa_domains > 1;
+  c.machine = &support::topo::machine();
+  c.affinity = affinity_from_env();
+  return c;
+}
+
 Scheduler::Scheduler(Config config) : config_(config) {
   // Pre-register the steal counters so a metrics dump lists them even for a
   // run that never stole (a zero row beats an absent one when diffing).
@@ -53,6 +106,7 @@ Scheduler::Scheduler(Config config) : config_(config) {
   config_.threads = std::max(1u, config_.threads);
   config_.numa_domains =
       std::clamp(config_.numa_domains, 1u, config_.threads);
+  build_placement();
   workers_.reserve(config_.threads);
   for (unsigned i = 0; i < config_.threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -61,6 +115,90 @@ Scheduler::Scheduler(Config config) : config_(config) {
   for (unsigned i = 0; i < config_.threads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+void Scheduler::build_placement() {
+  const unsigned threads = config_.threads;
+  const unsigned domains = config_.numa_domains;
+  worker_domain_.assign(threads, 0);
+  worker_core_.assign(threads, -1);
+  worker_cpu_.clear();
+
+  if (config_.affinity != Affinity::kOff) {
+    const support::topo::Machine& m =
+        config_.machine != nullptr ? *config_.machine
+                                   : support::topo::machine();
+    // CPU assignment order. Compact fills node 0's CPUs core-by-core before
+    // touching node 1; scatter deals CPUs round-robin across nodes. Either
+    // way worker w gets order[w % |order|] — oversubscription wraps.
+    std::vector<const support::topo::Cpu*> order;
+    if (config_.affinity == Affinity::kCompact) {
+      std::vector<std::size_t> node_of(m.cpus.size(), 0);
+      for (std::size_t i = 0; i < m.cpus.size(); ++i) {
+        for (std::size_t d = 0; d < m.nodes.size(); ++d) {
+          if (m.nodes[d].id == m.cpus[i].node) node_of[i] = d;
+        }
+        order.push_back(&m.cpus[i]);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](const support::topo::Cpu* a, const support::topo::Cpu* b) {
+                  const std::size_t na = node_of[static_cast<std::size_t>(
+                      a - m.cpus.data())];
+                  const std::size_t nb = node_of[static_cast<std::size_t>(
+                      b - m.cpus.data())];
+                  if (na != nb) return na < nb;
+                  if (a->core != b->core) return a->core < b->core;
+                  return a->id < b->id;
+                });
+    } else { // kScatter: node 0 cpu 0, node 1 cpu 0, ..., node 0 cpu 1, ...
+      for (std::size_t i = 0; i < m.cpus_per_node(); ++i) {
+        for (const support::topo::Node& node : m.nodes) {
+          if (i < node.cpus.size()) order.push_back(m.find_cpu(node.cpus[i]));
+        }
+      }
+    }
+    if (!order.empty()) {
+      worker_cpu_.assign(threads, -1);
+      for (unsigned w = 0; w < threads; ++w) {
+        const support::topo::Cpu* cpu = order[w % order.size()];
+        worker_cpu_[w] = cpu->id;
+        worker_core_[w] = cpu->core;
+        // Domain = index of the cpu's node, folded onto the configured
+        // domain count (fewer domains than nodes when thread-clamped).
+        unsigned node_index = 0;
+        for (std::size_t d = 0; d < m.nodes.size(); ++d) {
+          if (m.nodes[d].id == cpu->node) {
+            node_index = static_cast<unsigned>(d);
+          }
+        }
+        worker_domain_[w] = node_index % domains;
+      }
+    }
+  }
+  if (worker_cpu_.empty()) {
+    // Unpinned: contiguous ranges, workers [d*per, (d+1)*per) form domain d.
+    const unsigned per = (threads + domains - 1) / domains;
+    for (unsigned w = 0; w < threads; ++w) worker_domain_[w] = w / per;
+  }
+
+  domain_workers_.assign(domains, {});
+  for (unsigned w = 0; w < threads; ++w) {
+    domain_workers_[worker_domain_[w]].push_back(w);
+  }
+}
+
+void Scheduler::pin_self(unsigned index) const {
+  if (worker_cpu_.empty() || worker_cpu_[index] < 0) return;
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(worker_cpu_[index]), &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    // Bind failure (cgroup cpuset, offline cpu, fixture topology wider than
+    // the real machine): the worker floats; count it, never fail.
+    pin_failure_counter().add(1);
+  }
+#endif
 }
 
 Scheduler::~Scheduler() {
@@ -123,13 +261,15 @@ void Scheduler::enqueue(QueuedTask task, int domain_hint) {
     const unsigned n = next_worker_.fetch_add(1, std::memory_order_relaxed);
     unsigned target;
     if (domain_hint >= 0) {
-      // Round-robin within the requested domain: workers d, d+D, d+2D, ...
+      // Round-robin within the requested domain's worker list (contiguous
+      // ranges unpinned, the pinned CPUs' nodes otherwise — see
+      // build_placement). A domain can end up with no workers under exotic
+      // pinned layouts; fall back to anyone rather than dropping the hint's
+      // task on the floor.
       const unsigned domain =
           static_cast<unsigned>(domain_hint) % config_.numa_domains;
-      const unsigned per_domain =
-          (config_.threads + config_.numa_domains - 1) / config_.numa_domains;
-      target = domain + (n % per_domain) * config_.numa_domains;
-      if (target >= config_.threads) target = domain;
+      const std::vector<unsigned>& ws = domain_workers_[domain];
+      target = ws.empty() ? n % config_.threads : ws[n % ws.size()];
     } else {
       target = n % config_.threads;
     }
@@ -189,29 +329,43 @@ bool Scheduler::pop_own(unsigned index, QueuedTask& out) {
   return true;
 }
 
+unsigned Scheduler::steal_tier(unsigned thief, unsigned victim) const {
+  if (worker_core_[thief] >= 0 && worker_core_[thief] == worker_core_[victim]) {
+    return 0; // SMT sibling: shares the thief's L1/L2
+  }
+  return worker_domain_[thief] == worker_domain_[victim] ? 1 : 2;
+}
+
 bool Scheduler::steal(unsigned thief, QueuedTask& out) {
-  // Same-domain victims first when NUMA-aware, then everyone. Victim order
-  // is a rotating scan starting after the thief to spread contention.
+  // Hierarchical victim selection when NUMA-aware: SMT siblings of the
+  // thief's core first (their queues are L1/L2-warm), then same-domain
+  // workers, then remote domains as the last resort — the ordering the
+  // paper's NUMA-aware HPX scheduling approximates. Flat rotating scan
+  // otherwise. Each pass rotates from the thief to spread contention;
+  // successful steals are classified and counted per tier either way.
   const unsigned n = config_.threads;
   auto try_victim = [&](unsigned v) {
     if (v == thief) return false;
     if (!take_from(*workers_[v], out)) return false;
     Worker& me = *workers_[thief];
+    const unsigned tier = steal_tier(thief, v);
     ++me.steals;
+    ++me.steals_by_tier[tier];
     steal_counter().add(1);
-    if (domain_of_worker(v) != domain_of_worker(thief)) {
-      ++me.cross_domain_steals;
-      cross_domain_steal_counter().add(1);
-    }
+    tier_steal_counter(tier).add(1);
+    if (tier == 2) cross_domain_steal_counter().add(1);
     return true;
   };
   if (config_.numa_aware && config_.numa_domains > 1) {
-    for (unsigned k = 1; k < n; ++k) {
-      const unsigned v = (thief + k) % n;
-      if (domain_of_worker(v) == domain_of_worker(thief) && try_victim(v)) {
-        return true;
+    for (unsigned tier = 0; tier < 3; ++tier) {
+      for (unsigned k = 1; k < n; ++k) {
+        const unsigned v = (thief + k) % n;
+        if (v != thief && steal_tier(thief, v) == tier && try_victim(v)) {
+          return true;
+        }
       }
     }
+    return false;
   }
   for (unsigned k = 1; k < n; ++k) {
     if (try_victim((thief + k) % n)) return true;
@@ -260,6 +414,7 @@ void Scheduler::run_task(QueuedTask& task) {
 void Scheduler::worker_loop(unsigned index) {
   tls_scheduler = this;
   tls_worker_index = static_cast<int>(index);
+  pin_self(index);
   QueuedTask task;
   while (true) {
     if (pop_own(index, task) || steal(index, task)) {
@@ -430,8 +585,11 @@ Scheduler::Stats Scheduler::stats() const {
   for (const auto& w : workers_) {
     s.executed += w->executed;
     s.steals += w->steals;
-    s.cross_domain_steals += w->cross_domain_steals;
+    s.steals_sibling += w->steals_by_tier[0];
+    s.steals_local += w->steals_by_tier[1];
+    s.steals_remote += w->steals_by_tier[2];
   }
+  s.cross_domain_steals = s.steals_remote;
   return s;
 }
 

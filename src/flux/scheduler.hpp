@@ -22,8 +22,19 @@
 
 #include "flux/task.hpp"
 #include "flux/ws_deque.hpp"
+#include "support/topology.hpp"
 
 namespace sts::flux {
+
+/// Worker-to-CPU pinning policy (STS_AFFINITY=compact|scatter|off).
+///   kOff     - no pinning; workers float (the historical behaviour).
+///   kCompact - fill NUMA node 0's CPUs first, then node 1, ... — workers
+///              of one domain share a node and its memory controller.
+///   kScatter - round-robin workers across nodes — maximum aggregate
+///              bandwidth for few threads, at the cost of locality.
+enum class Affinity : std::uint8_t { kOff, kCompact, kScatter };
+
+[[nodiscard]] const char* to_string(Affinity a);
 
 /// Work-stealing thread pool.
 ///
@@ -45,12 +56,35 @@ public:
     /// HPX ~50% on EPYC).
     unsigned numa_domains = 1;
     bool numa_aware = false;
+    /// Worker pinning policy. With kCompact/kScatter each worker is bound
+    /// to one CPU of `machine` via sched_setaffinity; a failed bind is
+    /// counted (flux.pin_failures) and the worker floats — never fatal.
+    Affinity affinity = Affinity::kOff;
+    /// Topology the pinning map is built from; null means the process-wide
+    /// support::topo::machine() detection.
+    const support::topo::Machine* machine = nullptr;
+
+    /// STS_AFFINITY=compact|scatter|off. Unset defaults to kCompact when
+    /// the detected machine has more than one NUMA node (the paper's EPYC
+    /// configuration wants pinning on by default) and kOff otherwise.
+    [[nodiscard]] static Affinity affinity_from_env();
+
+    /// Topology-derived configuration: `threads` workers (0 = hardware),
+    /// numa_domains = detected node count clamped to the worker count,
+    /// numa_aware when > 1, affinity from STS_AFFINITY. STS_NUMA=off
+    /// collapses all of it back to 1 flat domain, no pinning.
+    [[nodiscard]] static Config topology_aware(unsigned threads);
   };
 
   struct Stats {
     std::uint64_t executed = 0;
     std::uint64_t steals = 0;
-    std::uint64_t cross_domain_steals = 0;
+    std::uint64_t cross_domain_steals = 0; // == steals_remote (kept: legacy)
+    /// Hierarchical steal tiers (DESIGN.md §14): victim shares the thief's
+    /// physical core / shares its NUMA domain / lives in another domain.
+    std::uint64_t steals_sibling = 0;
+    std::uint64_t steals_local = 0;
+    std::uint64_t steals_remote = 0;
   };
 
   explicit Scheduler(Config config);
@@ -115,8 +149,21 @@ public:
   [[nodiscard]] unsigned domain_count() const noexcept {
     return config_.numa_domains;
   }
+  /// Domain of worker `w`. Unpinned workers are split into *contiguous*
+  /// ranges (workers [d*per, (d+1)*per) form domain d) — the old
+  /// round-robin `w % domains` mapping would scatter each domain's workers
+  /// across sockets once pinning exists. Pinned workers take the NUMA node
+  /// of their CPU, so the domain a task is hinted to is the node whose
+  /// memory its stripe was first-touched into.
   [[nodiscard]] unsigned domain_of_worker(unsigned w) const noexcept {
-    return w % config_.numa_domains;
+    return worker_domain_[w];
+  }
+  /// CPU worker `w` is pinned to, or -1 when unpinned.
+  [[nodiscard]] int cpu_of_worker(unsigned w) const noexcept {
+    return worker_cpu_.empty() ? -1 : worker_cpu_[w];
+  }
+  [[nodiscard]] Affinity affinity() const noexcept {
+    return config_.affinity;
   }
 
   /// Index of the calling worker thread within *this* scheduler, or -1 for
@@ -145,9 +192,14 @@ private:
     std::deque<QueuedTask> inbox; // external submissions + ring overflow
     std::uint64_t executed = 0;
     std::uint64_t steals = 0;
-    std::uint64_t cross_domain_steals = 0;
+    std::uint64_t steals_by_tier[3] = {0, 0, 0}; // sibling/local/remote
   };
 
+  /// Steal tier of (thief, victim): 0 = same physical core (SMT sibling),
+  /// 1 = same NUMA domain, 2 = remote domain.
+  [[nodiscard]] unsigned steal_tier(unsigned thief, unsigned victim) const;
+  void build_placement();
+  void pin_self(unsigned index) const;
   void worker_loop(unsigned index);
   void enqueue(QueuedTask task, int domain_hint);
   void wake_one();
@@ -162,6 +214,12 @@ private:
   Config config_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  // Placement tables, fixed at construction (read-only afterwards).
+  std::vector<unsigned> worker_domain_;           // worker -> domain
+  std::vector<int> worker_cpu_;                   // worker -> cpu; empty = unpinned
+  std::vector<int> worker_core_;                  // worker -> core key; -1 unknown
+  std::vector<std::vector<unsigned>> domain_workers_; // domain -> workers
 
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};

@@ -1,5 +1,9 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+
+#include "support/topology.hpp"
+
 namespace sts::sim {
 
 MachineModel MachineModel::broadwell() {
@@ -51,6 +55,22 @@ MachineModel MachineModel::testbox(unsigned cores) {
   m.ghz = 1.0;
   m.flops_per_cycle = 1.0;
   m.mem_latency_cycles = 100;
+  return m;
+}
+
+MachineModel MachineModel::host() {
+  const support::topo::Machine& t = support::topo::machine();
+  MachineModel m = broadwell(); // cache/latency parameters (see header)
+  m.name = "host";
+  // Physical cores: online CPUs divided by SMT width, never below 1.
+  m.cores = std::max(1u, t.cpu_count() / std::max(1u, t.smt_siblings));
+  m.numa_domains =
+      support::topo::numa_disabled() ? 1 : std::max(1u, t.node_count());
+  m.sockets = m.numa_domains; // sysfs packages ~ nodes on the paper's boxes
+  // One L3 slice per domain; domain_of_core() requires cores % domains == 0.
+  m.cores = std::max(m.cores, m.numa_domains);
+  m.cores -= m.cores % m.numa_domains;
+  m.l3_group_size = m.cores / m.numa_domains;
   return m;
 }
 

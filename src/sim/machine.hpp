@@ -71,6 +71,13 @@ struct MachineModel {
 
   /// Tiny model for unit tests (fast, deterministic).
   static MachineModel testbox(unsigned cores);
+
+  /// The machine this process runs on: core count, socket count and NUMA
+  /// domains from support::topo detection (honours STS_SYS_ROOT and
+  /// STS_NUMA=off), Broadwell-class cache/latency parameters otherwise.
+  /// Used by the service's autotune path so simulated block sweeps branch
+  /// on the *real* topology instead of a hardcoded platform.
+  static MachineModel host();
 };
 
 } // namespace sts::sim

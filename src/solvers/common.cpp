@@ -17,11 +17,27 @@ flux::Scheduler& acquire_flux_pool(const SolverOptions& options,
     }
     return *options.flux_pool;
   }
-  owned = std::make_unique<flux::Scheduler>(
-      flux::Scheduler::Config{.threads = options.threads,
-                              .numa_domains = options.numa_domains,
-                              .numa_aware = options.numa_domains > 1});
+  owned = std::make_unique<flux::Scheduler>(flux::Scheduler::Config{
+      .threads = options.threads,
+      .numa_domains = options.numa_domains,
+      .numa_aware = options.numa_domains > 1,
+      // Private pools honor STS_AFFINITY too, so a bare solver call on a
+      // multi-node machine pins its workers just like the service does.
+      .affinity = flux::Scheduler::Config::affinity_from_env()});
   return *owned;
+}
+
+sparse::Csb::DomainMap place_csb(sparse::Csb& csb, flux::Scheduler& sched) {
+  const sparse::Csb::DomainMap map =
+      csb.partition_block_rows(sched.domain_count());
+  if (sched.domain_count() <= 1) return map; // nothing to migrate
+  csb.place_stripes(
+      map,
+      [&sched](int domain, std::function<void()> work) {
+        sched.submit(flux::Task(std::move(work)), domain);
+      },
+      [&sched] { sched.wait_for_quiescence(); });
+  return map;
 }
 
 const char* to_string(Version v) {

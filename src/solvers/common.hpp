@@ -112,6 +112,14 @@ inline void poll_cancel(const SolverOptions& options) {
 [[nodiscard]] flux::Scheduler& acquire_flux_pool(
     const SolverOptions& options, std::unique_ptr<flux::Scheduler>& owned);
 
+/// First-touch placement of `csb`'s domain stripes onto `sched`'s domains:
+/// partitions the block rows (nnz-balanced), then re-materializes each
+/// stripe from a task pinned to its owning domain (Csb::place_stripes).
+/// With one domain this is a no-op partition — no copy. Returns the map so
+/// callers can hand matching hints to the solvers; the solvers themselves
+/// recompute the identical map from (matrix, numa_domains).
+sparse::Csb::DomainMap place_csb(sparse::Csb& csb, flux::Scheduler& sched);
+
 /// Throws support::Error if the options are unusable (non-positive block
 /// size or thread count, zero NUMA domains). Called by every solver driver
 /// before touching a runtime, so misconfiguration surfaces as a catchable

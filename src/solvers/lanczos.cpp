@@ -331,10 +331,14 @@ LanczosResult run_flux(const sparse::Csb& csb, int k,
   };
 
   auto rows_in = [&](index_t p) { return std::min(b, m - p * b); };
+  // Domain hints follow the same nnz-balanced stripe partition
+  // place_stripes() used (it is deterministic in (matrix, domains)), so a
+  // hinted SpMM task runs on a worker of the node that holds its stripe's
+  // pages — the paper's NUMA-aware scheduling + first-touch combination.
+  const sparse::Csb::DomainMap dmap =
+      csb.partition_block_rows(options.numa_domains);
   auto domain_of = [&](index_t p) -> int {
-    return options.numa_domains > 1
-               ? static_cast<int>(p % options.numa_domains)
-               : -1;
+    return options.numa_domains > 1 ? dmap.owner(p) : -1;
   };
 
   // Futures threaded across iterations (see the dependence walkthrough in

@@ -561,6 +561,7 @@ public:
   FluxLobpcg(State* s, const sparse::Csb* a, const LobpcgOptions& options)
       : s_(s), a_(a), opts_(options),
         np_(a->block_rows()), b_(a->block_size()),
+        dmap_(a->partition_block_rows(options.numa_domains)),
         sched_(&acquire_flux_pool(options, owned_sched_)) {}
 
   flux::Scheduler& scheduler() { return *sched_; }
@@ -575,10 +576,10 @@ public:
     return smalls_.back();
   }
 
+  // Hints reuse place_stripes' deterministic nnz-balanced stripe map, so a
+  // hinted task lands on the node whose memory holds its block row.
   int domain_of(index_t p) const {
-    return opts_.numa_domains > 1
-               ? static_cast<int>(p % opts_.numa_domains)
-               : -1;
+    return opts_.numa_domains > 1 ? dmap_.owner(p) : -1;
   }
   index_t rows_in(index_t p) const {
     return std::min(b_, s_->m - p * b_);
@@ -786,6 +787,7 @@ private:
   LobpcgOptions opts_;
   index_t np_;
   index_t b_;
+  sparse::Csb::DomainMap dmap_; // stripe owners, shared with place_stripes
   std::unique_ptr<flux::Scheduler> owned_sched_; // empty when pool is shared
   flux::Scheduler* sched_;
   // deques: vec()/small() hand out references that must stay valid as more

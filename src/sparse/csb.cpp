@@ -72,14 +72,18 @@ Csb Csb::from_coo(const Coo& coo, index_t block_size) {
               });
   }
 
-  // Emit the SoA streams and the per-block row-segment index.
+  // Emit the SoA streams and the per-block row-segment index. The streams
+  // are AlignedBuffers written exactly once per slot here; segments go
+  // through a growable scratch vector first (their count is unknown until
+  // the scan finishes).
   const std::size_t nnz = scratch.size();
-  out.values_.resize(nnz);
+  out.values_ = support::AlignedBuffer<double>(nnz);
   if (out.packed_) {
-    out.cols16_.resize(nnz);
+    out.cols16_ = support::AlignedBuffer<std::uint16_t>(nnz);
   } else {
-    out.cols32_.resize(nnz);
+    out.cols32_ = support::AlignedBuffer<std::uint32_t>(nnz);
   }
+  std::vector<RowSegment> segs;
   out.segptr_.assign(nblocks + 1, 0);
   for (std::size_t k = 0; k < nblocks; ++k) {
     const std::int64_t lo = out.blkptr_[k];
@@ -101,12 +105,92 @@ Csb Csb::from_coo(const Coo& coo, index_t block_size) {
         }
         ++t;
       }
-      out.segs_.push_back(
+      segs.push_back(
           {seg_begin, row, static_cast<std::int32_t>(t - seg_begin)});
     }
-    out.segptr_[k + 1] = static_cast<std::int64_t>(out.segs_.size());
+    out.segptr_[k + 1] = static_cast<std::int64_t>(segs.size());
   }
+  out.segs_ = support::AlignedBuffer<RowSegment>(segs.size());
+  std::copy(segs.begin(), segs.end(), out.segs_.begin());
   return out;
+}
+
+Csb::DomainMap Csb::partition_block_rows(unsigned domains) const {
+  DomainMap map;
+  if (domains == 0) domains = 1;
+  map.stripe_end.resize(domains);
+  if (nnz() == 0) {
+    // Degenerate: balance row counts instead (zero tasks still exist).
+    for (unsigned d = 0; d < domains; ++d) {
+      map.stripe_end[d] = nb_rows_ * static_cast<index_t>(d + 1) /
+                          static_cast<index_t>(domains);
+    }
+    return map;
+  }
+  // Cut each stripe where the running nnz prefix crosses (d+1)/domains of
+  // the total; stripes stay contiguous and trailing rows land in the last.
+  const double total = static_cast<double>(nnz());
+  index_t bi = 0;
+  std::int64_t acc = 0;
+  for (unsigned d = 0; d + 1 < domains; ++d) {
+    const double target = total * static_cast<double>(d + 1) /
+                          static_cast<double>(domains);
+    while (bi < nb_rows_ && static_cast<double>(acc) < target) {
+      acc += block_row_nnz(bi);
+      ++bi;
+    }
+    map.stripe_end[d] = bi;
+  }
+  map.stripe_end.back() = nb_rows_;
+  return map;
+}
+
+void Csb::place_stripes(
+    const DomainMap& map,
+    const std::function<void(int, std::function<void()>)>& submit,
+    const std::function<void()>& wait) {
+  STS_EXPECTS(!map.stripe_end.empty() &&
+              map.stripe_end.back() == nb_rows_);
+  // Fresh buffers: aligned_alloc maps pages but does not fault them, so the
+  // first write decides their NUMA node. Each domain's stripe is one
+  // contiguous range of the block-row-major streams, and the copy task for
+  // it runs under that domain's hint — real first-touch placement, not the
+  // single-threaded layout from_coo produced.
+  support::AlignedBuffer<double> values(values_.size());
+  support::AlignedBuffer<std::uint16_t> cols16(cols16_.size());
+  support::AlignedBuffer<std::uint32_t> cols32(cols32_.size());
+  support::AlignedBuffer<RowSegment> segs(segs_.size());
+  const std::size_t nbc = static_cast<std::size_t>(nb_cols_);
+  index_t row0 = 0;
+  for (int d = 0; d < map.domains(); ++d) {
+    const index_t row1 = map.stripe_end[static_cast<std::size_t>(d)];
+    const std::size_t e0 =
+        static_cast<std::size_t>(blkptr_[static_cast<std::size_t>(row0) * nbc]);
+    const std::size_t e1 =
+        static_cast<std::size_t>(blkptr_[static_cast<std::size_t>(row1) * nbc]);
+    const std::size_t s0 =
+        static_cast<std::size_t>(segptr_[static_cast<std::size_t>(row0) * nbc]);
+    const std::size_t s1 =
+        static_cast<std::size_t>(segptr_[static_cast<std::size_t>(row1) * nbc]);
+    row0 = row1;
+    if (e0 == e1 && s0 == s1) continue;
+    submit(d, [this, &values, &cols16, &cols32, &segs, e0, e1, s0, s1] {
+      std::copy(values_.data() + e0, values_.data() + e1, values.data() + e0);
+      if (packed_) {
+        std::copy(cols16_.data() + e0, cols16_.data() + e1,
+                  cols16.data() + e0);
+      } else {
+        std::copy(cols32_.data() + e0, cols32_.data() + e1,
+                  cols32.data() + e0);
+      }
+      std::copy(segs_.data() + s0, segs_.data() + s1, segs.data() + s0);
+    });
+  }
+  wait();
+  values_ = std::move(values);
+  cols16_ = std::move(cols16);
+  cols32_ = std::move(cols32);
+  segs_ = std::move(segs);
 }
 
 Csb Csb::from_csr(const Csr& csr, index_t block_size) {

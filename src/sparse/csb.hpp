@@ -17,12 +17,15 @@
 // {int32 row, int32 col, double} AoS entry costs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "la/dense.hpp"
 #include "sparse/csr.hpp"
+#include "support/aligned.hpp"
 
 namespace sts::sparse {
 
@@ -58,12 +61,62 @@ public:
     }
   };
 
+  /// Contiguous block-row stripes assigned to NUMA domains. Entry d is the
+  /// exclusive block-row end of domain d's stripe (stripe d covers block
+  /// rows [stripe_end[d-1], stripe_end[d])); the last entry equals
+  /// block_rows(). The same map drives both page placement
+  /// (place_stripes) and task domain hints, so a hinted SpMV task lands on
+  /// a worker of the node whose memory holds its stripe.
+  struct DomainMap {
+    std::vector<index_t> stripe_end;
+
+    [[nodiscard]] int domains() const noexcept {
+      return static_cast<int>(stripe_end.size());
+    }
+    /// Domain owning block-row `bi`: the first stripe ending past it.
+    [[nodiscard]] int owner(index_t bi) const {
+      const auto it =
+          std::upper_bound(stripe_end.begin(), stripe_end.end(), bi);
+      return it == stripe_end.end()
+                 ? static_cast<int>(stripe_end.size()) - 1
+                 : static_cast<int>(it - stripe_end.begin());
+    }
+  };
+
   Csb() = default;
 
   /// Builds from COO with the given block size (rows per block in both
   /// dimensions). Entries within a block are sorted by local (row, col).
   static Csb from_coo(const Coo& coo, index_t block_size);
   static Csb from_csr(const Csr& csr, index_t block_size);
+
+  /// Nonzeros in block-row `bi`. O(1): the grid is block-row-major, so the
+  /// row's blocks occupy one contiguous blkptr range.
+  [[nodiscard]] index_t block_row_nnz(index_t bi) const {
+    STS_EXPECTS(bi >= 0 && bi < nb_rows_);
+    const std::size_t lo = static_cast<std::size_t>(bi) *
+                           static_cast<std::size_t>(nb_cols_);
+    const std::size_t hi = lo + static_cast<std::size_t>(nb_cols_);
+    return static_cast<index_t>(blkptr_[hi] - blkptr_[lo]);
+  }
+
+  /// Nnz-balanced partition of the block rows into `domains` contiguous
+  /// stripes (greedy prefix cut at multiples of nnz/domains). Deterministic:
+  /// solvers recompute it from (matrix, domains) and get the same owners
+  /// place_stripes used.
+  [[nodiscard]] DomainMap partition_block_rows(unsigned domains) const;
+
+  /// Re-materializes the value/coordinate/segment streams so each domain's
+  /// stripe is copied -- and its pages therefore first-touched -- by a task
+  /// running inside that domain. `submit(domain, work)` must run `work` on a
+  /// worker of `domain` (e.g. flux::Scheduler::submit with a hint); `wait`
+  /// must block until every submitted work item finished. Storage is
+  /// aligned_alloc'd, which maps fresh untouched pages, so the copying task
+  /// faults them into its node's memory. Call once, before sharing the
+  /// matrix across threads.
+  void place_stripes(const DomainMap& map,
+                     const std::function<void(int, std::function<void()>)>& submit,
+                     const std::function<void()>& wait);
 
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
@@ -135,10 +188,10 @@ public:
     return blkptr_;
   }
   [[nodiscard]] std::span<const RowSegment> segments() const noexcept {
-    return segs_;
+    return {segs_.data(), segs_.size()};
   }
   [[nodiscard]] std::span<const double> values() const noexcept {
-    return values_;
+    return {values_.data(), values_.size()};
   }
 
   [[nodiscard]] Coo to_coo() const;
@@ -172,12 +225,18 @@ private:
   index_t nb_cols_ = 0;
   index_t nonempty_ = 0;
   bool packed_ = true;
+  // The hot streams live in AlignedBuffers (not vectors) deliberately:
+  // aligned_alloc maps pages without faulting them, which is what lets
+  // place_stripes() first-touch each stripe from its owning NUMA domain —
+  // a vector's value-initializing resize would fault every page on the
+  // constructing thread and pin the whole matrix to one node. The index
+  // arrays (blkptr_/segptr_) stay vectors: cold, read by everyone.
   std::vector<std::int64_t> blkptr_; // nb_rows_*nb_cols_ + 1 entry offsets
   std::vector<std::int64_t> segptr_; // nb_rows_*nb_cols_ + 1 segment offsets
-  std::vector<RowSegment> segs_;     // row segments, block-major
-  std::vector<double> values_;       // SoA: values, block-major
-  std::vector<std::uint16_t> cols16_; // SoA: packed local columns
-  std::vector<std::uint32_t> cols32_; // SoA: wide local columns (block > 64Ki)
+  support::AlignedBuffer<RowSegment> segs_;      // row segments, block-major
+  support::AlignedBuffer<double> values_;        // SoA: values, block-major
+  support::AlignedBuffer<std::uint16_t> cols16_; // SoA: packed local columns
+  support::AlignedBuffer<std::uint32_t> cols32_; // SoA: wide local columns
 };
 
 /// y_block[bi] += A(bi,bj) * x_block[bj] for a single block (SpMV body).

@@ -1,0 +1,219 @@
+#include "support/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace sts::support::topo {
+
+namespace {
+
+/// First line of `path`, stripped of trailing whitespace; nullopt-ish empty
+/// string when the file is missing/unreadable.
+std::string read_line(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return {};
+  std::string line;
+  std::getline(f, line);
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back())) != 0) {
+    line.pop_back();
+  }
+  return line;
+}
+
+/// Integer contents of `path`, or `fallback` when absent/unparsable.
+int read_int(const std::string& path, int fallback) {
+  const std::string s = read_line(path);
+  if (s.empty()) return fallback;
+  try {
+    return std::stoi(s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool dir_exists(const std::string& path) {
+  // A directory is "usable" here iff one of its known files opens; sysfs
+  // nodes always carry cpulist/online, and avoiding <filesystem> keeps this
+  // layer dependency-free for the sanitizer builds.
+  return std::ifstream(path).is_open();
+}
+
+Machine fallback_machine() {
+  Machine m;
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  Node node;
+  node.id = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    node.cpus.push_back(static_cast<int>(i));
+    m.cpus.push_back(Cpu{static_cast<int>(i), 0, static_cast<int>(i)});
+  }
+  m.nodes.push_back(std::move(node));
+  m.smt_siblings = 1;
+  m.from_sysfs = false;
+  return m;
+}
+
+} // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::string token;
+  std::istringstream is(text);
+  while (std::getline(is, token, ',')) {
+    // Strip whitespace.
+    std::string t;
+    for (char c : token) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) t += c;
+    }
+    if (t.empty()) continue;
+    const std::size_t dash = t.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(t));
+      } else {
+        const int lo = std::stoi(t.substr(0, dash));
+        const int hi = std::stoi(t.substr(dash + 1));
+        if (hi < lo) {
+          throw Error("cpulist: descending range '" + t + "'");
+        }
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      throw Error("cpulist: malformed token '" + t + "' in '" + text + "'");
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+unsigned Machine::cpus_per_node() const noexcept {
+  std::size_t best = 0;
+  for (const Node& n : nodes) best = std::max(best, n.cpus.size());
+  return static_cast<unsigned>(best);
+}
+
+const Cpu* Machine::find_cpu(int id) const noexcept {
+  const auto it =
+      std::lower_bound(cpus.begin(), cpus.end(), id,
+                       [](const Cpu& c, int v) { return c.id < v; });
+  return it != cpus.end() && it->id == id ? &*it : nullptr;
+}
+
+std::string Machine::describe() const {
+  std::string out = std::to_string(node_count()) + " node(s), " +
+                    std::to_string(cpu_count()) + " cpu(s)";
+  if (smt_siblings > 1) {
+    out += ", smt " + std::to_string(smt_siblings);
+  }
+  out += from_sysfs ? " [sysfs]" : " [fallback]";
+  return out;
+}
+
+Machine detect(const std::string& sys_root) {
+  const std::string cpu_root = sys_root + "/devices/system/cpu";
+  const std::string node_root = sys_root + "/devices/system/node";
+
+  // Online CPU set: the filter every node cpulist is intersected with, so
+  // offline CPUs never become pinning targets.
+  std::vector<int> online;
+  try {
+    online = parse_cpulist(read_line(cpu_root + "/online"));
+  } catch (const Error&) {
+    online.clear(); // corrupt online file: treat the tree as unusable
+  }
+  if (online.empty()) return fallback_machine();
+
+  // Node -> cpulist. Probe node ids densely from 0; sysfs node numbering
+  // can have holes (memory-only or offlined nodes), so tolerate gaps up to
+  // a generous bound instead of stopping at the first absent id.
+  std::map<int, std::vector<int>> node_cpus;
+  constexpr int kMaxNodeProbe = 4096;
+  int misses = 0;
+  for (int id = 0; id < kMaxNodeProbe && misses < 64; ++id) {
+    const std::string cpulist = node_root + "/node" + std::to_string(id) +
+                                "/cpulist";
+    if (!dir_exists(cpulist)) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::vector<int> cpus;
+    try {
+      cpus = parse_cpulist(read_line(cpulist));
+    } catch (const Error&) {
+      continue; // one corrupt node file should not lose the others
+    }
+    std::vector<int> kept;
+    for (int c : cpus) {
+      if (std::binary_search(online.begin(), online.end(), c)) {
+        kept.push_back(c);
+      }
+    }
+    if (!kept.empty()) node_cpus.emplace(id, std::move(kept));
+  }
+  if (node_cpus.empty()) {
+    // No node tree (non-NUMA kernel build): single node over the online
+    // set, still counted as a sysfs detection for the cpu/core structure.
+    node_cpus.emplace(0, online);
+  }
+
+  Machine m;
+  m.from_sysfs = true;
+  std::map<long long, int> core_population; // core key -> sibling count
+  for (auto& [id, cpus] : node_cpus) {
+    Node node;
+    node.id = id;
+    node.cpus = cpus;
+    for (int c : cpus) {
+      const std::string topo =
+          cpu_root + "/cpu" + std::to_string(c) + "/topology";
+      const int core_id = read_int(topo + "/core_id", -1);
+      const int pkg = read_int(topo + "/physical_package_id", 0);
+      // Machine-unique core key: (package, core_id); unknown core ids fall
+      // back to the cpu id itself (every cpu its own core, SMT invisible).
+      const long long key =
+          core_id >= 0 ? static_cast<long long>(pkg) * (1ll << 20) + core_id
+                       : -static_cast<long long>(c) - 1;
+      m.cpus.push_back(Cpu{c, id, static_cast<int>(key & 0x7fffffff)});
+      ++core_population[key];
+    }
+    m.nodes.push_back(std::move(node));
+  }
+  std::sort(m.cpus.begin(), m.cpus.end(),
+            [](const Cpu& a, const Cpu& b) { return a.id < b.id; });
+  for (const auto& [key, count] : core_population) {
+    m.smt_siblings = std::max(m.smt_siblings, static_cast<unsigned>(count));
+  }
+  return m;
+}
+
+const Machine& machine() {
+  static const Machine m = detect(env_string("STS_SYS_ROOT", "/sys"));
+  return m;
+}
+
+bool numa_disabled() {
+  const std::string v = env_string("STS_NUMA", "");
+  return v == "off" || v == "0";
+}
+
+unsigned effective_domains(unsigned threads) {
+  if (threads == 0) threads = 1;
+  if (numa_disabled()) return 1;
+  return std::clamp(machine().node_count(), 1u, threads);
+}
+
+} // namespace sts::support::topo

@@ -1,0 +1,84 @@
+// Machine topology detection for NUMA-aware scheduling and placement.
+//
+// The paper's manycore results (Fig. 5, the EPYC 2x64 runs) hinge on memory
+// locality: parallel first-touch placement and NUMA-aware task scheduling
+// are the difference between scaling and collapsing once the kernels are
+// vectorized. Everything locality-aware in this repo — flux worker pinning,
+// domain-partitioned CSB placement, hierarchical victim selection — starts
+// from the Machine description built here.
+//
+// Detection parses the Linux sysfs tree:
+//
+//   <root>/devices/system/node/node<N>/cpulist   NUMA node -> CPU list
+//   <root>/devices/system/cpu/online             online CPU list
+//   <root>/devices/system/cpu/cpu<N>/topology/{core_id,physical_package_id}
+//
+// where <root> is "/sys" by default and overridable with STS_SYS_ROOT, so
+// tests (and the EPYC fixture experiments in EXPERIMENTS.md) can inject
+// canned topologies. Hosts without a readable sysfs tree degrade to a
+// single synthetic node holding hardware_concurrency() CPUs — every
+// consumer then behaves exactly as before this layer existed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sts::support::topo {
+
+/// One hardware thread (logical CPU) that is online.
+struct Cpu {
+  int id = -1;   // cpu number (the N of cpuN)
+  int node = 0;  // NUMA node id
+  int core = -1; // machine-unique physical-core key; -1 when unknown
+};
+
+/// One NUMA node and the online CPUs it owns.
+struct Node {
+  int id = 0;
+  std::vector<int> cpus; // ascending cpu ids; never empty (cpu-less
+                         // memory-only nodes are dropped)
+};
+
+/// Immutable machine description. `nodes` is ascending by node id and never
+/// empty; `cpus` is ascending by cpu id and lists online CPUs only.
+struct Machine {
+  std::vector<Node> nodes;
+  std::vector<Cpu> cpus;
+  unsigned smt_siblings = 1; // max hardware threads sharing one core
+  bool from_sysfs = false;   // false for the synthetic fallback
+
+  [[nodiscard]] unsigned node_count() const noexcept {
+    return static_cast<unsigned>(nodes.size());
+  }
+  [[nodiscard]] unsigned cpu_count() const noexcept {
+    return static_cast<unsigned>(cpus.size());
+  }
+  /// Largest node (workers per domain when pinning compact).
+  [[nodiscard]] unsigned cpus_per_node() const noexcept;
+  /// Lookup by cpu id; nullptr when `id` is offline/unknown.
+  [[nodiscard]] const Cpu* find_cpu(int id) const noexcept;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parses a sysfs cpulist ("0-3,8-11", "0", "") into ascending cpu ids.
+/// Whitespace is tolerated; malformed ranges throw support::Error.
+[[nodiscard]] std::vector<int> parse_cpulist(const std::string& text);
+
+/// Detects the topology under `sys_root` (a path standing in for "/sys").
+/// Never throws: an absent or unreadable tree yields the single-node
+/// fallback (from_sysfs == false).
+[[nodiscard]] Machine detect(const std::string& sys_root);
+
+/// Process-wide cached detection honoring STS_SYS_ROOT (default "/sys").
+[[nodiscard]] const Machine& machine();
+
+/// True when STS_NUMA is set to "off" or "0": the kill switch that forces
+/// every consumer back to the flat single-domain behaviour (documented
+/// alongside STS_HW_COUNTERS in DESIGN.md).
+[[nodiscard]] bool numa_disabled();
+
+/// Effective NUMA domain count for a pool of `threads` workers: the
+/// detected node count clamped to [1, threads], or 1 under STS_NUMA=off.
+[[nodiscard]] unsigned effective_domains(unsigned threads);
+
+} // namespace sts::support::topo

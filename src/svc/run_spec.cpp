@@ -8,6 +8,7 @@
 #include "sparse/mm_io.hpp"
 #include "sparse/suite.hpp"
 #include "support/error.hpp"
+#include "support/topology.hpp"
 #include "tuning/block_select.hpp"
 #include "tuning/sweep.hpp"
 
@@ -198,7 +199,7 @@ RunSpec::BlockChoice RunSpec::resolve_block(const sparse::Csr& csr) const {
         csr,
         solver == SolverKind::kLanczos ? tune::SweepSolver::kLanczos
                                        : tune::SweepSolver::kLobpcg,
-        version, sim::MachineModel::broadwell(), /*full_sweep=*/false, nev);
+        version, sim::MachineModel::host(), /*full_sweep=*/false, nev);
     choice.block = sweep.best_block_size();
     for (const auto& p : sweep.points) {
       choice.sweep.emplace_back(p.block_count, p.simulated_seconds);
@@ -215,6 +216,10 @@ solver::SolverOptions RunSpec::solver_options(la::index_t blk) const {
   solver::SolverOptions o;
   o.block_size = blk;
   o.threads = resolved_threads();
+  // Detected NUMA domains (1 under STS_NUMA=off). The service overrides
+  // this with the shared pool's domain count for kFlux jobs; private-pool
+  // runs derive the same answer from the same topology.
+  o.numa_domains = support::topo::effective_domains(o.threads);
   return o;
 }
 
@@ -222,6 +227,7 @@ solver::LobpcgOptions RunSpec::lobpcg_options(la::index_t blk) const {
   solver::LobpcgOptions o;
   o.block_size = blk;
   o.threads = resolved_threads();
+  o.numa_domains = support::topo::effective_domains(o.threads);
   o.nev = nev;
   o.tolerance = tolerance;
   return o;

@@ -10,9 +10,11 @@
 
 #include "obs/obs.hpp"
 #include "solvers/checkpoint.hpp"
+#include "solvers/common.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "support/env.hpp"
+#include "support/topology.hpp"
 #include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
@@ -32,18 +34,23 @@ const char* to_string(JobState s) {
 
 namespace {
 
-Plan build_plan(const RunSpec& spec) {
+Plan build_plan(const RunSpec& spec, flux::Scheduler& pool) {
   sparse::Coo coo = spec.load();
   auto csr = std::make_shared<const sparse::Csr>(
       sparse::Csr::from_coo(std::move(coo)));
   const RunSpec::BlockChoice choice = spec.resolve_block(*csr);
-  auto csb = std::make_shared<const sparse::Csb>(
-      sparse::Csb::from_csr(*csr, choice.block));
+  sparse::Csb csb = sparse::Csb::from_csr(*csr, choice.block);
+  if (pool.domain_count() > 1) {
+    // First-touch each domain stripe from a pinned worker of its node
+    // before the matrix is frozen into the (shared, immutable) plan; every
+    // kFlux solve on this plan then hints tasks at the owning domain.
+    (void)solver::place_csb(csb, pool);
+  }
   Plan plan;
-  plan.bytes = csr->memory_bytes() + csb->memory_bytes();
+  plan.bytes = csr->memory_bytes() + csb.memory_bytes();
   plan.block_size = choice.block;
   plan.csr = std::move(csr);
-  plan.csb = std::move(csb);
+  plan.csb = std::make_shared<const sparse::Csb>(std::move(csb));
   return plan;
 }
 
@@ -92,6 +99,17 @@ wire::Json to_json(const ServiceStats& s) {
   j.set("job_p50_ms", s.job_p50_ms);
   j.set("job_p95_ms", s.job_p95_ms);
   j.set("job_p99_ms", s.job_p99_ms);
+  wire::Json topo = wire::Json::object();
+  topo.set("nodes", static_cast<std::uint64_t>(s.topology.nodes));
+  topo.set("cpus", static_cast<std::uint64_t>(s.topology.cpus));
+  topo.set("smt_siblings", static_cast<std::uint64_t>(s.topology.smt));
+  topo.set("from_sysfs", s.topology.from_sysfs);
+  topo.set("pool_threads",
+           static_cast<std::uint64_t>(s.topology.pool_threads));
+  topo.set("pool_domains",
+           static_cast<std::uint64_t>(s.topology.pool_domains));
+  topo.set("affinity", s.topology.affinity);
+  j.set("topology", std::move(topo));
   return j;
 }
 
@@ -112,9 +130,20 @@ Service::Config Service::Config::from_env() {
 
 Service::Service(Config config)
     : config_(std::move(config)), cache_(config_.cache_bytes),
-      pool_({.threads = pool_threads(config_.threads),
-             .numa_domains = 1,
-             .numa_aware = false}) {
+      // Topology-derived pool: domains = detected NUMA nodes (clamped to the
+      // worker count), workers pinned per STS_AFFINITY. STS_NUMA=off is the
+      // kill switch back to the old 1-domain unpinned pool.
+      pool_(flux::Scheduler::Config::topology_aware(
+          pool_threads(config_.threads))) {
+  const support::topo::Machine& machine = support::topo::machine();
+  obs::gauge("topology.nodes")
+      .observe(static_cast<std::int64_t>(machine.node_count()));
+  obs::gauge("topology.cpus")
+      .observe(static_cast<std::int64_t>(machine.cpu_count()));
+  obs::gauge("topology.smt_siblings")
+      .observe(static_cast<std::int64_t>(machine.smt_siblings));
+  obs::gauge("topology.pool_domains")
+      .observe(static_cast<std::int64_t>(pool_.domain_count()));
   if (!config_.ckpt_dir.empty()) {
     if (::mkdir(config_.ckpt_dir.c_str(), 0755) != 0 && errno != EEXIST) {
       throw support::Error("ckpt dir " + config_.ckpt_dir + ": " +
@@ -486,7 +515,7 @@ void Service::run_job(Job& job) {
     bool hit = false;
     const std::shared_ptr<const Plan> plan = cache_.get_or_build(
         job.spec.source_key(), job.spec.block_directive(),
-        [&job] { return build_plan(job.spec); }, &hit);
+        [&job, this] { return build_plan(job.spec, pool_); }, &hit);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       job.cache_hit = hit;
@@ -544,6 +573,10 @@ void Service::run_job(Job& job) {
       if (restored) options.restore = &*restored;
       if (job.spec.version == solver::Version::kFlux) {
         options.flux_pool = &pool_;
+        // The shared pool's domain layout wins over whatever the spec's
+        // thread count would have derived (acquire_flux_pool validates the
+        // two agree).
+        options.numa_domains = pool_.domain_count();
       }
       const auto r = solver::lanczos(*plan->csr, *plan->csb,
                                      job.spec.iterations, job.spec.version,
@@ -565,6 +598,7 @@ void Service::run_job(Job& job) {
       if (restored) options.restore = &*restored;
       if (job.spec.version == solver::Version::kFlux) {
         options.flux_pool = &pool_;
+        options.numa_domains = pool_.domain_count();
       }
       const auto r = solver::lobpcg(*plan->csr, *plan->csb,
                                     job.spec.iterations, job.spec.version,
@@ -621,6 +655,14 @@ ServiceStats Service::stats() const {
   s.job_p50_ms = h.quantile(0.50) * 1e-6;
   s.job_p95_ms = h.quantile(0.95) * 1e-6;
   s.job_p99_ms = h.quantile(0.99) * 1e-6;
+  const support::topo::Machine& machine = support::topo::machine();
+  s.topology.nodes = machine.node_count();
+  s.topology.cpus = machine.cpu_count();
+  s.topology.smt = machine.smt_siblings;
+  s.topology.from_sysfs = machine.from_sysfs;
+  s.topology.pool_threads = pool_.thread_count();
+  s.topology.pool_domains = pool_.domain_count();
+  s.topology.affinity = flux::to_string(pool_.affinity());
   return s;
 }
 

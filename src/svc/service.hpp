@@ -90,6 +90,19 @@ struct ServiceStats {
   double job_p50_ms = 0.0;
   double job_p95_ms = 0.0;
   double job_p99_ms = 0.0;
+  /// Detected machine topology and how the shared pool is laid out over it
+  /// (DESIGN.md §14); surfaced by `stsctl stats` so an operator can see at
+  /// a glance whether the daemon is actually running NUMA-aware.
+  struct Topology {
+    unsigned nodes = 1;        // NUMA nodes detected
+    unsigned cpus = 1;         // online CPUs detected
+    unsigned smt = 1;          // max SMT siblings per physical core
+    bool from_sysfs = false;   // real /sys detection vs portable fallback
+    unsigned pool_threads = 1; // shared flux pool workers
+    unsigned pool_domains = 1; // domains the pool schedules over
+    std::string affinity;      // "off" | "compact" | "scatter"
+  };
+  Topology topology;
 };
 
 [[nodiscard]] wire::Json to_json(const ServiceStats& stats);

@@ -339,6 +339,18 @@ TEST(Service, RunsJobsAndServesRepeatsFromCache) {
   EXPECT_GE(stats.cache.hits, 1u); // the recorded-hit counter, asserted
   EXPECT_EQ(stats.cache.misses, 1u);
   EXPECT_EQ(stats.cache.entries, 1u);
+
+  // Detected topology rides along in stats (and hence `stsctl stats`).
+  EXPECT_GE(stats.topology.nodes, 1u);
+  EXPECT_GE(stats.topology.cpus, stats.topology.nodes);
+  EXPECT_GE(stats.topology.pool_threads, 1u);
+  EXPECT_GE(stats.topology.pool_domains, 1u);
+  EXPECT_LE(stats.topology.pool_domains, stats.topology.pool_threads);
+  EXPECT_FALSE(stats.topology.affinity.empty());
+  const svc::wire::Json j = svc::to_json(stats);
+  ASSERT_TRUE(j.get("topology").is_object());
+  EXPECT_GE(j.get("topology").get("nodes").as_int(), 1);
+  EXPECT_GE(j.get("topology").get("cpus").as_int(), 1);
 }
 
 TEST(Service, EvictsPlansOverCacheBudget) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate: the tier-1 verify (full build + complete ctest suite), a
 # chaos stage (kill/restart recovery e2e plus a deeper journal-replay
-# corruption fuzz), an AddressSanitizer build that re-runs the
-# concurrency-heavy labels (svc, faults, chaos) where lifetime bugs would
-# hide, a ThreadSanitizer pass over the lock-free telemetry plumbing, and
-# the observability micro-benchmarks (BENCH_obs.json).
+# corruption fuzz), a NUMA stage (topology fixtures, pinned re-runs of the
+# flux/solvers labels, and the steal-tier bench -> BENCH_numa.json), an
+# AddressSanitizer build that re-runs the concurrency-heavy labels (svc,
+# faults, chaos) where lifetime bugs would hide, a ThreadSanitizer pass
+# over the lock-free telemetry plumbing, and the observability
+# micro-benchmarks (BENCH_obs.json).
 #
 #   tools/ci.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 #
@@ -26,6 +28,22 @@ echo "== chaos: crash/recovery e2e + journal-replay fuzz =="
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L chaos
 STS_JOURNAL_FUZZ_ITERS=200 "$build/tests/resilience_test" \
   --gtest_filter='Journal.FuzzedCorruptionNeverCrashesReplay'
+
+echo "== numa: topology tests + pinned runtimes + steal-tier bench =="
+# The numa label covers the sysfs-fixture topology parser and the
+# placement/stealing unit tests; re-running the flux and solvers labels
+# under STS_AFFINITY=compact exercises the pinned code path end to end
+# (workers bound to real CPUs, or counted pin failures on constrained
+# hosts — never fatal). The fig5 native bench exports per-tier steal
+# counts; pinned+owned must show fewer cross-domain steals than the
+# unpinned baseline.
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L numa
+STS_AFFINITY=compact ctest --test-dir "$build" --output-on-failure \
+  -j "$jobs" -L "flux|solvers"
+cmake --build "$build" -j "$jobs" --target bench_fig5_first_touch
+(cd "$build" && STS_AFFINITY=compact ./bench/bench_fig5_first_touch \
+  --benchmark_min_time=0.05 --benchmark_filter=BM_CsbSpmv)
+echo "wrote $build/BENCH_numa.json"
 
 echo "== asan: build + svc/faults/chaos labels =="
 cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF

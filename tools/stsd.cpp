@@ -34,6 +34,7 @@
 #include "obs/obs.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
+#include "support/topology.hpp"
 #include "svc/http.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
@@ -132,6 +133,11 @@ int main(int argc, char** argv) {
     std::printf("stsd: serving %s (queue cap %zu, cache budget %zu bytes)\n",
                 socket_path.c_str(), config.queue_capacity,
                 config.cache_bytes);
+    std::printf("stsd: topology %s; pool %u worker(s) over %u domain(s), "
+                "affinity %s\n",
+                support::topo::machine().describe().c_str(),
+                service.pool().thread_count(), service.pool().domain_count(),
+                flux::to_string(service.pool().affinity()));
     if (!config.journal_path.empty()) {
       std::printf("stsd: journal %s, %llu job(s) recovered\n",
                   config.journal_path.c_str(),
