@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -98,7 +99,39 @@ Scheduler::Config Scheduler::Config::topology_aware(unsigned threads) {
   return c;
 }
 
-Scheduler::Scheduler(Config config) : config_(config) {
+Scheduler::Config Scheduler::Config::for_partition(
+    std::vector<int> cpus, const support::topo::Machine* machine,
+    unsigned max_threads) {
+  Config c;
+  c.machine = machine != nullptr ? machine : &support::topo::machine();
+  if (cpus.empty()) { // degenerate grant: the whole machine
+    for (const support::topo::Cpu& cpu : c.machine->cpus) {
+      cpus.push_back(cpu.id);
+    }
+  }
+  c.threads = std::max<unsigned>(1u, static_cast<unsigned>(cpus.size()));
+  c.max_threads = std::max(max_threads, c.threads);
+  std::set<int> nodes;
+  for (int id : cpus) {
+    const support::topo::Cpu* cpu = c.machine->find_cpu(id);
+    nodes.insert(cpu != nullptr ? cpu->node : 0);
+  }
+  c.cpus = std::move(cpus);
+  if (!support::topo::numa_disabled()) {
+    c.numa_domains = std::clamp(static_cast<unsigned>(nodes.size()), 1u,
+                                c.threads);
+    c.numa_aware = c.numa_domains > 1;
+  }
+  // A partition is *enforced* by pinning — unpinned workers would float
+  // onto other slots' CPUs and partitioning would be fiction — so default
+  // on; STS_AFFINITY=off still opts the whole process out (constrained
+  // hosts where binds fail are already handled per-bind, non-fatally).
+  const std::string v = support::env_string("STS_AFFINITY", "");
+  c.affinity = (v == "off" || v == "0") ? Affinity::kOff : Affinity::kCompact;
+  return c;
+}
+
+Scheduler::Scheduler(Config config) : config_(std::move(config)) {
   // Pre-register the steal counters so a metrics dump lists them even for a
   // run that never stole (a zero row beats an absent one when diffing).
   steal_counter();
@@ -106,12 +139,16 @@ Scheduler::Scheduler(Config config) : config_(config) {
   config_.threads = std::max(1u, config_.threads);
   config_.numa_domains =
       std::clamp(config_.numa_domains, 1u, config_.threads);
+  max_threads_ = std::max(config_.threads, config_.max_threads);
   build_placement();
-  workers_.reserve(config_.threads);
+  // Worker cells beyond the initial count stay null until expand()
+  // constructs them — headroom costs no rings or slot pools up front.
+  workers_.resize(max_threads_);
   for (unsigned i = 0; i < config_.threads; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
+    workers_[i] = std::make_unique<Worker>();
   }
-  threads_.reserve(config_.threads);
+  threads_.reserve(max_threads_);
+  active_.store(config_.threads, std::memory_order_release);
   for (unsigned i = 0; i < config_.threads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -120,9 +157,26 @@ Scheduler::Scheduler(Config config) : config_(config) {
 void Scheduler::build_placement() {
   const unsigned threads = config_.threads;
   const unsigned domains = config_.numa_domains;
-  worker_domain_.assign(threads, 0);
-  worker_core_.assign(threads, -1);
+  worker_domain_.assign(max_threads_, 0);
+  worker_core_.assign(max_threads_, -1);
   worker_cpu_.clear();
+  domain_workers_.assign(domains, {});
+  for (std::vector<unsigned>& dw : domain_workers_) dw.reserve(max_threads_);
+  domain_size_ = std::make_unique<std::atomic<unsigned>[]>(domains);
+  for (unsigned d = 0; d < domains; ++d) {
+    domain_size_[d].store(0, std::memory_order_relaxed);
+  }
+
+  if (!config_.cpus.empty() && config_.affinity != Affinity::kOff) {
+    // Explicit partition: worker w takes cpus[w % |cpus|] (oversubscription
+    // wraps, matching the order-table path below) and the domain map falls
+    // out of those CPUs' nodes. assign_cpu_slot records membership too.
+    worker_cpu_.assign(max_threads_, -1);
+    for (unsigned w = 0; w < threads; ++w) {
+      assign_cpu_slot(w, config_.cpus[w % config_.cpus.size()]);
+    }
+    return;
+  }
 
   if (config_.affinity != Affinity::kOff) {
     const support::topo::Machine& m =
@@ -158,7 +212,7 @@ void Scheduler::build_placement() {
       }
     }
     if (!order.empty()) {
-      worker_cpu_.assign(threads, -1);
+      worker_cpu_.assign(max_threads_, -1);
       for (unsigned w = 0; w < threads; ++w) {
         const support::topo::Cpu* cpu = order[w % order.size()];
         worker_cpu_[w] = cpu->id;
@@ -181,10 +235,62 @@ void Scheduler::build_placement() {
     for (unsigned w = 0; w < threads; ++w) worker_domain_[w] = w / per;
   }
 
-  domain_workers_.assign(domains, {});
   for (unsigned w = 0; w < threads; ++w) {
-    domain_workers_[worker_domain_[w]].push_back(w);
+    const unsigned d = worker_domain_[w];
+    domain_workers_[d].push_back(w);
+    domain_size_[d].store(static_cast<unsigned>(domain_workers_[d].size()),
+                          std::memory_order_relaxed);
   }
+}
+
+void Scheduler::assign_cpu_slot(unsigned w, int cpu_id) {
+  const support::topo::Machine& m = config_.machine != nullptr
+                                        ? *config_.machine
+                                        : support::topo::machine();
+  worker_cpu_[w] = cpu_id;
+  unsigned node_index = 0;
+  if (const support::topo::Cpu* cpu = m.find_cpu(cpu_id)) {
+    worker_core_[w] = cpu->core;
+    for (std::size_t d = 0; d < m.nodes.size(); ++d) {
+      if (m.nodes[d].id == cpu->node) node_index = static_cast<unsigned>(d);
+    }
+  }
+  const unsigned domain = node_index % config_.numa_domains;
+  worker_domain_[w] = domain;
+  domain_workers_[domain].push_back(w); // reserved: data pointer is stable
+  domain_size_[domain].store(
+      static_cast<unsigned>(domain_workers_[domain].size()),
+      std::memory_order_release);
+}
+
+unsigned Scheduler::expand(const std::vector<int>& cpus) {
+  STS_EXPECTS(tls_scheduler != this); // a worker growing itself would race
+  const unsigned old = active_.load(std::memory_order_relaxed);
+  const unsigned add =
+      std::min(static_cast<unsigned>(cpus.size()), max_threads_ - old);
+  if (add == 0) return 0;
+  for (unsigned i = 0; i < add; ++i) {
+    const unsigned w = old + i;
+    workers_[w] = std::make_unique<Worker>();
+    if (!worker_cpu_.empty()) {
+      assign_cpu_slot(w, cpus[i]);
+    } else {
+      const unsigned domain = w % config_.numa_domains;
+      worker_domain_[w] = domain;
+      domain_workers_[domain].push_back(w);
+      domain_size_[domain].store(
+          static_cast<unsigned>(domain_workers_[domain].size()),
+          std::memory_order_release);
+    }
+  }
+  // Publish: every row written above happens-before this release store, and
+  // enqueue/steal acquire-load the count before touching a row.
+  active_.store(old + add, std::memory_order_release);
+  for (unsigned i = 0; i < add; ++i) {
+    threads_.emplace_back([this, w = old + i] { worker_loop(w); });
+  }
+  obs::counter("flux.expands").add(1);
+  return add;
 }
 
 void Scheduler::pin_self(unsigned index) const {
@@ -259,19 +365,22 @@ void Scheduler::enqueue(QueuedTask task, int domain_hint) {
     // External thread, or a worker targeting a specific domain: round-robin
     // to a per-worker inbox (only ring owners may push their ring).
     const unsigned n = next_worker_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned active = active_.load(std::memory_order_acquire);
     unsigned target;
     if (domain_hint >= 0) {
       // Round-robin within the requested domain's worker list (contiguous
       // ranges unpinned, the pinned CPUs' nodes otherwise — see
       // build_placement). A domain can end up with no workers under exotic
       // pinned layouts; fall back to anyone rather than dropping the hint's
-      // task on the floor.
+      // task on the floor. The membership count has its own acquire so an
+      // expand()-published worker is fully visible before we target it.
       const unsigned domain =
           static_cast<unsigned>(domain_hint) % config_.numa_domains;
+      const unsigned dsz = domain_size_[domain].load(std::memory_order_acquire);
       const std::vector<unsigned>& ws = domain_workers_[domain];
-      target = ws.empty() ? n % config_.threads : ws[n % ws.size()];
+      target = dsz == 0 ? n % active : ws[n % dsz];
     } else {
-      target = n % config_.threads;
+      target = n % active;
     }
     Worker& w = *workers_[target];
     {
@@ -343,7 +452,7 @@ bool Scheduler::steal(unsigned thief, QueuedTask& out) {
   // paper's NUMA-aware HPX scheduling approximates. Flat rotating scan
   // otherwise. Each pass rotates from the thief to spread contention;
   // successful steals are classified and counted per tier either way.
-  const unsigned n = config_.threads;
+  const unsigned n = active_.load(std::memory_order_acquire);
   auto try_victim = [&](unsigned v) {
     if (v == thief) return false;
     if (!take_from(*workers_[v], out)) return false;
@@ -535,14 +644,16 @@ void Scheduler::drain() noexcept {
 Scheduler::QueueDiagnostics Scheduler::diagnostics() const {
   QueueDiagnostics d;
   d.outstanding = outstanding_.load(std::memory_order_acquire);
-  d.queue_depths.reserve(workers_.size());
-  for (const auto& w : workers_) {
+  const unsigned active = active_.load(std::memory_order_acquire);
+  d.queue_depths.reserve(active);
+  for (unsigned i = 0; i < active; ++i) {
+    Worker& w = *workers_[i];
     std::size_t inbox_depth = 0;
     {
-      const std::lock_guard<std::mutex> lock(w->inbox_mutex);
-      inbox_depth = w->inbox.size();
+      const std::lock_guard<std::mutex> lock(w.inbox_mutex);
+      inbox_depth = w.inbox.size();
     }
-    d.queue_depths.push_back(w->ring.size() + inbox_depth);
+    d.queue_depths.push_back(w.ring.size() + inbox_depth);
   }
   return d;
 }
@@ -566,7 +677,8 @@ bool Scheduler::try_run_one() {
           steal(static_cast<unsigned>(tls_worker_index), task);
   } else {
     // External helper: steal from each worker in turn, oldest-first.
-    for (unsigned v = 0; v < config_.threads && !got; ++v) {
+    const unsigned active = active_.load(std::memory_order_acquire);
+    for (unsigned v = 0; v < active && !got; ++v) {
       got = take_from(*workers_[v], task);
     }
   }
@@ -582,12 +694,14 @@ int Scheduler::current_worker() const noexcept {
 
 Scheduler::Stats Scheduler::stats() const {
   Stats s;
-  for (const auto& w : workers_) {
-    s.executed += w->executed;
-    s.steals += w->steals;
-    s.steals_sibling += w->steals_by_tier[0];
-    s.steals_local += w->steals_by_tier[1];
-    s.steals_remote += w->steals_by_tier[2];
+  const unsigned active = active_.load(std::memory_order_acquire);
+  for (unsigned i = 0; i < active; ++i) {
+    const Worker& w = *workers_[i];
+    s.executed += w.executed;
+    s.steals += w.steals;
+    s.steals_sibling += w.steals_by_tier[0];
+    s.steals_local += w.steals_by_tier[1];
+    s.steals_remote += w.steals_by_tier[2];
   }
   s.cross_domain_steals = s.steals_remote;
   return s;

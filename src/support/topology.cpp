@@ -216,4 +216,95 @@ unsigned effective_domains(unsigned threads) {
   return std::clamp(machine().node_count(), 1u, threads);
 }
 
+std::vector<std::vector<int>> partition_cpus(const Machine& m,
+                                             unsigned parts) {
+  const unsigned total = std::max(1u, m.cpu_count());
+  parts = std::clamp(parts, 1u, total);
+  const std::size_t nodes = m.nodes.size();
+  std::vector<std::vector<int>> out;
+  out.reserve(parts);
+
+  if (parts <= nodes) {
+    // Whole-node assignment: walk nodes in order, closing a slice once the
+    // cumulative CPU count crosses the ideal cut line for that many slices —
+    // but never letting the remaining nodes drop below the remaining slices
+    // (every slice must end up with at least one whole node).
+    const double share = static_cast<double>(total) / parts;
+    std::vector<int> cur;
+    std::size_t cum = 0;
+    for (std::size_t ni = 0; ni < nodes; ++ni) {
+      cur.insert(cur.end(), m.nodes[ni].cpus.begin(), m.nodes[ni].cpus.end());
+      cum += m.nodes[ni].cpus.size();
+      const std::size_t slices_left = parts - out.size(); // >= 1 here
+      const std::size_t nodes_left = nodes - ni - 1;
+      if (slices_left <= 1) continue; // tail slice takes everything left
+      const bool share_met =
+          static_cast<double>(cum) >=
+          share * static_cast<double>(out.size() + 1) - 1e-9;
+      const bool must_close = nodes_left < slices_left;
+      if ((share_met && nodes_left >= slices_left - 1) || must_close) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    }
+    out.push_back(std::move(cur));
+    return out;
+  }
+
+  // parts > nodes: give node i a slice count k_i proportional to its CPU
+  // count (min 1, max cpus_i), fix rounding with largest remainders, then
+  // split each node's cpulist into k_i contiguous chunks.
+  std::vector<unsigned> k(nodes, 1);
+  unsigned assigned = static_cast<unsigned>(nodes);
+  // Proportional extras beyond the mandatory one slice per node.
+  std::vector<double> frac(nodes, 0.0);
+  for (std::size_t ni = 0; ni < nodes; ++ni) {
+    const double ideal = static_cast<double>(m.nodes[ni].cpus.size()) *
+                         static_cast<double>(parts) /
+                         static_cast<double>(total);
+    const unsigned cap = static_cast<unsigned>(m.nodes[ni].cpus.size());
+    unsigned want = std::max(1u, static_cast<unsigned>(ideal));
+    want = std::min(want, cap);
+    frac[ni] = ideal - static_cast<double>(want);
+    assigned += want - 1;
+    k[ni] = want;
+  }
+  // Distribute leftover slices by largest fractional remainder among nodes
+  // that still have spare CPUs; remove excess from smallest remainders.
+  while (assigned < parts) {
+    std::size_t best = nodes;
+    for (std::size_t ni = 0; ni < nodes; ++ni) {
+      if (k[ni] >= m.nodes[ni].cpus.size()) continue;
+      if (best == nodes || frac[ni] > frac[best]) best = ni;
+    }
+    if (best == nodes) break; // parts already clamped, shouldn't happen
+    ++k[best];
+    frac[best] -= 1.0;
+    ++assigned;
+  }
+  while (assigned > parts) {
+    std::size_t worst = nodes;
+    for (std::size_t ni = 0; ni < nodes; ++ni) {
+      if (k[ni] <= 1) continue;
+      if (worst == nodes || frac[ni] < frac[worst]) worst = ni;
+    }
+    if (worst == nodes) break;
+    --k[worst];
+    frac[worst] += 1.0;
+    --assigned;
+  }
+  for (std::size_t ni = 0; ni < nodes; ++ni) {
+    const std::vector<int>& cpus = m.nodes[ni].cpus;
+    const std::size_t n = cpus.size();
+    const std::size_t kk = std::min<std::size_t>(k[ni], n);
+    for (std::size_t j = 0; j < kk; ++j) {
+      const std::size_t lo = n * j / kk;
+      const std::size_t hi = n * (j + 1) / kk;
+      out.emplace_back(cpus.begin() + static_cast<std::ptrdiff_t>(lo),
+                       cpus.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+  }
+  return out;
+}
+
 } // namespace sts::support::topo

@@ -81,4 +81,19 @@ struct Machine {
 /// detected node count clamped to [1, threads], or 1 under STS_NUMA=off.
 [[nodiscard]] unsigned effective_domains(unsigned threads);
 
+/// Carves the machine's online CPUs into `parts` non-empty, contiguous,
+/// domain-aligned slices — the partition arithmetic behind the dispatcher's
+/// worker partitions (DESIGN.md §15).
+///
+///   parts <= nodes: each slice is a union of whole nodes (contiguous in
+///     node order, balanced by CPU count) — two slices never share a node.
+///   parts > nodes: every node contributes at least one slice; a node's
+///     extra slices are contiguous chunks of its own cpulist, so a slice
+///     still never straddles a node boundary.
+///
+/// `parts` is clamped to [1, cpu_count]; the returned vector always has the
+/// clamped size and every slice is non-empty with ascending CPU ids.
+[[nodiscard]] std::vector<std::vector<int>> partition_cpus(const Machine& m,
+                                                           unsigned parts);
+
 } // namespace sts::support::topo

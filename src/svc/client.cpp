@@ -141,6 +141,10 @@ SubmitOutcome Client::submit(const RunSpec& spec) {
   }
   if (reply.string_or("kind", "") == "backpressure") {
     out.error = reply.string_or("error", "rejected");
+    out.queue_depth =
+        static_cast<std::size_t>(reply.int_or("queue_depth", 0));
+    out.queue_capacity =
+        static_cast<std::size_t>(reply.int_or("queue_capacity", 0));
     return out;
   }
   throw support::Error(reply.string_or("kind", "error") + ": " +
@@ -174,6 +178,12 @@ wire::Json Client::stats() {
   wire::Json req = wire::Json::object();
   req.set("op", "stats");
   return rpc(req).get("stats");
+}
+
+wire::Json Client::queue() {
+  wire::Json req = wire::Json::object();
+  req.set("op", "queue");
+  return rpc(req).get("queue");
 }
 
 std::string Client::metrics(const std::string& format) {

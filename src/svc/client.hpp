@@ -64,6 +64,10 @@ public:
 
   wire::Json stats();
 
+  /// Dispatcher snapshot (`stsctl queue`): slot partition table plus the
+  /// RUNNING and PENDING jobs with their scheduling identity.
+  wire::Json queue();
+
   /// Live metrics exposition from the daemon; `format` is "prom"
   /// (Prometheus text, the default) or "csv". Returns the rendered body.
   std::string metrics(const std::string& format = "prom");

@@ -1,0 +1,44 @@
+#include "svc/dispatch/partition.hpp"
+
+#include <algorithm>
+
+namespace sts::svc::dispatch {
+
+std::string Partition::cpulist() const {
+  std::string out;
+  std::size_t i = 0;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(cpus[i]);
+    if (j > i) out += '-' + std::to_string(cpus[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<Partition> carve(const support::topo::Machine& m,
+                             unsigned slots) {
+  std::vector<std::vector<int>> slices =
+      support::topo::partition_cpus(m, slots);
+  std::vector<Partition> parts;
+  parts.reserve(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    Partition p;
+    p.slot = static_cast<unsigned>(s);
+    p.cpus = std::move(slices[s]);
+    for (int c : p.cpus) {
+      const support::topo::Cpu* cpu = m.find_cpu(c);
+      const int node = cpu != nullptr ? cpu->node : 0;
+      if (!std::binary_search(p.domains.begin(), p.domains.end(), node)) {
+        p.domains.insert(
+            std::lower_bound(p.domains.begin(), p.domains.end(), node), node);
+      }
+    }
+    parts.push_back(std::move(p));
+  }
+  return parts;
+}
+
+} // namespace sts::svc::dispatch

@@ -1,0 +1,173 @@
+#include "svc/dispatch/queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace sts::svc::dispatch {
+
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+const char* to_string(Policy p) {
+  return p == Policy::kFifo ? "fifo" : "fair";
+}
+
+const char* to_string(Class c) {
+  return c == Class::kInteractive ? "interactive" : "batch";
+}
+
+Policy parse_policy(const std::string& name) {
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "fair") return Policy::kFair;
+  throw support::Error("unknown dispatch policy '" + name +
+                       "' (expected fifo|fair)");
+}
+
+Class parse_class(const std::string& name) {
+  if (name == "interactive") return Class::kInteractive;
+  if (name == "batch") return Class::kBatch;
+  throw support::Error("unknown priority class '" + name +
+                       "' (expected interactive|batch)");
+}
+
+FairQueue::FairQueue(Policy policy, Clock clock)
+    : policy_(policy), clock_(clock ? std::move(clock) : Clock(wall_ns)) {}
+
+void FairQueue::push(Item item) {
+  item.weight = std::max(1u, item.weight);
+  if (item.enqueue_ns == 0) item.enqueue_ns = clock_();
+  ++class_depth_[static_cast<unsigned>(item.cls)];
+  ++size_;
+  if (policy_ == Policy::kFifo) {
+    fifo_.push_back(std::move(item));
+    return;
+  }
+  Level& lvl = levels_[static_cast<unsigned>(item.cls)];
+  auto [it, inserted] = lvl.clients.try_emplace(item.client);
+  ClientQ& q = it->second;
+  if (q.items.empty()) {
+    // (Re)activating client: join the back of the RR ring with the weight
+    // of this submission. A weight change while queued takes effect on the
+    // next quantum charge.
+    lvl.rr.push_back(item.client);
+  }
+  q.weight = std::max(1u, item.weight);
+  q.items.push_back(std::move(item));
+}
+
+bool FairQueue::pop(Item* out) {
+  if (size_ == 0) return false;
+  if (policy_ == Policy::kFifo) {
+    *out = std::move(fifo_.front());
+    fifo_.pop_front();
+    --class_depth_[static_cast<unsigned>(out->cls)];
+    --size_;
+    return true;
+  }
+  for (auto& lvl : levels_) {
+    if (pop_level(lvl, out)) {
+      --class_depth_[static_cast<unsigned>(out->cls)];
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FairQueue::pop_level(Level& lvl, Item* out) {
+  // DRR with unit-cost jobs: the cursor client receives `weight` credit on
+  // arrival and spends 1 per grant; when its credit runs out (or its queue
+  // drains) it rotates to the back and the next client is charged. Bounded:
+  // each loop iteration either serves a job or retires the cursor, and an
+  // empty rr ring exits immediately.
+  while (!lvl.rr.empty()) {
+    const std::string& name = lvl.rr.front();
+    auto it = lvl.clients.find(name);
+    if (it == lvl.clients.end() || it->second.items.empty()) {
+      // Drained (or removed) while queued in the ring: retire the entry.
+      if (it != lvl.clients.end()) lvl.clients.erase(it);
+      lvl.rr.pop_front();
+      lvl.charged = false;
+      continue;
+    }
+    ClientQ& q = it->second;
+    if (!lvl.charged) {
+      q.deficit += q.weight;
+      lvl.charged = true;
+    }
+    if (q.deficit < 1.0) {
+      // Out of credit: keep the unspent remainder and rotate.
+      lvl.rr.push_back(name);
+      lvl.rr.pop_front();
+      lvl.charged = false;
+      continue;
+    }
+    q.deficit -= 1.0;
+    *out = std::move(q.items.front());
+    q.items.pop_front();
+    if (q.items.empty()) {
+      // Drained: forfeit leftover credit (DRR's anti-banking rule — an
+      // idle client cannot save up a burst).
+      lvl.clients.erase(it);
+      lvl.rr.pop_front();
+      lvl.charged = false;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool FairQueue::remove(std::uint64_t id) {
+  auto erase_from = [&](std::deque<Item>& dq) {
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+      if (it->id == id) {
+        --class_depth_[static_cast<unsigned>(it->cls)];
+        --size_;
+        dq.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (policy_ == Policy::kFifo) return erase_from(fifo_);
+  for (auto& lvl : levels_) {
+    for (auto it = lvl.clients.begin(); it != lvl.clients.end(); ++it) {
+      if (erase_from(it->second.items)) {
+        // Leave a drained client in place: pop_level retires empty entries
+        // lazily, which keeps remove() O(queue) with no ring surgery.
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t FairQueue::depth(Class c) const {
+  return class_depth_[static_cast<unsigned>(c)];
+}
+
+std::vector<Item> FairQueue::snapshot() const {
+  std::vector<Item> out;
+  out.reserve(size_);
+  if (policy_ == Policy::kFifo) {
+    out.assign(fifo_.begin(), fifo_.end());
+    return out;
+  }
+  for (const auto& lvl : levels_) {
+    for (const auto& [name, q] : lvl.clients) {
+      out.insert(out.end(), q.items.begin(), q.items.end());
+    }
+  }
+  return out;
+}
+
+} // namespace sts::svc::dispatch

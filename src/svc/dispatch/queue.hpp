@@ -1,0 +1,104 @@
+// The dispatcher's two-level admission queue (DESIGN.md §15).
+//
+// Level 1 is strict priority: every pending job belongs to a class
+// (interactive > batch) and no batch job is popped while an interactive job
+// waits. Level 2 is weighted fair queuing inside a class: deficit round
+// robin (DRR) over per-client queues, where a client's weight is its credit
+// quantum — a weight-16 client gets sixteen grants for every one a weight-1
+// client gets, but the weight-1 client is never starved because its deficit
+// grows every round it is visited (Shreedhar & Varghese '96, with unit-cost
+// "packets" since every grant costs one slot).
+//
+// The queue is a pure, single-threaded data structure (the Service
+// serializes access under its own mutex) with an injectable clock, so
+// dispatch_test.cpp can drive credit accounting deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sts::svc::dispatch {
+
+/// Queue service discipline for `stsd --policy`.
+enum class Policy {
+  kFifo, // single global FIFO: classes and weights ignored (PR 4 behaviour)
+  kFair, // strict priority classes + DRR fairness inside a class
+};
+
+/// Strict priority classes, highest first.
+enum class Class {
+  kInteractive = 0,
+  kBatch = 1,
+};
+inline constexpr unsigned kClassCount = 2;
+
+[[nodiscard]] const char* to_string(Policy p);
+[[nodiscard]] const char* to_string(Class c);
+/// "fifo" | "fair" (throws support::Error otherwise).
+[[nodiscard]] Policy parse_policy(const std::string& name);
+/// "interactive" | "batch" (throws support::Error otherwise).
+[[nodiscard]] Class parse_class(const std::string& name);
+
+/// One pending job, as the scheduler sees it.
+struct Item {
+  std::uint64_t id = 0;      // service job id
+  Class cls = Class::kBatch;
+  unsigned weight = 1;       // DRR quantum; clamped to >= 1
+  std::string client;        // fairness key (client_key prefix; "" = anon)
+  std::int64_t enqueue_ns = 0;
+};
+
+class FairQueue {
+ public:
+  using Clock = std::function<std::int64_t()>; // ns; injectable for tests
+
+  explicit FairQueue(Policy policy, Clock clock = {});
+
+  /// Enqueues `item` (stamping enqueue_ns from the clock when zero).
+  void push(Item item);
+
+  /// Pops the next job under the discipline; false when empty.
+  [[nodiscard]] bool pop(Item* out);
+
+  /// Removes a pending job by id (cancellation); false when not queued.
+  bool remove(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Pending jobs in `c` (under kFifo, every job counts as its real class).
+  [[nodiscard]] std::size_t depth(Class c) const;
+  [[nodiscard]] Policy policy() const { return policy_; }
+
+  /// Pending items in pop-agnostic order (class-major, then per-client
+  /// FIFO) for `stsctl queue`.
+  [[nodiscard]] std::vector<Item> snapshot() const;
+
+ private:
+  /// Per-client FIFO plus its DRR account.
+  struct ClientQ {
+    std::deque<Item> items;
+    unsigned weight = 1;   // quantum added when the RR cursor arrives
+    double deficit = 0.0;  // unspent credit; reset when the queue drains
+  };
+  /// One priority class: clients + the round-robin visit order.
+  struct Level {
+    std::map<std::string, ClientQ> clients;
+    std::deque<std::string> rr;  // visit order; front = current candidate
+    bool charged = false;        // current rr front already got its quantum
+  };
+
+  bool pop_level(Level& lvl, Item* out);
+
+  Policy policy_;
+  Clock clock_;
+  std::deque<Item> fifo_;             // kFifo backing
+  Level levels_[kClassCount];         // kFair backing
+  std::size_t class_depth_[kClassCount] = {0, 0};
+  std::size_t size_ = 0;
+};
+
+} // namespace sts::svc::dispatch

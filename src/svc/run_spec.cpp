@@ -85,6 +85,16 @@ bool RunSpec::consume_arg(const std::string& arg,
     client_key = next();
   } else if (arg == "--trace-id") {
     trace_id = next();
+  } else if (arg == "--priority") {
+    priority = next();
+  } else if (arg == "--weight") {
+    weight = static_cast<unsigned>(std::atoi(next().c_str()));
+  } else if (arg == "--max-workers") {
+    max_workers = static_cast<unsigned>(std::atoi(next().c_str()));
+  } else if (arg == "--max-mem-bytes") {
+    max_mem_bytes = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+  } else if (arg == "--deadline-ms") {
+    deadline_ms = std::atoll(next().c_str());
   } else {
     return false;
   }
@@ -117,6 +127,17 @@ void RunSpec::validate() const {
   if (timeout_sec < 0.0) {
     throw support::Error("run spec: timeout must be >= 0");
   }
+  if (priority != "interactive" && priority != "batch") {
+    throw support::Error("run spec: priority must be interactive|batch, got " +
+                         priority);
+  }
+  if (weight < 1 || weight > 1024) {
+    throw support::Error("run spec: weight must be in [1, 1024], got " +
+                         std::to_string(weight));
+  }
+  if (deadline_ms < 0) {
+    throw support::Error("run spec: deadline-ms must be >= 0");
+  }
 }
 
 wire::Json RunSpec::to_json() const {
@@ -135,6 +156,13 @@ wire::Json RunSpec::to_json() const {
   if (timeout_sec > 0.0) j.set("timeout_sec", timeout_sec);
   if (!client_key.empty()) j.set("key", client_key);
   if (!trace_id.empty()) j.set("trace_id", trace_id);
+  if (priority != "batch") j.set("priority", priority);
+  if (weight != 1) j.set("weight", static_cast<std::int64_t>(weight));
+  if (max_workers != 0) {
+    j.set("max_workers", static_cast<std::int64_t>(max_workers));
+  }
+  if (max_mem_bytes != 0) j.set("max_mem_bytes", max_mem_bytes);
+  if (deadline_ms != 0) j.set("deadline_ms", deadline_ms);
   return j;
 }
 
@@ -154,6 +182,11 @@ RunSpec RunSpec::from_json(const wire::Json& j) {
   s.timeout_sec = j.number_or("timeout_sec", 0.0);
   s.client_key = j.string_or("key", "");
   s.trace_id = j.string_or("trace_id", "");
+  s.priority = j.string_or("priority", "batch");
+  s.weight = static_cast<unsigned>(j.int_or("weight", 1));
+  s.max_workers = static_cast<unsigned>(j.int_or("max_workers", 0));
+  s.max_mem_bytes = static_cast<std::uint64_t>(j.int_or("max_mem_bytes", 0));
+  s.deadline_ms = j.int_or("deadline_ms", 0);
   return s;
 }
 

@@ -14,6 +14,7 @@
 //   - produce validated solver::SolverOptions / LobpcgOptions.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -53,11 +54,22 @@ struct RunSpec {
   /// to whatever external system submitted the job (DESIGN.md §13). Empty
   /// defaults to "job-<id>" server-side.
   std::string trace_id;
+  /// Dispatcher scheduling + quotas (DESIGN.md §15). The strict priority
+  /// class ("interactive" beats "batch"), the weighted-fair-queuing weight
+  /// inside the class, and the per-job resource quotas the dispatcher
+  /// enforces at admission/grant time. All journaled, so a recovered job
+  /// re-enters the queue with its original scheduling identity.
+  std::string priority = "batch"; // "interactive" | "batch"
+  unsigned weight = 1;            // DRR quantum; >= 1
+  unsigned max_workers = 0;       // cap on granted workers; 0 = partition size
+  std::uint64_t max_mem_bytes = 0; // cap on plan footprint; 0 = unlimited
+  std::int64_t deadline_ms = 0;   // submit->terminal deadline; 0 = none
 
   /// Consumes one CLI flag if it belongs to the spec ("--matrix", "--suite",
   /// "--scale", "--solver", "--version", "--iterations", "--nev",
   /// "--tolerance", "--block", "--autotune", "--threads", "--timeout",
-  /// "--key", "--trace-id").
+  /// "--key", "--trace-id", "--priority", "--weight", "--max-workers",
+  /// "--max-mem-bytes", "--deadline-ms").
   /// `next` yields the flag's value (and may exit with usage). Returns
   /// false for flags the spec does not own.
   bool consume_arg(const std::string& arg,

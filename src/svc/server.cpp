@@ -174,7 +174,16 @@ wire::Json Server::dispatch(const wire::Json& request) {
     const RunSpec spec = RunSpec::from_json(request.get("spec"));
     const SubmitOutcome outcome = service_.submit(spec);
     if (!outcome.accepted) {
-      return error_reply("backpressure", outcome.error);
+      wire::Json reply = error_reply("backpressure", outcome.error);
+      if (outcome.error == "queue_full") {
+        // Depth + cap ride along so a rejected client can back off
+        // proportionally instead of guessing (DESIGN.md §15).
+        reply.set("queue_depth",
+                  static_cast<std::uint64_t>(outcome.queue_depth));
+        reply.set("queue_capacity",
+                  static_cast<std::uint64_t>(outcome.queue_capacity));
+      }
+      return reply;
     }
     wire::Json reply = ok_reply();
     reply.set("id", outcome.id);
@@ -208,6 +217,13 @@ wire::Json Server::dispatch(const wire::Json& request) {
   if (op == "stats") {
     wire::Json reply = ok_reply();
     reply.set("stats", to_json(service_.stats()));
+    return reply;
+  }
+  if (op == "queue") {
+    // Dispatcher snapshot for `stsctl queue`: slot partition table plus
+    // every RUNNING and PENDING job with its scheduling identity.
+    wire::Json reply = ok_reply();
+    reply.set("queue", service_.queue_snapshot());
     return reply;
   }
   if (op == "metrics") {

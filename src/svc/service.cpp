@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -14,10 +15,10 @@
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
 #include "support/env.hpp"
-#include "support/topology.hpp"
 #include "support/escape.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
+#include "support/topology.hpp"
 
 namespace sts::svc {
 
@@ -34,17 +35,17 @@ const char* to_string(JobState s) {
 
 namespace {
 
-Plan build_plan(const RunSpec& spec, flux::Scheduler& pool) {
+Plan build_plan(const RunSpec& spec, flux::Scheduler* pool) {
   sparse::Coo coo = spec.load();
   auto csr = std::make_shared<const sparse::Csr>(
       sparse::Csr::from_coo(std::move(coo)));
   const RunSpec::BlockChoice choice = spec.resolve_block(*csr);
   sparse::Csb csb = sparse::Csb::from_csr(*csr, choice.block);
-  if (pool.domain_count() > 1) {
+  if (pool != nullptr && pool->domain_count() > 1) {
     // First-touch each domain stripe from a pinned worker of its node
     // before the matrix is frozen into the (shared, immutable) plan; every
     // kFlux solve on this plan then hints tasks at the owning domain.
-    (void)solver::place_csb(csb, pool);
+    (void)solver::place_csb(csb, *pool);
   }
   Plan plan;
   plan.bytes = csr->memory_bytes() + csb.memory_bytes();
@@ -54,9 +55,21 @@ Plan build_plan(const RunSpec& spec, flux::Scheduler& pool) {
   return plan;
 }
 
-unsigned pool_threads(unsigned configured) {
-  if (configured != 0) return configured;
-  return std::max(1u, std::thread::hardware_concurrency());
+/// The affinity the slot pools will actually use: for_partition pins
+/// kCompact unless STS_AFFINITY says off (a partition is enforced by
+/// pinning). Mirrored here so stats() reports the truth without a pool.
+flux::Affinity partition_affinity() {
+  const std::string env = support::env_string("STS_AFFINITY", "");
+  if (env == "off" || env == "0") return flux::Affinity::kOff;
+  return flux::Affinity::kCompact;
+}
+
+/// Ascending-cpu-id cpulist ("0-3,8") of a possibly unsorted grant set.
+std::string cpulist_of(std::vector<int> cpus) {
+  std::sort(cpus.begin(), cpus.end());
+  dispatch::Partition tmp;
+  tmp.cpus = std::move(cpus);
+  return tmp.cpulist();
 }
 
 } // namespace
@@ -110,6 +123,17 @@ wire::Json to_json(const ServiceStats& s) {
            static_cast<std::uint64_t>(s.topology.pool_domains));
   topo.set("affinity", s.topology.affinity);
   j.set("topology", std::move(topo));
+  wire::Json d = wire::Json::object();
+  d.set("slots", static_cast<std::uint64_t>(s.dispatch.slots));
+  d.set("policy", s.dispatch.policy);
+  d.set("running_jobs", static_cast<std::uint64_t>(s.dispatch.running_jobs));
+  d.set("depth_interactive",
+        static_cast<std::uint64_t>(s.dispatch.depth_interactive));
+  d.set("depth_batch", static_cast<std::uint64_t>(s.dispatch.depth_batch));
+  d.set("grants_offered", s.dispatch.grants_offered);
+  d.set("grants_applied", s.dispatch.grants_applied);
+  d.set("grants_revoked", s.dispatch.grants_revoked);
+  j.set("dispatch", std::move(d));
   return j;
 }
 
@@ -119,6 +143,9 @@ Service::Config Service::Config::from_env() {
   c.queue_capacity = cap < 1 ? 1 : static_cast<std::size_t>(cap);
   c.cache_bytes = PlanCache::budget_from_env();
   c.threads = static_cast<unsigned>(support::env_int("STS_THREADS", 0));
+  const std::int64_t slots = support::env_int("STS_SLOTS", 1);
+  c.slots = slots < 1 ? 1u : static_cast<unsigned>(slots);
+  c.policy = dispatch::parse_policy(support::env_string("STS_POLICY", "fair"));
   c.journal_path = support::env_string("STS_JOURNAL", "");
   c.ckpt_dir = support::env_string("STS_CKPT_DIR", "");
   const std::int64_t trace_bytes = support::env_int(
@@ -128,22 +155,36 @@ Service::Config Service::Config::from_env() {
   return c;
 }
 
+const support::topo::Machine& Service::machine() const noexcept {
+  return config_.machine != nullptr ? *config_.machine
+                                    : support::topo::machine();
+}
+
 Service::Service(Config config)
     : config_(std::move(config)), cache_(config_.cache_bytes),
-      // Topology-derived pool: domains = detected NUMA nodes (clamped to the
-      // worker count), workers pinned per STS_AFFINITY. STS_NUMA=off is the
-      // kill switch back to the old 1-domain unpinned pool.
-      pool_(flux::Scheduler::Config::topology_aware(
-          pool_threads(config_.threads))) {
-  const support::topo::Machine& machine = support::topo::machine();
+      queue_(config_.policy) {
+  const support::topo::Machine& m = machine();
+  const unsigned want = std::max(1u, config_.slots);
+  // Carve once; the table is immutable for the service's lifetime. carve()
+  // clamps to the online CPU count — slots beyond that share partitions
+  // round-robin (oversubscription), which also disables elastic lending
+  // (a lender's CPUs would already be busy).
+  partitions_ = dispatch::carve(m, want);
+  exclusive_partitions_ = partitions_.size() == want;
   obs::gauge("topology.nodes")
-      .observe(static_cast<std::int64_t>(machine.node_count()));
+      .observe(static_cast<std::int64_t>(m.node_count()));
   obs::gauge("topology.cpus")
-      .observe(static_cast<std::int64_t>(machine.cpu_count()));
+      .observe(static_cast<std::int64_t>(m.cpu_count()));
   obs::gauge("topology.smt_siblings")
-      .observe(static_cast<std::int64_t>(machine.smt_siblings));
+      .observe(static_cast<std::int64_t>(m.smt_siblings));
+  std::set<int> domains;
+  for (const dispatch::Partition& p : partitions_) {
+    domains.insert(p.domains.begin(), p.domains.end());
+  }
   obs::gauge("topology.pool_domains")
-      .observe(static_cast<std::int64_t>(pool_.domain_count()));
+      .observe(static_cast<std::int64_t>(
+          support::topo::numa_disabled() ? 1 : domains.size()));
+  obs::gauge("dispatch.slots").observe(static_cast<std::int64_t>(want));
   if (!config_.ckpt_dir.empty()) {
     if (::mkdir(config_.ckpt_dir.c_str(), 0755) != 0 && errno != EEXIST) {
       throw support::Error("ckpt dir " + config_.ckpt_dir + ": " +
@@ -154,11 +195,21 @@ Service::Service(Config config)
   // This service's job-id space starts fresh; slices a previous instance
   // buffered under the same ids must not bleed into our trace exports.
   obs::clear_job_traces();
-  // Recovery runs before the executor thread exists: re-admitted jobs are
-  // queued, the journal is open for append, and only then does execution
-  // start — no replayed record can race a fresh one.
+  // Recovery runs before any slot thread exists: re-admitted jobs are
+  // queued (through the same FairQueue, so a recovered interactive job
+  // outranks queued batch work), the journal is open for append, and only
+  // then does execution start — no replayed record can race a fresh one.
   if (!config_.journal_path.empty()) recover_from_journal();
-  executor_ = std::thread([this] { executor_loop(); });
+  for (unsigned i = 0; i < want; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->index = i;
+    slot->part = partitions_[i % partitions_.size()];
+    slot->part.slot = i;
+    slots_.push_back(std::move(slot));
+  }
+  for (unsigned i = 0; i < want; ++i) {
+    slots_[i]->thread = std::thread([this, i] { slot_loop(i); });
+  }
 }
 
 Service::~Service() { drain(); }
@@ -178,6 +229,26 @@ void Service::journal_append_locked(const char* event, const Job& job,
     obs::counter("svc.journal_errors").add();
     obs::instant(std::string("journal: ") + e.what(), "svc");
   }
+}
+
+void Service::enqueue_locked(Job& job) {
+  job.cls = dispatch::parse_class(job.spec.priority);
+  job.weight = std::max(1u, job.spec.weight);
+  // Fairness key: everything before the first '/' of the client key, so a
+  // client submitting "alice/run-1", "alice/run-2", ... competes as one
+  // DRR account. Keyless jobs share the anonymous account.
+  job.fair_client = job.spec.client_key.substr(
+      0, job.spec.client_key.find('/'));
+  if (job.spec.deadline_ms > 0) {
+    job.deadline_ns = job.submit_ns + job.spec.deadline_ms * 1'000'000;
+  }
+  dispatch::Item item;
+  item.id = job.id;
+  item.cls = job.cls;
+  item.weight = job.weight;
+  item.client = job.fair_client;
+  item.enqueue_ns = job.submit_ns;
+  queue_.push(std::move(item));
 }
 
 void Service::recover_from_journal() {
@@ -260,8 +331,10 @@ void Service::recover_from_journal() {
       }
       continue;
     }
-    // Interrupted PENDING/RUNNING job: re-admit. run_job() points it at its
-    // last solver checkpoint (if one exists) via job->recovered.
+    // Interrupted PENDING/RUNNING job: re-admit with its journaled
+    // scheduling identity (priority/weight/client round-trip through the
+    // spec JSON). run_job() points it at its last solver checkpoint (if
+    // one exists) via job->recovered.
     raw->recovered = true;
     try {
       // Deterministic chaos hook: an armed throw here fails exactly this
@@ -272,7 +345,7 @@ void Service::recover_from_journal() {
                  std::string("recovery: ") + e.what());
       continue;
     }
-    queue_.push_back(raw);
+    enqueue_locked(*raw);
     ++recovered_;
     obs::counter("svc.recovered_jobs").add();
   }
@@ -287,6 +360,12 @@ void Service::recover_from_journal() {
 void Service::publish_queue_depth_locked() const {
   obs::gauge("svc.queue_depth")
       .observe(static_cast<std::int64_t>(queue_.size()));
+  obs::gauge("dispatch.depth_interactive")
+      .observe(static_cast<std::int64_t>(
+          queue_.depth(dispatch::Class::kInteractive)));
+  obs::gauge("dispatch.depth_batch")
+      .observe(
+          static_cast<std::int64_t>(queue_.depth(dispatch::Class::kBatch)));
 }
 
 SubmitOutcome Service::submit(RunSpec spec) {
@@ -304,7 +383,7 @@ SubmitOutcome Service::submit(RunSpec spec) {
       return out;
     }
   }
-  if (draining_ || stop_executor_) {
+  if (draining_ || stop_slots_) {
     ++rejected_;
     obs::counter("svc.jobs_rejected").add();
     out.error = "draining";
@@ -312,10 +391,13 @@ SubmitOutcome Service::submit(RunSpec spec) {
   }
   if (queue_.size() >= config_.queue_capacity) {
     // Admission control: reject now with a typed error instead of blocking
-    // the client behind an unbounded backlog.
+    // the client behind an unbounded backlog — and tell the client *how*
+    // full the lane was, so backoff can be proportional.
     ++rejected_;
     obs::counter("svc.jobs_rejected").add();
     out.error = "queue_full";
+    out.queue_depth = queue_.size();
+    out.queue_capacity = config_.queue_capacity;
     return out;
   }
   auto job = std::make_unique<Job>();
@@ -332,11 +414,13 @@ SubmitOutcome Service::submit(RunSpec spec) {
   wire::Json extra = wire::Json::object();
   extra.set("spec", raw->spec.to_json());
   journal_append_locked("SUBMITTED", *raw, std::move(extra));
-  queue_.push_back(raw);
+  enqueue_locked(*raw);
   ++submitted_;
   obs::counter("svc.jobs_submitted").add();
   publish_queue_depth_locked();
-  queue_cv_.notify_one();
+  // notify_all, not notify_one: a woken slot whose partition is lent out
+  // cannot pop, and with notify_one it would be the only thread awake.
+  queue_cv_.notify_all();
   out.accepted = true;
   out.id = raw->id;
   return out;
@@ -398,21 +482,19 @@ bool Service::cancel(std::uint64_t id, const std::string& reason) {
   switch (job.state) {
     case JobState::kPending: {
       job.token.request(reason);
-      queue_.erase(std::remove(queue_.begin(), queue_.end(), &job),
-                   queue_.end());
+      queue_.remove(job.id);
       publish_queue_depth_locked();
       finish_job(job, JobState::kCancelled, reason);
       return true;
     }
     case JobState::kRunning: {
       job.token.request(reason);
-      if (job.spec.version == solver::Version::kFlux) {
-        // PR 1's cancellation path: latch an error in the shared pool so
+      if (job.active_pool != nullptr) {
+        // PR 1's cancellation path: latch an error in the job's pool so
         // queued task bodies are skipped and the blocked driver unwinds
-        // now instead of at its next iteration boundary. The executor
-        // flushes the pool after every job, so the latched error can never
-        // leak into the next solve.
-        pool_.report_task_error(
+        // now instead of at its next iteration boundary. The pool is
+        // per-job, so the latched error cannot leak into another solve.
+        job.active_pool->report_task_error(
             std::make_exception_ptr(support::Cancelled(reason)));
       }
       return true;
@@ -444,100 +526,312 @@ void Service::finish_job(Job& job, JobState state, const std::string& error) {
     ::unlink(ckpt_path_for(job.id).c_str());
   }
   obs::histogram("svc.job_ns").observe(job.end_ns - job.submit_ns);
+  if (job.start_ns > 0) {
+    obs::histogram(job.cls == dispatch::Class::kInteractive
+                       ? "dispatch.interactive_run_ns"
+                       : "dispatch.batch_run_ns")
+        .observe(job.end_ns - job.start_ns);
+  }
   obs::instant("svc.job[" + std::to_string(job.id) + "] " + to_string(state),
                "svc");
   job_done_cv_.notify_all();
 }
 
-void Service::executor_loop() {
-  while (true) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return stop_executor_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_executor_) return;
-        continue;
-      }
-      job = queue_.front();
-      queue_.pop_front();
-      publish_queue_depth_locked();
-      if (job->token.requested()) { // cancelled while queued
-        finish_job(*job, JobState::kCancelled, job->token.reason());
-        continue;
-      }
-      job->state = JobState::kRunning;
-      job->start_ns = support::now_ns();
-      running_ = job;
-      journal_append_locked("RUNNING", *job);
+void Service::offer_grant_locked(unsigned si) {
+  if (!exclusive_partitions_) return; // lender CPUs would already be busy
+  Slot& lender = *slots_[si];
+  if (lender.lent_to != nullptr) return;
+  for (const auto& s : slots_) {
+    Job* job = s->running;
+    if (job == nullptr || !job->growable || job->active_pool == nullptr) {
+      continue;
     }
-    // Per-job trace window: every span/instant/task event emitted by any
-    // thread between here and end_job_trace() lands in the job's slice of
-    // the trace ring, keyed for `stsctl trace <id>`. Single-executor
-    // lifecycle makes the window unambiguous.
-    const std::string trace_id = job->spec.trace_id.empty()
-                                     ? "job-" + std::to_string(job->id)
-                                     : job->spec.trace_id;
-    obs::begin_job_trace(job->id, trace_id);
-    run_job(*job);
-    // Consume any error latched in the shared pool after the job's own
-    // waits (e.g. a cancel() that raced with solve completion), keeping the
-    // pool clean for the next job. The job is still RUNNING as far as
-    // cancel() is concerned only until finish_job() ran inside run_job(),
-    // so no new report can land after this flush.
-    try {
-      pool_.wait_for_quiescence();
-    } catch (...) {
+    if (job->pending_from_slot >= 0) continue; // one offer in flight per job
+    if (job->active_pool->thread_count() >=
+        job->active_pool->max_thread_count()) {
+      continue; // no elastic headroom left
     }
-    // Root span last so stray worker spans from the quiesce are inside the
-    // window; rendered under the executor's lane.
-    obs::span("job[" + std::to_string(job->id) + "]", "svc", job->start_ns,
-              support::now_ns(),
-              "{\"trace_id\":\"" + support::json_escape(trace_id) +
-                  "\",\"spec\":\"" + support::json_escape(job->spec.describe()) +
-                  "\"}");
-    obs::end_job_trace();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      running_ = nullptr;
-    }
+    job->pending_cpus = lender.part.cpus;
+    job->pending_from_slot = static_cast<int>(si);
+    lender.lent_to = job;
+    lender.lent_applied = false;
+    ++grants_offered_;
+    obs::counter("dispatch.grants_offered").add();
+    return;
   }
 }
 
-void Service::run_job(Job& job) {
+void Service::apply_grant(Job& job) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (job.pending_from_slot < 0) return; // no offer (or already revoked)
+  const unsigned lender = static_cast<unsigned>(job.pending_from_slot);
+  std::vector<int> cpus = std::move(job.pending_cpus);
+  job.pending_cpus.clear();
+  job.pending_from_slot = -1;
+  const auto restore = [&] {
+    Slot& slot = *slots_[lender];
+    if (slot.lent_to == &job) {
+      slot.lent_to = nullptr;
+      slot.lent_applied = false;
+    }
+    ++grants_revoked_;
+    obs::counter("dispatch.grants_revoked").add();
+    queue_cv_.notify_all();
+  };
+  try {
+    // Chaos hook: an armed throw here kills the job mid-resize. The lender
+    // is restored before the throw propagates (through the solver's
+    // iteration boundary, like a cancellation), so the partition is free
+    // for the next queued job — what resilience_test asserts.
+    support::fault::check("svc:grant");
+  } catch (...) {
+    restore();
+    throw;
+  }
+  if (job.active_pool == nullptr) {
+    restore();
+    return;
+  }
+  const unsigned added = job.active_pool->expand(cpus);
+  if (added == 0) { // quota/headroom raced to zero
+    restore();
+    return;
+  }
+  Slot& slot = *slots_[lender];
+  slot.lent_applied = true;
+  job.borrowed_slots.push_back(lender);
+  job.granted_cpus.insert(
+      job.granted_cpus.end(), cpus.begin(),
+      cpus.begin() + std::min<std::size_t>(added, cpus.size()));
+  ++grants_applied_;
+  obs::counter("dispatch.grants_applied").add();
+  obs::instant("dispatch: job " + std::to_string(job.id) + " grew by " +
+                   std::to_string(added) + " worker(s) from slot " +
+                   std::to_string(lender),
+               "svc");
+  // The borrower can take another lender now that this offer is consumed;
+  // wake parked idle slots so one of them re-offers.
+  queue_cv_.notify_all();
+}
+
+void Service::reclaim_grants_locked(Job& job) {
+  if (job.pending_from_slot >= 0) {
+    Slot& slot = *slots_[static_cast<unsigned>(job.pending_from_slot)];
+    if (slot.lent_to == &job) {
+      slot.lent_to = nullptr;
+      slot.lent_applied = false;
+    }
+    job.pending_from_slot = -1;
+    job.pending_cpus.clear();
+    ++grants_revoked_;
+    obs::counter("dispatch.grants_revoked").add();
+  }
+  for (const unsigned si : job.borrowed_slots) {
+    Slot& slot = *slots_[si];
+    if (slot.lent_to == &job) {
+      slot.lent_to = nullptr;
+      slot.lent_applied = false;
+    }
+  }
+  job.borrowed_slots.clear();
+  job.granted_cpus.clear();
+  job.growable = false;
+  queue_cv_.notify_all(); // freed lenders can pick up queued work
+}
+
+void Service::slot_loop(unsigned si) {
+  Slot& slot = *slots_[si];
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    while (true) {
+      if (stop_slots_ && queue_.empty()) return;
+      // A slot whose partition is inside a borrower's pool cannot run a
+      // job until the borrower finishes and reclaim_grants_locked frees it.
+      if (!queue_.empty() && !slot.lent_applied) break;
+      if (queue_.empty() && !stop_slots_ && !draining_ &&
+          slot.lent_to == nullptr) {
+        offer_grant_locked(si);
+      }
+      queue_cv_.wait(lock);
+    }
+    if (slot.lent_to != nullptr && !slot.lent_applied) {
+      // Work arrived before the borrower's next iteration boundary:
+      // withdraw the unapplied offer and run the job ourselves.
+      Job& borrower = *slot.lent_to;
+      borrower.pending_cpus.clear();
+      borrower.pending_from_slot = -1;
+      slot.lent_to = nullptr;
+      ++grants_revoked_;
+      obs::counter("dispatch.grants_revoked").add();
+    }
+    dispatch::Item item;
+    if (!queue_.pop(&item)) continue;
+    publish_queue_depth_locked();
+    Job* job = jobs_.at(item.id).get();
+    if (job->token.requested()) { // cancelled while queued
+      finish_job(*job, JobState::kCancelled, job->token.reason());
+      continue;
+    }
+    if (job->deadline_ns > 0 && support::now_ns() >= job->deadline_ns) {
+      // The deadline elapsed in the queue: never start, never burn a slot.
+      job->token.request("deadline");
+      finish_job(*job, JobState::kCancelled, "deadline");
+      continue;
+    }
+    job->state = JobState::kRunning;
+    job->start_ns = support::now_ns();
+    job->slot = static_cast<int>(si);
+    slot.running = job;
+    ++running_count_;
+    obs::gauge("dispatch.running_jobs")
+        .observe(static_cast<std::int64_t>(running_count_));
+    obs::histogram(job->cls == dispatch::Class::kInteractive
+                       ? "dispatch.interactive_wait_ns"
+                       : "dispatch.batch_wait_ns")
+        .observe(job->start_ns - job->submit_ns);
+    journal_append_locked("RUNNING", *job);
+    lock.unlock();
+
+    // Per-job trace window. The trace ring has one process-global capture
+    // window; with K slots the slots contend for it and a loser simply
+    // runs untraced (first-come, first-traced).
+    const std::string trace_id = job->spec.trace_id.empty()
+                                     ? "job-" + std::to_string(job->id)
+                                     : job->spec.trace_id;
+    const bool traced =
+        !trace_busy_.exchange(true, std::memory_order_acq_rel);
+    if (traced) obs::begin_job_trace(job->id, trace_id);
+    run_job(*job, si);
+    // Root span last so stray worker spans from the teardown are inside
+    // the window; rendered under this slot's lane.
+    obs::span("job[" + std::to_string(job->id) + "]", "svc", job->start_ns,
+              support::now_ns(),
+              "{\"trace_id\":\"" + support::json_escape(trace_id) +
+                  "\",\"spec\":\"" +
+                  support::json_escape(job->spec.describe()) + "\"}");
+    if (traced) {
+      obs::end_job_trace();
+      trace_busy_.store(false, std::memory_order_release);
+    }
+
+    lock.lock();
+    slot.running = nullptr;
+    --running_count_;
+    obs::gauge("dispatch.running_jobs")
+        .observe(static_cast<std::int64_t>(running_count_));
+    job->slot = -1;
+  }
+}
+
+void Service::run_job(Job& job, unsigned si) {
+  std::unique_ptr<flux::Scheduler> pool;
+  JobState terminal_state = JobState::kFailed;
+  std::string terminal_error;
   try {
     // Deterministic fault site: one armed throw here fails exactly this
     // job; the daemon and every later job keep going.
     support::fault::check("svc:job");
     job.token.throw_if_requested();
 
+    // Worker budget: the slot's partition, clipped by the job's
+    // --max-workers quota and any explicit thread request.
+    const dispatch::Partition& part = slots_[si]->part;
+    std::vector<int> cpus = part.cpus;
+    if (job.spec.max_workers != 0 && cpus.size() > job.spec.max_workers) {
+      cpus.resize(job.spec.max_workers);
+    }
+    unsigned threads =
+        job.spec.threads != 0
+            ? job.spec.threads
+            : (config_.threads != 0 ? config_.threads
+                                    : static_cast<unsigned>(cpus.size()));
+    if (job.spec.max_workers != 0) {
+      threads = std::min(threads, job.spec.max_workers);
+    }
+    threads = std::max(threads, 1u);
+    if (threads < cpus.size()) cpus.resize(threads);
+
+    const bool is_flux = job.spec.version == solver::Version::kFlux;
+    bool growable = false;
+    if (is_flux) {
+      // Elastic growth wants: no explicit thread pin (the job asked for
+      // "the partition", so more partition is welcome), exclusive
+      // partitions (a lender's CPUs are genuinely idle), and a machine
+      // with more than one slot to lend.
+      unsigned cap = threads;
+      if (job.spec.threads == 0 && config_.threads == 0 &&
+          exclusive_partitions_ && slots_.size() > 1) {
+        unsigned limit = machine().cpu_count();
+        if (job.spec.max_workers != 0) {
+          limit = std::min(limit, job.spec.max_workers);
+        }
+        cap = std::max(threads, limit);
+      }
+      growable = cap > threads;
+      flux::Scheduler::Config pcfg =
+          flux::Scheduler::Config::for_partition(cpus, &machine(), cap);
+      pcfg.threads = threads; // explicit --threads may oversubscribe cpus
+      pool = std::make_unique<flux::Scheduler>(pcfg);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job.active_pool = pool.get();
+      job.growable = growable;
+      job.granted_cpus = cpus;
+      // Parked idle slots re-evaluate their offer logic on wakeup; without
+      // this nudge a slot that went idle before we became growable would
+      // never lend.
+      if (growable) queue_cv_.notify_all();
+    }
+
     bool hit = false;
+    flux::Scheduler* pool_ptr = pool.get();
     const std::shared_ptr<const Plan> plan = cache_.get_or_build(
         job.spec.source_key(), job.spec.block_directive(),
-        [&job, this] { return build_plan(job.spec, pool_); }, &hit);
+        [&job, pool_ptr] { return build_plan(job.spec, pool_ptr); }, &hit);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       job.cache_hit = hit;
       job.block_size = plan->block_size;
     }
 
-    // Per-job wall-clock guard, sharing the cancel token with the client's
-    // cancel op. Flux gets the prompt unblock; other runtimes observe the
-    // token at their next iteration boundary.
-    std::optional<support::Deadline> deadline;
+    // Memory quota: enforced against the plan's resident footprint, after
+    // the (possibly cached) plan exists but before any solve work starts.
+    if (job.spec.max_mem_bytes != 0 && plan->bytes > job.spec.max_mem_bytes) {
+      throw support::Error(
+          "quota: plan footprint " + std::to_string(plan->bytes) +
+          " bytes exceeds max_mem_bytes " +
+          std::to_string(job.spec.max_mem_bytes));
+    }
+
+    // Wall-clock guards, sharing the cancel token with the client's cancel
+    // op: --timeout bounds the run, --deadline-ms bounds submit->terminal.
+    // One watchdog, armed with whichever budget expires first.
+    std::int64_t limit_ms = 0;
+    std::string limit_reason;
     if (job.spec.timeout_sec > 0.0) {
+      limit_ms = static_cast<std::int64_t>(job.spec.timeout_sec * 1e3);
+      limit_reason = "timeout";
+    }
+    if (job.deadline_ns > 0) {
+      std::int64_t rem_ms = (job.deadline_ns - support::now_ns()) / 1'000'000;
+      if (rem_ms < 1) rem_ms = 1;
+      if (limit_ms == 0 || rem_ms < limit_ms) {
+        limit_ms = rem_ms;
+        limit_reason = "deadline";
+      }
+    }
+    std::optional<support::Deadline> guard;
+    if (limit_ms > 0) {
       std::function<void()> nudge;
-      if (job.spec.version == solver::Version::kFlux) {
-        nudge = [this] {
-          pool_.report_task_error(
-              std::make_exception_ptr(support::Cancelled("timeout")));
+      if (is_flux) {
+        flux::Scheduler* p = pool.get();
+        const std::string reason = limit_reason;
+        nudge = [p, reason] {
+          p->report_task_error(
+              std::make_exception_ptr(support::Cancelled(reason)));
         };
       }
-      deadline.emplace(job.token,
-                       std::chrono::milliseconds(static_cast<std::int64_t>(
-                           job.spec.timeout_sec * 1e3)),
-                       "timeout", std::move(nudge));
+      guard.emplace(job.token, std::chrono::milliseconds(limit_ms),
+                    limit_reason, std::move(nudge));
     }
 
     // Crash resilience: with a checkpoint dir configured, the solver
@@ -568,15 +862,20 @@ void Service::run_job(Job& job) {
     if (job.spec.solver == SolverKind::kLanczos) {
       solver::SolverOptions options =
           job.spec.solver_options(plan->block_size);
+      options.threads = threads;
+      options.numa_domains = std::min(options.numa_domains, threads);
       options.cancel = &job.token;
       options.ckpt_path = ckpt_path;
       if (restored) options.restore = &*restored;
-      if (job.spec.version == solver::Version::kFlux) {
-        options.flux_pool = &pool_;
-        // The shared pool's domain layout wins over whatever the spec's
+      if (is_flux) {
+        options.flux_pool = pool.get();
+        // The slot pool's domain layout wins over whatever the spec's
         // thread count would have derived (acquire_flux_pool validates the
         // two agree).
-        options.numa_domains = pool_.domain_count();
+        options.numa_domains = pool->domain_count();
+        if (growable) {
+          options.resize_poll = [this, &job] { apply_grant(job); };
+        }
       }
       const auto r = solver::lanczos(*plan->csr, *plan->csb,
                                      job.spec.iterations, job.spec.version,
@@ -593,12 +892,17 @@ void Service::run_job(Job& job) {
     } else {
       solver::LobpcgOptions options =
           job.spec.lobpcg_options(plan->block_size);
+      options.threads = threads;
+      options.numa_domains = std::min(options.numa_domains, threads);
       options.cancel = &job.token;
       options.ckpt_path = ckpt_path;
       if (restored) options.restore = &*restored;
-      if (job.spec.version == solver::Version::kFlux) {
-        options.flux_pool = &pool_;
-        options.numa_domains = pool_.domain_count();
+      if (is_flux) {
+        options.flux_pool = pool.get();
+        options.numa_domains = pool->domain_count();
+        if (growable) {
+          options.resize_poll = [this, &job] { apply_grant(job); };
+        }
       }
       const auto r = solver::lobpcg(*plan->csr, *plan->csb,
                                     job.spec.iterations, job.spec.version,
@@ -612,25 +916,59 @@ void Service::run_job(Job& job) {
       summary.set("eigenvalues", std::move(eigs));
     }
 
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job.summary = std::move(summary);
+    if (is_flux && pool) {
+      // Per-job execution evidence for `stsctl status`/the e2e tests: a
+      // job confined to a single-domain partition must show
+      // steals_remote == 0.
+      const flux::Scheduler::Stats fs = pool->stats();
+      wire::Json fj = wire::Json::object();
+      fj.set("workers", static_cast<std::uint64_t>(pool->thread_count()));
+      fj.set("domains", static_cast<std::uint64_t>(pool->domain_count()));
+      fj.set("executed", fs.executed);
+      fj.set("steals", fs.steals);
+      fj.set("steals_sibling", fs.steals_sibling);
+      fj.set("steals_local", fs.steals_local);
+      fj.set("steals_remote", fs.steals_remote);
+      summary.set("flux", std::move(fj));
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job.summary = std::move(summary);
+    }
     if (status == solver::SolverStatus::kOk) {
-      finish_job(job, JobState::kDone, "");
+      terminal_state = JobState::kDone;
     } else {
       // Breakdown guards: numerically unsound runs are FAILED jobs with the
       // solver's own status naming the cause; the truncated summary stays
       // attached for post-mortems.
-      finish_job(job, JobState::kFailed,
-                 std::string("solver: ") + solver::to_string(status));
+      terminal_state = JobState::kFailed;
+      terminal_error = std::string("solver: ") + solver::to_string(status);
     }
   } catch (const support::Cancelled& e) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    finish_job(job, JobState::kCancelled, e.reason());
+    terminal_state = JobState::kCancelled;
+    terminal_error = e.reason();
   } catch (const std::exception& e) {
-    // TaskError, fault::Injected, bad input, OOM — the job is FAILED, the
-    // daemon lives on.
+    // TaskError, fault::Injected, quota breach, bad input, OOM — the job
+    // is FAILED, the daemon lives on.
+    terminal_state = JobState::kFailed;
+    terminal_error = e.what();
+  }
+  // Teardown order matters: unpublish the pool (so a late cancel() cannot
+  // poke freed memory), destroy it (its workers release their CPUs), hand
+  // borrowed partitions back to their lender slots — a re-granted lender
+  // must never overlap a dying pool's workers — and only then publish the
+  // terminal state. Waiters woken by finish_job must find the job's
+  // resources already reclaimed, not racing a dying pool.
+  {
     const std::lock_guard<std::mutex> lock(mutex_);
-    finish_job(job, JobState::kFailed, e.what());
+    job.active_pool = nullptr;
+  }
+  pool.reset();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reclaim_grants_locked(job);
+    finish_job(job, terminal_state, terminal_error);
   }
 }
 
@@ -646,7 +984,16 @@ ServiceStats Service::stats() const {
     s.failed = failed_;
     s.cancelled = cancelled_;
     s.recovered = recovered_;
-    s.running_job = running_ != nullptr;
+    s.running_job = running_count_ > 0;
+    s.dispatch.slots = static_cast<unsigned>(slots_.size());
+    s.dispatch.policy = dispatch::to_string(queue_.policy());
+    s.dispatch.running_jobs = running_count_;
+    s.dispatch.depth_interactive =
+        queue_.depth(dispatch::Class::kInteractive);
+    s.dispatch.depth_batch = queue_.depth(dispatch::Class::kBatch);
+    s.dispatch.grants_offered = grants_offered_;
+    s.dispatch.grants_applied = grants_applied_;
+    s.dispatch.grants_revoked = grants_revoked_;
   }
   s.cache = cache_.stats();
   // One coherent snapshot for all three quantiles (and it is one ring flip,
@@ -655,34 +1002,106 @@ ServiceStats Service::stats() const {
   s.job_p50_ms = h.quantile(0.50) * 1e-6;
   s.job_p95_ms = h.quantile(0.95) * 1e-6;
   s.job_p99_ms = h.quantile(0.99) * 1e-6;
-  const support::topo::Machine& machine = support::topo::machine();
-  s.topology.nodes = machine.node_count();
-  s.topology.cpus = machine.cpu_count();
-  s.topology.smt = machine.smt_siblings;
-  s.topology.from_sysfs = machine.from_sysfs;
-  s.topology.pool_threads = pool_.thread_count();
-  s.topology.pool_domains = pool_.domain_count();
-  s.topology.affinity = flux::to_string(pool_.affinity());
+  const support::topo::Machine& m = machine();
+  s.topology.nodes = m.node_count();
+  s.topology.cpus = m.cpu_count();
+  s.topology.smt = m.smt_siblings;
+  s.topology.from_sysfs = m.from_sysfs;
+  // The partitions jointly cover the machine: report the aggregate worker
+  // capacity and domain coverage across all slots.
+  unsigned total_cpus = 0;
+  std::set<int> domains;
+  for (const dispatch::Partition& p : partitions_) {
+    total_cpus += static_cast<unsigned>(p.cpus.size());
+    domains.insert(p.domains.begin(), p.domains.end());
+  }
+  s.topology.pool_threads = std::max(1u, total_cpus);
+  s.topology.pool_domains =
+      support::topo::numa_disabled()
+          ? 1u
+          : std::max<unsigned>(1u, static_cast<unsigned>(domains.size()));
+  s.topology.affinity = flux::to_string(partition_affinity());
   return s;
+}
+
+wire::Json Service::queue_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  wire::Json j = wire::Json::object();
+  j.set("policy", dispatch::to_string(queue_.policy()));
+  j.set("slots", static_cast<std::uint64_t>(slots_.size()));
+  wire::Json parts = wire::Json::array();
+  for (const auto& s : slots_) {
+    wire::Json p = wire::Json::object();
+    p.set("slot", static_cast<std::uint64_t>(s->index));
+    p.set("cpus", s->part.cpulist());
+    wire::Json doms = wire::Json::array();
+    for (const int d : s->part.domains) {
+      doms.push(static_cast<std::int64_t>(d));
+    }
+    p.set("domains", std::move(doms));
+    if (s->running != nullptr) {
+      p.set("job", static_cast<std::uint64_t>(s->running->id));
+    }
+    if (s->lent_to != nullptr) {
+      p.set("lent_to", static_cast<std::uint64_t>(s->lent_to->id));
+      p.set("lent_applied", s->lent_applied);
+    }
+    parts.push(std::move(p));
+  }
+  j.set("partitions", std::move(parts));
+  wire::Json running = wire::Json::array();
+  for (const auto& s : slots_) {
+    const Job* job = s->running;
+    if (job == nullptr) continue;
+    wire::Json r = wire::Json::object();
+    r.set("id", static_cast<std::uint64_t>(job->id));
+    r.set("class", dispatch::to_string(job->cls));
+    r.set("weight", static_cast<std::uint64_t>(job->weight));
+    if (!job->fair_client.empty()) r.set("client", job->fair_client);
+    r.set("slot", static_cast<std::int64_t>(job->slot));
+    if (!job->granted_cpus.empty()) {
+      r.set("cpus", cpulist_of(job->granted_cpus));
+      r.set("workers", static_cast<std::uint64_t>(job->granted_cpus.size()));
+    }
+    running.push(std::move(r));
+  }
+  j.set("running", std::move(running));
+  wire::Json pending = wire::Json::array();
+  const std::int64_t now = support::now_ns();
+  for (const dispatch::Item& it : queue_.snapshot()) {
+    wire::Json p = wire::Json::object();
+    p.set("id", static_cast<std::uint64_t>(it.id));
+    p.set("class", dispatch::to_string(it.cls));
+    p.set("weight", static_cast<std::uint64_t>(it.weight));
+    if (!it.client.empty()) p.set("client", it.client);
+    p.set("waiting_seconds",
+          static_cast<double>(now - it.enqueue_ns) * 1e-9);
+    pending.push(std::move(p));
+  }
+  j.set("pending", std::move(pending));
+  return j;
 }
 
 void Service::drain() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_executor_) return; // already drained
+    if (stop_slots_) return; // already drained
     draining_ = true;
     // Pending jobs are cancelled, not silently dropped: each gets a
     // terminal state a waiting client can observe.
-    for (Job* job : queue_) {
-      job->token.request("drained");
-      finish_job(*job, JobState::kCancelled, "drained");
+    dispatch::Item item;
+    while (queue_.pop(&item)) {
+      Job& job = *jobs_.at(item.id);
+      job.token.request("drained");
+      finish_job(job, JobState::kCancelled, "drained");
     }
-    queue_.clear();
     publish_queue_depth_locked();
-    stop_executor_ = true;
+    stop_slots_ = true;
     queue_cv_.notify_all();
   }
-  if (executor_.joinable()) executor_.join();
+  for (const auto& s : slots_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
 }
 
 void Service::request_shutdown() {

@@ -7,9 +7,11 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "solvers/checkpoint.hpp"
@@ -21,6 +23,7 @@
 #include "support/fault.hpp"
 #include "support/rng.hpp"
 #include "svc/journal.hpp"
+#include "svc/service.hpp"
 #include "svc/wire.hpp"
 
 namespace sts {
@@ -393,6 +396,109 @@ TEST(Journal, FuzzedCorruptionNeverCrashesReplay) {
     EXPECT_LE(replay.valid_bytes, bytes.size());
     EXPECT_EQ(replay.torn_tail, replay.valid_bytes < bytes.size());
   }
+  ::unlink(path.c_str());
+}
+
+// ----------------------------------------------- recovery x dispatcher --
+
+TEST(Journal, SchedulingIdentitySurvivesReplay) {
+  // A recovered job must re-enter the queue with its original class,
+  // weight, fairness key, and quotas — they all ride in the journaled spec.
+  const std::string path = tmp_path("journal-identity");
+  ::unlink(path.c_str());
+  {
+    svc::RunSpec spec;
+    spec.suite_name = "inline_1";
+    spec.priority = "interactive";
+    spec.weight = 7;
+    spec.client_key = "tenant-a/retry-3";
+    spec.max_workers = 2;
+    spec.max_mem_bytes = 1 << 20;
+    spec.deadline_ms = 1500;
+    svc::Journal j;
+    j.open(path, 0);
+    svc::wire::Json extra = svc::wire::Json::object();
+    extra.set("spec", spec.to_json());
+    j.append("SUBMITTED", 9, extra);
+  }
+  const auto replay = svc::Journal::replay(path);
+  ASSERT_EQ(replay.records.size(), 1u);
+  const svc::RunSpec back =
+      svc::RunSpec::from_json(replay.records[0].fields.get("spec"));
+  EXPECT_EQ(back.priority, "interactive");
+  EXPECT_EQ(back.weight, 7u);
+  EXPECT_EQ(back.client_key, "tenant-a/retry-3");
+  EXPECT_EQ(back.max_workers, 2u);
+  EXPECT_EQ(back.max_mem_bytes, 1u << 20);
+  EXPECT_EQ(back.deadline_ms, 1500);
+  ::unlink(path.c_str());
+}
+
+TEST(Recovery, InteractiveJobIsReAdmittedAheadOfQueuedBatchJobs) {
+  // Crash scenario: two batch jobs were queued and an interactive one was
+  // RUNNING when the daemon died. On restart the single slot must pop the
+  // recovered interactive job first — priority outranks journal order.
+  const std::string path = tmp_path("journal-priority");
+  ::unlink(path.c_str());
+
+  svc::RunSpec batch;
+  batch.suite_name = "inline_1";
+  batch.scale = 0.02;
+  batch.solver = svc::SolverKind::kLanczos;
+  batch.version = Version::kLibCsb;
+  batch.iterations = 5;
+  batch.nev = 4;
+  batch.block = 64;
+  batch.threads = 2;
+
+  // Unreachable tolerance: the recovered interactive job occupies the slot
+  // until cancelled, so the batch jobs' PENDING state is observable without
+  // racing their (fast) runs. timeout_sec backstops against test hangs.
+  svc::RunSpec interactive = batch;
+  interactive.solver = svc::SolverKind::kLobpcg;
+  interactive.version = Version::kFlux;
+  interactive.iterations = 2000000;
+  interactive.tolerance = 1e-300;
+  interactive.timeout_sec = 60.0;
+  interactive.priority = "interactive";
+
+  {
+    svc::Journal j;
+    j.open(path, 0);
+    auto submitted = [&](std::uint64_t id, const svc::RunSpec& spec) {
+      svc::wire::Json extra = svc::wire::Json::object();
+      extra.set("spec", spec.to_json());
+      j.append("SUBMITTED", id, extra);
+    };
+    submitted(1, batch);
+    submitted(2, batch);
+    submitted(3, interactive);
+    j.append("RUNNING", 3); // interrupted mid-run
+  }
+
+  svc::Service::Config config;
+  config.queue_capacity = 16;
+  config.threads = 2;
+  config.slots = 1;
+  config.journal_path = path;
+  svc::Service service(config);
+  EXPECT_EQ(service.stats().recovered, 3u);
+
+  bool running = false;
+  for (int i = 0; i < 600 && !running; ++i) {
+    const svc::JobInfo info = service.status(3);
+    ASSERT_FALSE(info.terminal()) << info.error;
+    running = info.state == svc::JobState::kRunning;
+    if (!running) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(running) << "recovered interactive job never started";
+  EXPECT_EQ(service.status(1).state, svc::JobState::kPending);
+  EXPECT_EQ(service.status(2).state, svc::JobState::kPending);
+
+  EXPECT_TRUE(service.cancel(3));
+  using namespace std::chrono_literals;
+  EXPECT_EQ(service.wait(1, 60s).state, svc::JobState::kDone);
+  EXPECT_EQ(service.wait(2, 60s).state, svc::JobState::kDone);
   ::unlink(path.c_str());
 }
 

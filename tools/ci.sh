@@ -2,11 +2,13 @@
 # Local CI gate: the tier-1 verify (full build + complete ctest suite), a
 # chaos stage (kill/restart recovery e2e plus a deeper journal-replay
 # corruption fuzz), a NUMA stage (topology fixtures, pinned re-runs of the
-# flux/solvers labels, and the steal-tier bench -> BENCH_numa.json), an
-# AddressSanitizer build that re-runs the concurrency-heavy labels (svc,
-# faults, chaos) where lifetime bugs would hide, a ThreadSanitizer pass
-# over the lock-free telemetry plumbing, and the observability
-# micro-benchmarks (BENCH_obs.json).
+# flux/solvers labels, and the steal-tier bench -> BENCH_numa.json), a
+# dispatch stage (scheduler/partition/quota tests plus the fifo-vs-fair
+# latency bench -> BENCH_dispatch.json), an AddressSanitizer build that
+# re-runs the concurrency-heavy labels (svc, dispatch, faults, chaos) where
+# lifetime bugs would hide, a ThreadSanitizer pass over the lock-free
+# telemetry plumbing and the dispatcher's queue structures, and the
+# observability micro-benchmarks (BENCH_obs.json).
 #
 #   tools/ci.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 #
@@ -45,11 +47,22 @@ cmake --build "$build" -j "$jobs" --target bench_fig5_first_touch
   --benchmark_min_time=0.05 --benchmark_filter=BM_CsbSpmv)
 echo "wrote $build/BENCH_numa.json"
 
-echo "== asan: build + svc/faults/chaos labels =="
+echo "== dispatch: scheduler/partition tests + latency bench =="
+# The dispatch label covers the FairQueue DRR accounting, the partition
+# arithmetic against sysfs fixtures, and the Service-level slot/quota/grant
+# tests; the svc label re-runs alongside it because the dispatcher rewired
+# the daemon's execution path. The bench exports makespan + p99 interactive
+# latency for fifo/1-slot vs fair/4-slots over a mixed 32-job workload.
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L "dispatch|svc"
+cmake --build "$build" -j "$jobs" --target bench_dispatch
+(cd "$build" && ./bench/bench_dispatch --benchmark_min_time=0.01)
+echo "wrote $build/BENCH_dispatch.json"
+
+echo "== asan: build + svc/dispatch/faults/chaos labels =="
 cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF
 cmake --build "$asan_build" -j "$jobs"
 ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" \
-  -L "svc|faults|chaos"
+  -L "svc|dispatch|faults|chaos"
 
 echo "== tsan: build + metric/trace/profiler race checks =="
 # Scoped to the obs primitives: the hot/cold histogram snapshot, the job
@@ -60,6 +73,13 @@ cmake -B "$tsan_build" -S "$repo" -DSTS_SANITIZE=thread -DSTS_BUILD_BENCH=OFF
 cmake --build "$tsan_build" -j "$jobs" --target obs_test
 "$tsan_build/tests/obs_test" \
   --gtest_filter='Registry.*:Histogram.*:Prometheus.*:Profiler.*:JobTrace.*'
+# Dispatcher structures under TSan: the FairQueue and partition arithmetic
+# (plus policy parsing). The Service-level dispatch tests run solves whose
+# plan/solver paths enter OpenMP regions, and libgomp is not
+# TSan-instrumented — those race checks live in the ASan stage instead.
+cmake --build "$tsan_build" -j "$jobs" --target dispatch_test
+"$tsan_build/tests/dispatch_test" \
+  --gtest_filter='FairQueueTest.*:DispatchPolicy.*:PartitionCpus.*:Carve.*'
 
 echo "== bench: observability hot-path costs -> BENCH_obs.json =="
 cmake --build "$build" -j "$jobs" --target bench_obs

@@ -7,11 +7,16 @@
 //     submit [run-spec flags]    enqueue a solve, print its job id
 //       (same flags as stsolve: --matrix/--suite/--scale/--solver/
 //        --version/--iterations/--nev/--tolerance/--block/--autotune/
-//        --threads/--timeout; add --wait to block until terminal)
+//        --threads/--timeout; scheduling + quotas: --priority
+//        interactive|batch, --weight n, --max-workers n, --max-mem-bytes n,
+//        --deadline-ms n (DESIGN.md §15); add --wait to block until
+//        terminal)
 //     status <id>                one-line job snapshot
 //     result <id> [--timeout-ms n]  wait for terminal state, print JSON
 //     cancel <id> [reason]       request cancellation
 //     stats                      queue/cache/latency counters as JSON
+//     queue                      dispatcher snapshot: slot partition table,
+//                                running + pending jobs with class/weight
 //     metrics [--prom|--csv]     scrape the live metric registry
 //     trace <id> [-o f.json]     fetch one job's Chrome trace (DESIGN.md §13)
 //     shutdown                   ask the daemon to drain and exit
@@ -40,8 +45,8 @@ using namespace sts;
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--socket path] [--retries n] [--retry-base-ms ms] "
-              "ping|submit|status|result|cancel|stats|metrics|trace|shutdown"
-              " ...\n"
+              "ping|submit|status|result|cancel|stats|queue|metrics|trace|"
+              "shutdown ...\n"
               "  submit [--matrix f.mtx | --suite name] [--solver "
               "lanczos|lobpcg]\n"
               "    [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
@@ -50,6 +55,9 @@ using namespace sts;
               "n]\n"
               "    [--scale f] [--timeout sec] [--key k] [--trace-id t] "
               "[--wait]\n"
+              "    [--priority interactive|batch] [--weight n] "
+              "[--max-workers n]\n"
+              "    [--max-mem-bytes n] [--deadline-ms n]\n"
               "  status <id> | result <id> [--timeout-ms n] | cancel <id> "
               "[reason]\n"
               "  metrics [--prom|--csv] | trace <id> [-o f.json]\n",
@@ -127,7 +135,13 @@ int main(int argc, char** argv) {
       spec.validate();
       const svc::SubmitOutcome out = client.submit(spec);
       if (!out.accepted) {
-        std::fprintf(stderr, "stsctl: rejected (%s)\n", out.error.c_str());
+        if (out.queue_capacity > 0) {
+          std::fprintf(stderr, "stsctl: rejected (%s, depth %zu/%zu)\n",
+                       out.error.c_str(), out.queue_depth,
+                       out.queue_capacity);
+        } else {
+          std::fprintf(stderr, "stsctl: rejected (%s)\n", out.error.c_str());
+        }
         return 3;
       }
       if (!wait) {
@@ -165,6 +179,11 @@ int main(int argc, char** argv) {
 
     if (command == "stats") {
       std::printf("%s\n", client.stats().dump().c_str());
+      return 0;
+    }
+
+    if (command == "queue") {
+      std::printf("%s\n", client.queue().dump().c_str());
       return 0;
     }
 

@@ -10,12 +10,18 @@
 //
 // Usage:
 //   stsd [--socket <path>] [--queue-cap <n>] [--cache-bytes <n>]
-//        [--threads <n>] [--journal <path>] [--ckpt-dir <dir>]
+//        [--threads <n>] [--slots <k>] [--policy fifo|fair]
+//        [--journal <path>] [--ckpt-dir <dir>]
 //        [--http-port <n>] [--trace <f.json>] [--metrics <f.csv|stderr>]
 //        [--prof <f.folded>]
 //
+// --slots carves the machine into K worker partitions and runs up to K
+// jobs concurrently (DESIGN.md §15); --policy picks the admission order
+// (fair = priority classes + weighted fairness, the default).
+//
 // Environment: STS_SOCK, STS_QUEUE_CAP, STS_CACHE_BYTES, STS_THREADS,
-// STS_JOURNAL, STS_CKPT_DIR, STS_HTTP_PORT, STS_JOB_TRACE_BYTES (flags
+// STS_SLOTS, STS_POLICY, STS_JOURNAL, STS_CKPT_DIR, STS_HTTP_PORT,
+// STS_JOB_TRACE_BYTES (flags
 // win). With a journal configured the daemon replays it on startup and
 // re-admits interrupted jobs (DESIGN.md §12). --http-port starts the
 // loopback Prometheus scrape listener (0 = ephemeral port, printed on
@@ -48,9 +54,10 @@ void on_signal(int) { g_signalled = 1; }
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--socket path] [--queue-cap n] [--cache-bytes n]"
               " [--threads n]\n"
-              "  [--journal path] [--ckpt-dir dir] [--http-port n]"
-              " [--trace f.json]\n"
-              "  [--metrics f.csv|stderr] [--prof f.folded]\n",
+              "  [--slots k] [--policy fifo|fair] [--journal path]"
+              " [--ckpt-dir dir]\n"
+              "  [--http-port n] [--trace f.json] [--metrics f.csv|stderr]"
+              " [--prof f.folded]\n",
               argv0);
   std::exit(2);
 }
@@ -84,6 +91,11 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--threads") {
       config.threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (arg == "--slots") {
+      const int slots = std::atoi(next().c_str());
+      config.slots = slots < 1 ? 1u : static_cast<unsigned>(slots);
+    } else if (arg == "--policy") {
+      config.policy = svc::dispatch::parse_policy(next());
     } else if (arg == "--journal") {
       config.journal_path = next();
     } else if (arg == "--ckpt-dir") {
@@ -133,11 +145,17 @@ int main(int argc, char** argv) {
     std::printf("stsd: serving %s (queue cap %zu, cache budget %zu bytes)\n",
                 socket_path.c_str(), config.queue_capacity,
                 config.cache_bytes);
-    std::printf("stsd: topology %s; pool %u worker(s) over %u domain(s), "
-                "affinity %s\n",
+    const svc::ServiceStats boot = service.stats();
+    std::printf("stsd: topology %s; %u slot(s) under %s policy, %u "
+                "worker(s) over %u domain(s), affinity %s\n",
                 support::topo::machine().describe().c_str(),
-                service.pool().thread_count(), service.pool().domain_count(),
-                flux::to_string(service.pool().affinity()));
+                boot.dispatch.slots, boot.dispatch.policy.c_str(),
+                boot.topology.pool_threads, boot.topology.pool_domains,
+                boot.topology.affinity.c_str());
+    for (const auto& part : service.partitions()) {
+      std::printf("stsd: slot %u -> cpus %s\n", part.slot,
+                  part.cpulist().c_str());
+    }
     if (!config.journal_path.empty()) {
       std::printf("stsd: journal %s, %llu job(s) recovered\n",
                   config.journal_path.c_str(),
