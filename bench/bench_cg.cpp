@@ -1,0 +1,139 @@
+// CG and SpTRSV microbenchmarks (google-benchmark): the DAG-scheduled
+// sparse triangular solve against its sequential baseline — the comparison
+// at the heart of the paper's task-parallel argument, since SpTRSV (not
+// SpMV) is where a runtime's scheduling overhead meets a real critical
+// path — plus one full preconditioned CG solve per execution version.
+// Results are exported to BENCH_cg.json (see bench_json.hpp); the SpTRSV
+// rows carry level_span / block_rows / max_level_width counters so the
+// regression checker can confirm the DAG shape did not silently change.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_json.hpp"
+#include "flux/scheduler.hpp"
+#include "la/sptrsv.hpp"
+#include "solvers/cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ic0.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sts;
+
+/// One IC(0) factor shared by every SpTRSV benchmark: a scattered
+/// block-random SPD-ified matrix rather than a Laplacian, because banded
+/// stencils level-schedule into near-chains (one block per wave) while the
+/// scattered pattern yields the wide DAG the task runtimes are built for.
+struct Factor {
+  sparse::Csr lower_csr;
+  sparse::Csb lower;
+  la::SptrsvPlan plan;
+
+  explicit Factor(la::index_t block) {
+    sparse::Coo coo = sparse::gen_block_random(64, 24, 0.035, 0.6, 7);
+    // Shift the diagonal far into dominance so IC(0) succeeds unshifted
+    // and pivots stay well-scaled.
+    const la::index_t n = coo.rows();
+    for (la::index_t i = 0; i < n; ++i) coo.add(i, i, 40.0);
+    coo.finalize();
+    const sparse::Csr a = sparse::Csr::from_coo(coo);
+    lower_csr = sparse::ic0_factor(a).lower;
+    lower = sparse::Csb::from_csr(lower_csr, block);
+    plan = la::SptrsvPlan::build(lower);
+  }
+};
+
+Factor& factor(la::index_t block) {
+  static Factor f16(16);
+  static Factor f64(64);
+  return block == 16 ? f16 : f64;
+}
+
+void set_dag_counters(benchmark::State& state, const la::SptrsvPlan& plan) {
+  state.counters["level_span"] = static_cast<double>(plan.level_span());
+  state.counters["block_rows"] = static_cast<double>(plan.block_rows());
+  state.counters["max_level_width"] =
+      static_cast<double>(plan.max_level_width());
+}
+
+void BM_SptrsvSequential(benchmark::State& state) {
+  Factor& f = factor(state.range(0));
+  const la::index_t n = f.lower.rows();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    la::sptrsv_forward(f.lower, f.plan, b, x);
+    la::sptrsv_backward(f.lower, f.plan, x, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  set_dag_counters(state, f.plan);
+  state.SetItemsProcessed(state.iterations() * 2 * f.lower_csr.nnz());
+}
+BENCHMARK(BM_SptrsvSequential)->Arg(16)->Arg(64);
+
+void BM_SptrsvDag(benchmark::State& state) {
+  Factor& f = factor(state.range(0));
+  const la::index_t n = f.lower.rows();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  flux::Scheduler::Config cfg;
+  cfg.threads = static_cast<unsigned>(state.range(1));
+  flux::Scheduler sched(cfg);
+  for (auto _ : state) {
+    la::sptrsv_forward(f.lower, f.plan, b, x, sched, nullptr);
+    la::sptrsv_backward(f.lower, f.plan, x, x, sched, nullptr);
+    benchmark::DoNotOptimize(x.data());
+  }
+  set_dag_counters(state, f.plan);
+  state.SetItemsProcessed(state.iterations() * 2 * f.lower_csr.nnz());
+}
+BENCHMARK(BM_SptrsvDag)
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({64, 2})
+    ->Args({64, 4});
+
+/// Full preconditioned solve per execution version on the SPD Laplacian
+/// (ic0 preconditioner, fixed tolerance) — end-to-end iteration cost, with
+/// the converged iteration count exported as a counter.
+void cg_solve(benchmark::State& state, solver::Version version) {
+  const sparse::Coo coo = sparse::gen_laplacian3d(12, 12, 12, 1, 101);
+  const sparse::Csr csr = sparse::Csr::from_coo(coo);
+  const sparse::Csb csb = sparse::Csb::from_csr(csr, 64);
+  solver::CgOptions cg_options;
+  cg_options.precond = solver::Precond::kIc0;
+  cg_options.tol = 1e-8;
+  cg_options.max_iterations = 200;
+  solver::SolverOptions options;
+  options.block_size = 64;
+  options.threads = 2;
+  int iterations = 0;
+  for (auto _ : state) {
+    const solver::CgResult r = solver::cg(csr, csb, version, cg_options,
+                                          options);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(r.relative_residual);
+  }
+  state.counters["iterations"] = iterations;
+}
+
+void BM_CgLibCsr(benchmark::State& state) {
+  cg_solve(state, solver::Version::kLibCsr);
+}
+void BM_CgLibCsb(benchmark::State& state) {
+  cg_solve(state, solver::Version::kLibCsb);
+}
+void BM_CgFlux(benchmark::State& state) {
+  cg_solve(state, solver::Version::kFlux);
+}
+BENCHMARK(BM_CgLibCsr);
+BENCHMARK(BM_CgLibCsb);
+BENCHMARK(BM_CgFlux);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return sts::benchjson::run(argc, argv, "BENCH_cg.json");
+}

@@ -20,6 +20,7 @@ const char* to_string(KernelKind k) {
     case KernelKind::kNorm: return "norm";
     case KernelKind::kOrtho: return "ortho";
     case KernelKind::kConvCheck: return "conv";
+    case KernelKind::kSpTRSV: return "sptrsv";
     case KernelKind::kOther: return "other";
   }
   return "?";

@@ -32,6 +32,7 @@ enum class KernelKind : std::uint8_t {
   kNorm,       // finalize norm / small scalar work
   kOrtho,      // small dense factorization (Rayleigh-Ritz, Cholesky)
   kConvCheck,  // convergence test
+  kSpTRSV,     // one block row of a DAG-scheduled triangular solve
   kOther,
 };
 

@@ -29,6 +29,7 @@ public:
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
   void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
   void doubles(const std::vector<double>& v) {
     u64(v.size());
     if (!v.empty()) raw(v.data(), v.size() * sizeof(double));
@@ -51,6 +52,7 @@ public:
   std::uint32_t u32() { return fixed<std::uint32_t>(); }
   std::uint64_t u64() { return fixed<std::uint64_t>(); }
   std::int64_t i64() { return fixed<std::int64_t>(); }
+  double f64() { return fixed<double>(); }
   std::vector<double> doubles() {
     const std::uint64_t n = u64();
     if (n > (size_ - pos_) / sizeof(double)) {
@@ -104,6 +106,15 @@ std::vector<std::uint8_t> serialize(const Checkpoint& c) {
     w.doubles(st.betas);
     w.doubles(st.basis);
     w.doubles(st.q);
+  } else if (c.kind == Kind::kCg) {
+    const CgState& st = c.cg;
+    w.u64(st.seed);
+    w.i64(st.m);
+    w.i64(st.iterations);
+    w.f64(st.rho);
+    w.doubles(st.x);
+    w.doubles(st.r);
+    w.doubles(st.p);
   } else {
     const LobpcgState& st = c.lobpcg;
     w.u64(st.seed);
@@ -160,6 +171,23 @@ Checkpoint deserialize(Kind kind, const std::uint8_t* payload,
                            ": coefficient count disagrees with iteration "
                            "counter");
     }
+  } else if (kind == Kind::kCg) {
+    CgState& st = c.cg;
+    st.seed = r.u64();
+    st.m = r.i64();
+    st.iterations = r.i64();
+    st.rho = r.f64();
+    st.x = r.doubles();
+    st.r = r.doubles();
+    st.p = r.doubles();
+    r.expect_exhausted();
+    if (st.m < 1 || st.iterations < 0) {
+      throw support::Error("checkpoint " + path +
+                           ": inconsistent CG dimensions");
+    }
+    check_size(path, "x", st.x.size(), st.m);
+    check_size(path, "r", st.r.size(), st.m);
+    check_size(path, "p", st.p.size(), st.m);
   } else {
     LobpcgState& st = c.lobpcg;
     st.seed = r.u64();
@@ -225,6 +253,7 @@ const char* to_string(Kind k) {
   switch (k) {
     case Kind::kLanczos: return "lanczos";
     case Kind::kLobpcg: return "lobpcg";
+    case Kind::kCg: return "cg";
   }
   return "?";
 }
@@ -354,7 +383,8 @@ Checkpoint load(const std::string& path) {
   std::uint32_t kind_raw = 0;
   take(&kind_raw, sizeof kind_raw);
   if (kind_raw != static_cast<std::uint32_t>(Kind::kLanczos) &&
-      kind_raw != static_cast<std::uint32_t>(Kind::kLobpcg)) {
+      kind_raw != static_cast<std::uint32_t>(Kind::kLobpcg) &&
+      kind_raw != static_cast<std::uint32_t>(Kind::kCg)) {
     throw support::Error("checkpoint " + path + ": unknown solver kind " +
                          std::to_string(kind_raw));
   }

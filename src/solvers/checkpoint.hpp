@@ -1,11 +1,12 @@
 // Versioned, CRC-guarded binary checkpoints of solver iteration state.
 //
-// A checkpoint captures everything a Lanczos or LOBPCG solve needs to
+// A checkpoint captures everything a Lanczos, LOBPCG or CG solve needs to
 // resume bit-identically from an iteration boundary: the basis/block
 // vectors, the scalar recursion coefficients, the completed-iteration
 // counter and the RNG seed the initial guess was drawn from. Everything a
 // single iteration recomputes from that state (z/proj/beta for Lanczos;
-// W/AW/R and the Gram blocks for LOBPCG) is deliberately not stored.
+// W/AW/R and the Gram blocks for LOBPCG; z/q and the preconditioner for
+// CG) is deliberately not stored.
 //
 // On-disk format (fixed-width little-endian-as-host integers; checkpoints
 // are a crash-recovery mechanism for one machine, not an archival format):
@@ -34,7 +35,7 @@ namespace sts::solver::ckpt {
 
 inline constexpr std::uint32_t kFormatVersion = 1;
 
-enum class Kind : std::uint32_t { kLanczos = 1, kLobpcg = 2 };
+enum class Kind : std::uint32_t { kLanczos = 1, kLobpcg = 2, kCg = 3 };
 
 [[nodiscard]] const char* to_string(Kind k);
 
@@ -60,11 +61,20 @@ struct LobpcgState {
   std::vector<double> x, ax, p, ap; // row-major m x n iterate blocks
 };
 
+struct CgState {
+  std::uint64_t seed = 0;      // options.seed: b is regenerated from it
+  std::int64_t m = 0;          // system size
+  std::int64_t iterations = 0; // accepted iterations completed
+  double rho = 0.0;            // r . z at the checkpointed boundary
+  std::vector<double> x, r, p; // iterate, residual, search direction
+};
+
 /// One serializable solver state; `kind` selects which member is live.
 struct Checkpoint {
   Kind kind = Kind::kLanczos;
   LanczosState lanczos;
   LobpcgState lobpcg;
+  CgState cg;
 };
 
 /// CRC-32 (IEEE, reflected polynomial 0xEDB88320) of `len` bytes.

@@ -69,6 +69,67 @@ Coo gen_fem3d(index_t nx, index_t ny, index_t nz, int reach,
   return coo;
 }
 
+Coo gen_laplacian3d(index_t nx, index_t ny, index_t nz, int reach,
+                    std::uint64_t seed) {
+  STS_EXPECTS(nx > 0 && ny > 0 && nz > 0 && reach >= 1);
+  const index_t n = nx * ny * nz;
+  Coo coo(n, n);
+  Xoshiro256 rng(seed);
+  const int r = reach;
+  coo.reserve(static_cast<std::size_t>(n) *
+              static_cast<std::size_t>((2 * r + 1) * (2 * r + 1) *
+                                       (2 * r + 1)));
+  auto id = [&](index_t x, index_t y, index_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  // Accumulate the FULL off-diagonal row sums (both triangles) so the
+  // diagonal added afterwards strictly dominates — that, plus symmetry
+  // and a positive diagonal, is what guarantees positive definiteness.
+  std::vector<double> offdiag_sum(static_cast<std::size_t>(n), 0.0);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = id(x, y, z);
+        for (int dz = -r; dz <= r; ++dz) {
+          for (int dy = -r; dy <= r; ++dy) {
+            for (int dx = -r; dx <= r; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const index_t xx = x + dx;
+              const index_t yy = y + dy;
+              const index_t zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              const index_t col = id(xx, yy, zz);
+              if (col >= row) continue; // emit lower triangle, mirror
+              support::SplitMix64 h(
+                  (static_cast<std::uint64_t>(col) << 32) ^
+                  static_cast<std::uint64_t>(row) ^ seed);
+              const double v =
+                  -0.25 - 0.5 * static_cast<double>(h.next() >> 11) *
+                              0x1.0p-53;
+              coo.add(row, col, v);
+              coo.add(col, row, v);
+              offdiag_sum[static_cast<std::size_t>(row)] += std::abs(v);
+              offdiag_sum[static_cast<std::size_t>(col)] += std::abs(v);
+            }
+          }
+        }
+      }
+    }
+  }
+  for (index_t row = 0; row < n; ++row) {
+    // Random regularization spreads the spectrum so CG convergence is
+    // non-trivial while lambda_min stays >= 0.1 (Gershgorin).
+    coo.add(row, row, offdiag_sum[static_cast<std::size_t>(row)] + 0.1 +
+                          0.9 * rng.uniform());
+  }
+  coo.finalize();
+  STS_ENSURES(coo.nnz() > 0);
+  return coo;
+}
+
 Coo gen_saddle_kkt(index_t n_primal, index_t n_dual, int nnz_per_row,
                    std::uint64_t seed) {
   STS_EXPECTS(n_primal > 0 && n_dual > 0 && nnz_per_row > 0);

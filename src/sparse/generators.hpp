@@ -28,6 +28,16 @@ namespace sts::sparse {
 [[nodiscard]] Coo gen_fem3d(index_t nx, index_t ny, index_t nz,
                             int reach = 1, std::uint64_t seed = 1);
 
+/// Guaranteed-SPD 3D Laplacian on the same stencil as gen_fem3d: negative
+/// off-diagonal couplings, diagonal = full off-diagonal row sum plus a
+/// random positive regularization in [0.1, 1.0]. Strict diagonal
+/// dominance with a positive diagonal makes every instance symmetric
+/// positive definite — the linear-solve (CG) test and bench matrix.
+/// (gen_fem3d itself only dominates its lower triangle and can go
+/// slightly indefinite, which eigensolvers tolerate but CG cannot.)
+[[nodiscard]] Coo gen_laplacian3d(index_t nx, index_t ny, index_t nz,
+                                  int reach = 1, std::uint64_t seed = 1);
+
 /// Symmetric saddle-point matrix [[H, A^T], [A, 0]] with H an SPD 3D
 /// stencil on `n_primal` nodes and A a sparse constraint block of
 /// `n_dual` rows with `nnz_per_row` entries each (nlpkkt-like).

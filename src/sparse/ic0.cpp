@@ -1,0 +1,188 @@
+#include "sparse/ic0.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace sts::sparse {
+
+namespace {
+
+/// Lower-triangle skeleton of `a` in CSR form: per-row sorted column lists
+/// (j <= i) plus the values to factor in place. The diagonal entry is the
+/// last entry of each row (columns are sorted), which both triangular
+/// kernels and the factorization below rely on.
+struct LowerCsr {
+  std::vector<std::int64_t> rowptr;
+  std::vector<std::int32_t> colidx;
+  std::vector<double> values;
+};
+
+LowerCsr extract_lower(const Csr& a) {
+  const index_t n = a.rows();
+  const auto rp = a.rowptr();
+  const auto ci = a.colidx();
+  const auto va = a.values();
+
+  LowerCsr l;
+  l.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    bool has_diag = false;
+    for (std::int64_t t = rp[static_cast<std::size_t>(i)];
+         t < rp[static_cast<std::size_t>(i) + 1]; ++t) {
+      const std::int32_t j = ci[static_cast<std::size_t>(t)];
+      if (j > i) break; // columns sorted: the rest is strictly upper
+      ++l.rowptr[static_cast<std::size_t>(i) + 1];
+      has_diag = has_diag || j == i;
+    }
+    if (!has_diag) {
+      throw support::Error("ic0: row " + std::to_string(i) +
+                           " has no diagonal entry; the matrix cannot be "
+                           "SPD");
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    l.rowptr[static_cast<std::size_t>(i) + 1] +=
+        l.rowptr[static_cast<std::size_t>(i)];
+  }
+  l.colidx.resize(static_cast<std::size_t>(l.rowptr.back()));
+  l.values.resize(static_cast<std::size_t>(l.rowptr.back()));
+  for (index_t i = 0; i < n; ++i) {
+    std::int64_t out = l.rowptr[static_cast<std::size_t>(i)];
+    for (std::int64_t t = rp[static_cast<std::size_t>(i)];
+         t < rp[static_cast<std::size_t>(i) + 1]; ++t) {
+      const std::int32_t j = ci[static_cast<std::size_t>(t)];
+      if (j > i) break;
+      l.colidx[static_cast<std::size_t>(out)] = j;
+      l.values[static_cast<std::size_t>(out)] = va[static_cast<std::size_t>(t)];
+      ++out;
+    }
+  }
+  return l;
+}
+
+/// One factorization sweep over the lower skeleton with the diagonal
+/// scaled by (1 + shift). Returns false on a non-positive pivot (caller
+/// retries with a larger shift); on success `values` holds L.
+bool try_factor(const LowerCsr& pattern, double shift,
+                std::vector<double>& values) {
+  const std::size_t n = pattern.rowptr.size() - 1;
+  values = pattern.values;
+  // Scatter workspace: position of column j in the current row's entry
+  // list, -1 when absent. Reset after each row, so overall O(nnz) extra.
+  std::vector<std::int64_t> pos(n, -1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = pattern.rowptr[i];
+    const std::int64_t hi = pattern.rowptr[i + 1]; // hi-1 is the diagonal
+    if (shift != 0.0) {
+      values[static_cast<std::size_t>(hi - 1)] *= 1.0 + shift;
+    }
+    for (std::int64_t t = lo; t < hi; ++t) {
+      pos[static_cast<std::size_t>(pattern.colidx[static_cast<std::size_t>(t)])] = t;
+    }
+    // Left-looking update: for each k < i in row i's pattern, fold in row
+    // k's contribution  L(i,j) -= L(i,k) * L(k,j)  for the j that row i
+    // retains, then divide by the pivot L(k,k).
+    for (std::int64_t t = lo; t < hi - 1; ++t) {
+      const std::size_t k =
+          static_cast<std::size_t>(pattern.colidx[static_cast<std::size_t>(t)]);
+      const std::int64_t klo = pattern.rowptr[k];
+      const std::int64_t khi = pattern.rowptr[k + 1];
+      const double pivot = values[static_cast<std::size_t>(khi - 1)];
+      // L(i,k) in its final form: subtract dot of the two row prefixes,
+      // then scale. Row k's entries j < k update L(i,j) only where row i
+      // retains column j (the IC(0) "no fill" rule).
+      double lik = values[static_cast<std::size_t>(t)];
+      for (std::int64_t u = klo; u < khi - 1; ++u) {
+        const std::int64_t p =
+            pos[static_cast<std::size_t>(pattern.colidx[static_cast<std::size_t>(u)])];
+        if (p >= 0 && p < t) {
+          lik -= values[static_cast<std::size_t>(p)] *
+                 values[static_cast<std::size_t>(u)];
+        }
+      }
+      lik /= pivot;
+      values[static_cast<std::size_t>(t)] = lik;
+      // Fold L(i,k)^2 out of the running diagonal.
+      values[static_cast<std::size_t>(hi - 1)] -= lik * lik;
+    }
+    const double d = values[static_cast<std::size_t>(hi - 1)];
+    for (std::int64_t t = lo; t < hi; ++t) {
+      pos[static_cast<std::size_t>(pattern.colidx[static_cast<std::size_t>(t)])] = -1;
+    }
+    if (!(d > 0.0)) return false;
+    values[static_cast<std::size_t>(hi - 1)] = std::sqrt(d);
+  }
+  return true;
+}
+
+} // namespace
+
+Ic0Result ic0_factor(const Csr& a, const Ic0Options& options) {
+  if (a.rows() != a.cols()) {
+    throw support::Error("ic0: matrix must be square, got " +
+                         std::to_string(a.rows()) + " x " +
+                         std::to_string(a.cols()));
+  }
+  const LowerCsr pattern = extract_lower(a);
+
+  Ic0Result result;
+  double shift = options.initial_shift;
+  std::vector<double> values;
+  for (int attempt = 0; attempt <= options.max_shift_attempts; ++attempt) {
+    if (try_factor(pattern, shift, values)) {
+      result.shift = shift;
+      result.shift_attempts = attempt;
+      // Rebuild through COO: Csr's only constructor path. The factor is a
+      // setup artifact, so the extra copy is off the iteration hot path.
+      Coo coo(a.rows(), a.cols());
+      coo.reserve(pattern.colidx.size());
+      const std::size_t n = pattern.rowptr.size() - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::int64_t t = pattern.rowptr[i]; t < pattern.rowptr[i + 1];
+             ++t) {
+          coo.add(static_cast<index_t>(i),
+                  pattern.colidx[static_cast<std::size_t>(t)],
+                  values[static_cast<std::size_t>(t)]);
+        }
+      }
+      result.lower = Csr::from_coo(std::move(coo));
+      return result;
+    }
+    shift = shift == 0.0 ? 1e-3 : shift * 2.0;
+  }
+  throw support::Error(
+      "ic0: non-positive pivot after " +
+      std::to_string(options.max_shift_attempts) +
+      " diagonal shift attempts (matrix is far from positive definite)");
+}
+
+std::vector<double> diagonal(const Csr& a) {
+  if (a.rows() != a.cols()) {
+    throw support::Error("diagonal: matrix must be square");
+  }
+  const index_t n = a.rows();
+  const auto rp = a.rowptr();
+  const auto ci = a.colidx();
+  const auto va = a.values();
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (std::int64_t t = rp[static_cast<std::size_t>(i)];
+         t < rp[static_cast<std::size_t>(i) + 1]; ++t) {
+      if (ci[static_cast<std::size_t>(t)] == i) {
+        d[static_cast<std::size_t>(i)] = va[static_cast<std::size_t>(t)];
+        break;
+      }
+    }
+    if (d[static_cast<std::size_t>(i)] == 0.0) {
+      throw support::Error("diagonal: row " + std::to_string(i) +
+                           " has a missing or zero diagonal entry");
+    }
+  }
+  return d;
+}
+
+} // namespace sts::sparse

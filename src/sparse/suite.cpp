@@ -40,7 +40,9 @@ int rmat_scale(index_t target_rows) {
 
 Coo make_fem(index_t target_rows, double scale, std::uint64_t seed) {
   const index_t side = cube_side(scaled(target_rows, scale));
-  return gen_fem3d(side, side, side, 1, seed);
+  // The paper's FEM matrices are SPD; gen_laplacian3d guarantees that
+  // (gen_fem3d can drift slightly indefinite), which CG requires.
+  return gen_laplacian3d(side, side, side, 1, seed);
 }
 
 } // namespace

@@ -18,6 +18,7 @@ const char* to_string(SolverKind s) {
   switch (s) {
     case SolverKind::kLanczos: return "lanczos";
     case SolverKind::kLobpcg: return "lobpcg";
+    case SolverKind::kCg: return "cg";
   }
   return "?";
 }
@@ -25,8 +26,17 @@ const char* to_string(SolverKind s) {
 SolverKind parse_solver(const std::string& name) {
   if (name == "lanczos") return SolverKind::kLanczos;
   if (name == "lobpcg") return SolverKind::kLobpcg;
+  if (name == "cg") return SolverKind::kCg;
   throw support::Error("unknown solver: " + name +
-                       " (expected lanczos|lobpcg)");
+                       " (expected lanczos|lobpcg|cg)");
+}
+
+solver::Precond parse_precond(const std::string& name) {
+  if (name == "none") return solver::Precond::kNone;
+  if (name == "jacobi") return solver::Precond::kJacobi;
+  if (name == "ic0") return solver::Precond::kIc0;
+  throw support::Error("unknown preconditioner: " + name +
+                       " (expected none|jacobi|ic0)");
 }
 
 solver::Version parse_version(const std::string& name) {
@@ -67,12 +77,14 @@ bool RunSpec::consume_arg(const std::string& arg,
     solver = parse_solver(next());
   } else if (arg == "--version") {
     version = parse_version(next());
-  } else if (arg == "--iterations") {
+  } else if (arg == "--iterations" || arg == "--maxit") {
     iterations = std::atoi(next().c_str());
   } else if (arg == "--nev") {
     nev = std::atoll(next().c_str());
-  } else if (arg == "--tolerance") {
+  } else if (arg == "--tolerance" || arg == "--tol") {
     tolerance = std::atof(next().c_str());
+  } else if (arg == "--precond") {
+    precond = parse_precond(next());
   } else if (arg == "--block") {
     block = std::atoll(next().c_str());
   } else if (arg == "--autotune") {
@@ -121,6 +133,17 @@ void RunSpec::validate() const {
   if (block < 0) {
     throw support::Error("run spec: block must be >= 0");
   }
+  if (precond != solver::Precond::kNone && solver != SolverKind::kCg) {
+    throw support::Error(
+        std::string("run spec: --precond=") + solver::to_string(precond) +
+        " requires --solver=cg");
+  }
+  if (solver == SolverKind::kCg && (version == solver::Version::kDs ||
+                                    version == solver::Version::kRgt)) {
+    throw support::Error(std::string("run spec: cg does not support version ") +
+                         solver::to_string(version) +
+                         " (expected libcsr|libcsb|flux)");
+  }
   if (block != 0 && autotune) {
     throw support::Error("run spec: --block and --autotune are exclusive");
   }
@@ -150,6 +173,9 @@ wire::Json RunSpec::to_json() const {
   j.set("iterations", iterations);
   j.set("nev", static_cast<std::int64_t>(nev));
   j.set("tolerance", tolerance);
+  if (precond != solver::Precond::kNone) {
+    j.set("precond", solver::to_string(precond));
+  }
   if (block != 0) j.set("block", static_cast<std::int64_t>(block));
   if (autotune) j.set("autotune", true);
   if (threads != 0) j.set("threads", static_cast<std::int64_t>(threads));
@@ -176,6 +202,7 @@ RunSpec RunSpec::from_json(const wire::Json& j) {
   s.iterations = static_cast<int>(j.int_or("iterations", s.iterations));
   s.nev = j.int_or("nev", s.nev);
   s.tolerance = j.number_or("tolerance", s.tolerance);
+  s.precond = parse_precond(j.string_or("precond", "none"));
   s.block = j.int_or("block", 0);
   s.autotune = j.bool_or("autotune", false);
   s.threads = static_cast<unsigned>(j.int_or("threads", 0));
@@ -228,10 +255,12 @@ RunSpec::BlockChoice RunSpec::resolve_block(const sparse::Csr& csr) const {
     return choice;
   }
   if (autotune) {
+    // CG sweeps with the Lanczos cost model: both are single-vector
+    // iterations dominated by one SpMV, which is what the simulator prices.
     const auto sweep = tune::sweep_block_sizes_simulated(
         csr,
-        solver == SolverKind::kLanczos ? tune::SweepSolver::kLanczos
-                                       : tune::SweepSolver::kLobpcg,
+        solver == SolverKind::kLobpcg ? tune::SweepSolver::kLobpcg
+                                      : tune::SweepSolver::kLanczos,
         version, sim::MachineModel::host(), /*full_sweep=*/false, nev);
     choice.block = sweep.best_block_size();
     for (const auto& p : sweep.points) {
@@ -263,6 +292,14 @@ solver::LobpcgOptions RunSpec::lobpcg_options(la::index_t blk) const {
   o.numa_domains = support::topo::effective_domains(o.threads);
   o.nev = nev;
   o.tolerance = tolerance;
+  return o;
+}
+
+solver::CgOptions RunSpec::cg_options() const {
+  solver::CgOptions o;
+  o.precond = precond;
+  o.tol = tolerance;
+  o.max_iterations = iterations;
   return o;
 }
 

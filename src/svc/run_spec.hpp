@@ -19,16 +19,19 @@
 #include <string>
 #include <vector>
 
+#include "solvers/cg.hpp"
 #include "solvers/lobpcg.hpp"
 #include "sparse/coo.hpp"
 #include "svc/wire.hpp"
 
 namespace sts::svc {
 
-enum class SolverKind { kLanczos, kLobpcg };
+enum class SolverKind { kLanczos, kLobpcg, kCg };
 
 [[nodiscard]] const char* to_string(SolverKind s);
 [[nodiscard]] SolverKind parse_solver(const std::string& name);
+/// "none" | "jacobi" | "ic0".
+[[nodiscard]] solver::Precond parse_precond(const std::string& name);
 /// "libcsr" | "libcsb" | "ds"/"deepsparse" | "flux"/"hpx" | "rgt"/"regent".
 [[nodiscard]] solver::Version parse_version(const std::string& name);
 
@@ -38,9 +41,10 @@ struct RunSpec {
   double scale = 0.2;            // suite scale factor
   SolverKind solver = SolverKind::kLobpcg;
   solver::Version version = solver::Version::kFlux;
-  int iterations = 30;
+  int iterations = 30;           // Lanczos/LOBPCG budget; CG cap (--maxit)
   la::index_t nev = 8;           // LOBPCG block width
-  double tolerance = 1e-6;       // LOBPCG residual tolerance
+  double tolerance = 1e-6;       // LOBPCG/CG residual tolerance (--tol)
+  solver::Precond precond = solver::Precond::kNone; // CG preconditioner
   la::index_t block = 0;         // CSB block size; 0 = heuristic
   bool autotune = false;         // pick block by simulated sweep
   unsigned threads = 0;          // 0 = hardware concurrency
@@ -67,9 +71,10 @@ struct RunSpec {
 
   /// Consumes one CLI flag if it belongs to the spec ("--matrix", "--suite",
   /// "--scale", "--solver", "--version", "--iterations", "--nev",
-  /// "--tolerance", "--block", "--autotune", "--threads", "--timeout",
-  /// "--key", "--trace-id", "--priority", "--weight", "--max-workers",
-  /// "--max-mem-bytes", "--deadline-ms").
+  /// "--tolerance", "--precond", "--tol" (alias of --tolerance), "--maxit"
+  /// (alias of --iterations), "--block", "--autotune", "--threads",
+  /// "--timeout", "--key", "--trace-id", "--priority", "--weight",
+  /// "--max-workers", "--max-mem-bytes", "--deadline-ms").
   /// `next` yields the flag's value (and may exit with usage). Returns
   /// false for flags the spec does not own.
   bool consume_arg(const std::string& arg,
@@ -108,6 +113,8 @@ struct RunSpec {
   /// cancellation/pool wiring is the caller's business).
   [[nodiscard]] solver::SolverOptions solver_options(la::index_t block) const;
   [[nodiscard]] solver::LobpcgOptions lobpcg_options(la::index_t block) const;
+  /// CG knobs (preconditioner, tol, maxit); pair with solver_options().
+  [[nodiscard]] solver::CgOptions cg_options() const;
 
   /// One-line human description ("lobpcg/hpx-flux suite:Queen_4147@0.2").
   [[nodiscard]] std::string describe() const;

@@ -845,8 +845,13 @@ void Service::run_job(Job& job, unsigned si) {
       if (job.recovered) {
         try {
           solver::ckpt::Checkpoint c = solver::ckpt::load(ckpt_path);
-          const bool lanczos_ckpt = c.kind == solver::ckpt::Kind::kLanczos;
-          if (lanczos_ckpt == (job.spec.solver == SolverKind::kLanczos)) {
+          const solver::ckpt::Kind want =
+              job.spec.solver == SolverKind::kLanczos
+                  ? solver::ckpt::Kind::kLanczos
+                  : job.spec.solver == SolverKind::kCg
+                        ? solver::ckpt::Kind::kCg
+                        : solver::ckpt::Kind::kLobpcg;
+          if (c.kind == want) {
             restored = std::move(c);
           }
         } catch (const std::exception&) {
@@ -889,6 +894,36 @@ void Service::run_job(Job& job, unsigned si) {
         ritz.push(r.ritz_values.back());
       }
       summary.set("ritz_extremes", std::move(ritz));
+    } else if (job.spec.solver == SolverKind::kCg) {
+      solver::SolverOptions options =
+          job.spec.solver_options(plan->block_size);
+      options.threads = threads;
+      options.numa_domains = std::min(options.numa_domains, threads);
+      options.cancel = &job.token;
+      options.ckpt_path = ckpt_path;
+      if (restored) options.restore = &*restored;
+      if (is_flux) {
+        options.flux_pool = pool.get();
+        options.numa_domains = pool->domain_count();
+        if (growable) {
+          options.resize_poll = [this, &job] { apply_grant(job); };
+        }
+      }
+      const auto r = solver::cg(*plan->csr, *plan->csb, job.spec.version,
+                                job.spec.cg_options(), options);
+      status = r.status;
+      summary.set("iterations", r.timing.iterations);
+      summary.set("seconds", r.timing.total_seconds);
+      summary.set("converged", r.converged);
+      summary.set("relative_residual", r.relative_residual);
+      summary.set("precond", solver::to_string(job.spec.precond));
+      if (r.precond_shift != 0.0) {
+        summary.set("precond_shift", r.precond_shift);
+      }
+      if (r.level_span != 0) {
+        summary.set("sptrsv_level_span",
+                    static_cast<std::int64_t>(r.level_span));
+      }
     } else {
       solver::LobpcgOptions options =
           job.spec.lobpcg_options(plan->block_size);

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the BENCH_*.json exports a CI run produced (bench_json.hpp's flat
+schema: {"benchmarks": [{"op", "iterations", "ns_per_op", "counters"}]})
+against the committed baselines in bench/baselines/. For every op present
+in both files the check computes the ratio current/baseline of ns_per_op
+and fails when it exceeds 1 + tolerance. Ops only present on one side are
+reported but do not fail the run — benches come and go with the code — and
+a baseline file with no matching export is an error, since that usually
+means a CI stage silently stopped producing its JSON.
+
+Medians: bench_json.hpp writes one row per completed google-benchmark run.
+With --benchmark_repetitions > 1 the same op appears multiple times; the
+check collapses duplicates to their median before comparing, so one noisy
+repetition cannot fail the gate.
+
+Usage:
+  tools/bench_check.py --build-dir build --baseline-dir bench/baselines
+  tools/bench_check.py ... --tolerance 0.25     # override the 15% default
+  tools/bench_check.py ... --update             # rewrite baselines instead
+  STS_BENCH_TOL=0.5 tools/bench_check.py ...    # env override (CI knob)
+
+Exit codes: 0 all within tolerance, 1 regression found, 2 usage/IO error.
+
+Wall-clock baselines are machine-specific: regenerate them with --update
+on the reference runner whenever the hardware or a kernel deliberately
+changes, and review the diff like any other code change.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+from pathlib import Path
+
+
+def load_rows(path):
+    """op -> median ns_per_op for one BENCH_*.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    samples = {}
+    for row in doc.get("benchmarks", []):
+        op = row.get("op")
+        ns = row.get("ns_per_op")
+        if op is None or not isinstance(ns, (int, float)) or ns <= 0:
+            continue
+        samples.setdefault(op, []).append(float(ns))
+    return {op: statistics.median(v) for op, v in samples.items()}
+
+
+def compare(name, baseline, current, tolerance):
+    """Returns the list of regression messages for one bench file."""
+    regressions = []
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print(f"{name}: no common ops between baseline and export")
+        return [f"{name}: baseline and export share no ops"]
+    for op in common:
+        ratio = current[op] / baseline[op]
+        flag = ""
+        if ratio > 1.0 + tolerance:
+            flag = "  << REGRESSION"
+            regressions.append(
+                f"{name}: {op} {baseline[op]:.0f} -> {current[op]:.0f} ns/op "
+                f"({ratio:.2f}x > {1.0 + tolerance:.2f}x allowed)")
+        print(f"{name}: {op}: {baseline[op]:.0f} -> {current[op]:.0f} ns/op "
+              f"({ratio:.2f}x){flag}")
+    for op in sorted(set(baseline) - set(current)):
+        print(f"{name}: {op}: in baseline only (not run this time)")
+    for op in sorted(set(current) - set(baseline)):
+        print(f"{name}: {op}: new op (no baseline yet)")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="directory holding the BENCH_*.json exports")
+    ap.add_argument("--baseline-dir", default="bench/baselines",
+                    help="directory holding the committed baselines")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("STS_BENCH_TOL", "0.15")),
+                    help="allowed fractional slowdown (default 0.15 or "
+                         "$STS_BENCH_TOL)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy the current exports over the baselines "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    build = Path(args.build_dir)
+    base_dir = Path(args.baseline_dir)
+    if args.tolerance < 0:
+        print("bench_check: tolerance must be >= 0", file=sys.stderr)
+        return 2
+
+    baselines = sorted(base_dir.glob("BENCH_*.json"))
+    if args.update:
+        base_dir.mkdir(parents=True, exist_ok=True)
+        names = {p.name for p in baselines}
+        names.update(p.name for p in build.glob("BENCH_*.json"))
+        updated = 0
+        for name in sorted(names):
+            src = build / name
+            if not src.is_file():
+                print(f"bench_check: {src} missing; baseline kept")
+                continue
+            shutil.copyfile(src, base_dir / name)
+            print(f"bench_check: updated {base_dir / name}")
+            updated += 1
+        if updated == 0:
+            print("bench_check: nothing to update", file=sys.stderr)
+            return 2
+        return 0
+
+    if not baselines:
+        print(f"bench_check: no baselines under {base_dir}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    missing = []
+    for base_path in baselines:
+        cur_path = build / base_path.name
+        if not cur_path.is_file():
+            missing.append(base_path.name)
+            continue
+        regressions += compare(base_path.name, load_rows(base_path),
+                               load_rows(cur_path), args.tolerance)
+
+    if missing:
+        print(f"bench_check: missing exports for {', '.join(missing)} — "
+              f"did the bench/dispatch stages run?", file=sys.stderr)
+        return 2
+    if regressions:
+        print("\nbench_check: FAILED", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"bench_check: all ops within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,89 +1,190 @@
 #!/usr/bin/env bash
-# Local CI gate: the tier-1 verify (full build + complete ctest suite), a
-# chaos stage (kill/restart recovery e2e plus a deeper journal-replay
-# corruption fuzz), a NUMA stage (topology fixtures, pinned re-runs of the
-# flux/solvers labels, and the steal-tier bench -> BENCH_numa.json), a
-# dispatch stage (scheduler/partition/quota tests plus the fifo-vs-fair
-# latency bench -> BENCH_dispatch.json), an AddressSanitizer build that
-# re-runs the concurrency-heavy labels (svc, dispatch, faults, chaos) where
-# lifetime bugs would hide, a ThreadSanitizer pass over the lock-free
-# telemetry plumbing and the dispatcher's queue structures, and the
-# observability micro-benchmarks (BENCH_obs.json).
+# Local CI gate, split into named stages so the GitHub workflow can run
+# them as separate matrix jobs while a bare `tools/ci.sh` still runs the
+# whole gauntlet in order:
 #
-#   tools/ci.sh [build-dir] [asan-build-dir] [tsan-build-dir]
+#   tier1        configure + full build + complete ctest suite (JUnit out)
+#   chaos        kill/restart recovery e2e + journal-replay corruption fuzz
+#   numa         topology fixtures, pinned re-runs, steal-tier bench
+#   dispatch     scheduler/partition/quota tests + fifo-vs-fair bench
+#   asan         AddressSanitizer build + concurrency-heavy labels (+cg)
+#   tsan         ThreadSanitizer pass over obs + dispatcher structures
+#   bench        microbench exports (BENCH_kernels/obs/cg.json)
+#   format       git clang-format --diff over the changed files
+#   bench-check  compare BENCH_*.json medians against bench/baselines/
 #
-# Exits non-zero on the first failing step.
+#   tools/ci.sh [--stage=<name>] [build-dir] [asan-build-dir] [tsan-build-dir]
+#
+# Without --stage, every stage above runs in order (bench-check last, since
+# it needs the bench + dispatch exports). Exits non-zero on the first
+# failing step.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build="${1:-$repo/build}"
-asan_build="${2:-$repo/build-asan}"
-tsan_build="${3:-$repo/build-tsan}"
+stage="all"
+args=()
+for a in "$@"; do
+  case "$a" in
+    --stage=*) stage="${a#--stage=}" ;;
+    --stage) echo "ci.sh: --stage requires =<name>" >&2; exit 2 ;;
+    *) args+=("$a") ;;
+  esac
+done
+build="${args[0]:-$repo/build}"
+asan_build="${args[1]:-$repo/build-asan}"
+tsan_build="${args[2]:-$repo/build-tsan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier-1: configure + build + full ctest =="
-cmake -B "$build" -S "$repo"
-cmake --build "$build" -j "$jobs"
-ctest --test-dir "$build" --output-on-failure -j "$jobs"
+stage_tier1() {
+  echo "== tier-1: configure + build + full ctest =="
+  cmake -B "$build" -S "$repo"
+  cmake --build "$build" -j "$jobs"
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" \
+    --output-junit "$build/ctest-junit.xml"
+}
 
-echo "== chaos: crash/recovery e2e + journal-replay fuzz =="
-ctest --test-dir "$build" --output-on-failure -j "$jobs" -L chaos
-STS_JOURNAL_FUZZ_ITERS=200 "$build/tests/resilience_test" \
-  --gtest_filter='Journal.FuzzedCorruptionNeverCrashesReplay'
+stage_chaos() {
+  echo "== chaos: crash/recovery e2e + journal-replay fuzz =="
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L chaos
+  STS_JOURNAL_FUZZ_ITERS=200 "$build/tests/resilience_test" \
+    --gtest_filter='Journal.FuzzedCorruptionNeverCrashesReplay'
+}
 
-echo "== numa: topology tests + pinned runtimes + steal-tier bench =="
-# The numa label covers the sysfs-fixture topology parser and the
-# placement/stealing unit tests; re-running the flux and solvers labels
-# under STS_AFFINITY=compact exercises the pinned code path end to end
-# (workers bound to real CPUs, or counted pin failures on constrained
-# hosts — never fatal). The fig5 native bench exports per-tier steal
-# counts; pinned+owned must show fewer cross-domain steals than the
-# unpinned baseline.
-ctest --test-dir "$build" --output-on-failure -j "$jobs" -L numa
-STS_AFFINITY=compact ctest --test-dir "$build" --output-on-failure \
-  -j "$jobs" -L "flux|solvers"
-cmake --build "$build" -j "$jobs" --target bench_fig5_first_touch
-(cd "$build" && STS_AFFINITY=compact ./bench/bench_fig5_first_touch \
-  --benchmark_min_time=0.05 --benchmark_filter=BM_CsbSpmv)
-echo "wrote $build/BENCH_numa.json"
+stage_numa() {
+  echo "== numa: topology tests + pinned runtimes + steal-tier bench =="
+  # The numa label covers the sysfs-fixture topology parser and the
+  # placement/stealing unit tests; re-running the flux and solvers labels
+  # under STS_AFFINITY=compact exercises the pinned code path end to end
+  # (workers bound to real CPUs, or counted pin failures on constrained
+  # hosts — never fatal). The fig5 native bench exports per-tier steal
+  # counts; pinned+owned must show fewer cross-domain steals than the
+  # unpinned baseline.
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L numa
+  STS_AFFINITY=compact ctest --test-dir "$build" --output-on-failure \
+    -j "$jobs" -L "flux|solvers"
+  cmake --build "$build" -j "$jobs" --target bench_fig5_first_touch
+  (cd "$build" && STS_AFFINITY=compact ./bench/bench_fig5_first_touch \
+    --benchmark_min_time=0.05 --benchmark_filter=BM_CsbSpmv)
+  echo "wrote $build/BENCH_numa.json"
+}
 
-echo "== dispatch: scheduler/partition tests + latency bench =="
-# The dispatch label covers the FairQueue DRR accounting, the partition
-# arithmetic against sysfs fixtures, and the Service-level slot/quota/grant
-# tests; the svc label re-runs alongside it because the dispatcher rewired
-# the daemon's execution path. The bench exports makespan + p99 interactive
-# latency for fifo/1-slot vs fair/4-slots over a mixed 32-job workload.
-ctest --test-dir "$build" --output-on-failure -j "$jobs" -L "dispatch|svc"
-cmake --build "$build" -j "$jobs" --target bench_dispatch
-(cd "$build" && ./bench/bench_dispatch --benchmark_min_time=0.01)
-echo "wrote $build/BENCH_dispatch.json"
+stage_dispatch() {
+  echo "== dispatch: scheduler/partition tests + latency bench =="
+  # The dispatch label covers the FairQueue DRR accounting, the partition
+  # arithmetic against sysfs fixtures, and the Service-level
+  # slot/quota/grant tests; the svc label re-runs alongside it because the
+  # dispatcher rewired the daemon's execution path. The bench exports
+  # makespan + p99 interactive latency for fifo/1-slot vs fair/4-slots
+  # over a mixed 32-job workload.
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L "dispatch|svc"
+  cmake --build "$build" -j "$jobs" --target bench_dispatch
+  (cd "$build" && ./bench/bench_dispatch --benchmark_min_time=0.01)
+  echo "wrote $build/BENCH_dispatch.json"
+}
 
-echo "== asan: build + svc/dispatch/faults/chaos labels =="
-cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address -DSTS_BUILD_BENCH=OFF
-cmake --build "$asan_build" -j "$jobs"
-ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" \
-  -L "svc|dispatch|faults|chaos"
+stage_asan() {
+  echo "== asan: build + svc/dispatch/faults/chaos/cg labels =="
+  # cg joins the concurrency-heavy set: the SpTRSV DAG executor and the
+  # flux CG driver juggle per-block futures whose lifetime bugs only ASan
+  # would catch, and the cg label carries the randomized property tests
+  # (IC(0) pattern identity, SpTRSV-vs-dense, CG convergence).
+  cmake -B "$asan_build" -S "$repo" -DSTS_SANITIZE=address \
+    -DSTS_BUILD_BENCH=OFF
+  cmake --build "$asan_build" -j "$jobs"
+  ctest --test-dir "$asan_build" --output-on-failure -j "$jobs" \
+    -L "svc|dispatch|faults|chaos|cg"
+}
 
-echo "== tsan: build + metric/trace/profiler race checks =="
-# Scoped to the obs primitives: the hot/cold histogram snapshot, the job
-# trace ring, and the sampling profiler are the hand-rolled atomics where
-# TSan has teeth. The OpenMP runtimes are excluded — libgomp is not
-# TSan-instrumented and drowns real reports in false positives.
-cmake -B "$tsan_build" -S "$repo" -DSTS_SANITIZE=thread -DSTS_BUILD_BENCH=OFF
-cmake --build "$tsan_build" -j "$jobs" --target obs_test
-"$tsan_build/tests/obs_test" \
-  --gtest_filter='Registry.*:Histogram.*:Prometheus.*:Profiler.*:JobTrace.*'
-# Dispatcher structures under TSan: the FairQueue and partition arithmetic
-# (plus policy parsing). The Service-level dispatch tests run solves whose
-# plan/solver paths enter OpenMP regions, and libgomp is not
-# TSan-instrumented — those race checks live in the ASan stage instead.
-cmake --build "$tsan_build" -j "$jobs" --target dispatch_test
-"$tsan_build/tests/dispatch_test" \
-  --gtest_filter='FairQueueTest.*:DispatchPolicy.*:PartitionCpus.*:Carve.*'
+stage_tsan() {
+  echo "== tsan: build + metric/trace/profiler race checks =="
+  # Scoped to the obs primitives: the hot/cold histogram snapshot, the job
+  # trace ring, and the sampling profiler are the hand-rolled atomics where
+  # TSan has teeth. The OpenMP runtimes are excluded — libgomp is not
+  # TSan-instrumented and drowns real reports in false positives.
+  cmake -B "$tsan_build" -S "$repo" -DSTS_SANITIZE=thread \
+    -DSTS_BUILD_BENCH=OFF
+  cmake --build "$tsan_build" -j "$jobs" --target obs_test
+  "$tsan_build/tests/obs_test" \
+    --gtest_filter='Registry.*:Histogram.*:Prometheus.*:Profiler.*:JobTrace.*'
+  # Dispatcher structures under TSan: the FairQueue and partition
+  # arithmetic (plus policy parsing). The Service-level dispatch tests run
+  # solves whose plan/solver paths enter OpenMP regions, and libgomp is not
+  # TSan-instrumented — those race checks live in the ASan stage instead.
+  cmake --build "$tsan_build" -j "$jobs" --target dispatch_test
+  "$tsan_build/tests/dispatch_test" \
+    --gtest_filter='FairQueueTest.*:DispatchPolicy.*:PartitionCpus.*:Carve.*'
+}
 
-echo "== bench: observability hot-path costs -> BENCH_obs.json =="
-cmake --build "$build" -j "$jobs" --target bench_obs
-(cd "$build" && ./bench/bench_obs --benchmark_min_time=0.05)
-echo "wrote $build/BENCH_obs.json"
+stage_bench() {
+  echo "== bench: kernel/observability/cg exports -> BENCH_*.json =="
+  cmake --build "$build" -j "$jobs" \
+    --target bench_kernels bench_obs bench_cg
+  (cd "$build" && ./bench/bench_kernels --benchmark_min_time=0.05)
+  (cd "$build" && ./bench/bench_obs --benchmark_min_time=0.05)
+  (cd "$build" && ./bench/bench_cg --benchmark_min_time=0.05)
+  echo "wrote $build/BENCH_kernels.json $build/BENCH_obs.json" \
+       "$build/BENCH_cg.json"
+}
 
-echo "== ci.sh: all green =="
+stage_format() {
+  echo "== format: git clang-format over changed files =="
+  if ! command -v clang-format >/dev/null 2>&1 ||
+     ! git -C "$repo" clang-format -h >/dev/null 2>&1; then
+    echo "format: clang-format / git-clang-format not installed; skipping"
+    return 0
+  fi
+  # Diff against the merge base with the default branch when one exists,
+  # else against HEAD~1 (post-commit use). --diff prints the reformatting
+  # a commit would need; any non-clean output is a failure.
+  local base
+  base="$(git -C "$repo" merge-base origin/main HEAD 2>/dev/null ||
+          git -C "$repo" rev-parse HEAD~1 2>/dev/null ||
+          git -C "$repo" rev-parse HEAD)"
+  local out
+  out="$(git -C "$repo" clang-format --diff "$base" 2>&1 || true)"
+  case "$out" in
+    ""|*"no modified files to format"*|*"did not modify any files"*)
+      echo "format: clean" ;;
+    *)
+      printf '%s\n' "$out"
+      echo "format: run 'git clang-format $base' and commit the result" >&2
+      return 1 ;;
+  esac
+}
+
+stage_bench_check() {
+  echo "== bench-check: compare exports against bench/baselines =="
+  # Requires the bench + dispatch stages to have produced the exports.
+  python3 "$repo/tools/bench_check.py" --build-dir "$build" \
+    --baseline-dir "$repo/bench/baselines"
+}
+
+case "$stage" in
+  tier1) stage_tier1 ;;
+  chaos) stage_chaos ;;
+  numa) stage_numa ;;
+  dispatch) stage_dispatch ;;
+  asan) stage_asan ;;
+  tsan) stage_tsan ;;
+  bench) stage_bench ;;
+  format) stage_format ;;
+  bench-check) stage_bench_check ;;
+  all)
+    stage_tier1
+    stage_chaos
+    stage_numa
+    stage_dispatch
+    stage_asan
+    stage_tsan
+    stage_bench
+    stage_format
+    stage_bench_check
+    ;;
+  *)
+    echo "ci.sh: unknown stage '$stage' (tier1|chaos|numa|dispatch|asan|" \
+         "tsan|bench|format|bench-check)" >&2
+    exit 2
+    ;;
+esac
+
+echo "== ci.sh: stage '$stage' green =="

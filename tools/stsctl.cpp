@@ -6,7 +6,8 @@
 //     ping                       liveness check
 //     submit [run-spec flags]    enqueue a solve, print its job id
 //       (same flags as stsolve: --matrix/--suite/--scale/--solver/
-//        --version/--iterations/--nev/--tolerance/--block/--autotune/
+//        --version/--iterations/--nev/--tolerance/--precond/--tol/--maxit/
+//        --block/--autotune/
 //        --threads/--timeout; scheduling + quotas: --priority
 //        interactive|batch, --weight n, --max-workers n, --max-mem-bytes n,
 //        --deadline-ms n (DESIGN.md §15); add --wait to block until
@@ -48,11 +49,12 @@ using namespace sts;
               "ping|submit|status|result|cancel|stats|queue|metrics|trace|"
               "shutdown ...\n"
               "  submit [--matrix f.mtx | --suite name] [--solver "
-              "lanczos|lobpcg]\n"
+              "lanczos|lobpcg|cg]\n"
               "    [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
               "[--nev n]\n"
-              "    [--tolerance t] [--block rows | --autotune] [--threads "
-              "n]\n"
+              "    [--tolerance t] [--precond none|jacobi|ic0] [--tol t] "
+              "[--maxit n]\n"
+              "    [--block rows | --autotune] [--threads n]\n"
               "    [--scale f] [--timeout sec] [--key k] [--trace-id t] "
               "[--wait]\n"
               "    [--priority interactive|batch] [--weight n] "

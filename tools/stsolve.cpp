@@ -12,11 +12,13 @@
 //     --matrix <path.mtx>     Matrix Market input (symmetrized if needed)
 //     --suite <name>          synthetic suite matrix (see --list)
 //     --scale <f>             suite scale factor (default 0.2)
-//     --solver lanczos|lobpcg (default lobpcg)
-//     --version libcsr|libcsb|ds|flux|rgt   (default flux)
-//     --iterations <n>        (default 30)
+//     --solver lanczos|lobpcg|cg (default lobpcg)
+//     --version libcsr|libcsb|ds|flux|rgt   (default flux; cg: no ds/rgt)
+//     --iterations <n>        (default 30; --maxit is an alias for cg)
 //     --nev <n>               LOBPCG block width (default 8)
-//     --tolerance <t>         LOBPCG residual tolerance (default 1e-6)
+//     --tolerance <t>         LOBPCG/CG residual tolerance (default 1e-6;
+//                             --tol is an alias)
+//     --precond none|jacobi|ic0  CG preconditioner (default none)
 //     --block <rows>          CSB block size; 0 = heuristic (default)
 //     --autotune              pick the block size by simulated sweep
 //     --threads <n>           worker threads (default: hardware)
@@ -42,6 +44,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "solvers/cg.hpp"
 #include "solvers/checkpoint.hpp"
 #include "solvers/lanczos.hpp"
 #include "solvers/lobpcg.hpp"
@@ -58,10 +61,12 @@ using namespace sts;
 
 [[noreturn]] void usage(const char* argv0) {
   std::printf("usage: %s [--matrix f.mtx | --suite name] [--solver "
-              "lanczos|lobpcg]\n"
+              "lanczos|lobpcg|cg]\n"
               "  [--version libcsr|libcsb|ds|flux|rgt] [--iterations n] "
               "[--nev n]\n"
-              "  [--tolerance t] [--block rows | --autotune] [--threads n] "
+              "  [--tolerance t] [--precond none|jacobi|ic0] [--tol t] "
+              "[--maxit n]\n"
+              "  [--block rows | --autotune] [--threads n] "
               "[--scale f]\n"
               "  [--timeout sec] [--ckpt f.ckpt] [--ckpt-every n] "
               "[--restore f.ckpt]\n"
@@ -169,19 +174,27 @@ int main(int argc, char** argv) {
     std::optional<solver::ckpt::Checkpoint> restored;
     if (!restore_path.empty()) {
       restored = solver::ckpt::load(restore_path);
-      const bool wants_lanczos = spec.solver == svc::SolverKind::kLanczos;
-      if ((restored->kind == solver::ckpt::Kind::kLanczos) != wants_lanczos) {
+      const solver::ckpt::Kind want =
+          spec.solver == svc::SolverKind::kLanczos
+              ? solver::ckpt::Kind::kLanczos
+              : spec.solver == svc::SolverKind::kCg
+                    ? solver::ckpt::Kind::kCg
+                    : solver::ckpt::Kind::kLobpcg;
+      if (restored->kind != want) {
         throw support::Error(
             std::string("--restore: checkpoint holds ") +
             solver::ckpt::to_string(restored->kind) + " state but --solver is " +
             svc::to_string(spec.solver));
       }
+      const std::int64_t at =
+          restored->kind == solver::ckpt::Kind::kLanczos
+              ? restored->lanczos.iterations
+              : restored->kind == solver::ckpt::Kind::kCg
+                    ? restored->cg.iterations
+                    : restored->lobpcg.iterations;
       std::printf("restored checkpoint: %s at iteration %lld\n",
                   solver::ckpt::to_string(restored->kind),
-                  static_cast<long long>(
-                      restored->kind == solver::ckpt::Kind::kLanczos
-                          ? restored->lanczos.iterations
-                          : restored->lobpcg.iterations));
+                  static_cast<long long>(at));
     }
 
     // Wall-clock guard: the watchdog requests the cancel token after
@@ -216,6 +229,30 @@ int main(int argc, char** argv) {
       if (!r.ritz_values.empty()) {
         std::printf("extremal Ritz values: %.10g (low)  %.10g (high)\n",
                     r.ritz_values.front(), r.ritz_values.back());
+      }
+    } else if (spec.solver == svc::SolverKind::kCg) {
+      solver::SolverOptions options = spec.solver_options(block);
+      options.cancel = &cancel;
+      options.ckpt_path = ckpt_path;
+      options.ckpt_every = ckpt_every;
+      if (restored) options.restore = &*restored;
+      const auto r = solver::cg(csr, csb, spec.version, spec.cg_options(),
+                                options);
+      status = r.status;
+      std::printf("\nCG (%s, precond=%s), %d iterations, %s, %.3f s\n",
+                  solver::to_string(spec.version),
+                  solver::to_string(spec.precond), r.iterations,
+                  r.converged ? "converged" : "NOT converged",
+                  r.timing.total_seconds);
+      std::printf("  relative residual %.3e (tol %.1e)\n",
+                  r.relative_residual, spec.cg_options().tol);
+      if (r.precond_shift != 0.0) {
+        std::printf("  ic0 diagonal shift %.3e\n", r.precond_shift);
+      }
+      if (r.level_span != 0) {
+        std::printf("  sptrsv DAG: %lld levels over %lld block rows\n",
+                    static_cast<long long>(r.level_span),
+                    static_cast<long long>((csr.rows() + block - 1) / block));
       }
     } else {
       solver::LobpcgOptions options = spec.lobpcg_options(block);
